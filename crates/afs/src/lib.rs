@@ -1,0 +1,36 @@
+//! AFS-style syndrome compression — the off-chip-bandwidth baseline.
+//!
+//! AFS (Das et al., HPCA 2022) reduces decode I/O by compressing each
+//! cycle's syndrome before it crosses the refrigerator boundary. The
+//! paper compares Clique against AFS's most effective scheme, *Sparse
+//! Representation* (Sec. 7.2 / Fig. 13): one flag bit for the all-zero
+//! case, otherwise explicit indices for every non-zero bit, which costs
+//! `1 + O(k·log N)` bits and degrades quickly as the error rate or code
+//! distance grows.
+//!
+//! This crate implements the full baseline: a real bit-level encoder /
+//! decoder for sparse representation, a run-length scheme, the raw
+//! fallback, and AFS's dynamic best-of-N selection, plus the statistics
+//! accumulator that feeds the Fig. 13 comparison.
+//!
+//! # Example
+//!
+//! ```
+//! use btwc_afs::{Compressor, SparseRepr};
+//! use btwc_syndrome::Syndrome;
+//!
+//! let mut syndrome = Syndrome::new(24);
+//! syndrome.set(5, true);
+//! let codec = SparseRepr::new(24);
+//! let bits = codec.encode(&syndrome);
+//! assert!(bits.len() < 24, "one lit bit compresses well");
+//! assert_eq!(codec.decode(&bits), syndrome);
+//! ```
+
+mod bits;
+mod codec;
+mod stats;
+
+pub use bits::{BitReader, BitWriter};
+pub use codec::{Compressor, DynamicCompressor, RawRepr, RunLength, SparseRepr};
+pub use stats::CompressionStats;

@@ -1,0 +1,127 @@
+//! Bandwidth accounting for the Fig. 13 comparison.
+
+/// Accumulates per-cycle off-chip bit counts and reports average
+/// reduction factors relative to shipping the raw syndrome every cycle.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CompressionStats {
+    cycles: u64,
+    total_bits: u64,
+    raw_bits_per_cycle: u64,
+}
+
+impl CompressionStats {
+    /// Stats for a stream whose uncompressed cost is
+    /// `raw_bits_per_cycle` bits each cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw_bits_per_cycle == 0`.
+    #[must_use]
+    pub fn new(raw_bits_per_cycle: u64) -> Self {
+        assert!(raw_bits_per_cycle > 0, "raw bits per cycle must be positive");
+        Self { cycles: 0, total_bits: 0, raw_bits_per_cycle }
+    }
+
+    /// Records one cycle that shipped `bits` bits off-chip.
+    pub fn record(&mut self, bits: u64) {
+        self.cycles += 1;
+        self.total_bits += bits;
+    }
+
+    /// Number of cycles recorded.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Mean off-chip bits per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cycles were recorded.
+    #[must_use]
+    pub fn mean_bits(&self) -> f64 {
+        assert!(self.cycles > 0, "no cycles recorded");
+        self.total_bits as f64 / self.cycles as f64
+    }
+
+    /// Average off-chip data reduction factor (raw / compressed); this
+    /// is the quantity on Fig. 13's y-axis. Returns `f64::INFINITY` when
+    /// no bits were ever shipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cycles were recorded.
+    #[must_use]
+    pub fn reduction_factor(&self) -> f64 {
+        assert!(self.cycles > 0, "no cycles recorded");
+        if self.total_bits == 0 {
+            return f64::INFINITY;
+        }
+        (self.raw_bits_per_cycle * self.cycles) as f64 / self.total_bits as f64
+    }
+
+    /// Merges another accumulator (e.g. from a worker thread).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the raw widths differ.
+    pub fn merge(&mut self, other: &CompressionStats) {
+        assert_eq!(
+            self.raw_bits_per_cycle, other.raw_bits_per_cycle,
+            "cannot merge stats with different raw widths"
+        );
+        self.cycles += other.cycles;
+        self.total_bits += other.total_bits;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_factor_basic() {
+        let mut s = CompressionStats::new(100);
+        s.record(10);
+        s.record(30);
+        assert_eq!(s.cycles(), 2);
+        assert!((s.mean_bits() - 20.0).abs() < 1e-12);
+        // 200 raw bits over 2 cycles vs 40 shipped bits = 5x.
+        assert!((s.reduction_factor() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_traffic_is_infinite_reduction() {
+        let mut s = CompressionStats::new(64);
+        s.record(0);
+        s.record(0);
+        assert!(s.reduction_factor().is_infinite());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CompressionStats::new(10);
+        a.record(5);
+        let mut b = CompressionStats::new(10);
+        b.record(15);
+        a.merge(&b);
+        assert_eq!(a.cycles(), 2);
+        assert!((a.mean_bits() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no cycles recorded")]
+    fn mean_requires_cycles() {
+        let s = CompressionStats::new(10);
+        let _ = s.mean_bits();
+    }
+
+    #[test]
+    #[should_panic(expected = "different raw widths")]
+    fn merge_rejects_width_mismatch() {
+        let mut a = CompressionStats::new(10);
+        let b = CompressionStats::new(20);
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,154 @@
+//! Closed-form approximations for provisioning, cross-validated against
+//! the cycle-accurate queue simulator.
+//!
+//! Two results back the paper's Sec. 5 qualitative claims analytically:
+//!
+//! * **stability**: the queue is positive recurrent iff the provisioned
+//!   bandwidth exceeds the mean demand — provisioning *at* the mean
+//!   diverges (Fig. 9 top);
+//! * **Gaussian provisioning**: for Binomial(Q, q) demand the
+//!   percentile rule reduces to `B ≈ μ + z·σ`, giving the provisioned
+//!   bandwidth and reduction factor without simulation.
+
+use crate::arrivals::ArrivalModel;
+
+/// Approximate inverse standard-normal CDF (Acklam's rational
+/// approximation; |error| < 1.2e-9 over (0, 1)).
+///
+/// # Panics
+///
+/// Panics unless `0 < p < 1`.
+#[must_use]
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile requires 0 < p < 1, got {p}");
+    // Coefficients for the central and tail regions.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_38e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    let p_low = 0.02425;
+    if p < p_low {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - p_low {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -normal_quantile(1.0 - p)
+    }
+}
+
+/// Gaussian-approximate provisioning for Bernoulli demand: the
+/// bandwidth at `percentile` of Binomial(Q, q) is `μ + z·σ` (rounded
+/// up, at least 1).
+///
+/// # Panics
+///
+/// Panics if the model is not Bernoulli or the percentile is not in
+/// `(0, 1)`.
+#[must_use]
+pub fn gaussian_bandwidth(model: &ArrivalModel, percentile: f64) -> usize {
+    let ArrivalModel::Bernoulli { num_qubits, q } = model else {
+        panic!("gaussian provisioning requires a Bernoulli demand model");
+    };
+    let mu = *num_qubits as f64 * q;
+    let sigma = (mu * (1.0 - q)).sqrt();
+    let z = normal_quantile(percentile);
+    (mu + z * sigma).ceil().max(1.0) as usize
+}
+
+/// Whether a provisioned bandwidth yields a *stable* queue (bounded
+/// backlog): strictly more service than mean demand.
+#[must_use]
+pub fn is_stable(model: &ArrivalModel, bandwidth: usize) -> bool {
+    (bandwidth as f64) > model.mean()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::QueueSim;
+    use btwc_noise::SimRng;
+
+    #[test]
+    fn quantile_matches_known_values() {
+        assert!(normal_quantile(0.5).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.959_964).abs() < 1e-4);
+        assert!((normal_quantile(0.99) - 2.326_348).abs() < 1e-4);
+        assert!((normal_quantile(0.001) + 3.090_232).abs() < 1e-4);
+        // Symmetry.
+        assert!((normal_quantile(0.25) + normal_quantile(0.75)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gaussian_matches_empirical_percentile() {
+        let model = ArrivalModel::bernoulli(1000, 0.05);
+        let analytic = gaussian_bandwidth(&model, 0.99);
+        let mut rng = SimRng::from_seed(3);
+        let empirical = model.bandwidth_at_percentile(&mut rng, 0.99, 50_000);
+        assert!(
+            analytic.abs_diff(empirical) <= 2,
+            "analytic {analytic} vs empirical {empirical}"
+        );
+    }
+
+    #[test]
+    fn stability_predicts_simulation_behavior() {
+        let model = ArrivalModel::bernoulli(1000, 0.05);
+        // At the mean: unstable (Fig. 9 top).
+        let at_mean = model.mean().round() as usize;
+        assert!(!is_stable(&model, at_mean));
+        let mut rng = SimRng::from_seed(4);
+        let mut sim = QueueSim::new(at_mean);
+        let diverging = sim.run(&model, &mut rng, 3_000);
+        assert!(diverging.stall_fraction() > 0.3);
+        // Slightly above a high percentile: stable and nearly stall-free.
+        let above = gaussian_bandwidth(&model, 0.999);
+        assert!(is_stable(&model, above));
+        let mut rng = SimRng::from_seed(5);
+        let mut sim = QueueSim::new(above);
+        let stable = sim.run(&model, &mut rng, 10_000);
+        assert!(stable.execution_time_increase() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < p < 1")]
+    fn quantile_rejects_endpoints() {
+        let _ = normal_quantile(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Bernoulli")]
+    fn gaussian_rejects_traces() {
+        let model = ArrivalModel::trace(vec![1, 2]);
+        let _ = gaussian_bandwidth(&model, 0.99);
+    }
+}

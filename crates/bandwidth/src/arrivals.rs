@@ -1,0 +1,155 @@
+//! Per-cycle off-chip decode demand models.
+
+use btwc_noise::{SimRng, SparseFlips};
+
+/// Generates the number of logical qubits requesting an off-chip decode
+/// each cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalModel {
+    /// Each of `num_qubits` logical qubits independently needs an
+    /// off-chip decode with probability `q` per cycle (`q = 1 −`
+    /// Clique coverage) — the model behind Figs. 9 and 16.
+    Bernoulli {
+        /// Number of logical qubits sharing the link.
+        num_qubits: usize,
+        /// Per-qubit per-cycle off-chip probability.
+        q: f64,
+    },
+    /// Replay of an empirical per-cycle trace (e.g. recorded from the
+    /// lifetime simulator), cycled if the run is longer than the trace.
+    Trace(Vec<usize>),
+}
+
+impl ArrivalModel {
+    /// Bernoulli demand over `num_qubits` qubits at rate `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `[0, 1]` or `num_qubits == 0`.
+    #[must_use]
+    pub fn bernoulli(num_qubits: usize, q: f64) -> Self {
+        assert!(num_qubits > 0, "need at least one logical qubit");
+        assert!((0.0..=1.0).contains(&q), "probability {q} out of [0,1]");
+        ArrivalModel::Bernoulli { num_qubits, q }
+    }
+
+    /// Replay of an explicit per-cycle demand trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    #[must_use]
+    pub fn trace(counts: Vec<usize>) -> Self {
+        assert!(!counts.is_empty(), "trace must contain at least one cycle");
+        ArrivalModel::Trace(counts)
+    }
+
+    /// Number of logical qubits sharing the link (trace models report
+    /// their maximum demand).
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        match self {
+            ArrivalModel::Bernoulli { num_qubits, .. } => *num_qubits,
+            ArrivalModel::Trace(t) => t.iter().copied().max().unwrap_or(1).max(1),
+        }
+    }
+
+    /// Mean per-cycle demand.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        match self {
+            ArrivalModel::Bernoulli { num_qubits, q } => *num_qubits as f64 * q,
+            ArrivalModel::Trace(t) => t.iter().sum::<usize>() as f64 / t.len() as f64,
+        }
+    }
+
+    /// Samples the demand for cycle `t`.
+    #[must_use]
+    pub fn sample(&self, rng: &mut SimRng, t: usize) -> usize {
+        match self {
+            ArrivalModel::Bernoulli { num_qubits, q } => {
+                SparseFlips::new(rng, *num_qubits, *q).count()
+            }
+            ArrivalModel::Trace(trace) => trace[t % trace.len()],
+        }
+    }
+
+    /// Empirically estimates the demand value at `percentile` (in
+    /// `[0, 1]`) from `samples` simulated cycles — the provisioning rule
+    /// of Sec. 5.1. Returns at least 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `percentile` is not in `[0, 1]` or `samples == 0`.
+    #[must_use]
+    pub fn bandwidth_at_percentile(
+        &self,
+        rng: &mut SimRng,
+        percentile: f64,
+        samples: usize,
+    ) -> usize {
+        assert!((0.0..=1.0).contains(&percentile), "percentile out of range");
+        assert!(samples > 0, "need at least one sample");
+        let mut counts: Vec<usize> = (0..samples).map(|t| self.sample(rng, t)).collect();
+        counts.sort_unstable();
+        let idx = ((samples - 1) as f64 * percentile).round() as usize;
+        counts[idx].max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bernoulli_mean_matches() {
+        let m = ArrivalModel::bernoulli(1000, 0.05);
+        assert!((m.mean() - 50.0).abs() < 1e-9);
+        let mut rng = SimRng::from_seed(4);
+        let total: usize = (0..5000).map(|t| m.sample(&mut rng, t)).sum();
+        let mean = total as f64 / 5000.0;
+        assert!((mean - 50.0).abs() < 2.0, "empirical mean {mean}");
+    }
+
+    #[test]
+    fn trace_replays_and_wraps() {
+        let m = ArrivalModel::trace(vec![1, 2, 3]);
+        let mut rng = SimRng::from_seed(0);
+        assert_eq!(m.sample(&mut rng, 0), 1);
+        assert_eq!(m.sample(&mut rng, 4), 2);
+        assert!((m.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(m.num_qubits(), 3);
+    }
+
+    #[test]
+    fn percentile_ordering() {
+        let m = ArrivalModel::bernoulli(1000, 0.05);
+        let mut rng = SimRng::from_seed(9);
+        let p50 = m.bandwidth_at_percentile(&mut rng, 0.50, 20_000);
+        let p99 = m.bandwidth_at_percentile(&mut rng, 0.99, 20_000);
+        let p999 = m.bandwidth_at_percentile(&mut rng, 0.999, 20_000);
+        assert!(p50 <= p99 && p99 <= p999, "{p50} {p99} {p999}");
+        // Binomial(1000, 0.05): median ~50, p99 ~ mean + 2.33 sigma ~ 66.
+        assert!((45..=55).contains(&p50), "p50 {p50}");
+        assert!((60..=75).contains(&p99), "p99 {p99}");
+    }
+
+    #[test]
+    fn zero_rate_still_provisions_one() {
+        let m = ArrivalModel::bernoulli(10, 0.0);
+        let mut rng = SimRng::from_seed(2);
+        assert_eq!(m.bandwidth_at_percentile(&mut rng, 0.99, 100), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn invalid_probability_rejected() {
+        let _ = ArrivalModel::bernoulli(10, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cycle")]
+    fn empty_trace_rejected() {
+        let _ = ArrivalModel::trace(vec![]);
+    }
+}

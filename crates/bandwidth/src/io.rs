@@ -1,0 +1,95 @@
+//! Physical I/O accounting: decodes/cycle → Gbps at the refrigerator
+//! boundary (the paper's Sec. 2.3 framing of the scalability problem).
+
+/// Converts abstract per-cycle decode counts into link bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoModel {
+    /// Syndrome-measurement cycle time in nanoseconds (superconducting
+    /// surface-code cycles are a few hundred ns).
+    pub cycle_ns: f64,
+    /// Bits shipped per off-chip decode request (one qubit's raw
+    /// syndrome for one round).
+    pub bits_per_decode: usize,
+}
+
+impl IoModel {
+    /// Model with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle_ns <= 0` or `bits_per_decode == 0`.
+    #[must_use]
+    pub fn new(cycle_ns: f64, bits_per_decode: usize) -> Self {
+        assert!(cycle_ns > 0.0, "cycle time must be positive");
+        assert!(bits_per_decode > 0, "bits per decode must be positive");
+        Self { cycle_ns, bits_per_decode }
+    }
+
+    /// Default model for a distance-`d` code: both stabilizer types'
+    /// syndromes (`d²-1` bits) per decode, 400 ns cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d < 2`.
+    #[must_use]
+    pub fn for_distance(d: u16) -> Self {
+        assert!(d >= 2, "need a real code distance");
+        let bits = usize::from(d) * usize::from(d) - 1;
+        Self::new(400.0, bits)
+    }
+
+    /// Link bandwidth in Gbit/s for a given number of decodes per cycle.
+    #[must_use]
+    pub fn gbps(&self, decodes_per_cycle: f64) -> f64 {
+        decodes_per_cycle * self.bits_per_decode as f64 / self.cycle_ns
+    }
+
+    /// The unmitigated baseline: every one of `num_qubits` logical
+    /// qubits ships its full syndrome every cycle (the paper's "multiple
+    /// Gbps per logical qubit" scalability wall).
+    #[must_use]
+    pub fn full_stream_gbps(&self, num_qubits: usize) -> f64 {
+        self.gbps(num_qubits as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d21_full_stream_is_multiple_gbps_per_qubit() {
+        // The paper's motivating number: per-qubit syndrome streaming at
+        // realistic cycle times costs ~Gbps.
+        let io = IoModel::for_distance(21);
+        let per_qubit = io.full_stream_gbps(1);
+        assert!(
+            per_qubit > 0.5 && per_qubit < 10.0,
+            "d=21 per-qubit stream {per_qubit} Gbps"
+        );
+    }
+
+    #[test]
+    fn thousand_qubit_machine_needs_terabit_without_btwc() {
+        let io = IoModel::for_distance(15);
+        let full = io.full_stream_gbps(1000);
+        assert!(full > 100.0, "1000-qubit full stream {full} Gbps");
+        // With 99% Clique coverage + p99.9 provisioning at ~20 decodes
+        // per cycle, the same machine needs only:
+        let provisioned = io.gbps(20.0);
+        assert!(provisioned < full / 10.0);
+    }
+
+    #[test]
+    fn gbps_scales_linearly() {
+        let io = IoModel::new(1000.0, 100);
+        assert!((io.gbps(1.0) - 0.1).abs() < 1e-12);
+        assert!((io.gbps(10.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_cycle() {
+        let _ = IoModel::new(0.0, 10);
+    }
+}

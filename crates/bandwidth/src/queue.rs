@@ -1,0 +1,252 @@
+//! The off-chip decode queue with overflow stalling (Sec. 5.2).
+
+use btwc_noise::SimRng;
+
+use crate::arrivals::ArrivalModel;
+
+/// What happened in one decode cycle (one bar of Fig. 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleRecord {
+    /// Off-chip decodes newly generated this cycle.
+    pub new_decodes: usize,
+    /// Decodes carried over from previous cycles (the orange bars).
+    pub carryover: usize,
+    /// Decodes actually serviced this cycle (≤ bandwidth).
+    pub processed: usize,
+    /// Whether this cycle was a stall (no gates executed on the qubits).
+    pub stalled: bool,
+}
+
+/// Aggregate result of a queue run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    records: Vec<CycleRecord>,
+    useful_cycles: usize,
+    bandwidth: usize,
+}
+
+impl RunOutcome {
+    /// Per-cycle records, in order.
+    #[must_use]
+    pub fn records(&self) -> &[CycleRecord] {
+        &self.records
+    }
+
+    /// Provisioned off-chip bandwidth (decodes per cycle).
+    #[must_use]
+    pub fn bandwidth(&self) -> usize {
+        self.bandwidth
+    }
+
+    /// Total cycles elapsed (useful + stall).
+    #[must_use]
+    pub fn total_cycles(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Cycles in which the program actually advanced.
+    #[must_use]
+    pub fn useful_cycles(&self) -> usize {
+        self.useful_cycles
+    }
+
+    /// Number of stall cycles inserted.
+    #[must_use]
+    pub fn stall_cycles(&self) -> usize {
+        self.records.iter().filter(|r| r.stalled).count()
+    }
+
+    /// Fraction of all cycles that were stalls.
+    #[must_use]
+    pub fn stall_fraction(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.stall_cycles() as f64 / self.total_cycles() as f64
+    }
+
+    /// Relative execution-time increase caused by stalling — the y-axis
+    /// of Fig. 16. 0.10 means the program runs 10% longer.
+    #[must_use]
+    pub fn execution_time_increase(&self) -> f64 {
+        if self.useful_cycles == 0 {
+            return f64::INFINITY;
+        }
+        self.total_cycles() as f64 / self.useful_cycles as f64 - 1.0
+    }
+
+    /// Largest backlog observed (decodes that had to wait).
+    #[must_use]
+    pub fn peak_backlog(&self) -> usize {
+        self.records.iter().map(|r| r.carryover).max().unwrap_or(0)
+    }
+}
+
+/// Cycle-by-cycle queue simulator.
+///
+/// Semantics per Sec. 5: every cycle (useful *or* stalled) generates
+/// fresh off-chip decodes — qubits decohere during stalls too. The link
+/// services up to `bandwidth` decodes per cycle. If anything is left
+/// pending after servicing, the next cycle is a stall: the program makes
+/// no progress until the backlog drains.
+#[derive(Debug, Clone)]
+pub struct QueueSim {
+    bandwidth: usize,
+    backlog: usize,
+}
+
+impl QueueSim {
+    /// A queue behind a link that services `bandwidth` decodes/cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth == 0`.
+    #[must_use]
+    pub fn new(bandwidth: usize) -> Self {
+        assert!(bandwidth > 0, "bandwidth must be positive");
+        Self { bandwidth, backlog: 0 }
+    }
+
+    /// Current backlog (pending decodes).
+    #[must_use]
+    pub fn backlog(&self) -> usize {
+        self.backlog
+    }
+
+    /// Advances one cycle with `new_decodes` fresh arrivals.
+    pub fn step(&mut self, new_decodes: usize) -> CycleRecord {
+        let stalled = self.backlog > 0;
+        let carryover = self.backlog;
+        let total = carryover + new_decodes;
+        let processed = total.min(self.bandwidth);
+        self.backlog = total - processed;
+        CycleRecord { new_decodes, carryover, processed, stalled }
+    }
+
+    /// Runs until `useful_cycles` program cycles have completed (stall
+    /// cycles do not count as progress), sampling demand from `model`.
+    ///
+    /// To avoid unbounded divergence when the link is hopelessly
+    /// under-provisioned, the run aborts once total cycles exceed
+    /// `50 × useful_cycles`; the outcome then reports a correspondingly
+    /// enormous execution-time increase.
+    pub fn run(
+        &mut self,
+        model: &ArrivalModel,
+        rng: &mut SimRng,
+        useful_cycles: usize,
+    ) -> RunOutcome {
+        let mut records = Vec::new();
+        let mut useful = 0usize;
+        let cap = useful_cycles.saturating_mul(50).max(1);
+        while useful < useful_cycles && records.len() < cap {
+            let arrivals = model.sample(rng, records.len());
+            let rec = self.step(arrivals);
+            if !rec.stalled {
+                useful += 1;
+            }
+            records.push(rec);
+        }
+        RunOutcome { records, useful_cycles: useful, bandwidth: self.bandwidth }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_arrivals_never_stalls() {
+        let mut sim = QueueSim::new(5);
+        let model = ArrivalModel::trace(vec![0]);
+        let mut rng = SimRng::from_seed(0);
+        let out = sim.run(&model, &mut rng, 100);
+        assert_eq!(out.stall_cycles(), 0);
+        assert_eq!(out.total_cycles(), 100);
+        assert!(out.execution_time_increase().abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_burst_causes_bounded_stalls() {
+        let mut sim = QueueSim::new(10);
+        // One burst of 35 then quiet: backlog 25 -> 15 -> 5 -> 0.
+        let mut trace = vec![0usize; 100];
+        trace[0] = 35;
+        let model = ArrivalModel::trace(trace);
+        let mut rng = SimRng::from_seed(0);
+        let out = sim.run(&model, &mut rng, 50);
+        assert_eq!(out.stall_cycles(), 3);
+        assert_eq!(out.peak_backlog(), 25);
+    }
+
+    #[test]
+    fn stall_cycles_still_receive_arrivals() {
+        let mut sim = QueueSim::new(10);
+        // Constant demand of 8 fits; one burst of 30 forces stalls during
+        // which the demand of 8 keeps arriving.
+        let mut trace = vec![8usize; 50];
+        trace[0] = 30;
+        let model = ArrivalModel::trace(trace);
+        let mut rng = SimRng::from_seed(0);
+        let out = sim.run(&model, &mut rng, 40);
+        // Backlog: 20 -> 18 -> 16 ... drains at 2/cycle.
+        assert_eq!(out.stall_cycles(), 10);
+        let first_stall = out.records()[1];
+        assert!(first_stall.stalled);
+        assert_eq!(first_stall.new_decodes, 8);
+        assert_eq!(first_stall.carryover, 20);
+    }
+
+    #[test]
+    fn mean_provisioning_diverges() {
+        // The paper's Fig. 9 top: provisioning at the mean leads to a
+        // compounding backlog and near-permanent stalling.
+        let model = ArrivalModel::bernoulli(1000, 0.05);
+        let mut rng = SimRng::from_seed(7);
+        let mean_bw = model.mean().round() as usize;
+        let mut sim = QueueSim::new(mean_bw);
+        let out = sim.run(&model, &mut rng, 2000);
+        assert!(
+            out.stall_fraction() > 0.3,
+            "mean provisioning should stall heavily, got {}",
+            out.stall_fraction()
+        );
+    }
+
+    #[test]
+    fn p99_provisioning_is_practical() {
+        // Fig. 9 bottom: the 99th percentile keeps stalls rare.
+        let model = ArrivalModel::bernoulli(1000, 0.05);
+        let mut rng = SimRng::from_seed(8);
+        let bw = model.bandwidth_at_percentile(&mut rng, 0.99, 20_000);
+        let mut sim = QueueSim::new(bw);
+        let out = sim.run(&model, &mut rng, 20_000);
+        assert!(
+            out.execution_time_increase() < 0.05,
+            "p99 provisioning increase {} too high",
+            out.execution_time_increase()
+        );
+        assert!(out.useful_cycles() == 20_000);
+    }
+
+    #[test]
+    fn higher_bandwidth_never_hurts() {
+        let model = ArrivalModel::bernoulli(500, 0.08);
+        let mut increases = Vec::new();
+        for bw in [40usize, 48, 56, 64] {
+            let mut rng = SimRng::from_seed(99);
+            let mut sim = QueueSim::new(bw);
+            let out = sim.run(&model, &mut rng, 5000);
+            increases.push(out.execution_time_increase());
+        }
+        for w in increases.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "exec increase must fall with bandwidth");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = QueueSim::new(0);
+    }
+}

@@ -1,0 +1,113 @@
+//! The bandwidth-reduction vs execution-time trade-off (Fig. 16).
+
+use btwc_noise::SimRng;
+
+use crate::arrivals::ArrivalModel;
+use crate::queue::QueueSim;
+
+/// One point on a Fig. 16 curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TradeoffPoint {
+    /// Percentile used for provisioning.
+    pub percentile: f64,
+    /// Provisioned bandwidth (decodes per cycle).
+    pub bandwidth: usize,
+    /// Off-chip bandwidth reduction versus shipping every qubit's
+    /// syndrome every cycle (`num_qubits / bandwidth`) — the x-axis.
+    pub reduction: f64,
+    /// Relative execution-time increase from stalling — the y-axis.
+    pub execution_time_increase: f64,
+    /// Fraction of cycles spent stalled.
+    pub stall_fraction: f64,
+}
+
+/// Sweeps provisioning percentiles and simulates each point, producing
+/// one Fig. 16 curve for the given demand model.
+///
+/// # Panics
+///
+/// Panics if `percentiles` is empty or `useful_cycles == 0`.
+#[must_use]
+pub fn sweep_tradeoff(
+    model: &ArrivalModel,
+    rng: &mut SimRng,
+    percentiles: &[f64],
+    useful_cycles: usize,
+) -> Vec<TradeoffPoint> {
+    assert!(!percentiles.is_empty(), "need at least one percentile");
+    assert!(useful_cycles > 0, "need at least one useful cycle");
+    let qubits = model.num_qubits() as f64;
+    percentiles
+        .iter()
+        .map(|&pct| {
+            let mut prov_rng = rng.fork((pct * 1e6) as u64);
+            let bandwidth = model.bandwidth_at_percentile(&mut prov_rng, pct, 20_000);
+            let mut run_rng = rng.fork((pct * 1e6) as u64 + 1);
+            let mut sim = QueueSim::new(bandwidth);
+            let out = sim.run(model, &mut run_rng, useful_cycles);
+            TradeoffPoint {
+                percentile: pct,
+                bandwidth,
+                reduction: qubits / bandwidth as f64,
+                execution_time_increase: out.execution_time_increase(),
+                stall_fraction: out.stall_fraction(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_monotone_tradeoff() {
+        // Higher percentile -> more bandwidth -> less reduction but less
+        // stalling: the defining shape of Fig. 16.
+        let model = ArrivalModel::bernoulli(1000, 0.03);
+        let mut rng = SimRng::from_seed(0x16);
+        let pts = sweep_tradeoff(&model, &mut rng, &[0.5, 0.9, 0.99, 0.999], 5_000);
+        assert_eq!(pts.len(), 4);
+        for w in pts.windows(2) {
+            assert!(w[1].bandwidth >= w[0].bandwidth);
+            assert!(w[1].reduction <= w[0].reduction + 1e-9);
+            assert!(
+                w[1].execution_time_increase <= w[0].execution_time_increase + 0.02,
+                "stalling should not grow with provisioning"
+            );
+        }
+    }
+
+    #[test]
+    fn practical_point_matches_paper_scale() {
+        // With ~97% Clique coverage over 1000 qubits, the paper expects
+        // order-10x bandwidth reduction at ~10% execution-time cost.
+        let model = ArrivalModel::bernoulli(1000, 0.03);
+        let mut rng = SimRng::from_seed(0x17);
+        let pts = sweep_tradeoff(&model, &mut rng, &[0.999], 20_000);
+        let p = pts[0];
+        assert!(p.reduction > 5.0, "reduction {}", p.reduction);
+        assert!(
+            p.execution_time_increase < 0.10,
+            "increase {}",
+            p.execution_time_increase
+        );
+    }
+
+    #[test]
+    fn reduction_is_qubits_over_bandwidth() {
+        let model = ArrivalModel::bernoulli(200, 0.1);
+        let mut rng = SimRng::from_seed(0x18);
+        let pts = sweep_tradeoff(&model, &mut rng, &[0.99], 1000);
+        let p = pts[0];
+        assert!((p.reduction - 200.0 / p.bandwidth as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one percentile")]
+    fn empty_percentiles_rejected() {
+        let model = ArrivalModel::bernoulli(10, 0.1);
+        let mut rng = SimRng::from_seed(0);
+        let _ = sweep_tradeoff(&model, &mut rng, &[], 10);
+    }
+}

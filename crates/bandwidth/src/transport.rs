@@ -1,0 +1,215 @@
+//! Wire framing for off-chip decode requests.
+//!
+//! When a Clique plane raises COMPLEX, the qubit's syndrome window must
+//! actually cross the refrigerator boundary. This module defines the
+//! byte-level frame a BTWC machine ships per request — the quantity the
+//! provisioned link's Gbps budget ([`crate::IoModel`]) is spent on —
+//! with encode/decode round-trip guarantees.
+//!
+//! Frame layout (big endian):
+//!
+//! ```text
+//! [qubit: u32][cycle: u64][rounds: u16][bits_per_round: u16][payload…]
+//! ```
+//!
+//! The payload packs each round's syndrome bits LSB-first, padded to a
+//! whole byte per round (hardware serializers work in byte lanes).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// One off-chip decode request: a window of raw syndrome rounds from
+/// one logical qubit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeRequest {
+    /// Logical qubit id.
+    pub qubit: u32,
+    /// Machine cycle at which the request was raised.
+    pub cycle: u64,
+    /// Raw syndrome rounds, oldest first; all the same width.
+    pub rounds: Vec<Vec<bool>>,
+}
+
+/// Errors produced when parsing a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseFrameError {
+    /// The buffer ended before the fixed header was complete.
+    TruncatedHeader,
+    /// The buffer ended before the declared payload was complete.
+    TruncatedPayload {
+        /// Bytes expected from the header.
+        expected: usize,
+        /// Bytes actually available.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for ParseFrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseFrameError::TruncatedHeader => write!(f, "frame header truncated"),
+            ParseFrameError::TruncatedPayload { expected, actual } => {
+                write!(f, "frame payload truncated: expected {expected} bytes, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseFrameError {}
+
+impl DecodeRequest {
+    /// Builds a request from a window of rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds` is empty, rounds have differing widths, or a
+    /// round is wider than `u16::MAX` bits.
+    #[must_use]
+    pub fn new(qubit: u32, cycle: u64, rounds: Vec<Vec<bool>>) -> Self {
+        assert!(!rounds.is_empty(), "a decode request needs at least one round");
+        let width = rounds[0].len();
+        assert!(width <= usize::from(u16::MAX), "round too wide for the frame format");
+        assert!(
+            rounds.iter().all(|r| r.len() == width),
+            "all rounds must have equal width"
+        );
+        Self { qubit, cycle, rounds }
+    }
+
+    /// Syndrome bits per round.
+    #[must_use]
+    pub fn bits_per_round(&self) -> usize {
+        self.rounds[0].len()
+    }
+
+    /// Size of the encoded frame in bytes.
+    #[must_use]
+    pub fn frame_len(&self) -> usize {
+        16 + self.rounds.len() * self.bits_per_round().div_ceil(8)
+    }
+
+    /// Serializes the request to its wire frame.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.frame_len());
+        buf.put_u32(self.qubit);
+        buf.put_u64(self.cycle);
+        buf.put_u16(self.rounds.len() as u16);
+        buf.put_u16(self.bits_per_round() as u16);
+        let stride = self.bits_per_round().div_ceil(8);
+        for round in &self.rounds {
+            let mut bytes = vec![0u8; stride];
+            for (i, &bit) in round.iter().enumerate() {
+                if bit {
+                    bytes[i / 8] |= 1 << (i % 8);
+                }
+            }
+            buf.put_slice(&bytes);
+        }
+        buf.freeze()
+    }
+
+    /// Parses one frame from `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseFrameError`] if the buffer is shorter than the
+    /// header or the declared payload.
+    pub fn decode(mut data: &[u8]) -> Result<Self, ParseFrameError> {
+        if data.len() < 16 {
+            return Err(ParseFrameError::TruncatedHeader);
+        }
+        let qubit = data.get_u32();
+        let cycle = data.get_u64();
+        let n_rounds = usize::from(data.get_u16());
+        let width = usize::from(data.get_u16());
+        let stride = width.div_ceil(8);
+        let expected = n_rounds * stride;
+        if data.len() < expected {
+            return Err(ParseFrameError::TruncatedPayload { expected, actual: data.len() });
+        }
+        let mut rounds = Vec::with_capacity(n_rounds);
+        for _ in 0..n_rounds {
+            let mut round = vec![false; width];
+            let bytes = &data[..stride];
+            for (i, r) in round.iter_mut().enumerate() {
+                *r = (bytes[i / 8] >> (i % 8)) & 1 == 1;
+            }
+            data.advance(stride);
+            rounds.push(round);
+        }
+        Ok(Self { qubit, cycle, rounds })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DecodeRequest {
+        DecodeRequest::new(
+            7,
+            123_456,
+            vec![
+                vec![true, false, true, false, false, true, false, true, true],
+                vec![false; 9],
+                vec![true; 9],
+            ],
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let req = sample();
+        let frame = req.encode();
+        assert_eq!(frame.len(), req.frame_len());
+        let back = DecodeRequest::decode(&frame).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn frame_len_matches_io_model_accounting() {
+        // 9 bits/round -> 2 bytes/round; 3 rounds + 16-byte header.
+        assert_eq!(sample().frame_len(), 16 + 3 * 2);
+    }
+
+    #[test]
+    fn truncated_header_is_rejected() {
+        let frame = sample().encode();
+        assert_eq!(
+            DecodeRequest::decode(&frame[..10]),
+            Err(ParseFrameError::TruncatedHeader)
+        );
+    }
+
+    #[test]
+    fn truncated_payload_is_rejected() {
+        let frame = sample().encode();
+        let cut = frame.len() - 3;
+        match DecodeRequest::decode(&frame[..cut]) {
+            Err(ParseFrameError::TruncatedPayload { expected, actual }) => {
+                assert_eq!(expected, 6);
+                assert_eq!(actual, 3);
+            }
+            other => panic!("expected truncated payload, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_messages_are_lowercase_and_informative() {
+        let e = ParseFrameError::TruncatedPayload { expected: 6, actual: 3 };
+        let msg = e.to_string();
+        assert!(msg.starts_with("frame payload truncated"));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal width")]
+    fn ragged_rounds_rejected() {
+        let _ = DecodeRequest::new(0, 0, vec![vec![true], vec![true, false]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn empty_request_rejected() {
+        let _ = DecodeRequest::new(0, 0, vec![]);
+    }
+}

@@ -1,0 +1,200 @@
+//! Criterion micro-benchmarks of the decode kernels: the per-cycle cost
+//! of the Clique decision, the MWPM matching, the synthesized SFQ
+//! netlist, and the AFS compressors. These are the "decoder overheads"
+//! the paper's Sec. 7.4 argues about, measured in software.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use btwc_afs::{Compressor, DynamicCompressor, SparseRepr};
+use btwc_clique::CliqueDecoder;
+use btwc_lattice::{StabilizerType, SurfaceCode};
+use btwc_mwpm::blossom::minimum_weight_perfect_matching;
+use btwc_mwpm::MwpmDecoder;
+use btwc_noise::{NoiseModel, PhenomenologicalNoise, SimRng};
+use btwc_sfq::{synthesize_clique, NetlistState};
+use btwc_uf::UnionFindDecoder;
+use btwc_syndrome::{DetectionEvent, RoundHistory, Syndrome};
+
+fn random_syndrome(rng: &mut SimRng, code: &SurfaceCode, p: f64) -> Syndrome {
+    let noise = PhenomenologicalNoise::uniform(p);
+    let mut errors = vec![false; code.num_data_qubits()];
+    noise.sample_data_into(rng, &mut errors);
+    Syndrome::from_bits(code.syndrome_of(StabilizerType::X, &errors))
+}
+
+fn bench_clique_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clique_decode");
+    for d in [3u16, 9, 15, 21] {
+        let code = SurfaceCode::new(d);
+        let decoder = CliqueDecoder::new(&code, StabilizerType::X);
+        let mut rng = SimRng::from_seed(1);
+        let syndromes: Vec<Syndrome> = (0..256)
+            .map(|_| random_syndrome(&mut rng, &code, 2e-3))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % syndromes.len();
+                black_box(decoder.decode(&syndromes[i]))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_mwpm_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mwpm_decode_window");
+    group.sample_size(20);
+    for d in [5u16, 9, 13] {
+        let code = SurfaceCode::new(d);
+        let decoder = MwpmDecoder::new(&code, StabilizerType::X);
+        let noise = PhenomenologicalNoise::uniform(5e-3);
+        let mut rng = SimRng::from_seed(2);
+        let n_anc = code.num_ancillas(StabilizerType::X);
+        // Build a d-round noisy window.
+        let mut window = RoundHistory::new(n_anc, usize::from(d) + 1);
+        let mut errors = vec![false; code.num_data_qubits()];
+        let mut meas = vec![false; n_anc];
+        for _ in 0..usize::from(d) {
+            noise.sample_data_into(&mut rng, &mut errors);
+            noise.sample_measurement_into(&mut rng, &mut meas);
+            let mut round = code.syndrome_of(StabilizerType::X, &errors);
+            for (r, &m) in round.iter_mut().zip(&meas) {
+                *r ^= m;
+            }
+            window.push(&round);
+        }
+        window.push(&code.syndrome_of(StabilizerType::X, &errors));
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| black_box(decoder.decode_window(&window)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_blossom_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blossom_matching");
+    group.sample_size(20);
+    for n in [8usize, 16, 32, 64] {
+        let mut rng = SimRng::from_seed(3);
+        let w: Vec<Vec<i64>> = (0..n)
+            .map(|_| (0..n).map(|_| (rng.next_u64() % 50) as i64).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                black_box(minimum_weight_perfect_matching(n, |u, v| {
+                    Some(w[u.min(v)][u.max(v)])
+                }))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_mwpm_events(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mwpm_decode_events");
+    group.sample_size(30);
+    let code = SurfaceCode::new(11);
+    let decoder = MwpmDecoder::new(&code, StabilizerType::X);
+    let n_anc = code.num_ancillas(StabilizerType::X);
+    for events in [4usize, 12, 24, 48] {
+        let mut rng = SimRng::from_seed(4);
+        let evs: Vec<DetectionEvent> = (0..events)
+            .map(|_| DetectionEvent { ancilla: rng.below(n_anc), round: rng.below(11) })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(events), &events, |b, _| {
+            b.iter(|| black_box(decoder.decode_events(&evs)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_uf_decode(c: &mut Criterion) {
+    // The hierarchical-tier ablation kernel: union-find on the same
+    // windows the MWPM bench decodes.
+    let mut group = c.benchmark_group("uf_decode_window");
+    group.sample_size(20);
+    for d in [5u16, 9, 13] {
+        let code = SurfaceCode::new(d);
+        let decoder = UnionFindDecoder::new(&code, StabilizerType::X);
+        let noise = PhenomenologicalNoise::uniform(5e-3);
+        let mut rng = SimRng::from_seed(2);
+        let n_anc = code.num_ancillas(StabilizerType::X);
+        let mut window = RoundHistory::new(n_anc, usize::from(d) + 1);
+        let mut errors = vec![false; code.num_data_qubits()];
+        let mut meas = vec![false; n_anc];
+        for _ in 0..usize::from(d) {
+            noise.sample_data_into(&mut rng, &mut errors);
+            noise.sample_measurement_into(&mut rng, &mut meas);
+            let mut round = code.syndrome_of(StabilizerType::X, &errors);
+            for (r, &m) in round.iter_mut().zip(&meas) {
+                *r ^= m;
+            }
+            window.push(&round);
+        }
+        window.push(&code.syndrome_of(StabilizerType::X, &errors));
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| black_box(decoder.decode_window(&window)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sfq_netlist_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sfq_netlist_cycle");
+    for d in [3u16, 9, 15] {
+        let code = SurfaceCode::new(d);
+        let synth = synthesize_clique(&code, StabilizerType::X, 2);
+        let nl = synth.netlist().clone();
+        let mut rng = SimRng::from_seed(5);
+        let inputs: Vec<bool> = (0..synth.num_ancillas()).map(|_| rng.bernoulli(0.05)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter_batched(
+                || NetlistState::new(&nl),
+                |mut st| black_box(st.step(&nl, &inputs)),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_afs_compression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("afs_compression");
+    let code = SurfaceCode::new(15);
+    let n = code.num_ancillas(StabilizerType::X);
+    let sparse = SparseRepr::new(n);
+    let dynamic = DynamicCompressor::new(n);
+    let mut rng = SimRng::from_seed(6);
+    let syndromes: Vec<Syndrome> = (0..256)
+        .map(|_| random_syndrome(&mut rng, &code, 2e-3))
+        .collect();
+    group.bench_function("sparse_repr", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % syndromes.len();
+            black_box(sparse.encode(&syndromes[i]))
+        });
+    });
+    group.bench_function("dynamic", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % syndromes.len();
+            black_box(dynamic.encode(&syndromes[i]))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_clique_decode,
+    bench_mwpm_decode,
+    bench_blossom_scaling,
+    bench_mwpm_events,
+    bench_uf_decode,
+    bench_sfq_netlist_cycle,
+    bench_afs_compression
+);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Criterion benches covering each paper artifact's regeneration
+//! kernel — one group per table/figure, sized to finish quickly while
+//! exercising exactly the code paths the `fig*` binaries run at scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use btwc_bandwidth::{sweep_tradeoff, ArrivalModel, QueueSim};
+use btwc_lattice::{StabilizerType, SurfaceCode};
+use btwc_noise::SimRng;
+use btwc_sfq::{cell_library, synthesize_clique, CellKind, CostModel};
+use btwc_sim::{
+    afs_comparison, logical_error_rate, DecoderKind, LifetimeConfig, LifetimeSim, ShotConfig,
+};
+
+/// Table 1 — cell library lookups (trivially fast; included so every
+/// paper artifact has a bench target).
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_cell_library", |b| {
+        b.iter(|| {
+            for kind in CellKind::all() {
+                black_box(cell_library(kind));
+            }
+        });
+    });
+}
+
+/// Fig. 4 / Fig. 11 / Fig. 12 — the lifetime-simulation kernel.
+fn bench_fig04_11_12_lifetime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig04_11_12_lifetime_cycles");
+    group.sample_size(10);
+    for (p, d) in [(1e-3, 7u16), (5e-3, 13u16)] {
+        let id = format!("p{p:.0e}_d{d}");
+        group.bench_with_input(BenchmarkId::from_parameter(id), &(p, d), |b, &(p, d)| {
+            b.iter(|| {
+                let cfg = LifetimeConfig::new(d, p).with_cycles(2_000).with_seed(1);
+                black_box(LifetimeSim::new(&cfg).run())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 13 — the AFS-vs-Clique reduction computation.
+fn bench_fig13_afs(c: &mut Criterion) {
+    let cfg = LifetimeConfig::new(9, 1e-3).with_cycles(20_000).with_seed(2);
+    let stats = LifetimeSim::new(&cfg).run();
+    c.bench_function("fig13_afs_comparison", |b| {
+        b.iter(|| black_box(afs_comparison(9, 1e-3, &stats)));
+    });
+}
+
+/// Fig. 14 — the shot-decoding kernel, both pipelines.
+fn bench_fig14_shots(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_shots");
+    group.sample_size(10);
+    for kind in [DecoderKind::MwpmOnly, DecoderKind::CliquePlusMwpm] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let cfg = ShotConfig::new(5, 6e-3).with_shots(200).with_seed(3);
+                    black_box(logical_error_rate(&cfg, kind))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Fig. 15 — synthesis + costing.
+fn bench_fig15_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig15_synthesis");
+    group.sample_size(10);
+    for d in [5u16, 11] {
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            b.iter(|| {
+                let synth = synthesize_clique(&SurfaceCode::new(d), StabilizerType::X, 2);
+                black_box(CostModel::default().report(synth.netlist()))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 9 — the stall-queue kernel.
+fn bench_fig09_queue(c: &mut Criterion) {
+    let model = ArrivalModel::bernoulli(1000, 0.05);
+    c.bench_function("fig09_queue_10k_cycles", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::from_seed(4);
+            let mut sim = QueueSim::new(66);
+            black_box(sim.run(&model, &mut rng, 10_000))
+        });
+    });
+}
+
+/// Fig. 16 — the percentile-sweep kernel.
+fn bench_fig16_sweep(c: &mut Criterion) {
+    let model = ArrivalModel::bernoulli(1000, 0.03);
+    c.bench_function("fig16_tradeoff_sweep", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::from_seed(5);
+            black_box(sweep_tradeoff(&model, &mut rng, &[0.9, 0.99], 5_000))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_fig04_11_12_lifetime,
+    bench_fig13_afs,
+    bench_fig14_shots,
+    bench_fig15_synthesis,
+    bench_fig09_queue,
+    bench_fig16_sweep
+);
+criterion_main!(benches);

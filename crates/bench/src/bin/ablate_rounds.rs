@@ -1,0 +1,75 @@
+//! Ablation: Clique sticky-filter depth `k` (paper Sec. 7.3's knob —
+//! "if more rounds are used in Clique, further measurement error
+//! robustness can be achieved ... at limited cost").
+//!
+//! Sweeps `k = 1..4` and reports, per depth: on-chip coverage, the
+//! measurement-fluke complex rate (meas-only noise), Clique+MWPM
+//! logical error rate, and the SFQ hardware cost of the extra DFF/AND
+//! stages.
+
+use btwc_bench::{print_table, scaled, workers};
+use btwc_lattice::{StabilizerType, SurfaceCode};
+use btwc_sfq::{synthesize_clique, CostModel};
+use btwc_sim::{
+    logical_error_rate_parallel, DecoderKind, LifetimeConfig, LifetimeSim, ShotConfig,
+};
+
+fn main() {
+    println!("# Ablation — sticky-filter depth k at d=9\n");
+    let d = 9u16;
+    let p = 8e-3;
+    let cycles = scaled(100_000);
+    let shots = scaled(20_000);
+    let w = workers();
+    let model = CostModel::default();
+    let mut rows = Vec::new();
+    for k in 1..=4usize {
+        let cov = LifetimeSim::run_parallel(
+            &LifetimeConfig::new(d, p)
+                .with_cycles(cycles)
+                .with_clique_rounds(k)
+                .with_seed(0xAB2),
+            w,
+        );
+        let flukes = LifetimeSim::run_parallel(
+            &LifetimeConfig::new(d, 0.0)
+                .with_measurement_error_rate(p)
+                .with_cycles(cycles)
+                .with_clique_rounds(k)
+                .with_seed(0xAB3),
+            w,
+        );
+        let ler = logical_error_rate_parallel(
+            &ShotConfig::new(d, p)
+                .with_shots(shots)
+                .with_clique_rounds(k)
+                .with_seed(0xAB4),
+            DecoderKind::CliquePlusMwpm,
+            w,
+        );
+        let cost = model.report(synthesize_clique(&SurfaceCode::new(d), StabilizerType::X, k).netlist());
+        rows.push(vec![
+            k.to_string(),
+            format!("{:.2}", cov.coverage() * 100.0),
+            format!("{:.4}", flukes.complex as f64 / flukes.cycles as f64 * 100.0),
+            format!("{:.2e}", ler.rate()),
+            cost.jj_count.to_string(),
+            format!("{:.1}", cost.power_uw),
+            format!("{:.3}", cost.latency_ns),
+        ]);
+        eprintln!("done: k={k}");
+    }
+    print_table(
+        &[
+            "k",
+            "coverage %",
+            "meas-fluke complex %",
+            "Clique+MWPM LER",
+            "JJs",
+            "power uW",
+            "latency ns",
+        ],
+        &rows,
+    );
+    println!("\n({cycles} cycles / {shots} shots per row, p={p:.0e})");
+}

@@ -1,0 +1,40 @@
+//! Fig. 4: QEC error-signature distributions (All-0s / Local-1s /
+//! Complex) for the paper's six (physical rate, logical rate, distance)
+//! scenarios.
+//!
+//! Per the paper's methodology these are *independent trials* (one
+//! cycle's fresh errors, two measurement rounds, Clique classification),
+//! not a decode stream. The d=81 column is the paper's own "rather
+//! impractical" scenario; it gets a reduced trial budget (EXPERIMENTS.md).
+
+use btwc_bench::{fig4_scenarios, print_table, scaled, workers};
+use btwc_sim::signature_distribution_iid;
+
+fn main() {
+    println!("# Fig. 4 — syndrome distribution per scenario\n");
+    let workers = workers();
+    let mut rows = Vec::new();
+    for (p, ler, d) in fig4_scenarios() {
+        // Large distances cost more per cycle; shrink the budget so the
+        // harness completes in minutes at BTWC_SCALE=1.
+        let budget = match d {
+            0..=15 => scaled(1_000_000),
+            16..=30 => scaled(400_000),
+            _ => scaled(60_000),
+        };
+        let label = format!("{p:.0e}/{ler} ({d})");
+        let dist = signature_distribution_iid(&label, d, p, budget, 0xF1604, workers);
+        rows.push(vec![
+            label,
+            format!("{:.2}", dist.all_zeros * 100.0),
+            format!("{:.2}", dist.local_ones * 100.0),
+            format!("{:.3}", dist.complex * 100.0),
+            format!("{budget}"),
+        ]);
+        eprintln!("done: p={p:.0e} d={d}");
+    }
+    print_table(
+        &["Scenario p/LER (d)", "All-0s %", "Local-1s %", "Complex %", "trials"],
+        &rows,
+    );
+}

@@ -1,0 +1,31 @@
+//! Fig. 11: fraction of decodes handled on-chip by Clique, versus code
+//! distance, for several physical error rates.
+
+use btwc_bench::{coverage_axes, print_table, scaled, workers};
+use btwc_sim::coverage_sweep_iid;
+
+fn main() {
+    println!("# Fig. 11 — Clique on-chip coverage (%)\n");
+    let (ps, ds) = coverage_axes();
+    let trials = scaled(1_000_000);
+    let points = coverage_sweep_iid(&ps, &ds, trials, 0xF1611, workers());
+    let mut headers = vec!["d".to_owned()];
+    headers.extend(ps.iter().map(|p| format!("p={p:.0e}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = ds
+        .iter()
+        .map(|&d| {
+            let mut row = vec![d.to_string()];
+            for &p in &ps {
+                let pt = points
+                    .iter()
+                    .find(|pt| pt.distance == d && pt.physical_error_rate == p)
+                    .expect("sweep covers the grid");
+                row.push(format!("{:.2}", pt.coverage * 100.0));
+            }
+            row
+        })
+        .collect();
+    print_table(&header_refs, &rows);
+    println!("\n({trials} iid trials per point; paper methodology — see EXPERIMENTS.md)");
+}

@@ -1,0 +1,42 @@
+//! Fig. 13: average off-chip data reduction — Clique versus AFS sparse
+//! syndrome compression — as a function of code distance (log scale in
+//! the paper; we print the raw factors).
+
+use btwc_bench::{print_table, scaled, workers};
+use btwc_sim::{afs_comparison, LifetimeConfig, LifetimeSim};
+
+fn main() {
+    println!("# Fig. 13 — average off-chip data reduction (x)\n");
+    let ps = [5e-3, 1e-3, 5e-4];
+    let ds: [u16; 7] = [3, 5, 7, 9, 11, 15, 21];
+    let cycles = scaled(150_000);
+    let mut rows = Vec::new();
+    for &d in &ds {
+        let mut row = vec![d.to_string()];
+        for &p in &ps {
+            let cfg = LifetimeConfig::new(d, p).with_cycles(cycles).with_seed(0xF1613);
+            let stats = LifetimeSim::run_parallel(&cfg, workers());
+            let cmp = afs_comparison(d, p, &stats);
+            row.push(format!("{:.1}", cmp.afs_reduction));
+            let clique = if cmp.clique_reduction.is_finite() {
+                format!("{:.0}", cmp.clique_reduction)
+            } else {
+                "inf".to_owned()
+            };
+            row.push(clique);
+        }
+        rows.push(row);
+        eprintln!("done: d={d}");
+    }
+    let headers = [
+        "d",
+        "AFS p=5e-3",
+        "Clique p=5e-3",
+        "AFS p=1e-3",
+        "Clique p=1e-3",
+        "AFS p=5e-4",
+        "Clique p=5e-4",
+    ];
+    print_table(&headers, &rows);
+    println!("\n({cycles} cycles per point; Clique=inf means no complex decode was observed)");
+}

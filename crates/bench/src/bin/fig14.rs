@@ -1,0 +1,35 @@
+//! Fig. 14: logical error rate of the MWPM baseline versus
+//! Clique+baseline, for d in {3,5,7,9,11} across physical error rates.
+
+use btwc_bench::{print_table, scaled, workers};
+use btwc_sim::{logical_error_rate_parallel, DecoderKind, ShotConfig};
+
+fn main() {
+    println!("# Fig. 14 — logical error rate per shot (d noisy rounds + readout)\n");
+    let distances: [u16; 5] = [3, 5, 7, 9, 11];
+    let rates = [2e-3, 4e-3, 6e-3, 8e-3, 1.2e-2];
+    let shots = scaled(30_000);
+    let w = workers();
+    let mut rows = Vec::new();
+    for &d in &distances {
+        for &p in &rates {
+            let cfg = ShotConfig::new(d, p).with_shots(shots).with_seed(0xF1614);
+            let base = logical_error_rate_parallel(&cfg, DecoderKind::MwpmOnly, w);
+            let btwc = logical_error_rate_parallel(&cfg, DecoderKind::CliquePlusMwpm, w);
+            rows.push(vec![
+                d.to_string(),
+                format!("{p:.1e}"),
+                format!("{:.2e}", base.rate()),
+                format!("{:.2e}", btwc.rate()),
+                format!("{}", base.failures),
+                format!("{}", btwc.failures),
+            ]);
+        }
+        eprintln!("done: d={d}");
+    }
+    print_table(
+        &["d", "p", "Baseline LER", "Clique+Base LER", "base fails", "btwc fails"],
+        &rows,
+    );
+    println!("\n({shots} shots per point)");
+}

@@ -1,0 +1,38 @@
+//! Fig. 15: power, area and latency of the Clique SFQ implementation
+//! versus code distance, with the paper's NISQ+ comparison at d=9.
+
+use btwc_bench::print_table;
+use btwc_lattice::{StabilizerType, SurfaceCode};
+use btwc_sfq::{nisq_plus_anchor, synthesize_clique, CostModel};
+
+fn main() {
+    println!("# Fig. 15 — Clique ERSFQ implementation costs\n");
+    let model = CostModel::default();
+    let rows: Vec<Vec<String>> = [3u16, 5, 7, 9, 11, 13, 15, 17, 19, 21]
+        .into_iter()
+        .map(|d| {
+            let synth = synthesize_clique(&SurfaceCode::new(d), StabilizerType::X, 2);
+            let r = model.report(synth.netlist());
+            vec![
+                d.to_string(),
+                r.gate_count.to_string(),
+                r.jj_count.to_string(),
+                format!("{:.1}", r.power_uw),
+                format!("{:.2}", r.area_mm2),
+                format!("{:.3}", r.latency_ns),
+            ]
+        })
+        .collect();
+    print_table(
+        &["d", "gates", "JJs", "power (uW)", "area (mm2)", "latency (ns)"],
+        &rows,
+    );
+
+    let d9 = synthesize_clique(&SurfaceCode::new(9), StabilizerType::X, 2);
+    let r9 = model.report(d9.netlist());
+    let a = nisq_plus_anchor();
+    println!("\nNISQ+ @ d=9 (paper anchors): power {:.0} uW ({}x), area {:.1} mm2 ({}x), latency {:.2} ns ({}x avg, {}x worse worst-case)",
+        r9.power_uw * a.power_ratio, a.power_ratio,
+        r9.area_mm2 * a.area_ratio, a.area_ratio,
+        r9.latency_ns * a.latency_ratio, a.latency_ratio, a.worst_case_latency_factor);
+}

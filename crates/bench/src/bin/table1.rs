@@ -1,0 +1,21 @@
+//! Table 1: the ERSFQ cell library used for decoder synthesis.
+
+use btwc_bench::print_table;
+use btwc_sfq::{cell_library, CellKind};
+
+fn main() {
+    println!("# Table 1 — ERSFQ cell library\n");
+    let rows: Vec<Vec<String>> = CellKind::all()
+        .into_iter()
+        .map(|kind| {
+            let spec = cell_library(kind);
+            vec![
+                format!("{kind:?}"),
+                format!("{:.1}", spec.delay_ps),
+                format!("{:.0}", spec.area_um2),
+                format!("{}", spec.jj_count),
+            ]
+        })
+        .collect();
+    print_table(&["Cell", "Delay (ps)", "Area (um2)", "JJ Count"], &rows);
+}

@@ -1,0 +1,118 @@
+//! Shared scaffolding for the figure-regeneration binaries.
+//!
+//! Every table and figure of the paper's evaluation (Sec. 7) has a
+//! binary in `src/bin/` that regenerates its rows/series:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 — ERSFQ cell library |
+//! | `fig04` | Fig. 4 — syndrome distribution across (p, LER, d) scenarios |
+//! | `fig09` | Fig. 9 — per-cycle off-chip decodes, 50th vs 99th pct provisioning |
+//! | `fig11` | Fig. 11 — Clique on-chip coverage vs code distance |
+//! | `fig12` | Fig. 12 — non-all-zeros fraction of on-chip decodes |
+//! | `fig13` | Fig. 13 — off-chip data reduction: Clique vs AFS |
+//! | `fig14` | Fig. 14 — logical error rate: baseline vs Clique+baseline |
+//! | `fig15` | Fig. 15 — Clique SFQ power/area/latency (+ NISQ+ anchors) |
+//! | `fig16` | Fig. 16 — bandwidth reduction vs execution-time increase |
+//!
+//! All binaries accept the `BTWC_SCALE` environment variable (a float,
+//! default 1.0) to scale Monte Carlo budgets up or down, and print
+//! machine-readable Markdown tables.
+
+/// Scales a default Monte Carlo budget by the `BTWC_SCALE` environment
+/// variable (min 0.01, so `BTWC_SCALE=0.05` gives quick smoke runs).
+#[must_use]
+pub fn scaled(default: u64) -> u64 {
+    let scale = std::env::var("BTWC_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.0)
+        .max(0.01);
+    ((default as f64 * scale) as u64).max(100)
+}
+
+/// Number of worker threads for parallel sweeps.
+#[must_use]
+pub fn workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(16)
+}
+
+/// The paper's Fig. 4 scenarios: `(physical error rate, target logical
+/// error rate label, code distance)`.
+#[must_use]
+pub fn fig4_scenarios() -> Vec<(f64, &'static str, u16)> {
+    vec![
+        (5e-3, "1E-5", 25),
+        (5e-3, "1E-12", 81),
+        (1e-3, "1E-5", 7),
+        (1e-3, "1E-12", 21),
+        (5e-4, "1E-5", 5),
+        (5e-4, "1E-12", 15),
+    ]
+}
+
+/// The Fig. 11/12/13 sweep axes: error rates and code distances.
+#[must_use]
+pub fn coverage_axes() -> (Vec<f64>, Vec<u16>) {
+    (vec![1e-2, 5e-3, 1e-3, 5e-4, 1e-4], vec![3, 5, 7, 9, 11, 13, 15, 17, 19, 21])
+}
+
+/// The Fig. 16 scenarios: `(physical error rate, code distance)`.
+#[must_use]
+pub fn fig16_scenarios() -> Vec<(f64, u16)> {
+    vec![(5e-3, 13), (1e-3, 11), (1e-2, 13)]
+}
+
+/// Prints a Markdown table: a header row then aligned data rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let head: Vec<String> = headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!("{h:>w$}"))
+        .collect();
+    println!("| {} |", head.join(" | "));
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("| {} |", sep.join(" | "));
+    for row in rows {
+        let cells: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        println!("| {} |", cells.join(" | "));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_respects_minimum() {
+        // Without the env var the default passes through.
+        std::env::remove_var("BTWC_SCALE");
+        assert_eq!(scaled(10_000), 10_000);
+    }
+
+    #[test]
+    fn scenario_tables_are_populated() {
+        assert_eq!(fig4_scenarios().len(), 6);
+        let (ps, ds) = coverage_axes();
+        assert!(ps.len() >= 4 && ds.len() >= 8);
+        assert_eq!(fig16_scenarios().len(), 3);
+    }
+
+    #[test]
+    fn workers_is_positive() {
+        assert!(workers() >= 1);
+    }
+}

@@ -1,0 +1,172 @@
+//! The complete on-chip unit: sticky filter + clique logic.
+
+use btwc_lattice::{StabilizerType, SurfaceCode};
+use btwc_syndrome::RoundHistory;
+
+use crate::decision::CliqueDecision;
+use crate::decoder::CliqueDecoder;
+
+/// The Clique decoder together with its `k`-round measurement filter —
+/// the full on-chip pipeline of the paper's Figs. 6–7.
+///
+/// Feed one raw measurement round per cycle with
+/// [`CliqueFrontend::push_round`]; the frontend applies the sticky
+/// filter and returns the Clique decision for that cycle. Because the
+/// filter requires `k` consecutive lit rounds, corrections lag the error
+/// by `k - 1` cycles, exactly like the DFF pipeline in hardware.
+#[derive(Debug, Clone)]
+pub struct CliqueFrontend {
+    decoder: CliqueDecoder,
+    history: RoundHistory,
+    rounds: usize,
+}
+
+impl CliqueFrontend {
+    /// Frontend with the paper's default two measurement rounds.
+    #[must_use]
+    pub fn new(code: &SurfaceCode, ty: StabilizerType) -> Self {
+        Self::with_rounds(code, ty, 2)
+    }
+
+    /// Frontend with a custom sticky window `rounds >= 1` (more rounds =
+    /// more measurement-error robustness at more hardware cost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0`.
+    #[must_use]
+    pub fn with_rounds(code: &SurfaceCode, ty: StabilizerType, rounds: usize) -> Self {
+        assert!(rounds >= 1, "sticky filter needs at least one round");
+        let decoder = CliqueDecoder::new(code, ty);
+        let history = RoundHistory::new(decoder.num_cliques(), rounds);
+        Self { decoder, history, rounds }
+    }
+
+    /// The sticky window length `k`.
+    #[must_use]
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// The underlying combinational decoder.
+    #[must_use]
+    pub fn decoder(&self) -> &CliqueDecoder {
+        &self.decoder
+    }
+
+    /// Ingests one raw measurement round and returns this cycle's
+    /// decision on the sticky-filtered syndrome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw.len()` does not match the number of ancillas.
+    pub fn push_round(&mut self, raw: &[bool]) -> CliqueDecision {
+        self.history.push(raw);
+        let filtered = self.history.sticky(self.rounds);
+        self.decoder.decode(&filtered)
+    }
+
+    /// Clears the filter pipeline (e.g. after the off-chip decoder has
+    /// resolved the window and reset the reference frame).
+    pub fn reset(&mut self) {
+        self.history.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btwc_lattice::DataQubit;
+
+    fn raw_syndrome(code: &SurfaceCode, errors: &[bool], flips: &[usize]) -> Vec<bool> {
+        let mut s = code.syndrome_of(StabilizerType::X, errors);
+        for &f in flips {
+            s[f] ^= true;
+        }
+        s
+    }
+
+    #[test]
+    fn persistent_data_error_is_decoded_after_k_rounds() {
+        let code = SurfaceCode::new(5);
+        let mut fe = CliqueFrontend::new(&code, StabilizerType::X);
+        let mut errors = vec![false; code.num_data_qubits()];
+        errors[DataQubit::new(2, 2).index(5)] = true;
+        let raw = raw_syndrome(&code, &errors, &[]);
+        // Round 1: filter still filling — all zeros.
+        assert_eq!(fe.push_round(&raw), CliqueDecision::AllZeros);
+        // Round 2: error stuck — trivially corrected.
+        match fe.push_round(&raw) {
+            CliqueDecision::Trivial(c) => {
+                assert_eq!(c.qubits(), &[DataQubit::new(2, 2).index(5)]);
+            }
+            other => panic!("expected trivial, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_round_measurement_flip_is_suppressed() {
+        let code = SurfaceCode::new(5);
+        let mut fe = CliqueFrontend::new(&code, StabilizerType::X);
+        let clean = vec![false; code.num_data_qubits()];
+        let quiet = raw_syndrome(&code, &clean, &[]);
+        let flipped = raw_syndrome(&code, &clean, &[3]);
+        assert_eq!(fe.push_round(&quiet), CliqueDecision::AllZeros);
+        assert_eq!(fe.push_round(&flipped), CliqueDecision::AllZeros);
+        assert_eq!(fe.push_round(&quiet), CliqueDecision::AllZeros);
+    }
+
+    #[test]
+    fn two_round_sticky_measurement_error_leaks_through() {
+        // The paper's documented weakness: a measurement error sticking
+        // two rounds on an interior ancilla is (mis)taken for real and,
+        // being a lone defect, flagged complex.
+        let code = SurfaceCode::new(7);
+        let graph = code.detector_graph(StabilizerType::X);
+        let interior = (0..graph.num_nodes())
+            .find(|&a| graph.private_qubits(a).is_empty())
+            .unwrap();
+        let mut fe = CliqueFrontend::new(&code, StabilizerType::X);
+        let clean = vec![false; code.num_data_qubits()];
+        let flipped = raw_syndrome(&code, &clean, &[interior]);
+        let _ = fe.push_round(&flipped);
+        assert_eq!(fe.push_round(&flipped), CliqueDecision::Complex);
+    }
+
+    #[test]
+    fn three_round_filter_suppresses_two_round_flip() {
+        let code = SurfaceCode::new(7);
+        let graph = code.detector_graph(StabilizerType::X);
+        let interior = (0..graph.num_nodes())
+            .find(|&a| graph.private_qubits(a).is_empty())
+            .unwrap();
+        let mut fe = CliqueFrontend::with_rounds(&code, StabilizerType::X, 3);
+        let clean = vec![false; code.num_data_qubits()];
+        let quiet = raw_syndrome(&code, &clean, &[]);
+        let flipped = raw_syndrome(&code, &clean, &[interior]);
+        assert_eq!(fe.push_round(&quiet), CliqueDecision::AllZeros);
+        assert_eq!(fe.push_round(&flipped), CliqueDecision::AllZeros);
+        assert_eq!(fe.push_round(&flipped), CliqueDecision::AllZeros);
+        assert_eq!(fe.push_round(&quiet), CliqueDecision::AllZeros);
+    }
+
+    #[test]
+    fn reset_clears_pipeline() {
+        let code = SurfaceCode::new(5);
+        let mut fe = CliqueFrontend::new(&code, StabilizerType::X);
+        let mut errors = vec![false; code.num_data_qubits()];
+        errors[0] = true;
+        let raw = raw_syndrome(&code, &errors, &[]);
+        let _ = fe.push_round(&raw);
+        fe.reset();
+        // After reset the filter must refill before acting.
+        assert_eq!(fe.push_round(&raw), CliqueDecision::AllZeros);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_rounds_rejected() {
+        let code = SurfaceCode::new(3);
+        let _ = CliqueFrontend::with_rounds(&code, StabilizerType::X, 0);
+    }
+}

@@ -1,0 +1,345 @@
+//! The per-logical-qubit BTWC pipeline.
+
+use btwc_clique::{CliqueDecision, CliqueFrontend};
+use btwc_lattice::{StabilizerType, SurfaceCode};
+use btwc_mwpm::MwpmDecoder;
+use btwc_syndrome::{Correction, RoundHistory};
+
+/// An off-chip decoder that resolves a window of measurement rounds.
+///
+/// Implemented by [`MwpmDecoder`] (the default); custom implementations
+/// let experiments swap in other heavyweight decoders (union-find,
+/// neural, lookup tables) behind the same BTWC front end.
+pub trait ComplexDecoder {
+    /// Decodes the detection events of `window` into a data correction.
+    fn decode_window(&self, window: &RoundHistory) -> Correction;
+}
+
+impl ComplexDecoder for MwpmDecoder {
+    fn decode_window(&self, window: &RoundHistory) -> Correction {
+        MwpmDecoder::decode_window(self, window)
+    }
+}
+
+/// What one cycle of the pipeline did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BtwcOutcome {
+    /// Nothing to correct this cycle.
+    Quiet,
+    /// Clique corrected the signature on-chip.
+    OnChip(Correction),
+    /// The signature went off-chip; the complex decoder's correction.
+    OffChip(Correction),
+}
+
+impl BtwcOutcome {
+    /// The correction carried by this outcome, if any.
+    #[must_use]
+    pub fn correction(&self) -> Option<&Correction> {
+        match self {
+            BtwcOutcome::Quiet => None,
+            BtwcOutcome::OnChip(c) | BtwcOutcome::OffChip(c) => Some(c),
+        }
+    }
+
+    /// Whether the cycle needed off-chip bandwidth.
+    #[must_use]
+    pub fn went_offchip(&self) -> bool {
+        matches!(self, BtwcOutcome::OffChip(_))
+    }
+}
+
+/// Lifetime counters of a [`BtwcDecoder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DecoderStats {
+    /// Rounds processed.
+    pub cycles: u64,
+    /// Quiet cycles (all-zero filtered signature).
+    pub quiet: u64,
+    /// Cycles corrected on-chip.
+    pub onchip: u64,
+    /// Cycles sent off-chip.
+    pub offchip: u64,
+}
+
+impl DecoderStats {
+    /// Fraction of decodes kept on-chip.
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        if self.cycles == 0 {
+            return 1.0;
+        }
+        (self.quiet + self.onchip) as f64 / self.cycles as f64
+    }
+}
+
+/// Builder for [`BtwcDecoder`] (filter depth, window size, complex
+/// decoder choice).
+pub struct BtwcBuilder<'a> {
+    code: &'a SurfaceCode,
+    ty: StabilizerType,
+    clique_rounds: usize,
+    window_rounds: usize,
+    complex: Option<Box<dyn ComplexDecoder + Send + Sync>>,
+}
+
+impl std::fmt::Debug for BtwcBuilder<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BtwcBuilder")
+            .field("ty", &self.ty)
+            .field("clique_rounds", &self.clique_rounds)
+            .field("window_rounds", &self.window_rounds)
+            .field("custom_complex", &self.complex.is_some())
+            .finish()
+    }
+}
+
+impl<'a> BtwcBuilder<'a> {
+    fn new(code: &'a SurfaceCode, ty: StabilizerType) -> Self {
+        Self {
+            code,
+            ty,
+            clique_rounds: 2,
+            window_rounds: usize::from(code.distance()).max(4) * 4,
+            complex: None,
+        }
+    }
+
+    /// Sets the Clique sticky-filter depth (default 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0`.
+    #[must_use]
+    pub fn clique_rounds(mut self, rounds: usize) -> Self {
+        assert!(rounds >= 1, "sticky filter needs at least one round");
+        self.clique_rounds = rounds;
+        self
+    }
+
+    /// Sets the off-chip window capacity in rounds (default `4d`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0`.
+    #[must_use]
+    pub fn window_rounds(mut self, rounds: usize) -> Self {
+        assert!(rounds >= 1, "window needs at least one round");
+        self.window_rounds = rounds;
+        self
+    }
+
+    /// Replaces the default MWPM complex decoder.
+    #[must_use]
+    pub fn complex_decoder(
+        mut self,
+        decoder: Box<dyn ComplexDecoder + Send + Sync>,
+    ) -> Self {
+        self.complex = Some(decoder);
+        self
+    }
+
+    /// Builds the pipeline.
+    #[must_use]
+    pub fn build(self) -> BtwcDecoder {
+        let frontend = CliqueFrontend::with_rounds(self.code, self.ty, self.clique_rounds);
+        let n_anc = self.code.num_ancillas(self.ty);
+        let complex = self
+            .complex
+            .unwrap_or_else(|| Box::new(MwpmDecoder::new(self.code, self.ty)));
+        BtwcDecoder {
+            frontend,
+            complex,
+            window: RoundHistory::new(n_anc, self.window_rounds),
+            stats: DecoderStats::default(),
+        }
+    }
+}
+
+/// The complete BTWC pipeline for one logical qubit (paper Fig. 2):
+/// sticky filter → Clique decision → on-chip correction or off-chip
+/// complex decode.
+pub struct BtwcDecoder {
+    frontend: CliqueFrontend,
+    complex: Box<dyn ComplexDecoder + Send + Sync>,
+    window: RoundHistory,
+    stats: DecoderStats,
+}
+
+impl std::fmt::Debug for BtwcDecoder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BtwcDecoder")
+            .field("frontend", &self.frontend)
+            .field("window_len", &self.window.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl BtwcDecoder {
+    /// Starts configuring a pipeline for `code` / `ty`.
+    #[must_use]
+    pub fn builder(code: &SurfaceCode, ty: StabilizerType) -> BtwcBuilder<'_> {
+        BtwcBuilder::new(code, ty)
+    }
+
+    /// Ingests one raw measurement round and returns the cycle outcome.
+    /// Corrections returned must be applied to the tracked error state
+    /// (or the Pauli frame) by the caller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw.len()` does not match the ancilla count.
+    pub fn process_round(&mut self, raw: &[bool]) -> BtwcOutcome {
+        if self.window.len() == self.window.capacity() {
+            self.window.reset();
+        }
+        self.window.push(raw);
+        self.stats.cycles += 1;
+        match self.frontend.push_round(raw) {
+            CliqueDecision::AllZeros => {
+                self.stats.quiet += 1;
+                BtwcOutcome::Quiet
+            }
+            CliqueDecision::Trivial(c) => {
+                self.stats.onchip += 1;
+                BtwcOutcome::OnChip(c)
+            }
+            CliqueDecision::Complex => {
+                self.stats.offchip += 1;
+                let c = self.complex.decode_window(&self.window);
+                // Window consumed; the sticky filter clears itself once
+                // the correction lands, so no pipeline reset is needed.
+                self.window.reset();
+                BtwcOutcome::OffChip(c)
+            }
+        }
+    }
+
+    /// Lifetime counters.
+    #[must_use]
+    pub fn stats(&self) -> DecoderStats {
+        self.stats
+    }
+
+    /// Clears the filter pipeline and window (not the counters).
+    pub fn reset(&mut self) {
+        self.frontend.reset();
+        self.window.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_for(code: &SurfaceCode, errors: &[bool]) -> Vec<bool> {
+        code.syndrome_of(StabilizerType::X, errors)
+    }
+
+    #[test]
+    fn quiet_stream_stays_quiet() {
+        let code = SurfaceCode::new(3);
+        let mut dec = BtwcDecoder::builder(&code, StabilizerType::X).build();
+        let quiet = vec![false; code.num_ancillas(StabilizerType::X)];
+        for _ in 0..10 {
+            assert_eq!(dec.process_round(&quiet), BtwcOutcome::Quiet);
+        }
+        assert_eq!(dec.stats().quiet, 10);
+        assert!((dec.stats().coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn persistent_error_corrected_onchip_after_filter_delay() {
+        let code = SurfaceCode::new(5);
+        let mut dec = BtwcDecoder::builder(&code, StabilizerType::X).build();
+        let mut errors = vec![false; code.num_data_qubits()];
+        errors[12] = true;
+        let round = round_for(&code, &errors);
+        assert_eq!(dec.process_round(&round), BtwcOutcome::Quiet);
+        let out = dec.process_round(&round);
+        assert_eq!(out.correction().map(Correction::qubits), Some(&[12usize][..]));
+        assert!(!out.went_offchip());
+        assert_eq!(dec.stats().onchip, 1);
+    }
+
+    #[test]
+    fn chain_goes_offchip_and_is_resolved() {
+        let code = SurfaceCode::new(7);
+        let mut dec = BtwcDecoder::builder(&code, StabilizerType::X).build();
+        let mut errors = vec![false; code.num_data_qubits()];
+        // Vertical chain of 2 in the interior: complex for Clique.
+        errors[3 * 7 + 3] = true;
+        errors[4 * 7 + 3] = true;
+        let round = round_for(&code, &errors);
+        assert_eq!(dec.process_round(&round), BtwcOutcome::Quiet);
+        let out = dec.process_round(&round);
+        assert!(out.went_offchip(), "chain must be shipped off-chip");
+        let c = out.correction().unwrap();
+        // The MWPM correction must cancel the syndrome equivalently.
+        let mut residual = errors.clone();
+        c.apply_to(&mut residual);
+        assert!(code
+            .syndrome_of(StabilizerType::X, &residual)
+            .iter()
+            .all(|&s| !s));
+        assert!(!code.is_logical_error(StabilizerType::X, &residual));
+        assert_eq!(dec.stats().offchip, 1);
+    }
+
+    #[test]
+    fn custom_complex_decoder_is_used() {
+        struct NullDecoder;
+        impl ComplexDecoder for NullDecoder {
+            fn decode_window(&self, _w: &RoundHistory) -> Correction {
+                Correction::from_flips(vec![99])
+            }
+        }
+        let code = SurfaceCode::new(7);
+        let mut dec = BtwcDecoder::builder(&code, StabilizerType::X)
+            .complex_decoder(Box::new(NullDecoder))
+            .build();
+        let mut errors = vec![false; code.num_data_qubits()];
+        errors[3 * 7 + 3] = true;
+        errors[4 * 7 + 3] = true;
+        let round = round_for(&code, &errors);
+        let _ = dec.process_round(&round);
+        let out = dec.process_round(&round);
+        assert_eq!(out.correction().map(Correction::qubits), Some(&[99usize][..]));
+    }
+
+    #[test]
+    fn builder_knobs_are_respected() {
+        let code = SurfaceCode::new(5);
+        let mut dec = BtwcDecoder::builder(&code, StabilizerType::X)
+            .clique_rounds(3)
+            .window_rounds(6)
+            .build();
+        let mut errors = vec![false; code.num_data_qubits()];
+        errors[12] = true;
+        let round = round_for(&code, &errors);
+        // k=3: two quiet cycles before the on-chip correction.
+        assert_eq!(dec.process_round(&round), BtwcOutcome::Quiet);
+        assert_eq!(dec.process_round(&round), BtwcOutcome::Quiet);
+        assert!(matches!(dec.process_round(&round), BtwcOutcome::OnChip(_)));
+    }
+
+    #[test]
+    fn reset_refills_filter() {
+        let code = SurfaceCode::new(5);
+        let mut dec = BtwcDecoder::builder(&code, StabilizerType::X).build();
+        let mut errors = vec![false; code.num_data_qubits()];
+        errors[12] = true;
+        let round = round_for(&code, &errors);
+        let _ = dec.process_round(&round);
+        dec.reset();
+        assert_eq!(dec.process_round(&round), BtwcOutcome::Quiet);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_clique_rounds_rejected() {
+        let code = SurfaceCode::new(3);
+        let _ = BtwcDecoder::builder(&code, StabilizerType::X).clique_rounds(0);
+    }
+}

@@ -1,0 +1,50 @@
+//! The Better-Than-Worst-Case decoding system — the paper's Fig. 2 as a
+//! public API.
+//!
+//! [`BtwcDecoder`] is the per-logical-qubit pipeline: every cycle's raw
+//! syndrome round flows through the on-chip Clique frontend (sticky
+//! measurement filter + clique decision logic); trivial signatures are
+//! corrected on the spot, complex ones are shipped to a pluggable
+//! [`ComplexDecoder`] (by default the exact space-time MWPM decoder).
+//!
+//! [`BtwcSystem`] scales that to many logical qubits behind one
+//! provisioned off-chip link: per-cycle complex decodes beyond the
+//! provisioned bandwidth trigger stall cycles (idle-gate insertion),
+//! exactly the Sec. 5 mechanism.
+//!
+//! # Example
+//!
+//! ```
+//! use btwc_core::{BtwcDecoder, BtwcOutcome};
+//! use btwc_lattice::{StabilizerType, SurfaceCode};
+//!
+//! let code = SurfaceCode::new(5);
+//! let mut decoder = BtwcDecoder::builder(&code, StabilizerType::X).build();
+//!
+//! // A persistent single error is corrected on-chip within the
+//! // two-round filter latency:
+//! let mut errors = vec![false; code.num_data_qubits()];
+//! errors[12] = true;
+//! let round = code.syndrome_of(StabilizerType::X, &errors);
+//! assert_eq!(decoder.process_round(&round), BtwcOutcome::Quiet);
+//! match decoder.process_round(&round) {
+//!     BtwcOutcome::OnChip(c) => assert_eq!(c.qubits(), &[12]),
+//!     other => panic!("expected on-chip correction, got {other:?}"),
+//! }
+//! ```
+
+mod decoder;
+mod dual;
+mod prefilter;
+mod system;
+
+pub use decoder::{BtwcBuilder, BtwcDecoder, BtwcOutcome, ComplexDecoder, DecoderStats};
+pub use dual::{DualBtwcDecoder, DualOutcome};
+pub use prefilter::{PrefilterModel, PrefilterReport};
+pub use system::{BtwcSystem, SystemCycle, SystemStats};
+
+// Re-export the vocabulary types users need to drive the system.
+pub use btwc_clique::{CliqueDecision, CliqueDecoder, CliqueFrontend};
+pub use btwc_lattice::{StabilizerType, SurfaceCode};
+pub use btwc_mwpm::MwpmDecoder;
+pub use btwc_syndrome::{Correction, RoundHistory, Syndrome};

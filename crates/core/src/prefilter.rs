@@ -1,0 +1,126 @@
+//! Clique as an *off-chip* first-level filter (paper Sec. 8.1, future
+//! work 1).
+//!
+//! Moving Clique out of the fridge forfeits the bandwidth savings but
+//! keeps the hierarchy benefit: the heavyweight decoder runs only on
+//! the `1 − coverage` fraction of cycles, cutting average decode
+//! latency and energy; alternatively the complex decoder can be run
+//! "aggressively under looser power + thermal constraints". This module
+//! quantifies that trade with a simple two-tier service model.
+
+/// Per-tier latency/energy parameters for the off-chip hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrefilterModel {
+    /// Clique tier decode latency (ns). Sub-ns in SFQ; a few ns in
+    /// room-temperature CMOS.
+    pub clique_latency_ns: f64,
+    /// Complex tier decode latency (ns). MWPM-class software decoders
+    /// run in the µs range.
+    pub complex_latency_ns: f64,
+    /// Clique tier energy per decode (nJ).
+    pub clique_energy_nj: f64,
+    /// Complex tier energy per decode (nJ).
+    pub complex_energy_nj: f64,
+}
+
+impl Default for PrefilterModel {
+    fn default() -> Self {
+        // Representative numbers: a CMOS Clique filter at ~2 ns / 0.1 nJ
+        // against a software MWPM at ~1 µs / 1 µJ.
+        Self {
+            clique_latency_ns: 2.0,
+            complex_latency_ns: 1_000.0,
+            clique_energy_nj: 0.1,
+            complex_energy_nj: 1_000.0,
+        }
+    }
+}
+
+/// Derived hierarchy metrics at a given Clique coverage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrefilterReport {
+    /// Fraction of decodes resolved by the filter tier.
+    pub coverage: f64,
+    /// Mean decode latency across all cycles (ns).
+    pub mean_latency_ns: f64,
+    /// Mean decode energy across all cycles (nJ).
+    pub mean_energy_nj: f64,
+    /// Latency improvement over running the complex decoder every cycle.
+    pub latency_speedup: f64,
+    /// Energy improvement over running the complex decoder every cycle.
+    pub energy_reduction: f64,
+}
+
+impl PrefilterModel {
+    /// Evaluates the hierarchy at `coverage` (fraction of decodes the
+    /// filter resolves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coverage` is not in `[0, 1]`.
+    #[must_use]
+    pub fn report(&self, coverage: f64) -> PrefilterReport {
+        assert!((0.0..=1.0).contains(&coverage), "coverage out of [0,1]");
+        // Every decode pays the filter; misses additionally pay the
+        // complex tier (serial escalation).
+        let miss = 1.0 - coverage;
+        let mean_latency_ns = self.clique_latency_ns + miss * self.complex_latency_ns;
+        let mean_energy_nj = self.clique_energy_nj + miss * self.complex_energy_nj;
+        PrefilterReport {
+            coverage,
+            mean_latency_ns,
+            mean_energy_nj,
+            latency_speedup: self.complex_latency_ns / mean_latency_ns,
+            energy_reduction: self.complex_energy_nj / mean_energy_nj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_coverage_gives_maximum_benefit() {
+        let m = PrefilterModel::default();
+        let r = m.report(1.0);
+        assert!((r.mean_latency_ns - 2.0).abs() < 1e-9);
+        assert!(r.latency_speedup > 400.0);
+        assert!(r.energy_reduction > 4000.0);
+    }
+
+    #[test]
+    fn zero_coverage_costs_slightly_more_than_baseline() {
+        let m = PrefilterModel::default();
+        let r = m.report(0.0);
+        assert!(r.latency_speedup < 1.0, "the filter adds overhead on misses");
+        assert!(r.latency_speedup > 0.95);
+    }
+
+    #[test]
+    fn paper_scale_coverage_gives_order_of_magnitude_energy() {
+        // At the paper's >90% common-case coverage, decode energy drops
+        // roughly 10x even with Clique outside the fridge.
+        let m = PrefilterModel::default();
+        let r = m.report(0.95);
+        assert!(r.energy_reduction > 10.0, "energy reduction {}", r.energy_reduction);
+        assert!(r.latency_speedup > 10.0);
+    }
+
+    #[test]
+    fn benefit_is_monotone_in_coverage() {
+        let m = PrefilterModel::default();
+        let mut last = 0.0;
+        for c in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let s = m.report(c).latency_speedup;
+            assert!(s >= last);
+            last = s;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn rejects_bad_coverage() {
+        let _ = PrefilterModel::default().report(1.5);
+    }
+}

@@ -1,0 +1,230 @@
+//! Multi-logical-qubit BTWC system behind a provisioned off-chip link.
+
+use btwc_bandwidth::QueueSim;
+use btwc_lattice::{StabilizerType, SurfaceCode};
+
+use crate::decoder::{BtwcDecoder, BtwcOutcome};
+
+/// What happened across the whole machine in one cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemCycle {
+    /// Per-qubit outcomes for this cycle (empty on stall cycles).
+    pub outcomes: Vec<BtwcOutcome>,
+    /// Off-chip decode requests issued this cycle.
+    pub offchip_requests: usize,
+    /// Whether this cycle was a stall (idle-gate insertion, Sec. 5.2).
+    pub stalled: bool,
+}
+
+/// Aggregate counters of a [`BtwcSystem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SystemStats {
+    /// Total cycles elapsed (useful + stall).
+    pub cycles: u64,
+    /// Stall cycles inserted.
+    pub stalls: u64,
+    /// Total off-chip decode requests.
+    pub offchip_requests: u64,
+}
+
+impl SystemStats {
+    /// Relative execution-time increase from stalling.
+    #[must_use]
+    pub fn execution_time_increase(&self) -> f64 {
+        let useful = self.cycles - self.stalls;
+        if useful == 0 {
+            return f64::INFINITY;
+        }
+        self.cycles as f64 / useful as f64 - 1.0
+    }
+}
+
+/// `n` logical qubits, each with its own [`BtwcDecoder`], sharing one
+/// off-chip link provisioned for `bandwidth` complex decodes per cycle.
+///
+/// When a cycle's complex-decode demand exceeds the link, the following
+/// cycle is a stall: the waveform generator issues identity gates
+/// (Fig. 10), no program progress is made, but errors — and therefore
+/// new decode requests — keep arriving. [`BtwcSystem::is_stalled`]
+/// tells the driver whether the machine will accept program gates next
+/// cycle.
+#[derive(Debug)]
+pub struct BtwcSystem {
+    decoders: Vec<BtwcDecoder>,
+    queue: QueueSim,
+    stalled: bool,
+    stats: SystemStats,
+}
+
+impl BtwcSystem {
+    /// Builds a system of `num_qubits` distance-`d` logical qubits
+    /// behind a link of `bandwidth` decodes/cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits == 0` or `bandwidth == 0`.
+    #[must_use]
+    pub fn new(code: &SurfaceCode, ty: StabilizerType, num_qubits: usize, bandwidth: usize) -> Self {
+        assert!(num_qubits > 0, "need at least one logical qubit");
+        let decoders = (0..num_qubits)
+            .map(|_| BtwcDecoder::builder(code, ty).build())
+            .collect();
+        Self {
+            decoders,
+            queue: QueueSim::new(bandwidth),
+            stalled: false,
+            stats: SystemStats::default(),
+        }
+    }
+
+    /// Number of logical qubits.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.decoders.len()
+    }
+
+    /// Whether the next cycle will be a stall.
+    #[must_use]
+    pub fn is_stalled(&self) -> bool {
+        self.stalled
+    }
+
+    /// Aggregate counters.
+    #[must_use]
+    pub fn stats(&self) -> SystemStats {
+        self.stats
+    }
+
+    /// Per-qubit decoder access (for inspecting coverage, etc.).
+    #[must_use]
+    pub fn decoder(&self, qubit: usize) -> &BtwcDecoder {
+        &self.decoders[qubit]
+    }
+
+    /// Advances one cycle with one raw round per logical qubit.
+    ///
+    /// The rounds are always decoded (errors do not pause during
+    /// stalls); the `stalled` flag in the returned [`SystemCycle`]
+    /// reports whether this cycle executed program gates or idled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds.len() != num_qubits()`.
+    pub fn step(&mut self, rounds: &[Vec<bool>]) -> SystemCycle {
+        assert_eq!(rounds.len(), self.decoders.len(), "one round per qubit");
+        let was_stalled = self.stalled;
+        let mut outcomes = Vec::with_capacity(self.decoders.len());
+        let mut offchip = 0usize;
+        for (dec, round) in self.decoders.iter_mut().zip(rounds) {
+            let out = dec.process_round(round);
+            offchip += usize::from(out.went_offchip());
+            outcomes.push(out);
+        }
+        let record = self.queue.step(offchip);
+        self.stalled = self.queue.backlog() > 0;
+        self.stats.cycles += 1;
+        self.stats.stalls += u64::from(was_stalled);
+        self.stats.offchip_requests += offchip as u64;
+        let _ = record;
+        SystemCycle { outcomes, offchip_requests: offchip, stalled: was_stalled }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btwc_noise::{NoiseModel, PhenomenologicalNoise, SimRng};
+
+    fn quiet_rounds(code: &SurfaceCode, n: usize) -> Vec<Vec<bool>> {
+        vec![vec![false; code.num_ancillas(StabilizerType::X)]; n]
+    }
+
+    #[test]
+    fn quiet_system_never_stalls() {
+        let code = SurfaceCode::new(3);
+        let mut sys = BtwcSystem::new(&code, StabilizerType::X, 8, 2);
+        for _ in 0..20 {
+            let cycle = sys.step(&quiet_rounds(&code, 8));
+            assert!(!cycle.stalled);
+            assert_eq!(cycle.offchip_requests, 0);
+        }
+        assert_eq!(sys.stats().stalls, 0);
+        assert!(sys.stats().execution_time_increase().abs() < 1e-12);
+    }
+
+    #[test]
+    fn overflow_triggers_stall_next_cycle() {
+        let code = SurfaceCode::new(7);
+        // 4 qubits, bandwidth 1: force 2 simultaneous complex decodes.
+        let mut sys = BtwcSystem::new(&code, StabilizerType::X, 4, 1);
+        let mut errors = vec![false; code.num_data_qubits()];
+        errors[3 * 7 + 3] = true;
+        errors[4 * 7 + 3] = true; // interior chain => complex
+        let complex_round = code.syndrome_of(StabilizerType::X, &errors);
+        let quiet = vec![false; code.num_ancillas(StabilizerType::X)];
+        // Two qubits see the chain, two stay quiet.
+        let rounds = vec![
+            complex_round.clone(),
+            complex_round.clone(),
+            quiet.clone(),
+            quiet.clone(),
+        ];
+        let c1 = sys.step(&rounds); // filter filling; nothing yet
+        assert_eq!(c1.offchip_requests, 0);
+        let c2 = sys.step(&rounds); // both flagged complex, bandwidth 1
+        assert_eq!(c2.offchip_requests, 2);
+        assert!(!c2.stalled, "stall applies to the *next* cycle");
+        let c3 = sys.step(&quiet_rounds(&code, 4));
+        assert!(c3.stalled, "overflow must stall the following cycle");
+        assert_eq!(sys.stats().stalls, 1);
+    }
+
+    #[test]
+    fn noisy_run_has_bounded_stalling_with_p99_style_bandwidth() {
+        let code = SurfaceCode::new(3);
+        let ty = StabilizerType::X;
+        let n_qubits = 16;
+        let mut sys = BtwcSystem::new(&code, ty, n_qubits, 4);
+        let noise = PhenomenologicalNoise::uniform(3e-3);
+        let mut rng = SimRng::from_seed(0xE2E);
+        let mut errors = vec![vec![false; code.num_data_qubits()]; n_qubits];
+        for _ in 0..2000 {
+            let rounds: Vec<Vec<bool>> = errors
+                .iter_mut()
+                .map(|e| {
+                    noise.sample_data_into(&mut rng, e);
+                    code.syndrome_of(ty, e)
+                })
+                .collect();
+            let cycle = sys.step(&rounds);
+            // Apply returned corrections to the tracked error states.
+            for (e, out) in errors.iter_mut().zip(&cycle.outcomes) {
+                if let Some(c) = out.correction() {
+                    c.apply_to(e);
+                }
+            }
+        }
+        assert!(
+            sys.stats().execution_time_increase() < 0.25,
+            "execution increase {}",
+            sys.stats().execution_time_increase()
+        );
+        // The decode loop keeps every qubit's syndrome under control.
+        for e in &errors {
+            let weight = code
+                .syndrome_of(ty, e)
+                .iter()
+                .filter(|&&s| s)
+                .count();
+            assert!(weight <= 6, "runaway syndrome weight {weight}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one round per qubit")]
+    fn wrong_round_count_rejected() {
+        let code = SurfaceCode::new(3);
+        let mut sys = BtwcSystem::new(&code, StabilizerType::X, 2, 1);
+        let _ = sys.step(&quiet_rounds(&code, 1));
+    }
+}

@@ -1,0 +1,380 @@
+//! The rotated surface code: stabilizer layout and incidence structure.
+
+use crate::coords::{DataQubit, Plaquette, StabilizerType};
+use crate::graph::DetectorGraph;
+use crate::logical::LogicalOperator;
+
+/// One stabilizer ancilla: its plaquette position and the data qubits it
+/// checks (by linear index, see [`DataQubit::index`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ancilla {
+    plaquette: Plaquette,
+    data: Vec<usize>,
+}
+
+impl Ancilla {
+    /// Plaquette position of this ancilla.
+    #[must_use]
+    pub fn plaquette(&self) -> Plaquette {
+        self.plaquette
+    }
+
+    /// Linear indices of the data qubits this ancilla checks (2 on the
+    /// boundary, 4 in the interior).
+    #[must_use]
+    pub fn data_qubits(&self) -> &[usize] {
+        &self.data
+    }
+
+    /// Stabilizer weight (number of data qubits checked).
+    #[must_use]
+    pub fn weight(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// A distance-`d` rotated surface code.
+///
+/// Construction follows the paper's Fig. 3 / standard rotated layout:
+///
+/// * data qubits on the `d × d` grid;
+/// * candidate stabilizers at plaquette corners, colored `X` iff `r + c`
+///   is even;
+/// * all interior plaquettes kept;
+/// * on the top and bottom boundary rows only `Z`-type weight-2
+///   plaquettes are kept, on the left and right columns only `X`-type —
+///   so `Z`-error chains terminate on the top/bottom boundaries and
+///   `X`-error chains on the left/right ones;
+/// * corner plaquettes dropped.
+///
+/// This yields `(d²-1)/2` stabilizers per type.
+#[derive(Debug, Clone)]
+pub struct SurfaceCode {
+    distance: u16,
+    x_ancillas: Vec<Ancilla>,
+    z_ancillas: Vec<Ancilla>,
+    x_graph: DetectorGraph,
+    z_graph: DetectorGraph,
+    logical_z: LogicalOperator,
+    logical_x: LogicalOperator,
+}
+
+impl SurfaceCode {
+    /// Builds the distance-`d` rotated surface code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is even or `d < 3` — the rotated layout is defined
+    /// for odd distances of at least 3.
+    #[must_use]
+    pub fn new(distance: u16) -> Self {
+        assert!(
+            distance >= 3 && distance % 2 == 1,
+            "rotated surface code requires odd distance >= 3, got {distance}"
+        );
+        let mut x_ancillas = Vec::new();
+        let mut z_ancillas = Vec::new();
+        for r in 0..=distance {
+            for c in 0..=distance {
+                let p = Plaquette::new(r, c);
+                if !Self::plaquette_kept(p, distance) {
+                    continue;
+                }
+                let data = p
+                    .data_neighbors(distance)
+                    .into_iter()
+                    .map(|q| q.index(distance))
+                    .collect();
+                let ancilla = Ancilla { plaquette: p, data };
+                match p.stabilizer_type() {
+                    StabilizerType::X => x_ancillas.push(ancilla),
+                    StabilizerType::Z => z_ancillas.push(ancilla),
+                }
+            }
+        }
+        let num_data = usize::from(distance) * usize::from(distance);
+        let x_graph = DetectorGraph::build(&x_ancillas, num_data);
+        let z_graph = DetectorGraph::build(&z_ancillas, num_data);
+        let logical_z = LogicalOperator::column(distance, (distance - 1) / 2);
+        let logical_x = LogicalOperator::row(distance, (distance - 1) / 2);
+        Self {
+            distance,
+            x_ancillas,
+            z_ancillas,
+            x_graph,
+            z_graph,
+            logical_z,
+            logical_x,
+        }
+    }
+
+    /// Whether plaquette `p` hosts a stabilizer on a distance-`d` code.
+    fn plaquette_kept(p: Plaquette, d: u16) -> bool {
+        let on_top_bottom = p.r == 0 || p.r == d;
+        let on_left_right = p.c == 0 || p.c == d;
+        if on_top_bottom && on_left_right {
+            return false; // corner
+        }
+        if on_top_bottom {
+            return p.stabilizer_type() == StabilizerType::Z;
+        }
+        if on_left_right {
+            return p.stabilizer_type() == StabilizerType::X;
+        }
+        true // interior
+    }
+
+    /// Code distance `d`.
+    #[must_use]
+    pub fn distance(&self) -> u16 {
+        self.distance
+    }
+
+    /// Total number of data qubits, `d²`.
+    #[must_use]
+    pub fn num_data_qubits(&self) -> usize {
+        usize::from(self.distance) * usize::from(self.distance)
+    }
+
+    /// Number of stabilizer ancillas of type `ty`, `(d²-1)/2`.
+    #[must_use]
+    pub fn num_ancillas(&self, ty: StabilizerType) -> usize {
+        self.ancillas(ty).len()
+    }
+
+    /// The stabilizer ancillas of type `ty`, indexed by their position in
+    /// this slice everywhere else in the workspace (syndrome bit `i`
+    /// belongs to `ancillas(ty)[i]`).
+    #[must_use]
+    pub fn ancillas(&self, ty: StabilizerType) -> &[Ancilla] {
+        match ty {
+            StabilizerType::X => &self.x_ancillas,
+            StabilizerType::Z => &self.z_ancillas,
+        }
+    }
+
+    /// The detector graph for stabilizer type `ty` (see crate docs).
+    #[must_use]
+    pub fn detector_graph(&self, ty: StabilizerType) -> &DetectorGraph {
+        match ty {
+            StabilizerType::X => &self.x_graph,
+            StabilizerType::Z => &self.z_graph,
+        }
+    }
+
+    /// A minimum-weight representative of the logical operator whose
+    /// errors are *detected* by stabilizers of type `ty`.
+    ///
+    /// For `ty == X` this is the logical `Z` (a vertical column of data
+    /// qubits terminating on the top/bottom boundaries); for `ty == Z`
+    /// the logical `X` (a horizontal row).
+    #[must_use]
+    pub fn logical_detected_by(&self, ty: StabilizerType) -> &LogicalOperator {
+        match ty {
+            StabilizerType::X => &self.logical_z,
+            StabilizerType::Z => &self.logical_x,
+        }
+    }
+
+    /// Computes the syndrome of an error pattern: bit `i` is the parity of
+    /// errors on the data qubits checked by `ancillas(ty)[i]`.
+    ///
+    /// `errors[q]` is `true` iff data qubit `q` (linear index) carries an
+    /// error of the species detected by `ty` (e.g. a `Z` error when
+    /// `ty == X`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `errors.len() != num_data_qubits()`.
+    #[must_use]
+    pub fn syndrome_of(&self, ty: StabilizerType, errors: &[bool]) -> Vec<bool> {
+        assert_eq!(
+            errors.len(),
+            self.num_data_qubits(),
+            "error vector length must equal the number of data qubits"
+        );
+        self.ancillas(ty)
+            .iter()
+            .map(|a| a.data.iter().filter(|&&q| errors[q]).count() % 2 == 1)
+            .collect()
+    }
+
+    /// Whether a *syndrome-free* residual error pattern is a logical
+    /// operator (as opposed to a product of stabilizers).
+    ///
+    /// The check is the standard anti-commutation test: the residual is
+    /// logical iff its overlap with the crossing logical representative
+    /// has odd parity. Only meaningful when `syndrome_of(ty, errors)` is
+    /// all-zero; callers decode first, then ask this.
+    #[must_use]
+    pub fn is_logical_error(&self, ty: StabilizerType, errors: &[bool]) -> bool {
+        let crossing = self.logical_detected_by(ty).crossing_check(self.distance);
+        crossing.support().iter().filter(|&&q| errors[q]).count() % 2 == 1
+    }
+
+    /// Iterates over all data qubit coordinates in reading order.
+    pub fn data_qubits(&self) -> impl Iterator<Item = DataQubit> + '_ {
+        let d = self.distance;
+        (0..d).flat_map(move |row| (0..d).map(move |col| DataQubit::new(row, col)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ancilla_counts_match_theory() {
+        for d in [3u16, 5, 7, 9, 11, 13] {
+            let code = SurfaceCode::new(d);
+            let expected = (usize::from(d) * usize::from(d) - 1) / 2;
+            assert_eq!(code.num_ancillas(StabilizerType::X), expected, "d={d}");
+            assert_eq!(code.num_ancillas(StabilizerType::Z), expected, "d={d}");
+            assert_eq!(code.num_data_qubits(), usize::from(d) * usize::from(d));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "odd distance")]
+    fn even_distance_rejected() {
+        let _ = SurfaceCode::new(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd distance")]
+    fn distance_one_rejected() {
+        let _ = SurfaceCode::new(1);
+    }
+
+    #[test]
+    fn stabilizer_weights_are_two_or_four() {
+        let code = SurfaceCode::new(7);
+        for ty in StabilizerType::both() {
+            for a in code.ancillas(ty) {
+                assert!(a.weight() == 2 || a.weight() == 4, "{}", a.plaquette());
+            }
+        }
+    }
+
+    #[test]
+    fn every_data_qubit_checked_once_or_twice_per_type() {
+        for d in [3u16, 5, 9] {
+            let code = SurfaceCode::new(d);
+            for ty in StabilizerType::both() {
+                let mut cover = vec![0usize; code.num_data_qubits()];
+                for a in code.ancillas(ty) {
+                    for &q in a.data_qubits() {
+                        cover[q] += 1;
+                    }
+                }
+                for (q, &c) in cover.iter().enumerate() {
+                    assert!(
+                        c == 1 || c == 2,
+                        "d={d} ty={ty} qubit {q} covered {c} times"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_rows_hold_z_type_weight_two() {
+        let code = SurfaceCode::new(5);
+        for a in code.ancillas(StabilizerType::Z) {
+            let p = a.plaquette();
+            if p.r == 0 || p.r == 5 {
+                assert_eq!(a.weight(), 2);
+            }
+            assert!(p.c != 0 && p.c != 5, "no Z stabilizers on left/right");
+        }
+        for a in code.ancillas(StabilizerType::X) {
+            let p = a.plaquette();
+            assert!(p.r != 0 && p.r != 5, "no X stabilizers on top/bottom");
+        }
+    }
+
+    #[test]
+    fn single_error_sets_adjacent_syndromes_only() {
+        let code = SurfaceCode::new(5);
+        let q = DataQubit::new(2, 2).index(5);
+        let mut errors = vec![false; code.num_data_qubits()];
+        errors[q] = true;
+        let syndrome = code.syndrome_of(StabilizerType::X, &errors);
+        let set: Vec<usize> = syndrome
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &s)| s.then_some(i))
+            .collect();
+        assert_eq!(set.len(), 2, "interior error flips exactly two X ancillas");
+        for &i in &set {
+            assert!(code.ancillas(StabilizerType::X)[i].data_qubits().contains(&q));
+        }
+    }
+
+    #[test]
+    fn stabilizer_pattern_has_zero_syndrome_and_is_not_logical() {
+        let code = SurfaceCode::new(5);
+        // Apply a Z stabilizer as an "error": zero syndrome on X ancillas,
+        // and not a logical operator.
+        let stab = &code.ancillas(StabilizerType::Z)[3];
+        let mut errors = vec![false; code.num_data_qubits()];
+        for &q in stab.data_qubits() {
+            errors[q] = true;
+        }
+        assert!(code.syndrome_of(StabilizerType::X, &errors).iter().all(|&s| !s));
+        assert!(!code.is_logical_error(StabilizerType::X, &errors));
+    }
+
+    #[test]
+    fn full_column_is_a_logical_z() {
+        let code = SurfaceCode::new(5);
+        let mut errors = vec![false; code.num_data_qubits()];
+        for row in 0..5u16 {
+            errors[DataQubit::new(row, 1).index(5)] = true;
+        }
+        assert!(
+            code.syndrome_of(StabilizerType::X, &errors).iter().all(|&s| !s),
+            "a full column commutes with all X stabilizers"
+        );
+        assert!(code.is_logical_error(StabilizerType::X, &errors));
+    }
+
+    #[test]
+    fn full_row_is_a_logical_x() {
+        let code = SurfaceCode::new(5);
+        let mut errors = vec![false; code.num_data_qubits()];
+        for col in 0..5u16 {
+            errors[DataQubit::new(2, col).index(5)] = true;
+        }
+        assert!(code.syndrome_of(StabilizerType::Z, &errors).iter().all(|&s| !s));
+        assert!(code.is_logical_error(StabilizerType::Z, &errors));
+    }
+
+    #[test]
+    fn every_column_is_logical_every_stabilizer_is_not() {
+        let code = SurfaceCode::new(7);
+        for col in 0..7u16 {
+            let mut errors = vec![false; code.num_data_qubits()];
+            for row in 0..7u16 {
+                errors[DataQubit::new(row, col).index(7)] = true;
+            }
+            assert!(code.is_logical_error(StabilizerType::X, &errors), "col {col}");
+        }
+        for stab in code.ancillas(StabilizerType::Z) {
+            let mut errors = vec![false; code.num_data_qubits()];
+            for &q in stab.data_qubits() {
+                errors[q] = true;
+            }
+            assert!(!code.is_logical_error(StabilizerType::X, &errors));
+        }
+    }
+
+    #[test]
+    fn data_qubit_iterator_covers_grid() {
+        let code = SurfaceCode::new(3);
+        let qubits: Vec<DataQubit> = code.data_qubits().collect();
+        assert_eq!(qubits.len(), 9);
+        assert_eq!(qubits[0], DataQubit::new(0, 0));
+        assert_eq!(qubits[8], DataQubit::new(2, 2));
+    }
+}

@@ -1,0 +1,39 @@
+//! Rotated surface-code lattice geometry for BTWC decoding.
+//!
+//! This crate is the geometric substrate shared by every decoder in the
+//! workspace. It models the *rotated* surface code of odd distance `d`
+//! (paper Fig. 3): `d²` data qubits and `(d²-1)/2` stabilizers of each
+//! Pauli type, with weight-2 stabilizers on the boundary and the corner
+//! plaquettes dropped.
+//!
+//! The central export is [`SurfaceCode`], which owns, per stabilizer type,
+//! a [`DetectorGraph`]: nodes are ancillas, and there is exactly one edge
+//! per data qubit — ancilla↔ancilla when two same-type ancillas check the
+//! qubit, ancilla↔boundary when only one does. Both the Clique decoder's
+//! neighborhoods *and* the MWPM decoder's distance metric derive from this
+//! one graph, which keeps the two decoders geometrically consistent by
+//! construction.
+//!
+//! # Example
+//!
+//! ```
+//! use btwc_lattice::{SurfaceCode, StabilizerType};
+//!
+//! let code = SurfaceCode::new(5);
+//! assert_eq!(code.num_data_qubits(), 25);
+//! assert_eq!(code.num_ancillas(StabilizerType::X), 12);
+//! // Every interior ancilla has four same-type (diagonal) neighbors:
+//! let graph = code.detector_graph(StabilizerType::X);
+//! assert!(graph.ancilla_neighbors(0).len() <= 4);
+//! ```
+
+mod code;
+mod coords;
+mod graph;
+mod logical;
+mod render;
+
+pub use code::{Ancilla, SurfaceCode};
+pub use coords::{DataQubit, Plaquette, StabilizerType};
+pub use graph::{DetectorGraph, GraphEdge, NodeRef};
+pub use logical::LogicalOperator;

@@ -1,0 +1,95 @@
+//! Logical operator representatives and the logical-failure check.
+
+use crate::coords::DataQubit;
+
+/// A representative of a logical operator: a set of data qubits (by
+/// linear index) forming a boundary-to-boundary chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogicalOperator {
+    support: Vec<usize>,
+    orientation: Orientation,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Orientation {
+    /// A vertical chain (fixed column) — the logical `Z` in this
+    /// workspace's convention.
+    Column,
+    /// A horizontal chain (fixed row) — the logical `X`.
+    Row,
+}
+
+impl LogicalOperator {
+    /// The vertical chain on column `col` of a distance-`d` code.
+    #[must_use]
+    pub(crate) fn column(d: u16, col: u16) -> Self {
+        let support = (0..d).map(|row| DataQubit::new(row, col).index(d)).collect();
+        Self { support, orientation: Orientation::Column }
+    }
+
+    /// The horizontal chain on row `row` of a distance-`d` code.
+    #[must_use]
+    pub(crate) fn row(d: u16, row: u16) -> Self {
+        let support = (0..d).map(|col| DataQubit::new(row, col).index(d)).collect();
+        Self { support, orientation: Orientation::Row }
+    }
+
+    /// Data qubits (linear indices) in this representative.
+    #[must_use]
+    pub fn support(&self) -> &[usize] {
+        &self.support
+    }
+
+    /// Weight of the representative (always `d`).
+    #[must_use]
+    pub fn weight(&self) -> usize {
+        self.support.len()
+    }
+
+    /// The *crossing* logical representative used for the
+    /// anti-commutation failure check: a residual error equal to this
+    /// operator overlaps the crossing chain in exactly one qubit, while
+    /// stabilizers overlap it evenly.
+    #[must_use]
+    pub(crate) fn crossing_check(&self, d: u16) -> LogicalOperator {
+        match self.orientation {
+            Orientation::Column => LogicalOperator::row(d, (d - 1) / 2),
+            Orientation::Row => LogicalOperator::column(d, (d - 1) / 2),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_and_row_have_weight_d() {
+        for d in [3u16, 5, 7] {
+            assert_eq!(LogicalOperator::column(d, 0).weight(), usize::from(d));
+            assert_eq!(LogicalOperator::row(d, d - 1).weight(), usize::from(d));
+        }
+    }
+
+    #[test]
+    fn crossing_check_intersects_once() {
+        let d = 5;
+        let col = LogicalOperator::column(d, 2);
+        let cross = col.crossing_check(d);
+        let overlap = col
+            .support()
+            .iter()
+            .filter(|q| cross.support().contains(q))
+            .count();
+        assert_eq!(overlap, 1);
+    }
+
+    #[test]
+    fn supports_are_distinct_indices() {
+        let op = LogicalOperator::column(7, 3);
+        let mut sorted = op.support().to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), op.weight());
+    }
+}

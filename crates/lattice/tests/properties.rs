@@ -1,0 +1,85 @@
+//! Property-based tests of the lattice invariants.
+
+use btwc_lattice::{StabilizerType, SurfaceCode};
+use proptest::prelude::*;
+
+fn code_and_errors() -> impl Strategy<Value = (u16, Vec<usize>)> {
+    prop_oneof![Just(3u16), Just(5), Just(7), Just(9)].prop_flat_map(|d| {
+        let n = usize::from(d) * usize::from(d);
+        (Just(d), proptest::collection::vec(0..n, 0..12))
+    })
+}
+
+proptest! {
+    /// The syndrome map is linear: s(a ⊕ b) = s(a) ⊕ s(b).
+    #[test]
+    fn syndrome_is_linear((d, flips) in code_and_errors()) {
+        let code = SurfaceCode::new(d);
+        let n = code.num_data_qubits();
+        let split = flips.len() / 2;
+        let mut a = vec![false; n];
+        let mut b = vec![false; n];
+        for &q in &flips[..split] { a[q] ^= true; }
+        for &q in &flips[split..] { b[q] ^= true; }
+        let mut ab = vec![false; n];
+        for q in 0..n { ab[q] = a[q] ^ b[q]; }
+        for ty in StabilizerType::both() {
+            let sa = code.syndrome_of(ty, &a);
+            let sb = code.syndrome_of(ty, &b);
+            let sab = code.syndrome_of(ty, &ab);
+            for i in 0..sa.len() {
+                prop_assert_eq!(sab[i], sa[i] ^ sb[i]);
+            }
+        }
+    }
+
+    /// Multiplying by any stabilizer never changes the logical class.
+    #[test]
+    fn stabilizers_preserve_logical_class((d, flips) in code_and_errors(), stab_idx in 0usize..100) {
+        let code = SurfaceCode::new(d);
+        let ty = StabilizerType::X;
+        let n = code.num_data_qubits();
+        let mut errors = vec![false; n];
+        for &q in &flips { errors[q] ^= true; }
+        // Only meaningful for syndrome-free patterns; make one by
+        // clearing via a decode-free trick: square the pattern (XOR with
+        // itself is trivial), so instead just test on stabilizer sums.
+        let stabs = code.ancillas(ty.other());
+        let stab = &stabs[stab_idx % stabs.len()];
+        let before = code.is_logical_error(ty, &errors);
+        let mut after = errors.clone();
+        for &q in stab.data_qubits() { after[q] ^= true; }
+        // Z-type stabilizers commute with the crossing X-chain check:
+        prop_assert_eq!(code.is_logical_error(ty, &after), before);
+    }
+
+    /// Shortest paths between ancillas have matching syndrome endpoints
+    /// and respect the triangle inequality through any waypoint.
+    #[test]
+    fn paths_are_geodesics(d in prop_oneof![Just(3u16), Just(5), Just(7)], seed in 0usize..1000) {
+        let code = SurfaceCode::new(d);
+        let g = code.detector_graph(StabilizerType::X);
+        let n = g.num_nodes();
+        let a = seed % n;
+        let b = (seed / n) % n;
+        let w = (seed / (n * n).max(1)) % n;
+        prop_assert!(g.distance(a, b) <= g.distance(a, w) + g.distance(w, b));
+        let path = g.path(a, b);
+        prop_assert_eq!(path.len() as u32, g.distance(a, b));
+    }
+
+    /// Boundary distances are 1-Lipschitz along edges.
+    #[test]
+    fn boundary_distance_is_lipschitz(d in prop_oneof![Just(3u16), Just(5), Just(7)]) {
+        let code = SurfaceCode::new(d);
+        for ty in StabilizerType::both() {
+            let g = code.detector_graph(ty);
+            for a in 0..g.num_nodes() {
+                for (b, _) in g.ancilla_neighbors(a) {
+                    let (da, db) = (g.boundary_distance(a), g.boundary_distance(b));
+                    prop_assert!(da.abs_diff(db) <= 1);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,628 @@
+//! Exact maximum-weight general-graph matching (blossom algorithm).
+//!
+//! An O(n³) primal–dual implementation following Galil's exposition of
+//! Edmonds' algorithm: alternating-forest growth over *shrunk* blossom
+//! components with dual-variable adjustments, dense slack bookkeeping,
+//! and lazy blossom expansion. Minimum-weight **perfect** matching — what
+//! the MWPM decoder needs — is obtained by complementing weights against
+//! a large constant so that maximizing weight first maximizes cardinality
+//! and then minimizes the original total.
+//!
+//! Correctness here is essential (the decoder's accuracy *is* the
+//! baseline of the paper's Fig. 14), so this module is property-tested
+//! against the exponential reference matcher in [`crate::brute`].
+
+use std::collections::VecDeque;
+
+/// A perfect matching: `pairs[i] = (u, v)` with `u < v`, plus the total
+/// weight under the *original* (minimization) weights.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matching {
+    pairs: Vec<(usize, usize)>,
+    total: i64,
+}
+
+impl Matching {
+    /// Matched pairs, each as `(u, v)` with `u < v`, sorted by `u`.
+    #[must_use]
+    pub fn pairs(&self) -> &[(usize, usize)] {
+        &self.pairs
+    }
+
+    /// Sum of the original edge weights over the matching.
+    #[must_use]
+    pub fn total_weight(&self) -> i64 {
+        self.total
+    }
+
+    /// The partner of vertex `u`, if matched.
+    #[must_use]
+    pub fn partner(&self, u: usize) -> Option<usize> {
+        self.pairs.iter().find_map(|&(a, b)| {
+            if a == u {
+                Some(b)
+            } else if b == u {
+                Some(a)
+            } else {
+                None
+            }
+        })
+    }
+}
+
+/// Computes a minimum-weight perfect matching on `n` vertices
+/// (0-indexed). `weight(u, v)` returns `Some(w)` (`w >= 0`) if the edge
+/// exists, `None` otherwise; it is only queried for `u < v`.
+///
+/// Returns `None` when no perfect matching exists (including odd `n`).
+///
+/// # Panics
+///
+/// Panics if any provided weight is negative.
+pub fn minimum_weight_perfect_matching<F>(n: usize, weight: F) -> Option<Matching>
+where
+    F: Fn(usize, usize) -> Option<i64>,
+{
+    if n == 0 {
+        return Some(Matching { pairs: Vec::new(), total: 0 });
+    }
+    if n % 2 == 1 {
+        return None;
+    }
+    // Collect weights; find the maximum for complementation.
+    let mut w = vec![None; n * n];
+    let mut w_max = 0i64;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if let Some(x) = weight(u, v) {
+                assert!(x >= 0, "negative weight {x} on edge ({u},{v})");
+                w[u * n + v] = Some(x);
+                w[v * n + u] = Some(x);
+                w_max = w_max.max(x);
+            }
+        }
+    }
+    // big enough that every extra matched edge beats any weight savings
+    let m = (n as i64) * w_max + 1;
+    let mut solver = Solver::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if let Some(x) = w[u * n + v] {
+                // Even weights keep every halved dual quantity integral.
+                solver.set_edge(u + 1, v + 1, 2 * (m - x));
+            }
+        }
+    }
+    solver.run();
+    let mut pairs = Vec::with_capacity(n / 2);
+    let mut total = 0i64;
+    for u in 1..=n {
+        let v = solver.mate[u];
+        if v == 0 {
+            return None; // not perfect
+        }
+        if u < v {
+            let orig = w[(u - 1) * n + (v - 1)].expect("matched edge must exist");
+            total += orig;
+            pairs.push((u - 1, v - 1));
+        }
+    }
+    Some(Matching { pairs, total })
+}
+
+/// Dense O(n³) maximum-weight matching solver (1-indexed internally;
+/// index 0 is the null sentinel).
+struct Solver {
+    n: usize,
+    n_x: usize,
+    cap: usize,
+    /// Representative edge per component pair: original endpoints + weight.
+    e_u: Vec<usize>,
+    e_v: Vec<usize>,
+    e_w: Vec<i64>,
+    lab: Vec<i64>,
+    /// `mate[u]` = original vertex matched to `u` (0 = unmatched).
+    mate: Vec<usize>,
+    slack: Vec<usize>,
+    st: Vec<usize>,
+    pa: Vec<usize>,
+    flower_from: Vec<usize>,
+    s: Vec<i8>,
+    vis: Vec<usize>,
+    vis_t: usize,
+    flower: Vec<Vec<usize>>,
+    q: VecDeque<usize>,
+}
+
+impl Solver {
+    fn new(n: usize) -> Self {
+        let cap = 2 * n + 2;
+        let mut s = Self {
+            n,
+            n_x: n,
+            cap,
+            e_u: vec![0; cap * cap],
+            e_v: vec![0; cap * cap],
+            e_w: vec![0; cap * cap],
+            lab: vec![0; cap],
+            mate: vec![0; cap],
+            slack: vec![0; cap],
+            st: vec![0; cap],
+            pa: vec![0; cap],
+            flower_from: vec![0; cap * (n + 1)],
+            s: vec![-1; cap],
+            vis: vec![0; cap],
+            vis_t: 0,
+            flower: vec![Vec::new(); cap],
+            q: VecDeque::new(),
+        };
+        for u in 0..cap {
+            for v in 0..cap {
+                s.e_u[u * cap + v] = u;
+                s.e_v[u * cap + v] = v;
+            }
+        }
+        s
+    }
+
+    fn set_edge(&mut self, u: usize, v: usize, w: i64) {
+        self.e_w[u * self.cap + v] = w;
+        self.e_w[v * self.cap + u] = w;
+    }
+
+    #[inline]
+    fn ew(&self, u: usize, v: usize) -> i64 {
+        self.e_w[u * self.cap + v]
+    }
+
+    #[inline]
+    fn eu(&self, u: usize, v: usize) -> usize {
+        self.e_u[u * self.cap + v]
+    }
+
+    #[inline]
+    fn ev(&self, u: usize, v: usize) -> usize {
+        self.e_v[u * self.cap + v]
+    }
+
+    /// Scaled slack of the representative edge stored at `(u, v)` (only
+    /// valid for edges between different shrunk components).
+    #[inline]
+    fn e_delta(&self, u: usize, v: usize) -> i64 {
+        let a = self.eu(u, v);
+        let b = self.ev(u, v);
+        self.lab[a] + self.lab[b] - self.ew(a, b) * 2
+    }
+
+    fn update_slack(&mut self, u: usize, x: usize) {
+        if self.slack[x] == 0 || self.e_delta(u, x) < self.e_delta(self.slack[x], x) {
+            self.slack[x] = u;
+        }
+    }
+
+    fn set_slack(&mut self, x: usize) {
+        self.slack[x] = 0;
+        for u in 1..=self.n {
+            if self.ew(u, x) > 0 && self.st[u] != x && self.s[self.st[u]] == 0 {
+                self.update_slack(u, x);
+            }
+        }
+    }
+
+    fn q_push(&mut self, x: usize) {
+        if x <= self.n {
+            self.q.push_back(x);
+        } else {
+            let kids = self.flower[x].clone();
+            for k in kids {
+                self.q_push(k);
+            }
+        }
+    }
+
+    fn set_st(&mut self, x: usize, b: usize) {
+        self.st[x] = b;
+        if x > self.n {
+            let kids = self.flower[x].clone();
+            for k in kids {
+                self.set_st(k, b);
+            }
+        }
+    }
+
+    fn get_pr(&mut self, b: usize, xr: usize) -> usize {
+        let pr = self.flower[b]
+            .iter()
+            .position(|&x| x == xr)
+            .expect("xr must be a petal of b");
+        if pr % 2 == 1 {
+            self.flower[b][1..].reverse();
+            self.flower[b].len() - pr
+        } else {
+            pr
+        }
+    }
+
+    fn set_match(&mut self, u: usize, v: usize) {
+        self.mate[u] = self.ev(u, v);
+        if u > self.n {
+            let ed_u = self.eu(u, v);
+            let xr = self.flower_from[u * (self.n + 1) + ed_u];
+            let pr = self.get_pr(u, xr);
+            for i in 0..pr {
+                let a = self.flower[u][i];
+                let b = self.flower[u][i ^ 1];
+                self.set_match(a, b);
+            }
+            self.set_match(xr, v);
+            self.flower[u].rotate_left(pr);
+        }
+    }
+
+    fn augment(&mut self, mut u: usize, mut v: usize) {
+        loop {
+            let xnv = self.st[self.mate[u]];
+            self.set_match(u, v);
+            if xnv == 0 {
+                return;
+            }
+            let pa_xnv = self.st[self.pa[xnv]];
+            self.set_match(xnv, pa_xnv);
+            u = pa_xnv;
+            v = xnv;
+        }
+    }
+
+    fn get_lca(&mut self, mut u: usize, mut v: usize) -> usize {
+        self.vis_t += 1;
+        let t = self.vis_t;
+        while u != 0 || v != 0 {
+            if u != 0 {
+                if self.vis[u] == t {
+                    return u;
+                }
+                self.vis[u] = t;
+                u = self.st[self.mate[u]];
+                if u != 0 {
+                    u = self.st[self.pa[u]];
+                }
+            }
+            std::mem::swap(&mut u, &mut v);
+        }
+        0
+    }
+
+    fn add_blossom(&mut self, u: usize, lca: usize, v: usize) {
+        let mut b = self.n + 1;
+        while b <= self.n_x && self.st[b] != 0 {
+            b += 1;
+        }
+        if b > self.n_x {
+            self.n_x += 1;
+        }
+        assert!(b < self.cap, "blossom capacity exceeded");
+        self.lab[b] = 0;
+        self.s[b] = 0;
+        self.mate[b] = self.mate[lca];
+        self.flower[b] = vec![lca];
+        let mut x = u;
+        while x != lca {
+            let y = self.st[self.mate[x]];
+            self.flower[b].push(x);
+            self.flower[b].push(y);
+            self.q_push(y);
+            x = self.st[self.pa[y]];
+        }
+        self.flower[b][1..].reverse();
+        let mut x = v;
+        while x != lca {
+            let y = self.st[self.mate[x]];
+            self.flower[b].push(x);
+            self.flower[b].push(y);
+            self.q_push(y);
+            x = self.st[self.pa[y]];
+        }
+        self.set_st(b, b);
+        for x in 1..=self.n_x {
+            self.e_w[b * self.cap + x] = 0;
+            self.e_w[x * self.cap + b] = 0;
+        }
+        for x in 1..=self.n {
+            self.flower_from[b * (self.n + 1) + x] = 0;
+        }
+        let petals = self.flower[b].clone();
+        for &xs in &petals {
+            for x in 1..=self.n_x {
+                if self.ew(xs, x) > 0
+                    && (self.ew(b, x) == 0 || self.e_delta(xs, x) < self.e_delta(b, x))
+                {
+                    let (pu, pv, pw) = (self.eu(xs, x), self.ev(xs, x), self.ew(xs, x));
+                    self.e_u[b * self.cap + x] = pu;
+                    self.e_v[b * self.cap + x] = pv;
+                    self.e_w[b * self.cap + x] = pw;
+                    let (qu, qv, qw) = (self.eu(x, xs), self.ev(x, xs), self.ew(x, xs));
+                    self.e_u[x * self.cap + b] = qu;
+                    self.e_v[x * self.cap + b] = qv;
+                    self.e_w[x * self.cap + b] = qw;
+                }
+            }
+            for x in 1..=self.n {
+                if self.flower_from[xs * (self.n + 1) + x] != 0 {
+                    self.flower_from[b * (self.n + 1) + x] = xs;
+                }
+            }
+        }
+        self.set_slack(b);
+    }
+
+    fn expand_blossom(&mut self, b: usize) {
+        let petals = self.flower[b].clone();
+        for &x in &petals {
+            self.set_st(x, x);
+        }
+        let ed_u = self.eu(b, self.pa[b]);
+        let xr = self.flower_from[b * (self.n + 1) + ed_u];
+        let pr = self.get_pr(b, xr);
+        let mut i = 0;
+        while i < pr {
+            let xs = self.flower[b][i];
+            let xns = self.flower[b][i + 1];
+            self.pa[xs] = self.eu(xns, xs);
+            self.s[xs] = 1;
+            self.s[xns] = 0;
+            self.slack[xs] = 0;
+            self.set_slack(xns);
+            self.q_push(xns);
+            i += 2;
+        }
+        self.s[xr] = 1;
+        self.pa[xr] = self.pa[b];
+        for i in (pr + 1)..self.flower[b].len() {
+            let xs = self.flower[b][i];
+            self.s[xs] = -1;
+            self.set_slack(xs);
+        }
+        self.st[b] = 0;
+    }
+
+    /// Processes a tight edge `(ed_u, ed_v)` (original endpoints).
+    /// Returns `true` if an augmentation happened.
+    fn on_found_edge(&mut self, ed_u: usize, ed_v: usize) -> bool {
+        let u = self.st[ed_u];
+        let v = self.st[ed_v];
+        if self.s[v] == -1 {
+            self.pa[v] = ed_u;
+            self.s[v] = 1;
+            let nu = self.st[self.mate[v]];
+            self.slack[v] = 0;
+            self.slack[nu] = 0;
+            self.s[nu] = 0;
+            self.q_push(nu);
+        } else if self.s[v] == 0 {
+            let lca = self.get_lca(u, v);
+            if lca == 0 {
+                self.augment(u, v);
+                self.augment(v, u);
+                return true;
+            }
+            self.add_blossom(u, lca, v);
+        }
+        false
+    }
+
+    /// One phase: grows the alternating forest until an augmenting path
+    /// is found (`true`) or duals prove none exists (`false`).
+    fn matching_phase(&mut self) -> bool {
+        for x in 0..=self.n_x {
+            self.s[x] = -1;
+            self.slack[x] = 0;
+        }
+        self.q.clear();
+        for x in 1..=self.n_x {
+            if self.st[x] == x && self.mate[x] == 0 {
+                self.pa[x] = 0;
+                self.s[x] = 0;
+                self.q_push(x);
+            }
+        }
+        if self.q.is_empty() {
+            return false;
+        }
+        loop {
+            while let Some(u) = self.q.pop_front() {
+                if self.s[self.st[u]] == 1 {
+                    continue;
+                }
+                for v in 1..=self.n {
+                    if self.ew(u, v) > 0 && self.st[u] != self.st[v] {
+                        if self.e_delta(u, v) == 0 {
+                            if self.on_found_edge(u, v) {
+                                return true;
+                            }
+                        } else {
+                            let stv = self.st[v];
+                            self.update_slack(u, stv);
+                        }
+                    }
+                }
+            }
+            // Dual adjustment.
+            let mut d = i64::MAX;
+            for b in (self.n + 1)..=self.n_x {
+                if self.st[b] == b && self.s[b] == 1 {
+                    d = d.min(self.lab[b] / 2);
+                }
+            }
+            for x in 1..=self.n_x {
+                if self.st[x] == x && self.slack[x] != 0 {
+                    let delta = self.e_delta(self.slack[x], x);
+                    if self.s[x] == -1 {
+                        d = d.min(delta);
+                    } else if self.s[x] == 0 {
+                        d = d.min(delta / 2);
+                    }
+                }
+            }
+            // If the cheapest dual move would drive an exposed/outer
+            // vertex's label to zero (or no move is available at all),
+            // no augmenting path remains — the matching is maximum.
+            let min_outer = (1..=self.n)
+                .filter(|&u| self.s[self.st[u]] == 0)
+                .map(|u| self.lab[u])
+                .min()
+                .unwrap_or(i64::MAX);
+            if min_outer <= d {
+                return false;
+            }
+            for u in 1..=self.n {
+                match self.s[self.st[u]] {
+                    0 => self.lab[u] -= d,
+                    1 => self.lab[u] += d,
+                    _ => {}
+                }
+            }
+            for b in (self.n + 1)..=self.n_x {
+                if self.st[b] == b {
+                    match self.s[b] {
+                        0 => self.lab[b] += d * 2,
+                        1 => self.lab[b] -= d * 2,
+                        _ => {}
+                    }
+                }
+            }
+            self.q.clear();
+            for x in 1..=self.n_x {
+                if self.st[x] == x
+                    && self.slack[x] != 0
+                    && self.st[self.slack[x]] != x
+                    && self.e_delta(self.slack[x], x) == 0
+                {
+                    let su = self.slack[x];
+                    let (a, b) = (self.eu(su, x), self.ev(su, x));
+                    if self.on_found_edge(a, b) {
+                        return true;
+                    }
+                }
+            }
+            for b in (self.n + 1)..=self.n_x {
+                if self.st[b] == b && self.s[b] == 1 && self.lab[b] == 0 {
+                    self.expand_blossom(b);
+                }
+            }
+        }
+    }
+
+    fn run(&mut self) {
+        for u in 0..=self.n {
+            self.st[u] = u;
+        }
+        let mut w_max = 0i64;
+        for u in 1..=self.n {
+            for v in 1..=self.n {
+                self.flower_from[u * (self.n + 1) + v.min(self.n)] = 0;
+                w_max = w_max.max(self.ew(u, v));
+            }
+        }
+        for u in 1..=self.n {
+            self.flower_from[u * (self.n + 1) + u] = u;
+            self.lab[u] = w_max;
+        }
+        while self.matching_phase() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(n: usize, weights: &[(usize, usize, i64)]) -> Option<Matching> {
+        minimum_weight_perfect_matching(n, |u, v| {
+            weights
+                .iter()
+                .find(|&&(a, b, _)| (a, b) == (u, v) || (a, b) == (v, u))
+                .map(|&(_, _, w)| w)
+        })
+    }
+
+    #[test]
+    fn empty_graph_is_trivially_matched() {
+        let m = minimum_weight_perfect_matching(0, |_, _| None).unwrap();
+        assert!(m.pairs().is_empty());
+        assert_eq!(m.total_weight(), 0);
+    }
+
+    #[test]
+    fn odd_vertex_count_has_no_perfect_matching() {
+        assert!(minimum_weight_perfect_matching(3, |_, _| Some(1)).is_none());
+    }
+
+    #[test]
+    fn two_vertices_single_edge() {
+        let m = complete(2, &[(0, 1, 7)]).unwrap();
+        assert_eq!(m.pairs(), &[(0, 1)]);
+        assert_eq!(m.total_weight(), 7);
+        assert_eq!(m.partner(0), Some(1));
+        assert_eq!(m.partner(1), Some(0));
+    }
+
+    #[test]
+    fn star_graph_has_no_perfect_matching() {
+        // All edges share vertex 0, so 1..3 cannot pair among themselves.
+        assert!(complete(4, &[(0, 1, 1), (0, 2, 1), (0, 3, 1)]).is_none());
+    }
+
+    #[test]
+    fn four_vertices_chooses_cheaper_pairing() {
+        // Pairings: (01)(23) = 1+1 = 2; (02)(13) = 10+10 = 20; (03)(12) = 10+10.
+        let m = complete(
+            4,
+            &[(0, 1, 1), (2, 3, 1), (0, 2, 10), (1, 3, 10), (0, 3, 10), (1, 2, 10)],
+        )
+        .unwrap();
+        assert_eq!(m.total_weight(), 2);
+        assert_eq!(m.pairs(), &[(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn forced_expensive_pairing() {
+        // The cheap edges share vertex 0, so one expensive edge is forced.
+        let m = complete(
+            4,
+            &[(0, 1, 1), (0, 2, 1), (0, 3, 1), (1, 2, 50), (1, 3, 60), (2, 3, 70)],
+        )
+        .unwrap();
+        // Best: (0,1)+(2,3)=71, (0,2)+(1,3)=61, (0,3)+(1,2)=51.
+        assert_eq!(m.total_weight(), 51);
+    }
+
+    #[test]
+    fn zero_weight_edges_are_allowed() {
+        let m = complete(4, &[(0, 1, 0), (2, 3, 0), (0, 2, 5), (1, 3, 5)]).unwrap();
+        assert_eq!(m.total_weight(), 0);
+    }
+
+    #[test]
+    fn six_vertex_triangle_structure_forces_blossom_logic() {
+        // Two triangles {0,1,2} and {3,4,5} joined by one bridge; odd
+        // components force the matching through the bridge.
+        let edges = [
+            (0, 1, 2),
+            (1, 2, 2),
+            (0, 2, 2),
+            (3, 4, 2),
+            (4, 5, 2),
+            (3, 5, 2),
+            (2, 3, 1),
+        ];
+        let m = complete(6, &edges).unwrap();
+        // Must use bridge (2,3) plus one edge inside each triangle: 1+2+2.
+        assert_eq!(m.total_weight(), 5);
+        assert_eq!(m.partner(2), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative weight")]
+    fn negative_weights_rejected() {
+        let _ = complete(2, &[(0, 1, -3)]);
+    }
+}

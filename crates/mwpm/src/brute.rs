@@ -1,0 +1,100 @@
+//! Exponential reference matcher used to validate the blossom solver.
+//!
+//! A bitmask dynamic program over subsets: `best[mask]` is the cheapest
+//! perfect matching of the vertices in `mask`. O(2ⁿ·n) time — fine for
+//! the `n ≤ 16` instances the property tests throw at it, and simple
+//! enough to be obviously correct.
+
+/// Minimum-weight perfect matching by exhaustive DP.
+///
+/// Same contract as [`crate::blossom::minimum_weight_perfect_matching`]
+/// but returns only the optimal total weight. `None` when no perfect
+/// matching exists.
+///
+/// # Panics
+///
+/// Panics if `n > 20` (the DP table would not fit) or if a provided
+/// weight is negative.
+pub fn brute_force_min_weight<F>(n: usize, weight: F) -> Option<i64>
+where
+    F: Fn(usize, usize) -> Option<i64>,
+{
+    assert!(n <= 20, "brute force limited to n <= 20, got {n}");
+    if n % 2 == 1 {
+        return None;
+    }
+    if n == 0 {
+        return Some(0);
+    }
+    let full = 1usize << n;
+    let mut w = vec![None; n * n];
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if let Some(x) = weight(u, v) {
+                assert!(x >= 0, "negative weight {x} on edge ({u},{v})");
+                w[u * n + v] = Some(x);
+            }
+        }
+    }
+    let mut best = vec![None::<i64>; full];
+    best[0] = Some(0);
+    for mask in 1..full {
+        if (mask.count_ones() % 2) != 0 {
+            continue;
+        }
+        let u = mask.trailing_zeros() as usize;
+        let rest = mask & !(1 << u);
+        let mut acc: Option<i64> = None;
+        let mut vs = rest;
+        while vs != 0 {
+            let v = vs.trailing_zeros() as usize;
+            vs &= vs - 1;
+            if let (Some(edge), Some(prev)) = (w[u * n + v], best[rest & !(1 << v)]) {
+                let cand = edge + prev;
+                acc = Some(acc.map_or(cand, |a: i64| a.min(cand)));
+            }
+        }
+        best[mask] = acc;
+    }
+    best[full - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(brute_force_min_weight(0, |_, _| None), Some(0));
+    }
+
+    #[test]
+    fn odd_is_none() {
+        assert_eq!(brute_force_min_weight(5, |_, _| Some(1)), None);
+    }
+
+    #[test]
+    fn simple_square() {
+        let w = |u: usize, v: usize| -> Option<i64> {
+            match (u.min(v), u.max(v)) {
+                (0, 1) | (2, 3) => Some(1),
+                (0, 2) | (1, 3) => Some(10),
+                (0, 3) | (1, 2) => Some(10),
+                _ => None,
+            }
+        };
+        assert_eq!(brute_force_min_weight(4, w), Some(2));
+    }
+
+    #[test]
+    fn missing_edges_block_matching() {
+        // Only star edges from 0: vertices 1..3 cannot pair up.
+        let w = |u: usize, v: usize| (u == 0 || v == 0).then_some(1i64);
+        assert_eq!(brute_force_min_weight(4, w), None);
+    }
+
+    #[test]
+    fn complete_uniform_graph() {
+        assert_eq!(brute_force_min_weight(6, |_, _| Some(3)), Some(9));
+    }
+}

@@ -1,0 +1,146 @@
+#![allow(clippy::needless_range_loop)]
+
+//! Exhaustive randomized cross-validation of the blossom solver against
+//! the exponential reference matcher. This is the load-bearing test for
+//! the whole MWPM baseline: if these agree on thousands of random dense
+//! and sparse instances, the decoder's matchings are exact.
+
+use btwc_mwpm::blossom::minimum_weight_perfect_matching;
+use btwc_mwpm::brute::brute_force_min_weight;
+use btwc_noise::SimRng;
+
+fn random_instance(rng: &mut SimRng, n: usize, density: f64, w_max: i64) -> Vec<Vec<Option<i64>>> {
+    let mut w = vec![vec![None; n]; n];
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.uniform() < density {
+                let x = (rng.next_u64() % (w_max as u64 + 1)) as i64;
+                w[u][v] = Some(x);
+                w[v][u] = Some(x);
+            }
+        }
+    }
+    w
+}
+
+fn check(n: usize, w: &[Vec<Option<i64>>]) {
+    let blossom = minimum_weight_perfect_matching(n, |u, v| w[u][v]);
+    let brute = brute_force_min_weight(n, |u, v| w[u][v]);
+    match (blossom, brute) {
+        (None, None) => {}
+        (Some(m), Some(expected)) => {
+            assert_eq!(
+                m.total_weight(),
+                expected,
+                "blossom found {} but optimum is {expected} on {w:?}",
+                m.total_weight()
+            );
+            // And the matching must be structurally valid.
+            let mut seen = vec![false; n];
+            for &(u, v) in m.pairs() {
+                assert!(u < v && v < n);
+                assert!(w[u][v].is_some(), "matched a non-edge ({u},{v})");
+                assert!(!seen[u] && !seen[v], "vertex matched twice");
+                seen[u] = true;
+                seen[v] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "matching not perfect");
+        }
+        (b, r) => panic!(
+            "feasibility disagreement: blossom={:?} brute={:?} on {w:?}",
+            b.map(|m| m.total_weight()),
+            r
+        ),
+    }
+}
+
+#[test]
+fn dense_instances_match_brute_force() {
+    let mut rng = SimRng::from_seed(0xB10550);
+    for n in [2usize, 4, 6, 8, 10, 12] {
+        for _ in 0..300 {
+            let w = random_instance(&mut rng, n, 1.0, 30);
+            check(n, &w);
+        }
+    }
+}
+
+#[test]
+fn sparse_instances_match_brute_force() {
+    let mut rng = SimRng::from_seed(0x5EED5);
+    for n in [4usize, 6, 8, 10, 12] {
+        for _ in 0..300 {
+            let w = random_instance(&mut rng, n, 0.5, 30);
+            check(n, &w);
+        }
+    }
+}
+
+#[test]
+fn very_sparse_instances_often_infeasible() {
+    let mut rng = SimRng::from_seed(0xAFFE);
+    for n in [4usize, 6, 8, 10] {
+        for _ in 0..300 {
+            let w = random_instance(&mut rng, n, 0.25, 10);
+            check(n, &w);
+        }
+    }
+}
+
+#[test]
+fn tiny_weight_range_forces_tie_breaking() {
+    // Weights in {0, 1} create massive degeneracy — a good stress test
+    // for the dual bookkeeping.
+    let mut rng = SimRng::from_seed(0x7135);
+    for n in [6usize, 8, 10, 12, 14] {
+        for _ in 0..200 {
+            let w = random_instance(&mut rng, n, 0.8, 1);
+            check(n, &w);
+        }
+    }
+}
+
+#[test]
+fn metric_like_instances_match_brute_force() {
+    // Weights shaped like the decoder's: small integer distances on a
+    // line metric plus time offsets.
+    let mut rng = SimRng::from_seed(0xD15);
+    for n in [6usize, 8, 10, 12] {
+        for _ in 0..200 {
+            let pos: Vec<i64> = (0..n).map(|_| (rng.next_u64() % 12) as i64).collect();
+            let t: Vec<i64> = (0..n).map(|_| (rng.next_u64() % 6) as i64).collect();
+            let w: Vec<Vec<Option<i64>>> = (0..n)
+                .map(|u| {
+                    (0..n)
+                        .map(|v| {
+                            (u != v).then(|| (pos[u] - pos[v]).abs() + (t[u] - t[v]).abs())
+                        })
+                        .collect()
+                })
+                .collect();
+            check(n, &w);
+        }
+    }
+}
+
+#[test]
+fn larger_instances_are_feasible_and_valid() {
+    // No brute-force oracle here; validate structure and a weight upper
+    // bound (greedy matching) on bigger graphs to exercise O(n^3) paths.
+    let mut rng = SimRng::from_seed(0xB16);
+    for _ in 0..20 {
+        let n = 40;
+        let w = random_instance(&mut rng, n, 1.0, 100);
+        let m = minimum_weight_perfect_matching(n, |u, v| w[u][v]).expect("complete graph");
+        let mut seen = vec![false; n];
+        for &(u, v) in m.pairs() {
+            assert!(!seen[u] && !seen[v]);
+            seen[u] = true;
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Greedy pairing 0-1, 2-3, ... is an upper bound.
+        let greedy: i64 = (0..n).step_by(2).map(|u| w[u][u + 1].unwrap()).sum();
+        assert!(m.total_weight() <= greedy);
+    }
+}

@@ -1,0 +1,157 @@
+//! Geometric-skip sparse Bernoulli sampling.
+//!
+//! Drawing `n` independent Bernoulli(p) bits costs `n` RNG calls. When
+//! `p` is small (the paper's regime: 5e-4 … 5e-3 over ~1e2–1e3 sites),
+//! it is much cheaper to jump directly between successes: the gap between
+//! consecutive flipped sites is geometrically distributed, and one
+//! uniform draw yields one gap via inversion. This sampler is what makes
+//! the paper's "billion random cycles" benchmarking style feasible in a
+//! test suite.
+
+use crate::rng::SimRng;
+
+/// Iterator over the indices in `[0, n)` that a Bernoulli(p) process
+/// flips, produced with O(#flips) RNG draws.
+#[derive(Debug)]
+pub struct SparseFlips<'a> {
+    rng: &'a mut SimRng,
+    n: usize,
+    next: usize,
+    /// ln(1 - p); `None` means p == 0 (no flips ever).
+    log_q: Option<f64>,
+    /// p == 1 fast path.
+    always: bool,
+}
+
+impl<'a> SparseFlips<'a> {
+    /// Creates a sparse sampler over `n` sites with flip probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[must_use]
+    pub fn new(rng: &'a mut SimRng, n: usize, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of [0,1]");
+        let always = p >= 1.0;
+        let log_q = if p <= 0.0 || always { None } else { Some((1.0 - p).ln()) };
+        let mut s = Self { rng, n, next: 0, log_q, always };
+        if !always {
+            s.advance_from(0);
+        }
+        s
+    }
+
+    /// Positions `self.next` at the first success index `>= start`.
+    fn advance_from(&mut self, start: usize) {
+        match self.log_q {
+            None => self.next = self.n, // p == 0
+            Some(log_q) => {
+                // Geometric gap via inversion: floor(ln(U) / ln(1-p)).
+                let u = self.rng.uniform().max(f64::MIN_POSITIVE);
+                let gap = (u.ln() / log_q).floor();
+                // Saturate gracefully for enormous gaps.
+                if gap >= (self.n - start.min(self.n)) as f64 {
+                    self.next = self.n;
+                } else {
+                    self.next = start + gap as usize;
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for SparseFlips<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.always {
+            if self.next < self.n {
+                let i = self.next;
+                self.next += 1;
+                return Some(i);
+            }
+            return None;
+        }
+        if self.next >= self.n {
+            return None;
+        }
+        let i = self.next;
+        self.advance_from(i + 1);
+        Some(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p_zero_yields_nothing() {
+        let mut rng = SimRng::from_seed(1);
+        assert_eq!(SparseFlips::new(&mut rng, 1000, 0.0).count(), 0);
+    }
+
+    #[test]
+    fn p_one_yields_everything() {
+        let mut rng = SimRng::from_seed(1);
+        let flips: Vec<usize> = SparseFlips::new(&mut rng, 10, 1.0).collect();
+        assert_eq!(flips, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn indices_are_strictly_increasing_and_in_range() {
+        let mut rng = SimRng::from_seed(5);
+        for _ in 0..100 {
+            let flips: Vec<usize> = SparseFlips::new(&mut rng, 500, 0.05).collect();
+            for w in flips.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+            for &i in &flips {
+                assert!(i < 500);
+            }
+        }
+    }
+
+    #[test]
+    fn mean_flip_count_matches_np() {
+        let mut rng = SimRng::from_seed(8);
+        let (n, p, trials) = (200usize, 0.01f64, 20_000usize);
+        let total: usize = (0..trials)
+            .map(|_| SparseFlips::new(&mut rng, n, p).count())
+            .sum();
+        let mean = total as f64 / trials as f64;
+        let expect = n as f64 * p;
+        assert!(
+            (mean - expect).abs() < 0.1 * expect,
+            "mean {mean}, expected {expect}"
+        );
+    }
+
+    #[test]
+    fn per_site_marginal_is_uniform() {
+        // Each site must be flipped with (approximately) equal frequency —
+        // a common bug in skip samplers is biasing early indices.
+        let mut rng = SimRng::from_seed(13);
+        let (n, p, trials) = (50usize, 0.04f64, 50_000usize);
+        let mut hits = vec![0usize; n];
+        for _ in 0..trials {
+            for i in SparseFlips::new(&mut rng, n, p) {
+                hits[i] += 1;
+            }
+        }
+        let expect = trials as f64 * p;
+        for (i, &h) in hits.iter().enumerate() {
+            assert!(
+                (h as f64 - expect).abs() < 0.25 * expect,
+                "site {i}: {h} hits vs expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn rejects_bad_probability() {
+        let mut rng = SimRng::from_seed(0);
+        let _ = SparseFlips::new(&mut rng, 10, -0.1);
+    }
+}

@@ -1,0 +1,37 @@
+//! Property-based tests of the sparse sampler and RNG invariants.
+
+use btwc_noise::{SimRng, SparseFlips};
+use proptest::prelude::*;
+
+proptest! {
+    /// Flip indices are strictly increasing and in range for any (n, p).
+    #[test]
+    fn flips_are_sorted_unique_in_range(
+        n in 0usize..300,
+        p in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SimRng::from_seed(seed);
+        let flips: Vec<usize> = SparseFlips::new(&mut rng, n, p).collect();
+        for w in flips.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        for &i in &flips {
+            prop_assert!(i < n);
+        }
+        if p >= 1.0 {
+            prop_assert_eq!(flips.len(), n);
+        }
+    }
+
+    /// Forked streams are reproducible functions of (seed, stream).
+    #[test]
+    fn forks_are_reproducible(seed in any::<u64>(), stream in any::<u64>()) {
+        let root = SimRng::from_seed(seed);
+        let mut a = root.fork(stream);
+        let mut b = root.fork(stream);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! The ERSFQ cell library (paper Table 1).
+
+/// Gate types available in the ERSFQ standard-cell library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CellKind {
+    /// Two-input XOR.
+    Xor2,
+    /// Two-input AND.
+    And2,
+    /// Two-input OR.
+    Or2,
+    /// Inverter.
+    Not,
+    /// D flip-flop (also used as the path-balancing register).
+    Dff,
+    /// Pulse splitter: one input, two outputs (SFQ nets are point to
+    /// point, so all fanout is built from these).
+    Split,
+}
+
+impl CellKind {
+    /// All cell kinds, in Table 1 order.
+    #[must_use]
+    pub fn all() -> [CellKind; 6] {
+        [
+            CellKind::Xor2,
+            CellKind::And2,
+            CellKind::Or2,
+            CellKind::Not,
+            CellKind::Dff,
+            CellKind::Split,
+        ]
+    }
+
+    /// Number of logic inputs this cell consumes.
+    #[must_use]
+    pub fn num_inputs(self) -> usize {
+        match self {
+            CellKind::Xor2 | CellKind::And2 | CellKind::Or2 => 2,
+            CellKind::Not | CellKind::Dff | CellKind::Split => 1,
+        }
+    }
+
+    /// Number of outputs this cell produces.
+    #[must_use]
+    pub fn num_outputs(self) -> usize {
+        match self {
+            CellKind::Split => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// Physical characteristics of one cell (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellSpec {
+    /// Propagation delay in picoseconds.
+    pub delay_ps: f64,
+    /// Cell area in square micrometers.
+    pub area_um2: f64,
+    /// Josephson junction count.
+    pub jj_count: u32,
+}
+
+/// The ERSFQ cell library used for decoder synthesis — the exact values
+/// of the paper's Table 1.
+#[must_use]
+pub fn cell_library(kind: CellKind) -> CellSpec {
+    match kind {
+        CellKind::Xor2 => CellSpec { delay_ps: 6.2, area_um2: 7000.0, jj_count: 18 },
+        CellKind::And2 => CellSpec { delay_ps: 8.2, area_um2: 7000.0, jj_count: 16 },
+        CellKind::Or2 => CellSpec { delay_ps: 5.4, area_um2: 7000.0, jj_count: 14 },
+        CellKind::Not => CellSpec { delay_ps: 12.8, area_um2: 7000.0, jj_count: 12 },
+        CellKind::Dff => CellSpec { delay_ps: 8.6, area_um2: 5600.0, jj_count: 10 },
+        CellKind::Split => CellSpec { delay_ps: 7.0, area_um2: 3500.0, jj_count: 4 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values_match_paper() {
+        assert_eq!(cell_library(CellKind::Xor2).jj_count, 18);
+        assert_eq!(cell_library(CellKind::And2).jj_count, 16);
+        assert_eq!(cell_library(CellKind::Or2).jj_count, 14);
+        assert_eq!(cell_library(CellKind::Not).jj_count, 12);
+        assert_eq!(cell_library(CellKind::Dff).jj_count, 10);
+        assert_eq!(cell_library(CellKind::Split).jj_count, 4);
+        assert!((cell_library(CellKind::Xor2).delay_ps - 6.2).abs() < 1e-9);
+        assert!((cell_library(CellKind::Split).area_um2 - 3500.0).abs() < 1e-9);
+        assert!((cell_library(CellKind::Dff).area_um2 - 5600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arity_is_consistent() {
+        for kind in CellKind::all() {
+            assert!(kind.num_inputs() >= 1);
+            assert!(kind.num_outputs() >= 1);
+        }
+        assert_eq!(CellKind::Split.num_outputs(), 2);
+        assert_eq!(CellKind::Xor2.num_inputs(), 2);
+        assert_eq!(CellKind::Not.num_inputs(), 1);
+    }
+}

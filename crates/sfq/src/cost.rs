@@ -1,0 +1,162 @@
+//! Power / area / latency reporting (paper Fig. 15) and the NISQ+
+//! comparison anchors (Sec. 7.4).
+
+use crate::netlist::Netlist;
+
+/// Converts netlist statistics into the physical quantities of Fig. 15.
+///
+/// Latency and area follow directly from the Table 1 cell library. The
+/// ERSFQ power model is `P = N_JJ · p_jj`, with `p_jj` the effective
+/// per-junction power (bias-network plus switching) **calibrated** so the
+/// d = 3…21 sweep lands in the paper's reported 10–500 µW envelope; the
+/// calibration is recorded in EXPERIMENTS.md. The routed-area factor
+/// similarly accounts for wiring/bias overhead on top of raw cell area.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Effective power per Josephson junction, in µW.
+    pub uw_per_jj: f64,
+    /// Multiplier from summed cell area to routed chip area.
+    pub routing_factor: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        // Calibration: a d=9 Clique netlist has ~25k JJs and the paper
+        // places it near 10^2 µW; 0.004 µW/JJ puts d=3 at ~10 µW and
+        // d=21 inside the quoted 500 µW budget.
+        Self { uw_per_jj: 0.004, routing_factor: 1.5 }
+    }
+}
+
+/// The Fig. 15 quantities for one synthesized decoder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostReport {
+    /// Total Josephson junctions.
+    pub jj_count: u64,
+    /// Gate count (cells of all kinds).
+    pub gate_count: usize,
+    /// Estimated power per logical qubit, µW.
+    pub power_uw: f64,
+    /// Routed area per logical qubit, mm².
+    pub area_mm2: f64,
+    /// Input-to-output pulse latency, ns.
+    pub latency_ns: f64,
+}
+
+impl CostModel {
+    /// Produces the cost report for a synthesized netlist.
+    #[must_use]
+    pub fn report(&self, netlist: &Netlist) -> CostReport {
+        let jj_count = netlist.jj_count();
+        CostReport {
+            jj_count,
+            gate_count: netlist.num_gates(),
+            power_uw: jj_count as f64 * self.uw_per_jj,
+            area_mm2: netlist.area_um2() * self.routing_factor / 1e6,
+            latency_ns: netlist.critical_path_ps() / 1e3,
+        }
+    }
+}
+
+/// Published NISQ+ costs relative to Clique at the paper's comparison
+/// point (code distance 9, Sec. 7.4). The paper compares against
+/// NISQ+'s published numbers rather than re-implementing it; we encode
+/// the same anchors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NisqPlusAnchor {
+    /// NISQ+ power / Clique power at d = 9.
+    pub power_ratio: f64,
+    /// NISQ+ area / Clique area at d = 9.
+    pub area_ratio: f64,
+    /// NISQ+ average latency / Clique latency at d = 9.
+    pub latency_ratio: f64,
+    /// Extra multiplicative latency factor in NISQ+'s worst-case decode.
+    pub worst_case_latency_factor: f64,
+}
+
+/// The Sec. 7.4 anchors: 37× power, 25× area, 15× average latency, and
+/// an additional 6× in the worst case.
+#[must_use]
+pub fn nisq_plus_anchor() -> NisqPlusAnchor {
+    NisqPlusAnchor {
+        power_ratio: 37.0,
+        area_ratio: 25.0,
+        latency_ratio: 15.0,
+        worst_case_latency_factor: 6.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::synthesize_clique;
+    use btwc_lattice::{StabilizerType, SurfaceCode};
+
+    #[test]
+    fn d9_power_is_near_paper_envelope() {
+        let synth = synthesize_clique(&SurfaceCode::new(9), StabilizerType::X, 2);
+        let report = CostModel::default().report(synth.netlist());
+        assert!(
+            (20.0..300.0).contains(&report.power_uw),
+            "d=9 power {} µW out of plausible envelope",
+            report.power_uw
+        );
+    }
+
+    #[test]
+    fn power_sweep_spans_the_papers_range() {
+        // Paper: 10 µW (d=3) to 500 µW (d=21).
+        let model = CostModel::default();
+        let p3 = model
+            .report(synthesize_clique(&SurfaceCode::new(3), StabilizerType::X, 2).netlist())
+            .power_uw;
+        let p21 = model
+            .report(synthesize_clique(&SurfaceCode::new(21), StabilizerType::X, 2).netlist())
+            .power_uw;
+        assert!(p3 < 30.0, "d=3 power {p3} µW");
+        assert!(p21 > p3 * 10.0, "power must grow strongly with distance");
+        assert!(p21 < 2000.0, "d=21 power {p21} µW");
+    }
+
+    #[test]
+    fn latency_is_sub_nanosecond_and_stable() {
+        // Paper: 0.1–0.3 ns, nearly flat across scenarios.
+        let model = CostModel::default();
+        for d in [3u16, 9, 15, 21] {
+            let r = model
+                .report(synthesize_clique(&SurfaceCode::new(d), StabilizerType::X, 2).netlist());
+            assert!(
+                (0.02..0.6).contains(&r.latency_ns),
+                "d={d} latency {} ns",
+                r.latency_ns
+            );
+        }
+    }
+
+    #[test]
+    fn area_stays_under_paper_budget() {
+        // Paper: under 100 mm² per logical qubit at d=21.
+        let r = CostModel::default()
+            .report(synthesize_clique(&SurfaceCode::new(21), StabilizerType::X, 2).netlist());
+        assert!(r.area_mm2 < 100.0, "d=21 area {} mm²", r.area_mm2);
+        assert!(r.area_mm2 > 0.0);
+    }
+
+    #[test]
+    fn refrigerator_budget_supports_thousands_of_qubits() {
+        // Paper: ~1 W at 4 K supports ≈2000 logical qubits at d=21.
+        let r = CostModel::default()
+            .report(synthesize_clique(&SurfaceCode::new(21), StabilizerType::X, 2).netlist());
+        let qubits = 1e6 / r.power_uw; // 1 W in µW
+        assert!(qubits > 500.0, "only {qubits} qubits fit the 1 W budget");
+    }
+
+    #[test]
+    fn anchors_match_section_7_4() {
+        let a = nisq_plus_anchor();
+        assert_eq!(a.power_ratio, 37.0);
+        assert_eq!(a.area_ratio, 25.0);
+        assert_eq!(a.latency_ratio, 15.0);
+        assert_eq!(a.worst_case_latency_factor, 6.0);
+    }
+}

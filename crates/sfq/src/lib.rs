@@ -1,0 +1,49 @@
+//! ERSFQ hardware model of the Clique decoder.
+//!
+//! The paper implements Clique in Single Flux Quantum logic for the 4 K
+//! cryogenic stage (Sec. 6.2). This crate reproduces that flow end to
+//! end, in software:
+//!
+//! * [`CellKind`]/[`CellSpec`] — the ERSFQ cell library of Table 1
+//!   (delay, area, Josephson-junction count per gate);
+//! * [`Netlist`] — a gate-level IR with a cycle-accurate simulator
+//!   (every SFQ gate is pulse-clocked, so the netlist is effectively
+//!   fully pipelined);
+//! * synthesis passes — [`Netlist::insert_splitters`] (SFQ nets drive
+//!   exactly one sink; fanout needs explicit splitter trees) and
+//!   [`Netlist::balance_paths`] (SFQ requires every input of every gate
+//!   to arrive on the same wave, so shorter paths get DFF chains);
+//! * [`synthesize_clique`] — the Clique decision + correction logic of
+//!   paper Figs. 5–7 compiled to gates, with the `k`-round sticky filter;
+//! * [`CostReport`] — JJ count, area, power and latency (the Fig. 15
+//!   quantities), with the NISQ+ comparison anchors from Sec. 7.4.
+//!
+//! The synthesized netlist is *property-tested for functional
+//! equivalence* against the behavioral `btwc_clique::CliqueDecoder`:
+//! the hardware and the simulator cannot drift apart.
+//!
+//! # Example
+//!
+//! ```
+//! use btwc_lattice::{StabilizerType, SurfaceCode};
+//! use btwc_sfq::{synthesize_clique, CostModel};
+//!
+//! let code = SurfaceCode::new(5);
+//! let synth = synthesize_clique(&code, StabilizerType::X, 2);
+//! let report = CostModel::default().report(synth.netlist());
+//! assert!(report.jj_count > 0);
+//! assert!(report.latency_ns > 0.0 && report.latency_ns < 1.0);
+//! ```
+
+mod cells;
+mod cost;
+mod netlist;
+mod passes;
+mod synth;
+mod verilog;
+
+pub use cells::{cell_library, CellKind, CellSpec};
+pub use cost::{nisq_plus_anchor, CostModel, CostReport, NisqPlusAnchor};
+pub use netlist::{Gate, NetId, Netlist, NetlistState};
+pub use synth::{synthesize_clique, CliqueSynthesis};
+pub use verilog::to_verilog;

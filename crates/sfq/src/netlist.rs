@@ -1,0 +1,556 @@
+//! Gate-level netlist IR with a cycle-accurate pulse simulator.
+
+use std::collections::VecDeque;
+
+use crate::cells::{cell_library, CellKind};
+
+/// Identifier of a net (a point-to-point pulse wire).
+pub type NetId = usize;
+
+/// One standard cell instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gate {
+    kind: CellKind,
+    inputs: [NetId; 2],
+    outputs: [NetId; 2],
+}
+
+impl Gate {
+    pub(crate) fn from_parts(kind: CellKind, inputs: [NetId; 2], outputs: [NetId; 2]) -> Self {
+        Self { kind, inputs, outputs }
+    }
+
+    /// Cell type.
+    #[must_use]
+    pub fn kind(&self) -> CellKind {
+        self.kind
+    }
+
+    /// Input nets (length = `kind().num_inputs()`).
+    #[must_use]
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs[..self.kind.num_inputs()]
+    }
+
+    /// Output nets (length = `kind().num_outputs()`).
+    #[must_use]
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs[..self.kind.num_outputs()]
+    }
+}
+
+/// A feed-forward SFQ netlist.
+///
+/// Invariants maintained by construction: every net has exactly one
+/// driver (a primary input or one gate output) and the gate graph is a
+/// DAG. The SFQ-specific single-sink and equal-arrival invariants are
+/// established by the [`Netlist::insert_splitters`] and
+/// [`Netlist::balance_paths`] passes (see `passes.rs`).
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    num_nets: usize,
+    gates: Vec<Gate>,
+    primary_inputs: Vec<NetId>,
+    primary_outputs: Vec<NetId>,
+}
+
+impl Netlist {
+    /// An empty netlist.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn new_net(&mut self) -> NetId {
+        let id = self.num_nets;
+        self.num_nets += 1;
+        id
+    }
+
+    /// Declares a primary input and returns its net.
+    pub fn add_input(&mut self) -> NetId {
+        let n = self.new_net();
+        self.primary_inputs.push(n);
+        n
+    }
+
+    /// Adds a two-input gate; returns the output net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is not a two-input cell or a net is out of range.
+    pub fn add_gate2(&mut self, kind: CellKind, a: NetId, b: NetId) -> NetId {
+        assert_eq!(kind.num_inputs(), 2, "{kind:?} is not a 2-input cell");
+        assert!(a < self.num_nets && b < self.num_nets, "input net out of range");
+        let out = self.new_net();
+        self.gates.push(Gate { kind, inputs: [a, b], outputs: [out, usize::MAX] });
+        out
+    }
+
+    /// Adds a one-input gate (NOT or DFF); returns the output net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is not a one-input, one-output cell.
+    pub fn add_gate1(&mut self, kind: CellKind, a: NetId) -> NetId {
+        assert_eq!(kind.num_inputs(), 1, "{kind:?} is not a 1-input cell");
+        assert_eq!(kind.num_outputs(), 1, "{kind:?} is not single-output");
+        assert!(a < self.num_nets, "input net out of range");
+        let out = self.new_net();
+        self.gates.push(Gate { kind, inputs: [a, usize::MAX], outputs: [out, usize::MAX] });
+        out
+    }
+
+    /// Adds a splitter; returns its two output nets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input net is out of range.
+    pub fn add_split(&mut self, a: NetId) -> (NetId, NetId) {
+        assert!(a < self.num_nets, "input net out of range");
+        let o1 = self.new_net();
+        let o2 = self.new_net();
+        self.gates
+            .push(Gate { kind: CellKind::Split, inputs: [a, usize::MAX], outputs: [o1, o2] });
+        (o1, o2)
+    }
+
+    /// Marks a net as a primary output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net is out of range.
+    pub fn mark_output(&mut self, net: NetId) {
+        assert!(net < self.num_nets, "output net out of range");
+        self.primary_outputs.push(net);
+    }
+
+    /// All gates, in insertion order.
+    #[must_use]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Mutable access for the rewrite passes in this crate.
+    pub(crate) fn gates_mut(&mut self) -> &mut Vec<Gate> {
+        &mut self.gates
+    }
+
+    /// Primary input nets in declaration order.
+    #[must_use]
+    pub fn primary_inputs(&self) -> &[NetId] {
+        &self.primary_inputs
+    }
+
+    /// Primary output nets in declaration order.
+    #[must_use]
+    pub fn primary_outputs(&self) -> &[NetId] {
+        &self.primary_outputs
+    }
+
+    pub(crate) fn primary_outputs_mut(&mut self) -> &mut Vec<NetId> {
+        &mut self.primary_outputs
+    }
+
+    /// Total number of nets.
+    #[must_use]
+    pub fn num_nets(&self) -> usize {
+        self.num_nets
+    }
+
+    /// Total number of gates.
+    #[must_use]
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of gates of a given kind.
+    #[must_use]
+    pub fn count(&self, kind: CellKind) -> usize {
+        self.gates.iter().filter(|g| g.kind == kind).count()
+    }
+
+    /// Total Josephson junction count (the paper's primary hardware
+    /// cost metric).
+    #[must_use]
+    pub fn jj_count(&self) -> u64 {
+        self.gates
+            .iter()
+            .map(|g| u64::from(cell_library(g.kind).jj_count))
+            .sum()
+    }
+
+    /// Total standard-cell area in µm².
+    #[must_use]
+    pub fn area_um2(&self) -> f64 {
+        self.gates.iter().map(|g| cell_library(g.kind).area_um2).sum()
+    }
+
+    /// Longest input→output path delay in picoseconds, summing Table 1
+    /// cell delays (the SFQ pulse wave latency through the whole
+    /// pipeline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist is not a DAG.
+    #[must_use]
+    pub fn critical_path_ps(&self) -> f64 {
+        let order = self.topo_gates(false);
+        let mut arrival = vec![0.0f64; self.num_nets];
+        for &gi in &order {
+            let g = &self.gates[gi];
+            let t_in = g
+                .inputs()
+                .iter()
+                .map(|&n| arrival[n])
+                .fold(0.0f64, f64::max);
+            let t_out = t_in + cell_library(g.kind).delay_ps;
+            for &o in g.outputs() {
+                arrival[o] = t_out;
+            }
+        }
+        arrival.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Stage depth of every net: primary inputs at 0, each gate adds one
+    /// stage (SFQ gates are all pulse-clocked).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist is not a DAG.
+    #[must_use]
+    pub fn net_depths(&self) -> Vec<usize> {
+        self.net_depths_after(0)
+    }
+
+    /// Stage depths where the first `first_gate` gates are treated as
+    /// depth-0 sources (the frozen prefix of
+    /// [`Netlist::balance_paths_after`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist is not a DAG.
+    #[must_use]
+    pub fn net_depths_after(&self, first_gate: usize) -> Vec<usize> {
+        let order = self.topo_gates(false);
+        let mut depth = vec![0usize; self.num_nets];
+        for &gi in &order {
+            let g = &self.gates[gi];
+            if gi < first_gate {
+                continue; // outputs stay at depth 0
+            }
+            let d_in = g.inputs().iter().map(|&n| depth[n]).max().unwrap_or(0);
+            for &o in g.outputs() {
+                depth[o] = d_in + 1;
+            }
+        }
+        depth
+    }
+
+    /// Topological order over gate indices. With `cut_dff` the DFF input
+    /// edges are ignored (registers break the dependency), which is the
+    /// order the cycle simulator uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the (possibly DFF-cut) graph has a cycle.
+    #[must_use]
+    pub fn topo_gates(&self, cut_dff: bool) -> Vec<usize> {
+        // driver[net] = gate index producing it (primary inputs have none).
+        let mut driver = vec![usize::MAX; self.num_nets];
+        for (gi, g) in self.gates.iter().enumerate() {
+            for &o in g.outputs() {
+                driver[o] = gi;
+            }
+        }
+        let mut indegree = vec![0usize; self.gates.len()];
+        let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); self.gates.len()];
+        for (gi, g) in self.gates.iter().enumerate() {
+            for &i in g.inputs() {
+                let d = driver[i];
+                if d != usize::MAX && !(cut_dff && self.gates[d].kind == CellKind::Dff) {
+                    indegree[gi] += 1;
+                    consumers[d].push(gi);
+                }
+            }
+        }
+        let mut queue: VecDeque<usize> = (0..self.gates.len())
+            .filter(|&gi| indegree[gi] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(self.gates.len());
+        while let Some(gi) = queue.pop_front() {
+            order.push(gi);
+            for &c in &consumers[gi] {
+                indegree[c] -= 1;
+                if indegree[c] == 0 {
+                    queue.push_back(c);
+                }
+            }
+        }
+        assert_eq!(order.len(), self.gates.len(), "netlist contains a cycle");
+        order
+    }
+
+    /// Checks the SFQ single-sink invariant: every net drives at most
+    /// one gate input or primary output. Established by
+    /// [`Netlist::insert_splitters`].
+    #[must_use]
+    pub fn is_single_fanout(&self) -> bool {
+        let mut sinks = vec![0usize; self.num_nets];
+        for g in &self.gates {
+            for &i in g.inputs() {
+                sinks[i] += 1;
+            }
+        }
+        for &o in &self.primary_outputs {
+            sinks[o] += 1;
+        }
+        sinks.iter().all(|&s| s <= 1)
+    }
+
+    /// Checks the SFQ path-balance invariant: all inputs of every gate
+    /// have equal stage depth, and all primary outputs share one depth.
+    /// Established by [`Netlist::balance_paths`].
+    #[must_use]
+    pub fn is_path_balanced(&self) -> bool {
+        self.is_path_balanced_after(0)
+    }
+
+    /// Path-balance check ignoring the frozen prefix (see
+    /// [`Netlist::balance_paths_after`]).
+    #[must_use]
+    pub fn is_path_balanced_after(&self, first_gate: usize) -> bool {
+        let depth = self.net_depths_after(first_gate);
+        for (gi, g) in self.gates.iter().enumerate() {
+            if gi < first_gate {
+                continue;
+            }
+            let ins = g.inputs();
+            if ins.len() == 2 && depth[ins[0]] != depth[ins[1]] {
+                return false;
+            }
+        }
+        let mut po = self.primary_outputs.iter().map(|&n| depth[n]);
+        if let Some(first) = po.next() {
+            if po.any(|d| d != first) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Cycle-accurate simulation state: one wave of pulses per
+/// [`NetlistState::step`], with DFFs holding their value across cycles.
+#[derive(Debug, Clone)]
+pub struct NetlistState {
+    values: Vec<bool>,
+    /// One state bit per gate (only DFF entries are used).
+    dff: Vec<bool>,
+    order: Vec<usize>,
+}
+
+impl NetlistState {
+    /// Fresh all-zero state for `netlist`.
+    #[must_use]
+    pub fn new(netlist: &Netlist) -> Self {
+        Self {
+            values: vec![false; netlist.num_nets()],
+            dff: vec![false; netlist.num_gates()],
+            order: netlist.topo_gates(true),
+        }
+    }
+
+    /// Advances one cycle: drives the primary inputs, propagates the
+    /// wave, updates the DFFs, and returns the primary output values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the number of primary
+    /// inputs.
+    pub fn step(&mut self, netlist: &Netlist, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(
+            inputs.len(),
+            netlist.primary_inputs().len(),
+            "primary input width mismatch"
+        );
+        for (&net, &v) in netlist.primary_inputs().iter().zip(inputs) {
+            self.values[net] = v;
+        }
+        // DFF outputs present their stored state at the start of the wave.
+        for (gi, g) in netlist.gates().iter().enumerate() {
+            if g.kind() == CellKind::Dff {
+                self.values[g.outputs()[0]] = self.dff[gi];
+            }
+        }
+        for &gi in &self.order {
+            let g = &netlist.gates()[gi];
+            match g.kind() {
+                CellKind::Dff => {} // handled above / below
+                CellKind::Xor2 => {
+                    let v = self.values[g.inputs()[0]] ^ self.values[g.inputs()[1]];
+                    self.values[g.outputs()[0]] = v;
+                }
+                CellKind::And2 => {
+                    let v = self.values[g.inputs()[0]] & self.values[g.inputs()[1]];
+                    self.values[g.outputs()[0]] = v;
+                }
+                CellKind::Or2 => {
+                    let v = self.values[g.inputs()[0]] | self.values[g.inputs()[1]];
+                    self.values[g.outputs()[0]] = v;
+                }
+                CellKind::Not => {
+                    self.values[g.outputs()[0]] = !self.values[g.inputs()[0]];
+                }
+                CellKind::Split => {
+                    let v = self.values[g.inputs()[0]];
+                    self.values[g.outputs()[0]] = v;
+                    self.values[g.outputs()[1]] = v;
+                }
+            }
+        }
+        // Capture DFF inputs for the next cycle.
+        for (gi, g) in netlist.gates().iter().enumerate() {
+            if g.kind() == CellKind::Dff {
+                self.dff[gi] = self.values[g.inputs()[0]];
+            }
+        }
+        netlist
+            .primary_outputs()
+            .iter()
+            .map(|&n| self.values[n])
+            .collect()
+    }
+
+    /// Holds `inputs` constant for `cycles` steps and returns the final
+    /// outputs — used to read the settled value of a pipelined netlist.
+    pub fn settle(&mut self, netlist: &Netlist, inputs: &[bool], cycles: usize) -> Vec<bool> {
+        let mut out = Vec::new();
+        for _ in 0..cycles.max(1) {
+            out = self.step(netlist, inputs);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_and_gate_evaluation() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let x = nl.add_gate2(CellKind::Xor2, a, b);
+        let y = nl.add_gate2(CellKind::And2, a, b);
+        nl.mark_output(x);
+        nl.mark_output(y);
+        let mut st = NetlistState::new(&nl);
+        assert_eq!(st.step(&nl, &[true, false]), vec![true, false]);
+        assert_eq!(st.step(&nl, &[true, true]), vec![false, true]);
+        assert_eq!(st.step(&nl, &[false, false]), vec![false, false]);
+    }
+
+    #[test]
+    fn not_and_or_evaluation() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let na = nl.add_gate1(CellKind::Not, a);
+        let o = nl.add_gate2(CellKind::Or2, na, b);
+        nl.mark_output(o);
+        let mut st = NetlistState::new(&nl);
+        assert_eq!(st.step(&nl, &[false, false]), vec![true]);
+        assert_eq!(st.step(&nl, &[true, false]), vec![false]);
+        assert_eq!(st.step(&nl, &[true, true]), vec![true]);
+    }
+
+    #[test]
+    fn dff_delays_by_one_cycle() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let d = nl.add_gate1(CellKind::Dff, a);
+        nl.mark_output(d);
+        let mut st = NetlistState::new(&nl);
+        assert_eq!(st.step(&nl, &[true]), vec![false], "state starts at 0");
+        assert_eq!(st.step(&nl, &[false]), vec![true], "sees last cycle's input");
+        assert_eq!(st.step(&nl, &[false]), vec![false]);
+    }
+
+    #[test]
+    fn dff_chain_implements_two_round_and() {
+        // filtered = a AND delayed(a): the paper's Fig. 7 sticky filter.
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let (a1, a2) = nl.add_split(a);
+        let d = nl.add_gate1(CellKind::Dff, a1);
+        let f = nl.add_gate2(CellKind::And2, a2, d);
+        nl.mark_output(f);
+        let mut st = NetlistState::new(&nl);
+        assert_eq!(st.step(&nl, &[true]), vec![false], "first lit round filtered");
+        assert_eq!(st.step(&nl, &[true]), vec![true], "second lit round accepted");
+        assert_eq!(st.step(&nl, &[false]), vec![false]);
+    }
+
+    #[test]
+    fn split_duplicates_pulse() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let (o1, o2) = nl.add_split(a);
+        nl.mark_output(o1);
+        nl.mark_output(o2);
+        let mut st = NetlistState::new(&nl);
+        assert_eq!(st.step(&nl, &[true]), vec![true, true]);
+    }
+
+    #[test]
+    fn jj_and_area_accounting() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let x = nl.add_gate2(CellKind::Xor2, a, b);
+        let n = nl.add_gate1(CellKind::Not, x);
+        nl.mark_output(n);
+        assert_eq!(nl.jj_count(), 18 + 12);
+        assert!((nl.area_um2() - 14_000.0).abs() < 1e-9);
+        assert_eq!(nl.count(CellKind::Xor2), 1);
+        assert_eq!(nl.num_gates(), 2);
+    }
+
+    #[test]
+    fn critical_path_sums_delays() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let x = nl.add_gate2(CellKind::Xor2, a, b); // 6.2
+        let n = nl.add_gate1(CellKind::Not, x); // 12.8
+        let o = nl.add_gate2(CellKind::And2, n, b); // 8.2
+        nl.mark_output(o);
+        assert!((nl.critical_path_ps() - (6.2 + 12.8 + 8.2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fanout_invariant_detects_shared_net() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let _x = nl.add_gate2(CellKind::Xor2, a, b);
+        let _y = nl.add_gate2(CellKind::And2, a, b); // a and b reused!
+        assert!(!nl.is_single_fanout());
+    }
+
+    #[test]
+    fn depth_and_balance_checks() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let x = nl.add_gate2(CellKind::Xor2, a, b); // depth 1
+        let o = nl.add_gate2(CellKind::And2, x, b); // inputs at depth 1 and 0
+        nl.mark_output(o);
+        assert!(!nl.is_path_balanced());
+        let depths = nl.net_depths();
+        assert_eq!(depths[x], 1);
+        assert_eq!(depths[o], 2);
+    }
+}

@@ -1,0 +1,252 @@
+//! SFQ-specific netlist rewrite passes: splitter insertion and full
+//! path balancing (the constraints SFQMap enforces, Sec. 6.2).
+
+use crate::cells::CellKind;
+use crate::netlist::{Gate, NetId, Netlist};
+
+impl Netlist {
+    /// Rewrites the netlist so every net drives exactly one sink,
+    /// materializing fanout as binary [`CellKind::Split`] trees. SFQ
+    /// pulses are consumed by the gate they arrive at, so electrical
+    /// fanout does not exist; splitter junction cost is real cost.
+    ///
+    /// Idempotent: running twice inserts nothing new.
+    pub fn insert_splitters(&mut self) {
+        // Collect sink slots per net: (gate index, input slot) plus
+        // primary-output positions encoded as gate index usize::MAX.
+        loop {
+            let mut sinks: Vec<Vec<(usize, usize)>> = vec![Vec::new(); self.num_nets()];
+            for (gi, g) in self.gates().iter().enumerate() {
+                for (slot, &i) in g.inputs().iter().enumerate() {
+                    sinks[i].push((gi, slot));
+                }
+            }
+            for (pi, &o) in self.primary_outputs().iter().enumerate() {
+                sinks[o].push((usize::MAX, pi));
+            }
+            let Some(net) = (0..self.num_nets()).find(|&n| sinks[n].len() > 1) else {
+                return;
+            };
+            // Build a splitter tree with enough leaves for all sinks.
+            let consumers = sinks[net].clone();
+            let mut leaves = vec![net];
+            while leaves.len() < consumers.len() {
+                let src = leaves.remove(0);
+                let (a, b) = self.add_split(src);
+                leaves.push(a);
+                leaves.push(b);
+            }
+            for ((gi, slot), leaf) in consumers.into_iter().zip(leaves) {
+                if gi == usize::MAX {
+                    self.primary_outputs_mut()[slot] = leaf;
+                } else {
+                    rewire_input(&mut self.gates_mut()[gi], slot, leaf);
+                }
+            }
+        }
+    }
+
+    /// Inserts DFF chains so that both inputs of every two-input gate
+    /// arrive at the same stage depth, and all primary outputs share one
+    /// depth — the full path balancing SFQ logic requires.
+    ///
+    /// Run after [`Netlist::insert_splitters`]; panics if a net still
+    /// has multiple sinks (a DFF inserted into a shared net would
+    /// corrupt the other consumers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the single-fanout invariant does not hold.
+    pub fn balance_paths(&mut self) {
+        self.balance_paths_after(0);
+    }
+
+    /// Like [`Netlist::balance_paths`] but leaves the first
+    /// `first_gate` gates untouched and treats their outputs as depth-0
+    /// sources. This is how intentionally skewed temporal structures —
+    /// the Fig. 7 sticky filter compares a signal against its own
+    /// delayed copy — are excluded from balancing while the downstream
+    /// decision cone is fully balanced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the single-fanout invariant does not hold.
+    pub fn balance_paths_after(&mut self, first_gate: usize) {
+        assert!(
+            self.is_single_fanout(),
+            "balance_paths requires single fanout; run insert_splitters first"
+        );
+        // Process gates in topological order, computing depths and
+        // padding shallow inputs.
+        let order = self.topo_gates(false);
+        let mut depth = vec![0usize; self.num_nets()];
+        for gi in order {
+            if gi < first_gate {
+                // Frozen prefix: outputs are depth-0 sources.
+                continue;
+            }
+            let g = self.gates()[gi];
+            if g.kind().num_inputs() == 2 {
+                let (a, b) = (g.inputs()[0], g.inputs()[1]);
+                let (da, db) = (depth[a], depth[b]);
+                if da != db {
+                    let (shallow_slot, shallow_net, diff) = if da < db {
+                        (0, a, db - da)
+                    } else {
+                        (1, b, da - db)
+                    };
+                    let padded = self.pad_with_dffs(shallow_net, diff, &mut depth);
+                    rewire_input(&mut self.gates_mut()[gi], shallow_slot, padded);
+                }
+            }
+            let g = self.gates()[gi];
+            let d_in = g.inputs().iter().map(|&n| depth[n]).max().unwrap_or(0);
+            for &o in g.outputs() {
+                depth[o] = d_in + 1;
+            }
+        }
+        // Align all primary outputs to the deepest one.
+        let max_po = self
+            .primary_outputs()
+            .iter()
+            .map(|&n| depth[n])
+            .max()
+            .unwrap_or(0);
+        for pi in 0..self.primary_outputs().len() {
+            let net = self.primary_outputs()[pi];
+            let diff = max_po - depth[net];
+            if diff > 0 {
+                let padded = self.pad_with_dffs(net, diff, &mut depth);
+                self.primary_outputs_mut()[pi] = padded;
+            }
+        }
+    }
+
+    fn pad_with_dffs(&mut self, mut net: NetId, count: usize, depth: &mut Vec<usize>) -> NetId {
+        for _ in 0..count {
+            let d = depth[net];
+            net = self.add_gate1(CellKind::Dff, net);
+            depth.push(0); // grown nets: output of the new DFF
+            depth[net] = d + 1;
+        }
+        net
+    }
+}
+
+fn rewire_input(gate: &mut Gate, slot: usize, new_net: NetId) {
+    // Gate stores inputs in a fixed array; rebuild it.
+    let kind = gate.kind();
+    let mut ins: Vec<NetId> = gate.inputs().to_vec();
+    ins[slot] = new_net;
+    let outs: Vec<NetId> = gate.outputs().to_vec();
+    *gate = Gate::raw(kind, &ins, &outs);
+}
+
+impl Gate {
+    /// Crate-internal constructor used by the rewrite passes.
+    pub(crate) fn raw(kind: CellKind, inputs: &[NetId], outputs: &[NetId]) -> Self {
+        let mut ins = [usize::MAX; 2];
+        let mut outs = [usize::MAX; 2];
+        for (i, &n) in inputs.iter().enumerate() {
+            ins[i] = n;
+        }
+        for (i, &n) in outputs.iter().enumerate() {
+            outs[i] = n;
+        }
+        Self::from_parts(kind, ins, outs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::NetlistState;
+
+    fn sample_unbalanced() -> Netlist {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        let b = nl.add_input();
+        let x = nl.add_gate2(CellKind::Xor2, a, b);
+        // `b` is reused (fanout 2) and the AND has skewed input depths.
+        let o = nl.add_gate2(CellKind::And2, x, b);
+        nl.mark_output(o);
+        nl
+    }
+
+    #[test]
+    fn splitter_pass_establishes_single_fanout() {
+        let mut nl = sample_unbalanced();
+        assert!(!nl.is_single_fanout());
+        nl.insert_splitters();
+        assert!(nl.is_single_fanout());
+        assert!(nl.count(CellKind::Split) >= 1);
+    }
+
+    #[test]
+    fn splitter_pass_is_idempotent() {
+        let mut nl = sample_unbalanced();
+        nl.insert_splitters();
+        let before = nl.num_gates();
+        nl.insert_splitters();
+        assert_eq!(nl.num_gates(), before);
+    }
+
+    #[test]
+    fn balance_pass_establishes_path_balance() {
+        let mut nl = sample_unbalanced();
+        nl.insert_splitters();
+        assert!(!nl.is_path_balanced());
+        nl.balance_paths();
+        assert!(nl.is_path_balanced());
+        assert!(nl.count(CellKind::Dff) >= 1, "padding DFFs inserted");
+    }
+
+    #[test]
+    fn passes_preserve_function_modulo_latency() {
+        // The padded pipeline must compute the same function once settled.
+        let cases = [
+            [false, false],
+            [false, true],
+            [true, false],
+            [true, true],
+        ];
+        let mut reference = sample_unbalanced();
+        let mut transformed = sample_unbalanced();
+        transformed.insert_splitters();
+        transformed.balance_paths();
+        let depth = *transformed.net_depths().iter().max().unwrap();
+        for ins in cases {
+            let mut ref_state = NetlistState::new(&reference);
+            let expect = ref_state.settle(&reference, &ins, 4);
+            let mut st = NetlistState::new(&transformed);
+            let got = st.settle(&transformed, &ins, depth + 2);
+            assert_eq!(got, expect, "inputs {ins:?}");
+        }
+        // keep `reference` mutable-borrow-free usage consistent
+        let _ = &mut reference;
+    }
+
+    #[test]
+    fn high_fanout_builds_a_tree() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        for _ in 0..5 {
+            let g = nl.add_gate1(CellKind::Not, a);
+            nl.mark_output(g);
+        }
+        nl.insert_splitters();
+        assert!(nl.is_single_fanout());
+        // 5 consumers need 4 splitters.
+        assert_eq!(nl.count(CellKind::Split), 4);
+    }
+
+    #[test]
+    fn primary_output_fanout_is_also_split() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input();
+        nl.mark_output(a);
+        nl.mark_output(a);
+        nl.insert_splitters();
+        assert!(nl.is_single_fanout());
+    }
+}

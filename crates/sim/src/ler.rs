@@ -1,0 +1,298 @@
+//! Shot-based logical error rate estimation (Fig. 14).
+
+use btwc_clique::{CliqueDecision, CliqueFrontend};
+use btwc_lattice::{StabilizerType, SurfaceCode};
+use btwc_mwpm::MwpmDecoder;
+use btwc_noise::{SimRng, SparseFlips};
+use btwc_syndrome::RoundHistory;
+use serde::Serialize;
+
+use crate::tracker::ErrorTracker;
+
+/// Which decode pipeline a shot uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum DecoderKind {
+    /// The paper's baseline: every round's syndrome goes off-chip and
+    /// the whole window is matched at once by MWPM.
+    MwpmOnly,
+    /// The proposal: Clique handles trivial cycles on-chip; complex
+    /// cycles (and the end-of-window cleanup) fall back to MWPM.
+    CliquePlusMwpm,
+}
+
+/// Parameters of a logical-error-rate measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ShotConfig {
+    /// Code distance.
+    pub distance: u16,
+    /// Physical error rate (data and measurement).
+    pub physical_error_rate: f64,
+    /// Noisy measurement rounds per shot (the paper's convention: `d`).
+    pub rounds: usize,
+    /// Number of shots.
+    pub shots: u64,
+    /// Clique sticky-filter depth (used by `CliquePlusMwpm` only).
+    pub clique_rounds: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ShotConfig {
+    /// Defaults: `d` rounds per shot, 10k shots, 2 filter rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[must_use]
+    pub fn new(distance: u16, physical_error_rate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&physical_error_rate),
+            "error rate {physical_error_rate} out of [0,1]"
+        );
+        Self {
+            distance,
+            physical_error_rate,
+            rounds: usize::from(distance),
+            shots: 10_000,
+            clique_rounds: 2,
+            seed: 0,
+        }
+    }
+
+    /// Sets the shot count.
+    #[must_use]
+    pub fn with_shots(mut self, shots: u64) -> Self {
+        self.shots = shots;
+        self
+    }
+
+    /// Sets the rounds per shot.
+    #[must_use]
+    pub fn with_rounds(mut self, rounds: usize) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Sets the Clique sticky-filter depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0`.
+    #[must_use]
+    pub fn with_clique_rounds(mut self, rounds: usize) -> Self {
+        assert!(rounds >= 1, "sticky filter needs at least one round");
+        self.clique_rounds = rounds;
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Result of a logical-error-rate measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct LerEstimate {
+    /// Shots simulated.
+    pub shots: u64,
+    /// Shots ending in a logical error.
+    pub failures: u64,
+    /// Shots in which Clique raised at least one complex (off-chip)
+    /// flag (always 0 for the MWPM-only baseline, which ships every
+    /// round unconditionally).
+    pub offchip_shots: u64,
+}
+
+impl LerEstimate {
+    /// Logical error rate per shot (per `rounds` cycles).
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        if self.shots == 0 {
+            return 0.0;
+        }
+        self.failures as f64 / self.shots as f64
+    }
+
+    /// Merges another estimate (e.g. from a worker thread).
+    pub fn merge(&mut self, other: &LerEstimate) {
+        self.shots += other.shots;
+        self.failures += other.failures;
+        self.offchip_shots += other.offchip_shots;
+    }
+}
+
+/// Measures the logical error rate of `kind` under `cfg`.
+///
+/// Shot protocol (standard for the phenomenological model): `rounds`
+/// noisy syndrome-measurement rounds followed by one perfect readout
+/// round; decode; a shot fails if the residual error anti-commutes with
+/// the logical operator.
+#[must_use]
+pub fn logical_error_rate(cfg: &ShotConfig, kind: DecoderKind) -> LerEstimate {
+    let ty = StabilizerType::X;
+    let code = SurfaceCode::new(cfg.distance);
+    let mwpm = MwpmDecoder::new(&code, ty);
+    let mut tracker = ErrorTracker::new(&code, ty);
+    let mut frontend = CliqueFrontend::with_rounds(&code, ty, cfg.clique_rounds);
+    let n_anc = code.num_ancillas(ty);
+    let n_data = code.num_data_qubits();
+    let mut rng = SimRng::from_seed(cfg.seed);
+    let mut window = RoundHistory::new(n_anc, cfg.rounds + 1);
+    let mut est = LerEstimate { shots: 0, failures: 0, offchip_shots: 0 };
+    let p = cfg.physical_error_rate;
+
+    for _ in 0..cfg.shots {
+        tracker.reset();
+        frontend.reset();
+        window.reset();
+        let mut went_offchip = false;
+        for _ in 0..cfg.rounds {
+            let flips: Vec<usize> = SparseFlips::new(&mut rng, n_data, p).collect();
+            for q in flips {
+                tracker.flip(q);
+            }
+            let mut round = tracker.syndrome().to_vec();
+            let mflips: Vec<usize> = SparseFlips::new(&mut rng, n_anc, p).collect();
+            for a in mflips {
+                round[a] ^= true;
+            }
+            window.push(&round);
+            if kind == DecoderKind::CliquePlusMwpm {
+                match frontend.push_round(&round) {
+                    CliqueDecision::AllZeros => {}
+                    CliqueDecision::Trivial(c) => tracker.apply(c.qubits()),
+                    CliqueDecision::Complex => {
+                        // Ship the syndromes off-chip. The complex decoder
+                        // sees the full round stream (corrections commute
+                        // into the Pauli frame), so its matching happens
+                        // over the whole window at readout rather than on
+                        // a chopped window with a noisy trailing round —
+                        // decoding mid-stream would convert unpaired
+                        // measurement flips into injected data errors.
+                        went_offchip = true;
+                    }
+                }
+            }
+        }
+        // Final perfect readout round closes the window in time; the
+        // off-chip decoder resolves everything Clique did not.
+        window.push(tracker.syndrome());
+        let cleanup = mwpm.decode_window(&window);
+        tracker.apply(cleanup.qubits());
+        debug_assert!(tracker.is_quiet(), "decode must clear the syndrome");
+        est.shots += 1;
+        est.failures += u64::from(code.is_logical_error(ty, tracker.errors()));
+        est.offchip_shots += u64::from(went_offchip);
+    }
+    est
+}
+
+/// [`logical_error_rate`] split across `workers` threads.
+///
+/// # Panics
+///
+/// Panics if `workers == 0`.
+#[must_use]
+pub fn logical_error_rate_parallel(
+    cfg: &ShotConfig,
+    kind: DecoderKind,
+    workers: usize,
+) -> LerEstimate {
+    assert!(workers > 0, "need at least one worker");
+    let per = cfg.shots / workers as u64;
+    let extra = cfg.shots % workers as u64;
+    let root = SimRng::from_seed(cfg.seed);
+    let mut merged = LerEstimate { shots: 0, failures: 0, offchip_shots: 0 };
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let mut wcfg = *cfg;
+                wcfg.shots = per + u64::from((w as u64) < extra);
+                wcfg.seed = root.fork(w as u64 + 0x1E4).seed();
+                scope.spawn(move || logical_error_rate(&wcfg, kind))
+            })
+            .collect();
+        for h in handles {
+            merged.merge(&h.join().expect("worker panicked"));
+        }
+    });
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_noise_never_fails() {
+        let cfg = ShotConfig::new(3, 0.0).with_shots(500);
+        for kind in [DecoderKind::MwpmOnly, DecoderKind::CliquePlusMwpm] {
+            let est = logical_error_rate(&cfg, kind);
+            assert_eq!(est.failures, 0);
+            assert_eq!(est.offchip_shots, 0);
+            assert_eq!(est.shots, 500);
+        }
+    }
+
+    #[test]
+    fn ler_decreases_with_distance_below_threshold() {
+        // The defining property of a working decoder (Fig. 14's slope).
+        let p = 8e-3;
+        let d3 = logical_error_rate(&ShotConfig::new(3, p).with_shots(4000).with_seed(1), DecoderKind::MwpmOnly);
+        let d5 = logical_error_rate(&ShotConfig::new(5, p).with_shots(4000).with_seed(2), DecoderKind::MwpmOnly);
+        assert!(d3.failures > 0, "d=3 at p=8e-3 must show failures");
+        assert!(
+            d5.rate() < d3.rate(),
+            "LER must fall with distance: d3={} d5={}",
+            d3.rate(),
+            d5.rate()
+        );
+    }
+
+    #[test]
+    fn clique_plus_mwpm_tracks_baseline_at_low_distance() {
+        // Paper Sec. 7.3: "almost exactly equivalent" for d=3/5/7.
+        let p = 8e-3;
+        let cfg = ShotConfig::new(5, p).with_shots(6000).with_seed(3);
+        let base = logical_error_rate(&cfg, DecoderKind::MwpmOnly);
+        let clique = logical_error_rate(&cfg, DecoderKind::CliquePlusMwpm);
+        assert!(base.failures > 0, "need a measurable baseline");
+        let ratio = clique.rate() / base.rate().max(1e-9);
+        assert!(
+            ratio < 4.0,
+            "Clique+MWPM should track baseline; ratio {ratio} (clique {} vs base {})",
+            clique.rate(),
+            base.rate()
+        );
+        assert!(clique.offchip_shots > 0, "some shots must go off-chip");
+    }
+
+    #[test]
+    fn estimates_are_deterministic() {
+        let cfg = ShotConfig::new(3, 5e-3).with_shots(1500).with_seed(11);
+        let a = logical_error_rate(&cfg, DecoderKind::CliquePlusMwpm);
+        let b = logical_error_rate(&cfg, DecoderKind::CliquePlusMwpm);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_matches_shot_budget() {
+        let cfg = ShotConfig::new(3, 5e-3).with_shots(2000).with_seed(5);
+        let est = logical_error_rate_parallel(&cfg, DecoderKind::MwpmOnly, 4);
+        assert_eq!(est.shots, 2000);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = LerEstimate { shots: 10, failures: 1, offchip_shots: 2 };
+        let b = LerEstimate { shots: 5, failures: 2, offchip_shots: 1 };
+        a.merge(&b);
+        assert_eq!(a.shots, 15);
+        assert_eq!(a.failures, 3);
+        assert_eq!(a.offchip_shots, 3);
+        assert!((a.rate() - 0.2).abs() < 1e-12);
+    }
+}

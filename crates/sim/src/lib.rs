@@ -1,0 +1,47 @@
+//! Monte Carlo lifetime simulation — the paper's evaluation methodology
+//! (Sec. 6.1) as a library.
+//!
+//! Two simulation modes drive every figure in the paper:
+//!
+//! * **Lifetime** ([`LifetimeSim`]) — one logical qubit decoded cycle by
+//!   cycle for millions of cycles: errors are injected, the Clique
+//!   frontend filters and decides, trivial decodes are corrected
+//!   on-chip, complex ones go to the space-time MWPM decoder. Produces
+//!   the signature distribution (Fig. 4), Clique coverage (Fig. 11),
+//!   the non-all-zeros on-chip fraction (Fig. 12), and — via the raw
+//!   syndrome weight histogram — the AFS bandwidth comparison (Fig. 13).
+//! * **Shots** ([`logical_error_rate`]) — fixed windows of `d` noisy
+//!   rounds plus a perfect readout round, decoded either by MWPM alone
+//!   (the baseline) or by Clique+MWPM (the proposal), counting logical
+//!   failures (Fig. 14).
+//!
+//! Multi-qubit off-chip demand traces for the bandwidth study (Figs. 9
+//! and 16) come from [`multi_qubit_trace`] / [`offchip_probability`].
+//! Everything is deterministic given a seed and parallelized with
+//! scoped threads.
+//!
+//! # Example
+//!
+//! ```
+//! use btwc_sim::{LifetimeConfig, LifetimeSim};
+//!
+//! let cfg = LifetimeConfig::new(5, 1e-3).with_cycles(20_000).with_seed(7);
+//! let stats = LifetimeSim::new(&cfg).run();
+//! assert!(stats.coverage() > 0.9, "Clique covers the common case");
+//! ```
+
+mod ler;
+mod lifetime;
+mod multi;
+mod sweep;
+mod tracker;
+
+pub use ler::{logical_error_rate, logical_error_rate_parallel, DecoderKind, LerEstimate, ShotConfig};
+pub use lifetime::{LifetimeConfig, LifetimeSim, LifetimeStats};
+pub use multi::{multi_qubit_trace, offchip_probability};
+pub use sweep::{
+    afs_comparison, coverage_sweep, coverage_sweep_iid, signature_distribution,
+    signature_distribution_iid,
+    AfsComparison, CoveragePoint, SignatureDistribution,
+};
+pub use tracker::ErrorTracker;

@@ -1,0 +1,100 @@
+//! Multi-logical-qubit off-chip demand (inputs to Figs. 9 and 16).
+
+use btwc_noise::SimRng;
+
+use crate::lifetime::{LifetimeConfig, LifetimeSim};
+
+/// Estimates the per-qubit, per-cycle off-chip decode probability
+/// `q = 1 − coverage` by lifetime simulation — the quantity the
+/// statistical bandwidth allocator provisions against (Sec. 5.1).
+#[must_use]
+pub fn offchip_probability(cfg: &LifetimeConfig) -> f64 {
+    LifetimeSim::new(cfg).run().offchip_fraction()
+}
+
+/// Simulates `num_qubits` independent logical qubits for `cfg.cycles`
+/// cycles each and returns the per-cycle total number of off-chip
+/// decode requests — the bar heights of Fig. 9.
+///
+/// Work is split across `workers` threads; each qubit gets a forked RNG
+/// stream, so the trace is deterministic in `(cfg.seed, num_qubits)`
+/// regardless of thread count.
+///
+/// # Panics
+///
+/// Panics if `num_qubits == 0` or `workers == 0`.
+#[must_use]
+pub fn multi_qubit_trace(cfg: &LifetimeConfig, num_qubits: usize, workers: usize) -> Vec<usize> {
+    assert!(num_qubits > 0, "need at least one qubit");
+    assert!(workers > 0, "need at least one worker");
+    let cycles = cfg.cycles as usize;
+    let root = SimRng::from_seed(cfg.seed);
+    let mut totals = vec![0usize; cycles];
+    std::thread::scope(|scope| {
+        let chunk = num_qubits.div_ceil(workers);
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(num_qubits);
+                let root = root.clone();
+                let cfg = *cfg;
+                scope.spawn(move || {
+                    let mut partial = vec![0usize; cycles];
+                    for qubit in lo..hi {
+                        let mut qcfg = cfg;
+                        qcfg.seed = root.fork(qubit as u64 + 0xC0FFEE).seed();
+                        let (_, trace) = LifetimeSim::new(&qcfg).run_with_trace();
+                        for (t, &off) in trace.iter().enumerate() {
+                            partial[t] += usize::from(off);
+                        }
+                    }
+                    partial
+                })
+            })
+            .collect();
+        for h in handles {
+            let partial = h.join().expect("worker panicked");
+            for (t, p) in totals.iter_mut().zip(partial) {
+                *t += p;
+            }
+        }
+    });
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_in_unit_interval_and_scales_with_p() {
+        let lo = offchip_probability(&LifetimeConfig::new(5, 5e-4).with_cycles(20_000));
+        let hi = offchip_probability(&LifetimeConfig::new(5, 8e-3).with_cycles(20_000));
+        assert!((0.0..=1.0).contains(&lo));
+        assert!((0.0..=1.0).contains(&hi));
+        assert!(hi > lo, "more noise, more off-chip: {lo} vs {hi}");
+    }
+
+    #[test]
+    fn trace_mean_matches_single_qubit_probability() {
+        let cfg = LifetimeConfig::new(3, 5e-3).with_cycles(4_000).with_seed(77);
+        let q = offchip_probability(&cfg);
+        let qubits = 40;
+        let trace = multi_qubit_trace(&cfg, qubits, 4);
+        assert_eq!(trace.len(), 4_000);
+        let mean = trace.iter().sum::<usize>() as f64 / trace.len() as f64;
+        let expected = q * qubits as f64;
+        assert!(
+            (mean - expected).abs() < 0.35 * expected.max(1.0),
+            "trace mean {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn trace_is_deterministic_across_worker_counts() {
+        let cfg = LifetimeConfig::new(3, 5e-3).with_cycles(1_000).with_seed(5);
+        let t1 = multi_qubit_trace(&cfg, 10, 1);
+        let t4 = multi_qubit_trace(&cfg, 10, 4);
+        assert_eq!(t1, t4);
+    }
+}

@@ -1,0 +1,351 @@
+//! Parameter sweeps backing Figs. 4, 11, 12 and 13.
+
+use btwc_afs::{Compressor, SparseRepr};
+use btwc_clique::{CliqueDecision, CliqueDecoder};
+use btwc_lattice::{StabilizerType, SurfaceCode};
+use btwc_noise::{SimRng, SparseFlips};
+use btwc_syndrome::Syndrome;
+use serde::Serialize;
+
+use crate::lifetime::{LifetimeConfig, LifetimeSim, LifetimeStats};
+use crate::tracker::ErrorTracker;
+
+/// One Clique coverage measurement (a point of Figs. 11 and 12).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct CoveragePoint {
+    /// Code distance.
+    pub distance: u16,
+    /// Physical error rate.
+    pub physical_error_rate: f64,
+    /// Fraction of decodes handled on-chip (Fig. 11).
+    pub coverage: f64,
+    /// Of the on-chip decodes, the fraction that carried errors (Fig. 12).
+    pub nonzero_onchip: f64,
+    /// Per-cycle off-chip probability (`1 − coverage`).
+    pub offchip_fraction: f64,
+}
+
+/// Sweeps Clique coverage over a `(p, d)` grid (Figs. 11–12).
+#[must_use]
+pub fn coverage_sweep(
+    error_rates: &[f64],
+    distances: &[u16],
+    cycles: u64,
+    seed: u64,
+    workers: usize,
+) -> Vec<CoveragePoint> {
+    let mut out = Vec::with_capacity(error_rates.len() * distances.len());
+    for &p in error_rates {
+        for &d in distances {
+            let cfg = LifetimeConfig::new(d, p).with_cycles(cycles).with_seed(seed);
+            let stats = LifetimeSim::run_parallel(&cfg, workers);
+            out.push(CoveragePoint {
+                distance: d,
+                physical_error_rate: p,
+                coverage: stats.coverage(),
+                nonzero_onchip: stats.nonzero_onchip_fraction(),
+                offchip_fraction: stats.offchip_fraction(),
+            });
+        }
+    }
+    out
+}
+
+/// One column of Fig. 4: the signature-class distribution for a
+/// `(p, d)` scenario.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SignatureDistribution {
+    /// Scenario label (e.g. `"5E-3/1E-5 (25)"`).
+    pub label: String,
+    /// Code distance.
+    pub distance: u16,
+    /// Physical error rate.
+    pub physical_error_rate: f64,
+    /// Fraction of cycles with an all-zero (filtered) signature.
+    pub all_zeros: f64,
+    /// Fraction decoded trivially on-chip (Local-1s).
+    pub local_ones: f64,
+    /// Fraction flagged complex.
+    pub complex: f64,
+}
+
+/// Measures one Fig. 4 column.
+#[must_use]
+pub fn signature_distribution(
+    label: &str,
+    distance: u16,
+    physical_error_rate: f64,
+    cycles: u64,
+    seed: u64,
+    workers: usize,
+) -> SignatureDistribution {
+    let cfg = LifetimeConfig::new(distance, physical_error_rate)
+        .with_cycles(cycles)
+        .with_seed(seed);
+    let stats = LifetimeSim::run_parallel(&cfg, workers);
+    let n = stats.cycles as f64;
+    SignatureDistribution {
+        label: label.to_owned(),
+        distance,
+        physical_error_rate,
+        all_zeros: stats.all_zeros as f64 / n,
+        local_ones: stats.trivial as f64 / n,
+        complex: stats.complex as f64 / n,
+    }
+}
+
+/// Measures one Fig. 4 column the way the paper does — independent
+/// trials, not a decode stream: each trial injects one cycle's worth of
+/// fresh data errors onto a clean lattice, measures the syndrome over
+/// two rounds with independent measurement noise (the Clique filter's
+/// exposure), and classifies the filtered signature with the Clique
+/// decision logic.
+#[must_use]
+pub fn signature_distribution_iid(
+    label: &str,
+    distance: u16,
+    physical_error_rate: f64,
+    trials: u64,
+    seed: u64,
+    workers: usize,
+) -> SignatureDistribution {
+    assert!(workers > 0, "need at least one worker");
+    let per = trials / workers as u64;
+    let extra = trials % workers as u64;
+    let root = SimRng::from_seed(seed);
+    let mut counts = [0u64; 3]; // all0, local1, complex
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let n = per + u64::from((w as u64) < extra);
+                let mut rng = root.fork(w as u64 + 0x51D);
+                scope.spawn(move || {
+                    let ty = StabilizerType::X;
+                    let code = SurfaceCode::new(distance);
+                    let decoder = CliqueDecoder::new(&code, ty);
+                    let mut tracker = ErrorTracker::new(&code, ty);
+                    let n_anc = code.num_ancillas(ty);
+                    let n_data = code.num_data_qubits();
+                    let p = physical_error_rate;
+                    let mut local = [0u64; 3];
+                    for _ in 0..n {
+                        tracker.reset();
+                        let flips: Vec<usize> =
+                            SparseFlips::new(&mut rng, n_data, p).collect();
+                        for q in flips {
+                            tracker.flip(q);
+                        }
+                        // Two measurement rounds of the same error state
+                        // with independent measurement noise, AND-combined
+                        // (the Fig. 7 sticky filter).
+                        let mut filtered = tracker.syndrome().to_vec();
+                        let m1: Vec<usize> =
+                            SparseFlips::new(&mut rng, n_anc, p).collect();
+                        let mut round1 = tracker.syndrome().to_vec();
+                        for a in m1 {
+                            round1[a] ^= true;
+                        }
+                        let m2: Vec<usize> =
+                            SparseFlips::new(&mut rng, n_anc, p).collect();
+                        let mut round2 = tracker.syndrome().to_vec();
+                        for a in m2 {
+                            round2[a] ^= true;
+                        }
+                        for ((f, &r1), &r2) in
+                            filtered.iter_mut().zip(&round1).zip(&round2)
+                        {
+                            *f = r1 && r2;
+                        }
+                        let syndrome = Syndrome::from_bits(filtered);
+                        let idx = match decoder.decode(&syndrome) {
+                            CliqueDecision::AllZeros => 0,
+                            CliqueDecision::Trivial(_) => 1,
+                            CliqueDecision::Complex => 2,
+                        };
+                        local[idx] += 1;
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            let local = h.join().expect("worker panicked");
+            for (c, l) in counts.iter_mut().zip(local) {
+                *c += l;
+            }
+        }
+    });
+    let n = trials.max(1) as f64;
+    SignatureDistribution {
+        label: label.to_owned(),
+        distance,
+        physical_error_rate,
+        all_zeros: counts[0] as f64 / n,
+        local_ones: counts[1] as f64 / n,
+        complex: counts[2] as f64 / n,
+    }
+}
+
+/// Sweeps the iid per-signature Clique coverage over a `(p, d)` grid —
+/// the paper's Figs. 11/12 methodology (independent trials, like
+/// Fig. 4). The *operational* stream coverage, which compounds
+/// in-flight errors across cycles and is what the bandwidth provisioner
+/// must plan for, comes from [`coverage_sweep`] instead.
+#[must_use]
+pub fn coverage_sweep_iid(
+    error_rates: &[f64],
+    distances: &[u16],
+    trials: u64,
+    seed: u64,
+    workers: usize,
+) -> Vec<CoveragePoint> {
+    let mut out = Vec::with_capacity(error_rates.len() * distances.len());
+    for &p in error_rates {
+        for &d in distances {
+            let dist = signature_distribution_iid("", d, p, trials, seed, workers);
+            let onchip = dist.all_zeros + dist.local_ones;
+            out.push(CoveragePoint {
+                distance: d,
+                physical_error_rate: p,
+                coverage: onchip,
+                nonzero_onchip: if onchip > 0.0 { dist.local_ones / onchip } else { 0.0 },
+                offchip_fraction: dist.complex,
+            });
+        }
+    }
+    out
+}
+
+/// One point of the Fig. 13 comparison: average off-chip data reduction
+/// of AFS sparse compression versus Clique, for the same error stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct AfsComparison {
+    /// Code distance.
+    pub distance: u16,
+    /// Physical error rate.
+    pub physical_error_rate: f64,
+    /// Raw syndrome bits per cycle (`(d²-1)/2`).
+    pub raw_bits: usize,
+    /// AFS sparse-representation reduction factor (raw / compressed).
+    pub afs_reduction: f64,
+    /// Clique reduction factor (only complex cycles ship, uncompressed).
+    pub clique_reduction: f64,
+}
+
+/// Computes the Fig. 13 point for a finished lifetime run.
+///
+/// AFS's cost is evaluated exactly — the sparse-representation bit cost
+/// depends only on the syndrome weight, which the lifetime simulator
+/// histograms — while Clique ships the raw round only on complex
+/// cycles.
+#[must_use]
+pub fn afs_comparison(
+    distance: u16,
+    physical_error_rate: f64,
+    stats: &LifetimeStats,
+) -> AfsComparison {
+    let n = stats.num_ancillas;
+    let codec = SparseRepr::new(n);
+    // Bit cost per syndrome weight, via the real encoder.
+    let mut afs_bits_total = 0u128;
+    for (w, &count) in stats.raw_weight_histogram.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let mut s = Syndrome::new(n);
+        for i in 0..w {
+            s.set(i, true);
+        }
+        afs_bits_total += codec.encoded_len(&s) as u128 * u128::from(count);
+    }
+    let cycles = stats.cycles.max(1) as f64;
+    let raw_total = n as f64 * cycles;
+    let afs_mean = afs_bits_total as f64 / cycles;
+    let clique_mean = stats.complex as f64 * n as f64 / cycles;
+    AfsComparison {
+        distance,
+        physical_error_rate,
+        raw_bits: n,
+        afs_reduction: raw_total / afs_bits_total.max(1) as f64,
+        clique_reduction: if clique_mean > 0.0 {
+            n as f64 / clique_mean
+        } else {
+            f64::INFINITY
+        },
+    }
+    .validated(afs_mean)
+}
+
+impl AfsComparison {
+    fn validated(self, afs_mean: f64) -> Self {
+        debug_assert!(afs_mean >= 1.0, "AFS always ships at least the flag bit");
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_sweep_has_expected_grid() {
+        let pts = coverage_sweep(&[1e-3, 5e-3], &[3, 5], 10_000, 1, 2);
+        assert_eq!(pts.len(), 4);
+        for p in &pts {
+            assert!((0.0..=1.0).contains(&p.coverage));
+            assert!((0.0..=1.0).contains(&p.nonzero_onchip));
+            assert!((p.coverage + p.offchip_fraction - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn coverage_decreases_with_distance_at_fixed_p() {
+        // Fig. 11: more ancillas, more chances for complex patterns.
+        let pts = coverage_sweep(&[5e-3], &[3, 9], 60_000, 7, 4);
+        assert!(
+            pts[0].coverage > pts[1].coverage,
+            "d=3 {} vs d=9 {}",
+            pts[0].coverage,
+            pts[1].coverage
+        );
+    }
+
+    #[test]
+    fn distribution_fractions_sum_to_one() {
+        let dist = signature_distribution("1E-3 (5)", 5, 1e-3, 20_000, 3, 2);
+        let total = dist.all_zeros + dist.local_ones + dist.complex;
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(dist.all_zeros > dist.complex, "common case dominates");
+    }
+
+    #[test]
+    fn afs_comparison_favors_clique() {
+        // Fig. 13: Clique beats AFS sparse compression by 10x+ at
+        // practical rates.
+        let cfg = LifetimeConfig::new(7, 1e-3).with_cycles(60_000).with_seed(9);
+        let stats = LifetimeSim::new(&cfg).run();
+        let cmp = afs_comparison(7, 1e-3, &stats);
+        assert!(cmp.afs_reduction > 1.0, "AFS reduces: {}", cmp.afs_reduction);
+        assert!(
+            cmp.clique_reduction > cmp.afs_reduction,
+            "clique {} must beat AFS {}",
+            cmp.clique_reduction,
+            cmp.afs_reduction
+        );
+        assert_eq!(cmp.raw_bits, 24);
+    }
+
+    #[test]
+    fn afs_reduction_shrinks_with_error_rate() {
+        let stats_lo = LifetimeSim::new(&LifetimeConfig::new(5, 5e-4).with_cycles(40_000)).run();
+        let stats_hi = LifetimeSim::new(&LifetimeConfig::new(5, 8e-3).with_cycles(40_000)).run();
+        let lo = afs_comparison(5, 5e-4, &stats_lo);
+        let hi = afs_comparison(5, 8e-3, &stats_hi);
+        assert!(
+            lo.afs_reduction > hi.afs_reduction,
+            "denser syndromes compress worse: {} vs {}",
+            lo.afs_reduction,
+            hi.afs_reduction
+        );
+    }
+}

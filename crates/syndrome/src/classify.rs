@@ -1,0 +1,187 @@
+//! Ground-truth signature taxonomy (paper Fig. 4).
+
+use btwc_lattice::{StabilizerType, SurfaceCode};
+
+/// The paper's three-way classification of per-cycle error signatures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignatureClass {
+    /// No ancilla lit — nothing to decode.
+    AllZeros,
+    /// Errors present, but every error is isolated (no chain of length
+    /// ≥ 2 and no measurement involvement) — trivially decodable.
+    LocalOnes,
+    /// Chained or measurement-corrupted signatures — requires the full
+    /// off-chip decoder.
+    Complex,
+}
+
+impl SignatureClass {
+    /// Short label used by the figure harness ("all0" / "local1" / "complex").
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SignatureClass::AllZeros => "all0",
+            SignatureClass::LocalOnes => "local1",
+            SignatureClass::Complex => "complex",
+        }
+    }
+}
+
+/// Classifies a cycle from the *true* injected errors (which a real
+/// decoder never sees — this is the simulator's oracle view, used to
+/// validate the Clique decoder's decisions).
+///
+/// Rules, following Sec. 3 of the paper:
+///
+/// * visible syndrome all-zero → [`SignatureClass::AllZeros`];
+/// * any measurement flip contributing to a lit ancilla → `Complex`
+///   (measurement errors cannot be resolved from a single round);
+/// * two erring data qubits adjacent in the detector graph (sharing an
+///   ancilla) → a chain of length ≥ 2 → `Complex`;
+/// * otherwise all data errors are isolated → [`SignatureClass::LocalOnes`].
+///
+/// # Panics
+///
+/// Panics if the buffer lengths do not match `code`.
+#[must_use]
+pub fn classify_true(
+    code: &SurfaceCode,
+    ty: StabilizerType,
+    data_errors: &[bool],
+    meas_flips: &[bool],
+) -> SignatureClass {
+    assert_eq!(data_errors.len(), code.num_data_qubits(), "data buffer mismatch");
+    assert_eq!(meas_flips.len(), code.num_ancillas(ty), "measurement buffer mismatch");
+
+    let mut syndrome = code.syndrome_of(ty, data_errors);
+    for (s, &m) in syndrome.iter_mut().zip(meas_flips) {
+        *s ^= m;
+    }
+    if syndrome.iter().all(|&s| !s) {
+        return SignatureClass::AllZeros;
+    }
+    if meas_flips.iter().any(|&m| m) {
+        return SignatureClass::Complex;
+    }
+    // Chain detection: two errors sharing any ancilla (of either type
+    // relevant to this species, i.e. type `ty`) form a chain.
+    for a in code.ancillas(ty) {
+        let erring = a.data_qubits().iter().filter(|&&q| data_errors[q]).count();
+        if erring >= 2 {
+            return SignatureClass::Complex;
+        }
+    }
+    SignatureClass::LocalOnes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btwc_lattice::DataQubit;
+
+    fn empty(code: &SurfaceCode, ty: StabilizerType) -> (Vec<bool>, Vec<bool>) {
+        (
+            vec![false; code.num_data_qubits()],
+            vec![false; code.num_ancillas(ty)],
+        )
+    }
+
+    #[test]
+    fn no_errors_is_all_zeros() {
+        let code = SurfaceCode::new(5);
+        let (data, meas) = empty(&code, StabilizerType::X);
+        assert_eq!(
+            classify_true(&code, StabilizerType::X, &data, &meas),
+            SignatureClass::AllZeros
+        );
+    }
+
+    #[test]
+    fn single_error_is_local_ones() {
+        let code = SurfaceCode::new(5);
+        let (mut data, meas) = empty(&code, StabilizerType::X);
+        data[DataQubit::new(2, 2).index(5)] = true;
+        assert_eq!(
+            classify_true(&code, StabilizerType::X, &data, &meas),
+            SignatureClass::LocalOnes
+        );
+    }
+
+    #[test]
+    fn two_isolated_errors_are_local_ones() {
+        let code = SurfaceCode::new(7);
+        let (mut data, meas) = empty(&code, StabilizerType::X);
+        data[DataQubit::new(0, 0).index(7)] = true;
+        data[DataQubit::new(5, 5).index(7)] = true;
+        assert_eq!(
+            classify_true(&code, StabilizerType::X, &data, &meas),
+            SignatureClass::LocalOnes
+        );
+    }
+
+    #[test]
+    fn adjacent_errors_are_complex() {
+        let code = SurfaceCode::new(5);
+        let (mut data, meas) = empty(&code, StabilizerType::X);
+        // Two vertically adjacent data qubits share an X ancilla.
+        data[DataQubit::new(1, 2).index(5)] = true;
+        data[DataQubit::new(2, 2).index(5)] = true;
+        assert_eq!(
+            classify_true(&code, StabilizerType::X, &data, &meas),
+            SignatureClass::Complex
+        );
+    }
+
+    #[test]
+    fn measurement_flip_is_complex() {
+        let code = SurfaceCode::new(5);
+        let (data, mut meas) = empty(&code, StabilizerType::X);
+        meas[0] = true;
+        assert_eq!(
+            classify_true(&code, StabilizerType::X, &data, &meas),
+            SignatureClass::Complex
+        );
+    }
+
+    #[test]
+    fn stabilizer_loop_is_all_zeros() {
+        // A full stabilizer's worth of errors is invisible.
+        let code = SurfaceCode::new(5);
+        let (mut data, meas) = empty(&code, StabilizerType::X);
+        let stab = &code.ancillas(StabilizerType::Z)[2];
+        for &q in stab.data_qubits() {
+            data[q] = true;
+        }
+        assert_eq!(
+            classify_true(&code, StabilizerType::X, &data, &meas),
+            SignatureClass::AllZeros
+        );
+    }
+
+    #[test]
+    fn meas_flip_cancelling_data_error_is_handled() {
+        // A measurement flip on an ancilla lit by a data error can hide
+        // that ancilla; the partner ancilla stays lit, so still complex.
+        let code = SurfaceCode::new(5);
+        let q = DataQubit::new(2, 2).index(5);
+        let (mut data, mut meas) = empty(&code, StabilizerType::X);
+        data[q] = true;
+        let syndrome = code.syndrome_of(StabilizerType::X, &data);
+        let lit = syndrome.iter().position(|&s| s).unwrap();
+        meas[lit] = true;
+        assert_eq!(
+            classify_true(&code, StabilizerType::X, &data, &meas),
+            SignatureClass::Complex
+        );
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [
+            SignatureClass::AllZeros.label(),
+            SignatureClass::LocalOnes.label(),
+            SignatureClass::Complex.label(),
+        ];
+        assert_eq!(labels, ["all0", "local1", "complex"]);
+    }
+}

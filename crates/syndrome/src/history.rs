@@ -1,0 +1,263 @@
+//! Sliding window of measurement rounds.
+
+use std::collections::VecDeque;
+
+use crate::repr::Syndrome;
+
+/// A detection event: ancilla `ancilla` changed value at round `round`
+/// of the current window (round indices are window-relative, oldest = 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DetectionEvent {
+    /// Ancilla index within its stabilizer type.
+    pub ancilla: usize,
+    /// Window-relative round index.
+    pub round: usize,
+}
+
+/// Ring buffer of the most recent syndrome measurement rounds.
+///
+/// Two consumers read this window:
+///
+/// * the Clique decoder's **sticky filter** ([`RoundHistory::sticky`]),
+///   which accepts an ancilla only when its raw syndrome has been lit for
+///   `k` consecutive rounds (paper Fig. 7, default `k = 2`) — this is
+///   what suppresses single-round measurement flips;
+/// * the MWPM decoder's **space-time matching**, which consumes
+///   [`RoundHistory::detection_events`] — the round-to-round differences
+///   that mark where error chains start and end in time.
+#[derive(Debug, Clone)]
+pub struct RoundHistory {
+    num_ancillas: usize,
+    capacity: usize,
+    rounds: VecDeque<Syndrome>,
+}
+
+impl RoundHistory {
+    /// A window over `num_ancillas` ancillas retaining the most recent
+    /// `capacity` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(num_ancillas: usize, capacity: usize) -> Self {
+        assert!(capacity > 0, "round history needs capacity >= 1");
+        Self { num_ancillas, capacity, rounds: VecDeque::with_capacity(capacity + 1) }
+    }
+
+    /// Number of ancillas per round.
+    #[must_use]
+    pub fn num_ancillas(&self) -> usize {
+        self.num_ancillas
+    }
+
+    /// Maximum number of retained rounds.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of rounds currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Whether no rounds have been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// Appends a measurement round, evicting the oldest if full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round.len() != num_ancillas()`.
+    pub fn push(&mut self, round: &[bool]) {
+        assert_eq!(round.len(), self.num_ancillas, "round width mismatch");
+        self.rounds.push_back(Syndrome::from_bits(round.to_vec()));
+        if self.rounds.len() > self.capacity {
+            self.rounds.pop_front();
+        }
+    }
+
+    /// The `i`-th retained round (0 = oldest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn round(&self, i: usize) -> &Syndrome {
+        &self.rounds[i]
+    }
+
+    /// The most recent round, if any.
+    #[must_use]
+    pub fn latest(&self) -> Option<&Syndrome> {
+        self.rounds.back()
+    }
+
+    /// The `k`-round sticky syndrome: ancilla `i` is accepted iff its raw
+    /// syndrome was lit in each of the last `k` rounds.
+    ///
+    /// Returns all-zeros while fewer than `k` rounds have been recorded —
+    /// the hardware equivalent is the DFF pipeline still filling up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > capacity()`.
+    #[must_use]
+    pub fn sticky(&self, k: usize) -> Syndrome {
+        assert!(k >= 1 && k <= self.capacity, "sticky window {k} out of range");
+        let mut out = Syndrome::new(self.num_ancillas);
+        if self.rounds.len() < k {
+            return out;
+        }
+        let start = self.rounds.len() - k;
+        for i in 0..self.num_ancillas {
+            let stuck = (start..self.rounds.len()).all(|r| self.rounds[r].get(i));
+            out.set(i, stuck);
+        }
+        out
+    }
+
+    /// Detection events over the retained window: an event at round `t`
+    /// wherever the raw value differs from round `t-1` (round 0 is
+    /// compared against an all-zero baseline, i.e. the state right after
+    /// the window was last [`RoundHistory::reset`]).
+    #[must_use]
+    pub fn detection_events(&self) -> Vec<DetectionEvent> {
+        let mut events = Vec::new();
+        for t in 0..self.rounds.len() {
+            for i in 0..self.num_ancillas {
+                let now = self.rounds[t].get(i);
+                let before = if t == 0 { false } else { self.rounds[t - 1].get(i) };
+                if now != before {
+                    events.push(DetectionEvent { ancilla: i, round: t });
+                }
+            }
+        }
+        events
+    }
+
+    /// Forgets all retained rounds (used after a decoder resolves the
+    /// window and resets the reference frame).
+    pub fn reset(&mut self) {
+        self.rounds.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round(bits: &[u8]) -> Vec<bool> {
+        bits.iter().map(|&b| b != 0).collect()
+    }
+
+    #[test]
+    fn sticky_needs_k_rounds() {
+        let mut h = RoundHistory::new(3, 4);
+        h.push(&round(&[1, 1, 1]));
+        assert!(h.sticky(2).is_zero(), "one round cannot satisfy k=2");
+        h.push(&round(&[1, 0, 1]));
+        let s = h.sticky(2);
+        assert!(s.get(0) && !s.get(1) && s.get(2));
+    }
+
+    #[test]
+    fn sticky_suppresses_single_round_flip() {
+        // A measurement error lights an ancilla for exactly one round.
+        let mut h = RoundHistory::new(1, 4);
+        h.push(&round(&[0]));
+        h.push(&round(&[1])); // transient flip
+        assert!(h.sticky(2).is_zero());
+        h.push(&round(&[0]));
+        assert!(h.sticky(2).is_zero());
+    }
+
+    #[test]
+    fn sticky_accepts_persistent_data_error() {
+        let mut h = RoundHistory::new(1, 4);
+        h.push(&round(&[0]));
+        h.push(&round(&[1])); // data error appears...
+        h.push(&round(&[1])); // ...and sticks
+        assert!(h.sticky(2).get(0));
+    }
+
+    #[test]
+    fn sticky_three_rounds_is_stricter() {
+        let mut h = RoundHistory::new(1, 4);
+        h.push(&round(&[1]));
+        h.push(&round(&[1]));
+        assert!(h.sticky(2).get(0));
+        assert!(h.sticky(3).is_zero(), "needs three consecutive rounds");
+        h.push(&round(&[1]));
+        assert!(h.sticky(3).get(0));
+    }
+
+    #[test]
+    fn eviction_keeps_window_bounded() {
+        let mut h = RoundHistory::new(1, 2);
+        h.push(&round(&[1]));
+        h.push(&round(&[0]));
+        h.push(&round(&[0]));
+        assert_eq!(h.len(), 2);
+        // The old lit round fell out of the window.
+        assert!(h.round(0).is_zero());
+    }
+
+    #[test]
+    fn detection_events_mark_changes() {
+        let mut h = RoundHistory::new(2, 8);
+        h.push(&round(&[0, 1])); // event: ancilla 1 @ round 0
+        h.push(&round(&[1, 1])); // event: ancilla 0 @ round 1
+        h.push(&round(&[1, 0])); // event: ancilla 1 @ round 2
+        let ev = h.detection_events();
+        assert_eq!(
+            ev,
+            vec![
+                DetectionEvent { ancilla: 1, round: 0 },
+                DetectionEvent { ancilla: 0, round: 1 },
+                DetectionEvent { ancilla: 1, round: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn measurement_error_makes_time_like_event_pair() {
+        let mut h = RoundHistory::new(1, 8);
+        h.push(&round(&[0]));
+        h.push(&round(&[1]));
+        h.push(&round(&[0]));
+        let ev = h.detection_events();
+        assert_eq!(ev.len(), 2, "transient flip yields an event pair in time");
+        assert_eq!(ev[0].ancilla, ev[1].ancilla);
+        assert_eq!(ev[1].round - ev[0].round, 1);
+    }
+
+    #[test]
+    fn reset_clears_window() {
+        let mut h = RoundHistory::new(2, 4);
+        h.push(&round(&[1, 1]));
+        h.reset();
+        assert!(h.is_empty());
+        assert!(h.latest().is_none());
+        assert!(h.detection_events().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn push_rejects_wrong_width() {
+        let mut h = RoundHistory::new(2, 4);
+        h.push(&round(&[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sticky_rejects_zero_k() {
+        let h = RoundHistory::new(2, 4);
+        let _ = h.sticky(0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Syndrome extraction, multi-round history, and signature taxonomy.
+//!
+//! Sits between the lattice ([`btwc_lattice`]) and the decoders: it turns
+//! error configurations into per-cycle syndrome bit vectors, maintains
+//! the sliding window of measurement rounds that both the Clique
+//! decoder's sticky filter (paper Fig. 7) and the MWPM decoder's
+//! space-time matching consume, and classifies signatures into the
+//! paper's Fig. 4 taxonomy (All-0s / Local-1s / Complex).
+//!
+//! # Example
+//!
+//! ```
+//! use btwc_lattice::{StabilizerType, SurfaceCode};
+//! use btwc_syndrome::{RoundHistory, Syndrome};
+//!
+//! let code = SurfaceCode::new(3);
+//! let mut errors = vec![false; code.num_data_qubits()];
+//! errors[4] = true; // a single error on the central data qubit
+//! let bits = code.syndrome_of(StabilizerType::X, &errors);
+//! let syndrome = Syndrome::from_bits(bits);
+//! assert_eq!(syndrome.weight(), 2);
+//!
+//! let mut history = RoundHistory::new(syndrome.len(), 4);
+//! history.push(syndrome.as_slice());
+//! history.push(syndrome.as_slice());
+//! // The two-round sticky filter accepts errors that persist:
+//! assert_eq!(history.sticky(2).weight(), 2);
+//! ```
+
+mod classify;
+mod correction;
+mod history;
+mod repr;
+
+pub use classify::{classify_true, SignatureClass};
+pub use correction::Correction;
+pub use history::{DetectionEvent, RoundHistory};
+pub use repr::Syndrome;

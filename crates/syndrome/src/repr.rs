@@ -1,0 +1,181 @@
+//! The per-cycle syndrome bit vector.
+
+use std::fmt;
+
+/// One round of syndrome bits for one stabilizer type; bit `i` belongs
+/// to ancilla `i` (the indexing of [`btwc_lattice::SurfaceCode::ancillas`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Syndrome {
+    bits: Vec<bool>,
+}
+
+impl Syndrome {
+    /// An all-zero syndrome over `n` ancillas.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self { bits: vec![false; n] }
+    }
+
+    /// Wraps an existing bit vector.
+    #[must_use]
+    pub fn from_bits(bits: Vec<bool>) -> Self {
+        Self { bits }
+    }
+
+    /// Number of ancillas covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the syndrome covers zero ancillas.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Number of set bits (lit ancillas).
+    #[must_use]
+    pub fn weight(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// Whether no ancilla is lit — the paper's "All-0s" signature.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.bits.iter().all(|&b| !b)
+    }
+
+    /// Bit for ancilla `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn get(&self, i: usize) -> bool {
+        self.bits[i]
+    }
+
+    /// Sets the bit for ancilla `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        self.bits[i] = value;
+    }
+
+    /// XORs another syndrome into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn xor_with(&mut self, other: &Syndrome) {
+        assert_eq!(self.len(), other.len(), "syndrome lengths must match");
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a ^= *b;
+        }
+    }
+
+    /// Clears all bits.
+    pub fn clear(&mut self) {
+        self.bits.fill(false);
+    }
+
+    /// Indices of the lit ancillas, ascending.
+    pub fn iter_set(&self) -> impl Iterator<Item = usize> + '_ {
+        self.bits
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(i))
+    }
+
+    /// Borrow as a plain bool slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[bool] {
+        &self.bits
+    }
+}
+
+impl From<Vec<bool>> for Syndrome {
+    fn from(bits: Vec<bool>) -> Self {
+        Self::from_bits(bits)
+    }
+}
+
+impl FromIterator<bool> for Syndrome {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        Self::from_bits(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Syndrome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &b in &self.bits {
+            write!(f, "{}", u8::from(b))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_zero() {
+        let s = Syndrome::new(12);
+        assert!(s.is_zero());
+        assert_eq!(s.len(), 12);
+        assert_eq!(s.weight(), 0);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn set_and_get_roundtrip() {
+        let mut s = Syndrome::new(8);
+        s.set(3, true);
+        assert!(s.get(3));
+        assert_eq!(s.weight(), 1);
+        assert!(!s.is_zero());
+        s.set(3, false);
+        assert!(s.is_zero());
+    }
+
+    #[test]
+    fn xor_cancels() {
+        let mut a: Syndrome = [true, false, true, false].into_iter().collect();
+        let b = a.clone();
+        a.xor_with(&b);
+        assert!(a.is_zero());
+    }
+
+    #[test]
+    fn iter_set_lists_lit_ancillas() {
+        let s: Syndrome = [false, true, false, true, true].into_iter().collect();
+        let set: Vec<usize> = s.iter_set().collect();
+        assert_eq!(set, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn display_is_bitstring() {
+        let s: Syndrome = [true, false, true].into_iter().collect();
+        assert_eq!(s.to_string(), "101");
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths must match")]
+    fn xor_length_mismatch_panics() {
+        let mut a = Syndrome::new(3);
+        let b = Syndrome::new(4);
+        a.xor_with(&b);
+    }
+
+    #[test]
+    fn from_vec_and_clear() {
+        let mut s = Syndrome::from(vec![true, true]);
+        assert_eq!(s.weight(), 2);
+        s.clear();
+        assert!(s.is_zero());
+    }
+}

@@ -1,0 +1,106 @@
+#![allow(clippy::needless_range_loop)]
+
+//! Property-based tests of the round history and correction algebra.
+
+use btwc_syndrome::{Correction, RoundHistory, Syndrome};
+use proptest::prelude::*;
+
+proptest! {
+    /// sticky(k) is monotone in k: accepting at depth k+1 implies
+    /// accepting at depth k.
+    #[test]
+    fn sticky_is_monotone_in_depth(
+        rounds in proptest::collection::vec(
+            proptest::collection::vec(any::<bool>(), 6), 1..8),
+    ) {
+        let mut h = RoundHistory::new(6, 8);
+        for r in &rounds {
+            h.push(r);
+        }
+        for k in 1..7usize {
+            let deep = h.sticky(k + 1);
+            let shallow = h.sticky(k);
+            for i in 0..6 {
+                if deep.get(i) {
+                    prop_assert!(shallow.get(i), "k={} ancilla={}", k, i);
+                }
+            }
+        }
+    }
+
+    /// Detection events reconstruct the final round exactly: XOR of all
+    /// events per ancilla equals the latest raw value.
+    #[test]
+    fn events_reconstruct_latest_round(
+        rounds in proptest::collection::vec(
+            proptest::collection::vec(any::<bool>(), 5), 1..8),
+    ) {
+        let mut h = RoundHistory::new(5, 16);
+        for r in &rounds {
+            h.push(r);
+        }
+        let mut acc = [false; 5];
+        for ev in h.detection_events() {
+            acc[ev.ancilla] ^= true;
+        }
+        let latest = h.latest().unwrap();
+        for i in 0..5 {
+            prop_assert_eq!(acc[i], latest.get(i));
+        }
+    }
+
+    /// Correction merge is an abelian-group operation (XOR): commutative,
+    /// associative, self-inverse.
+    #[test]
+    fn correction_merge_is_xor_group(
+        a in proptest::collection::vec(0usize..30, 0..8),
+        b in proptest::collection::vec(0usize..30, 0..8),
+        c in proptest::collection::vec(0usize..30, 0..8),
+    ) {
+        let ca = Correction::from_flips(a);
+        let cb = Correction::from_flips(b);
+        let cc = Correction::from_flips(c);
+        // commutative
+        let mut ab = ca.clone();
+        ab.merge(&cb);
+        let mut ba = cb.clone();
+        ba.merge(&ca);
+        prop_assert_eq!(&ab, &ba);
+        // associative
+        let mut ab_c = ab.clone();
+        ab_c.merge(&cc);
+        let mut bc = cb.clone();
+        bc.merge(&cc);
+        let mut a_bc = ca.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+        // self-inverse
+        let mut aa = ca.clone();
+        aa.merge(&ca);
+        prop_assert!(aa.is_empty());
+    }
+
+    /// Applying a correction twice is the identity on any buffer.
+    #[test]
+    fn apply_twice_is_identity(
+        flips in proptest::collection::vec(0usize..20, 0..10),
+        start in proptest::collection::vec(any::<bool>(), 20),
+    ) {
+        let c = Correction::from_flips(flips);
+        let mut buf = start.clone();
+        c.apply_to(&mut buf);
+        c.apply_to(&mut buf);
+        prop_assert_eq!(buf, start);
+    }
+
+    /// Syndrome XOR is an involution and weight is bounded by length.
+    #[test]
+    fn syndrome_algebra(bits in proptest::collection::vec(any::<bool>(), 1..40)) {
+        let s = Syndrome::from_bits(bits.clone());
+        prop_assert!(s.weight() <= s.len());
+        let mut t = s.clone();
+        t.xor_with(&s);
+        prop_assert!(t.is_zero());
+        prop_assert_eq!(s.iter_set().count(), s.weight());
+    }
+}

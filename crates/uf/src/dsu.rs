@@ -1,0 +1,141 @@
+//! Weighted disjoint-set forest with the cluster metadata union-find
+//! decoding needs: defect parity and boundary contact.
+
+/// Disjoint sets over vertex ids, tracking per-cluster defect parity
+/// and whether the cluster has absorbed the open boundary.
+#[derive(Debug, Clone)]
+pub struct ClusterSet {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    /// Number of defects in the cluster rooted here (valid at roots).
+    defects: Vec<u32>,
+    /// Whether the cluster touches the boundary (valid at roots).
+    boundary: Vec<bool>,
+}
+
+impl ClusterSet {
+    /// `n` singleton clusters with no defects.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+            defects: vec![0; n],
+            boundary: vec![false; n],
+        }
+    }
+
+    /// Finds the cluster root of `v` (path halving).
+    pub fn find(&mut self, mut v: usize) -> usize {
+        while self.parent[v] != v {
+            self.parent[v] = self.parent[self.parent[v]];
+            v = self.parent[v];
+        }
+        v
+    }
+
+    /// Marks vertex `v` as a defect (detection event).
+    pub fn add_defect(&mut self, v: usize) {
+        let r = self.find(v);
+        self.defects[r] += 1;
+    }
+
+    /// Marks the cluster of `v` as boundary-connected.
+    pub fn touch_boundary(&mut self, v: usize) {
+        let r = self.find(v);
+        self.boundary[r] = true;
+    }
+
+    /// Merges the clusters of `a` and `b`; returns the new root.
+    pub fn union(&mut self, a: usize, b: usize) -> usize {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return ra;
+        }
+        if self.rank[ra] < self.rank[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        if self.rank[ra] == self.rank[rb] {
+            self.rank[ra] += 1;
+        }
+        self.defects[ra] += self.defects[rb];
+        self.boundary[ra] |= self.boundary[rb];
+        ra
+    }
+
+    /// Defect count of the cluster containing `v`.
+    pub fn defect_count(&mut self, v: usize) -> u32 {
+        let r = self.find(v);
+        self.defects[r]
+    }
+
+    /// Whether the cluster containing `v` touches the boundary.
+    pub fn touches_boundary(&mut self, v: usize) -> bool {
+        let r = self.find(v);
+        self.boundary[r]
+    }
+
+    /// A cluster is *satisfied* (stops growing) when its defect parity
+    /// is even or it has reached the boundary.
+    pub fn is_satisfied(&mut self, v: usize) -> bool {
+        let r = self.find(v);
+        self.defects[r].is_multiple_of(2) || self.boundary[r]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_are_their_own_roots() {
+        let mut s = ClusterSet::new(4);
+        for v in 0..4 {
+            assert_eq!(s.find(v), v);
+            assert!(s.is_satisfied(v), "no defects, trivially satisfied");
+        }
+    }
+
+    #[test]
+    fn defect_parity_tracks_unions() {
+        let mut s = ClusterSet::new(4);
+        s.add_defect(0);
+        assert!(!s.is_satisfied(0), "odd cluster wants to grow");
+        s.add_defect(1);
+        s.union(0, 1);
+        assert_eq!(s.defect_count(0), 2);
+        assert!(s.is_satisfied(1), "even cluster is satisfied");
+    }
+
+    #[test]
+    fn boundary_satisfies_odd_cluster() {
+        let mut s = ClusterSet::new(3);
+        s.add_defect(2);
+        assert!(!s.is_satisfied(2));
+        s.touch_boundary(2);
+        assert!(s.is_satisfied(2));
+        assert!(s.touches_boundary(2));
+    }
+
+    #[test]
+    fn union_propagates_boundary_flag() {
+        let mut s = ClusterSet::new(4);
+        s.touch_boundary(0);
+        s.add_defect(3);
+        s.union(0, 3);
+        assert!(s.is_satisfied(3));
+        assert!(s.touches_boundary(0));
+    }
+
+    #[test]
+    fn union_is_idempotent_on_same_cluster() {
+        let mut s = ClusterSet::new(3);
+        s.add_defect(0);
+        s.union(0, 1);
+        let r1 = s.union(0, 1);
+        let r2 = s.union(1, 0);
+        assert_eq!(r1, r2);
+        assert_eq!(s.defect_count(0), 1);
+    }
+}

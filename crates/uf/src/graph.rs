@@ -1,0 +1,167 @@
+//! The space-time graph union-find clusters grow on.
+
+use btwc_lattice::{DetectorGraph, NodeRef};
+
+/// One space-time edge. Spatial edges carry the data qubit whose error
+/// flips both endpoints; temporal edges (measurement errors) carry none.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StEdge {
+    /// First endpoint (vertex id).
+    pub u: usize,
+    /// Second endpoint (vertex id; may be the boundary vertex).
+    pub v: usize,
+    /// Data qubit flipped by crossing this edge, if spatial.
+    pub qubit: Option<usize>,
+}
+
+/// The detector graph replicated over `rounds` measurement rounds, with
+/// temporal edges between consecutive copies of each ancilla and one
+/// shared boundary super-vertex.
+///
+/// Vertex ids: `t * num_ancillas + a`; the boundary vertex is
+/// `rounds * num_ancillas`.
+#[derive(Debug, Clone)]
+pub struct SpaceTimeGraph {
+    num_ancillas: usize,
+    rounds: usize,
+    edges: Vec<StEdge>,
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl SpaceTimeGraph {
+    /// Builds the graph for `rounds` rounds over `spatial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0`.
+    #[must_use]
+    pub fn new(spatial: &DetectorGraph, rounds: usize) -> Self {
+        assert!(rounds > 0, "need at least one round");
+        let n = spatial.num_nodes();
+        let boundary = rounds * n;
+        let mut edges = Vec::new();
+        for t in 0..rounds {
+            let base = t * n;
+            for e in spatial.edges() {
+                let u = base + e.a;
+                let v = match e.b {
+                    NodeRef::Ancilla(b) => base + b,
+                    NodeRef::Boundary => boundary,
+                };
+                edges.push(StEdge { u, v, qubit: Some(e.qubit) });
+            }
+            if t + 1 < rounds {
+                for a in 0..n {
+                    edges.push(StEdge { u: base + a, v: base + n + a, qubit: None });
+                }
+            }
+        }
+        let mut adjacency = vec![Vec::new(); boundary + 1];
+        for (i, e) in edges.iter().enumerate() {
+            adjacency[e.u].push(i);
+            adjacency[e.v].push(i);
+        }
+        Self { num_ancillas: n, rounds, edges, adjacency }
+    }
+
+    /// Number of ancillas per round.
+    #[must_use]
+    pub fn num_ancillas(&self) -> usize {
+        self.num_ancillas
+    }
+
+    /// Number of rounds.
+    #[must_use]
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Total vertices including the boundary super-vertex.
+    #[must_use]
+    pub fn num_vertices(&self) -> usize {
+        self.rounds * self.num_ancillas + 1
+    }
+
+    /// The boundary super-vertex id.
+    #[must_use]
+    pub fn boundary(&self) -> usize {
+        self.rounds * self.num_ancillas
+    }
+
+    /// Vertex id of ancilla `a` at round `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[must_use]
+    pub fn vertex(&self, a: usize, t: usize) -> usize {
+        assert!(a < self.num_ancillas && t < self.rounds, "vertex out of range");
+        t * self.num_ancillas + a
+    }
+
+    /// All edges.
+    #[must_use]
+    pub fn edges(&self) -> &[StEdge] {
+        &self.edges
+    }
+
+    /// Edge ids incident to vertex `v`.
+    #[must_use]
+    pub fn incident(&self, v: usize) -> &[usize] {
+        &self.adjacency[v]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btwc_lattice::{StabilizerType, SurfaceCode};
+
+    #[test]
+    fn edge_and_vertex_counts() {
+        let code = SurfaceCode::new(5);
+        let g = code.detector_graph(StabilizerType::X);
+        let st = SpaceTimeGraph::new(g, 3);
+        let n = g.num_nodes();
+        assert_eq!(st.num_vertices(), 3 * n + 1);
+        // Per round: one spatial edge per data qubit; between rounds: n
+        // temporal edges.
+        let expected = 3 * code.num_data_qubits() + 2 * n;
+        assert_eq!(st.edges().len(), expected);
+    }
+
+    #[test]
+    fn temporal_edges_have_no_qubit() {
+        let code = SurfaceCode::new(3);
+        let g = code.detector_graph(StabilizerType::X);
+        let st = SpaceTimeGraph::new(g, 2);
+        let temporal = st.edges().iter().filter(|e| e.qubit.is_none()).count();
+        assert_eq!(temporal, g.num_nodes());
+    }
+
+    #[test]
+    fn boundary_vertex_has_incident_edges_every_round() {
+        let code = SurfaceCode::new(5);
+        let g = code.detector_graph(StabilizerType::X);
+        let st = SpaceTimeGraph::new(g, 4);
+        // 2*d private qubits per round feed the boundary.
+        assert_eq!(st.incident(st.boundary()).len(), 4 * 10);
+    }
+
+    #[test]
+    fn vertex_indexing_roundtrips() {
+        let code = SurfaceCode::new(3);
+        let g = code.detector_graph(StabilizerType::X);
+        let st = SpaceTimeGraph::new(g, 3);
+        assert_eq!(st.vertex(0, 0), 0);
+        assert_eq!(st.vertex(1, 2), 2 * g.num_nodes() + 1);
+        assert!(st.vertex(1, 2) < st.boundary());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_rounds_rejected() {
+        let code = SurfaceCode::new(3);
+        let _ = SpaceTimeGraph::new(code.detector_graph(StabilizerType::X), 0);
+    }
+}

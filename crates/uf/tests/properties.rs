@@ -1,0 +1,55 @@
+//! Property-based tests: union-find corrections always explain the
+//! detection events they were given.
+
+use btwc_lattice::{StabilizerType, SurfaceCode};
+use btwc_syndrome::RoundHistory;
+use btwc_uf::UnionFindDecoder;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For an arbitrary accumulated data-error pattern observed over a
+    /// closed (perfect-readout) window, the UF correction must cancel
+    /// the full syndrome.
+    #[test]
+    fn corrections_cancel_arbitrary_error_patterns(
+        d in prop_oneof![Just(3u16), Just(5), Just(7)],
+        flips in proptest::collection::vec(0usize..49, 0..10),
+    ) {
+        let code = SurfaceCode::new(d);
+        let n = code.num_data_qubits();
+        let decoder = UnionFindDecoder::new(&code, StabilizerType::X);
+        let mut errors = vec![false; n];
+        for &q in &flips {
+            errors[q % n] ^= true;
+        }
+        let round = code.syndrome_of(StabilizerType::X, &errors);
+        let mut window = RoundHistory::new(round.len(), 3);
+        window.push(&round);
+        window.push(&round);
+        let c = decoder.decode_window(&window);
+        let mut residual = errors.clone();
+        c.apply_to(&mut residual);
+        let s = code.syndrome_of(StabilizerType::X, &residual);
+        prop_assert!(s.iter().all(|&b| !b), "residual syndrome after UF");
+    }
+
+    /// Decoding is deterministic.
+    #[test]
+    fn decode_is_deterministic(
+        flips in proptest::collection::vec(0usize..25, 0..6),
+    ) {
+        let code = SurfaceCode::new(5);
+        let decoder = UnionFindDecoder::new(&code, StabilizerType::X);
+        let mut errors = vec![false; 25];
+        for &q in &flips {
+            errors[q] ^= true;
+        }
+        let round = code.syndrome_of(StabilizerType::X, &errors);
+        let mut window = RoundHistory::new(round.len(), 2);
+        window.push(&round);
+        window.push(&round);
+        prop_assert_eq!(decoder.decode_window(&window), decoder.decode_window(&window));
+    }
+}
