@@ -180,7 +180,7 @@ impl Compressor for RawRepr {
 
     fn encode(&self, syndrome: &Syndrome) -> Vec<bool> {
         assert_eq!(syndrome.len(), self.width, "syndrome width mismatch");
-        syndrome.as_slice().to_vec()
+        syndrome.to_bools()
     }
 
     fn decode(&self, bits: &[bool]) -> Syndrome {
@@ -225,10 +225,8 @@ impl Compressor for DynamicCompressor {
             (1u64, self.rle.encode(syndrome)),
             (2u64, self.raw.encode(syndrome)),
         ];
-        let (tag, best) = candidates
-            .into_iter()
-            .min_by_key(|(_, bits)| bits.len())
-            .expect("three candidates");
+        let (tag, best) =
+            candidates.into_iter().min_by_key(|(_, bits)| bits.len()).expect("three candidates");
         let mut w = BitWriter::new();
         w.push_uint(tag, 2);
         let mut out = w.into_bits();

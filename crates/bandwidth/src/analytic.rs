@@ -114,10 +114,7 @@ mod tests {
         let analytic = gaussian_bandwidth(&model, 0.99);
         let mut rng = SimRng::from_seed(3);
         let empirical = model.bandwidth_at_percentile(&mut rng, 0.99, 50_000);
-        assert!(
-            analytic.abs_diff(empirical) <= 2,
-            "analytic {analytic} vs empirical {empirical}"
-        );
+        assert!(analytic.abs_diff(empirical) <= 2, "analytic {analytic} vs empirical {empirical}");
     }
 
     #[test]

@@ -63,10 +63,7 @@ mod tests {
         // realistic cycle times costs ~Gbps.
         let io = IoModel::for_distance(21);
         let per_qubit = io.full_stream_gbps(1);
-        assert!(
-            per_qubit > 0.5 && per_qubit < 10.0,
-            "d=21 per-qubit stream {per_qubit} Gbps"
-        );
+        assert!(per_qubit > 0.5 && per_qubit < 10.0, "d=21 per-qubit stream {per_qubit} Gbps");
     }
 
     #[test]

@@ -87,11 +87,7 @@ mod tests {
         let pts = sweep_tradeoff(&model, &mut rng, &[0.999], 20_000);
         let p = pts[0];
         assert!(p.reduction > 5.0, "reduction {}", p.reduction);
-        assert!(
-            p.execution_time_increase < 0.10,
-            "increase {}",
-            p.execution_time_increase
-        );
+        assert!(p.execution_time_increase < 0.10, "increase {}", p.execution_time_increase);
     }
 
     #[test]

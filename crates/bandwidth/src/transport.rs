@@ -68,10 +68,7 @@ impl DecodeRequest {
         assert!(!rounds.is_empty(), "a decode request needs at least one round");
         let width = rounds[0].len();
         assert!(width <= usize::from(u16::MAX), "round too wide for the frame format");
-        assert!(
-            rounds.iter().all(|r| r.len() == width),
-            "all rounds must have equal width"
-        );
+        assert!(rounds.iter().all(|r| r.len() == width), "all rounds must have equal width");
         Self { qubit, cycle, rounds }
     }
 
@@ -175,10 +172,7 @@ mod tests {
     #[test]
     fn truncated_header_is_rejected() {
         let frame = sample().encode();
-        assert_eq!(
-            DecodeRequest::decode(&frame[..10]),
-            Err(ParseFrameError::TruncatedHeader)
-        );
+        assert_eq!(DecodeRequest::decode(&frame[..10]), Err(ParseFrameError::TruncatedHeader));
     }
 
     #[test]

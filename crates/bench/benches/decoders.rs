@@ -7,14 +7,16 @@ use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criteri
 use std::hint::black_box;
 
 use btwc_afs::{Compressor, DynamicCompressor, SparseRepr};
-use btwc_clique::CliqueDecoder;
+use btwc_bench::baseline::{sample_noisy_rounds, BoolVecHistory};
+use btwc_clique::{CliqueDecoder, CliqueFrontend};
 use btwc_lattice::{StabilizerType, SurfaceCode};
 use btwc_mwpm::blossom::minimum_weight_perfect_matching;
 use btwc_mwpm::MwpmDecoder;
 use btwc_noise::{NoiseModel, PhenomenologicalNoise, SimRng};
 use btwc_sfq::{synthesize_clique, NetlistState};
+use btwc_sim::{logical_error_rate, DecoderKind, ShotConfig};
+use btwc_syndrome::{DetectionEvent, PackedBits, RoundHistory, Syndrome};
 use btwc_uf::UnionFindDecoder;
-use btwc_syndrome::{DetectionEvent, RoundHistory, Syndrome};
 
 fn random_syndrome(rng: &mut SimRng, code: &SurfaceCode, p: f64) -> Syndrome {
     let noise = PhenomenologicalNoise::uniform(p);
@@ -23,15 +25,81 @@ fn random_syndrome(rng: &mut SimRng, code: &SurfaceCode, p: f64) -> Syndrome {
     Syndrome::from_bits(code.syndrome_of(StabilizerType::X, &errors))
 }
 
+/// The tentpole comparison: the packed word-parallel sticky-filter path
+/// versus the seed's `Vec<bool>` byte-per-bit path, on identical round
+/// streams (d = 11, p = 2e-3 raw rounds). The packed side also runs the
+/// full Clique frontend (filter + decision) to show the end-to-end
+/// per-cycle cost.
+fn bench_sticky_filter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sticky_filter");
+    let d = 11u16;
+    let code = SurfaceCode::new(d);
+    let n_anc = code.num_ancillas(StabilizerType::X);
+    let rounds_bool = sample_noisy_rounds(&code, 512, 2e-3, 7);
+    let rounds_packed: Vec<PackedBits> =
+        rounds_bool.iter().map(|r| PackedBits::from_bools(r)).collect();
+
+    group.bench_function("boolvec_baseline", |b| {
+        let mut h = BoolVecHistory::new(n_anc, 2);
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % rounds_bool.len();
+            h.push(&rounds_bool[i]);
+            black_box(h.sticky(2))
+        });
+    });
+    group.bench_function("packed", |b| {
+        let mut h = RoundHistory::new(n_anc, 2);
+        let mut out = Syndrome::new(n_anc);
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % rounds_packed.len();
+            h.push_packed(&rounds_packed[i]);
+            h.sticky_into(2, &mut out);
+            black_box(out.weight())
+        });
+    });
+    group.bench_function("packed_full_frontend", |b| {
+        let mut fe = CliqueFrontend::new(&code, StabilizerType::X);
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % rounds_packed.len();
+            black_box(fe.push_round_packed(&rounds_packed[i]))
+        });
+    });
+    group.finish();
+}
+
+/// The d = 11 LER shot loop (paper Fig. 14's workload at its largest
+/// distance) — the acceptance kernel for the packed rewrite.
+fn bench_ler_shots_d11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ler_shots_d11");
+    group.sample_size(10);
+    for kind in [DecoderKind::MwpmOnly, DecoderKind::CliquePlusMwpm] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &kind,
+            |b, &kind| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let cfg = ShotConfig::new(11, 2e-3).with_shots(20).with_seed(seed);
+                    black_box(logical_error_rate(&cfg, kind))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_clique_decode(c: &mut Criterion) {
     let mut group = c.benchmark_group("clique_decode");
     for d in [3u16, 9, 15, 21] {
         let code = SurfaceCode::new(d);
         let decoder = CliqueDecoder::new(&code, StabilizerType::X);
         let mut rng = SimRng::from_seed(1);
-        let syndromes: Vec<Syndrome> = (0..256)
-            .map(|_| random_syndrome(&mut rng, &code, 2e-3))
-            .collect();
+        let syndromes: Vec<Syndrome> =
+            (0..256).map(|_| random_syndrome(&mut rng, &code, 2e-3)).collect();
         group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
             let mut i = 0;
             b.iter(|| {
@@ -78,14 +146,11 @@ fn bench_blossom_scaling(c: &mut Criterion) {
     group.sample_size(20);
     for n in [8usize, 16, 32, 64] {
         let mut rng = SimRng::from_seed(3);
-        let w: Vec<Vec<i64>> = (0..n)
-            .map(|_| (0..n).map(|_| (rng.next_u64() % 50) as i64).collect())
-            .collect();
+        let w: Vec<Vec<i64>> =
+            (0..n).map(|_| (0..n).map(|_| (rng.next_u64() % 50) as i64).collect()).collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                black_box(minimum_weight_perfect_matching(n, |u, v| {
-                    Some(w[u.min(v)][u.max(v)])
-                }))
+                black_box(minimum_weight_perfect_matching(n, |u, v| Some(w[u.min(v)][u.max(v)])))
             });
         });
     }
@@ -167,9 +232,8 @@ fn bench_afs_compression(c: &mut Criterion) {
     let sparse = SparseRepr::new(n);
     let dynamic = DynamicCompressor::new(n);
     let mut rng = SimRng::from_seed(6);
-    let syndromes: Vec<Syndrome> = (0..256)
-        .map(|_| random_syndrome(&mut rng, &code, 2e-3))
-        .collect();
+    let syndromes: Vec<Syndrome> =
+        (0..256).map(|_| random_syndrome(&mut rng, &code, 2e-3)).collect();
     group.bench_function("sparse_repr", |b| {
         let mut i = 0;
         b.iter(|| {
@@ -189,6 +253,8 @@ fn bench_afs_compression(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_sticky_filter,
+    bench_ler_shots_d11,
     bench_clique_decode,
     bench_mwpm_decode,
     bench_blossom_scaling,

@@ -42,24 +42,23 @@ fn measure(d: u16, p: f64, shots: u64, tier_is_uf: bool, seed: u64) -> (f64, f64
     let mut rng = SimRng::from_seed(seed);
     let rounds = usize::from(d);
     let mut window = RoundHistory::new(n_anc, rounds + 1);
+    let mut round = btwc_syndrome::PackedBits::new(n_anc);
     let mut fails = 0u64;
     let mut decode_time = std::time::Duration::ZERO;
     for _ in 0..shots {
         tracker.reset();
         window.reset();
         for _ in 0..rounds {
-            let flips: Vec<usize> = SparseFlips::new(&mut rng, n_data, p).collect();
-            for q in flips {
+            for q in SparseFlips::new(&mut rng, n_data, p) {
                 tracker.flip(q);
             }
-            let mut round = tracker.syndrome().to_vec();
-            let mflips: Vec<usize> = SparseFlips::new(&mut rng, n_anc, p).collect();
-            for a in mflips {
-                round[a] ^= true;
+            round.copy_from(tracker.syndrome());
+            for a in SparseFlips::new(&mut rng, n_anc, p) {
+                round.toggle(a);
             }
-            window.push(&round);
+            window.push_packed(&round);
         }
-        window.push(tracker.syndrome());
+        window.push_packed(tracker.syndrome());
         let t0 = Instant::now();
         let c = tier.decode(&window);
         decode_time += t0.elapsed();
@@ -89,9 +88,6 @@ fn main() {
         ]);
         eprintln!("done: d={d}");
     }
-    print_table(
-        &["d", "p", "MWPM LER", "UF LER", "MWPM us/dec", "UF us/dec", "UF speedup"],
-        &rows,
-    );
+    print_table(&["d", "p", "MWPM LER", "UF LER", "MWPM us/dec", "UF us/dec", "UF speedup"], &rows);
     println!("\n({shots} shots per point; decode time is the off-chip window decode only)");
 }

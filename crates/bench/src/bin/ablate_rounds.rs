@@ -10,9 +10,7 @@
 use btwc_bench::{print_table, scaled, workers};
 use btwc_lattice::{StabilizerType, SurfaceCode};
 use btwc_sfq::{synthesize_clique, CostModel};
-use btwc_sim::{
-    logical_error_rate_parallel, DecoderKind, LifetimeConfig, LifetimeSim, ShotConfig,
-};
+use btwc_sim::{logical_error_rate_parallel, DecoderKind, LifetimeConfig, LifetimeSim, ShotConfig};
 
 fn main() {
     println!("# Ablation — sticky-filter depth k at d=9\n");
@@ -25,10 +23,7 @@ fn main() {
     let mut rows = Vec::new();
     for k in 1..=4usize {
         let cov = LifetimeSim::run_parallel(
-            &LifetimeConfig::new(d, p)
-                .with_cycles(cycles)
-                .with_clique_rounds(k)
-                .with_seed(0xAB2),
+            &LifetimeConfig::new(d, p).with_cycles(cycles).with_clique_rounds(k).with_seed(0xAB2),
             w,
         );
         let flukes = LifetimeSim::run_parallel(
@@ -40,14 +35,12 @@ fn main() {
             w,
         );
         let ler = logical_error_rate_parallel(
-            &ShotConfig::new(d, p)
-                .with_shots(shots)
-                .with_clique_rounds(k)
-                .with_seed(0xAB4),
+            &ShotConfig::new(d, p).with_shots(shots).with_clique_rounds(k).with_seed(0xAB4),
             DecoderKind::CliquePlusMwpm,
             w,
         );
-        let cost = model.report(synthesize_clique(&SurfaceCode::new(d), StabilizerType::X, k).netlist());
+        let cost =
+            model.report(synthesize_clique(&SurfaceCode::new(d), StabilizerType::X, k).netlist());
         rows.push(vec![
             k.to_string(),
             format!("{:.2}", cov.coverage() * 100.0),

@@ -1,0 +1,149 @@
+//! Decoder-throughput tracking: measures the syndrome hot path and the
+//! LER shot loop, prints a table, and emits `BENCH_decoders.json` so the
+//! performance trajectory is recorded from PR to PR.
+//!
+//! Measured kernels:
+//!
+//! * `sticky_boolvec` — the seed's `Vec<bool>` sticky filter (the
+//!   baseline the packed rewrite is judged against);
+//! * `sticky_packed` — the word-packed filter on identical rounds;
+//! * `sticky_packed_frontend` — filter plus the full Clique decision;
+//! * `ler_d{7,11}_{mwpm,clique}` — the Fig. 14 shot loop, reported as
+//!   decoded rounds per second.
+//!
+//! `BTWC_SCALE` scales the measurement budgets as usual.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use btwc_bench::baseline::{sample_noisy_rounds, BoolVecHistory};
+use btwc_bench::{print_table, scaled};
+use btwc_lattice::{StabilizerType, SurfaceCode};
+use btwc_sim::{logical_error_rate, DecoderKind, ShotConfig};
+use btwc_syndrome::{PackedBits, RoundHistory, Syndrome};
+
+struct Entry {
+    name: String,
+    rounds_per_sec: f64,
+    detail: String,
+}
+
+fn time_rounds(iters: u64, mut f: impl FnMut()) -> f64 {
+    // One warm-up pass at 1/8 scale, then the measured run.
+    for _ in 0..iters / 8 {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    iters as f64 / start.elapsed().as_secs_f64()
+}
+
+fn sticky_benches(entries: &mut Vec<Entry>) -> (f64, f64) {
+    let d = 11u16;
+    let code = SurfaceCode::new(d);
+    let n_anc = code.num_ancillas(StabilizerType::X);
+    let rounds = sample_noisy_rounds(&code, 512, 2e-3, 7);
+    let packed: Vec<PackedBits> = rounds.iter().map(|r| PackedBits::from_bools(r)).collect();
+    let iters = scaled(2_000_000);
+
+    let mut h = BoolVecHistory::new(n_anc, 2);
+    let mut i = 0;
+    let boolvec = time_rounds(iters, || {
+        i = (i + 1) % rounds.len();
+        h.push(&rounds[i]);
+        std::hint::black_box(h.sticky(2));
+    });
+    entries.push(Entry {
+        name: "sticky_boolvec".into(),
+        rounds_per_sec: boolvec,
+        detail: format!("d={d} Vec<bool> baseline"),
+    });
+
+    let mut h = RoundHistory::new(n_anc, 2);
+    let mut out = Syndrome::new(n_anc);
+    let mut i = 0;
+    let packed_rate = time_rounds(iters, || {
+        i = (i + 1) % packed.len();
+        h.push_packed(&packed[i]);
+        h.sticky_into(2, &mut out);
+        std::hint::black_box(out.weight());
+    });
+    entries.push(Entry {
+        name: "sticky_packed".into(),
+        rounds_per_sec: packed_rate,
+        detail: format!("d={d} word-packed"),
+    });
+
+    let mut fe = btwc_clique::CliqueFrontend::new(&code, StabilizerType::X);
+    let mut i = 0;
+    let frontend_rate = time_rounds(iters, || {
+        i = (i + 1) % packed.len();
+        std::hint::black_box(fe.push_round_packed(&packed[i]));
+    });
+    entries.push(Entry {
+        name: "sticky_packed_frontend".into(),
+        rounds_per_sec: frontend_rate,
+        detail: format!("d={d} filter + Clique decision"),
+    });
+
+    (boolvec, packed_rate)
+}
+
+fn ler_benches(entries: &mut Vec<Entry>) {
+    for d in [7u16, 11] {
+        let shots = scaled(400);
+        for (kind, label) in
+            [(DecoderKind::MwpmOnly, "mwpm"), (DecoderKind::CliquePlusMwpm, "clique")]
+        {
+            let cfg = ShotConfig::new(d, 2e-3).with_shots(shots).with_seed(3);
+            let start = Instant::now();
+            let est = logical_error_rate(&cfg, kind);
+            let elapsed = start.elapsed().as_secs_f64();
+            let decoded_rounds = est.shots * cfg.rounds as u64;
+            entries.push(Entry {
+                name: format!("ler_d{d}_{label}"),
+                rounds_per_sec: decoded_rounds as f64 / elapsed,
+                detail: format!("{} shots, LER {:.2e}", est.shots, est.rate()),
+            });
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let mut entries = Vec::new();
+    let (boolvec, packed) = sticky_benches(&mut entries);
+    ler_benches(&mut entries);
+    let speedup = packed / boolvec.max(1e-12);
+
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .map(|e| vec![e.name.clone(), format!("{:.3e}", e.rounds_per_sec), e.detail.clone()])
+        .collect();
+    println!("# Decoder throughput (rounds/sec)\n");
+    print_table(&["kernel", "rounds/s", "detail"], &rows);
+    println!("\nsticky filter packed vs Vec<bool> baseline: {speedup:.1}x");
+
+    let mut json =
+        String::from("{\n  \"benchmark\": \"BENCH_decoders\",\n  \"unit\": \"rounds_per_sec\",\n");
+    let _ = writeln!(json, "  \"sticky_packed_speedup_vs_boolvec\": {speedup:.3},");
+    json.push_str("  \"results\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"rounds_per_sec\": {:.3}, \"detail\": \"{}\"}}{comma}",
+            json_escape(&e.name),
+            e.rounds_per_sec,
+            json_escape(&e.detail)
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_decoders.json", &json).expect("write BENCH_decoders.json");
+    println!("\nwrote BENCH_decoders.json");
+}

@@ -33,8 +33,5 @@ fn main() {
         ]);
         eprintln!("done: p={p:.0e} d={d}");
     }
-    print_table(
-        &["Scenario p/LER (d)", "All-0s %", "Local-1s %", "Complex %", "trials"],
-        &rows,
-    );
+    print_table(&["Scenario p/LER (d)", "All-0s %", "Local-1s %", "Complex %", "trials"], &rows);
 }

@@ -19,9 +19,7 @@ fn main() {
     // A real multi-qubit trace from the lifetime simulator (scaled-down
     // qubit count extrapolated to 1000 for tractability at BTWC_SCALE=1).
     let sim_qubits = scaled(100) as usize;
-    let cfg = LifetimeConfig::new(d, p)
-        .with_cycles(window as u64 + 50)
-        .with_seed(0xF1609);
+    let cfg = LifetimeConfig::new(d, p).with_cycles(window as u64 + 50).with_seed(0xF1609);
     let trace = multi_qubit_trace(&cfg, sim_qubits, workers());
     let factor = num_qubits as f64 / sim_qubits as f64;
     let demand: Vec<usize> = trace

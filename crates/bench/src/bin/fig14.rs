@@ -27,9 +27,6 @@ fn main() {
         }
         eprintln!("done: d={d}");
     }
-    print_table(
-        &["d", "p", "Baseline LER", "Clique+Base LER", "base fails", "btwc fails"],
-        &rows,
-    );
+    print_table(&["d", "p", "Baseline LER", "Clique+Base LER", "base fails", "btwc fails"], &rows);
     println!("\n({shots} shots per point)");
 }

@@ -23,10 +23,7 @@ fn main() {
             ]
         })
         .collect();
-    print_table(
-        &["d", "gates", "JJs", "power (uW)", "area (mm2)", "latency (ns)"],
-        &rows,
-    );
+    print_table(&["d", "gates", "JJs", "power (uW)", "area (mm2)", "latency (ns)"], &rows);
 
     let d9 = synthesize_clique(&SurfaceCode::new(9), StabilizerType::X, 2);
     let r9 = model.report(d9.netlist());

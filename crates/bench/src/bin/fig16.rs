@@ -32,10 +32,7 @@ fn main() {
                 ]
             })
             .collect();
-        print_table(
-            &["pctile", "bandwidth", "reduction (x)", "exec increase %", "stall %"],
-            &rows,
-        );
+        print_table(&["pctile", "bandwidth", "reduction (x)", "exec increase %", "stall %"], &rows);
         // The paper's headline: the reduction achievable at <=10% cost.
         if let Some(best) = pts
             .iter()

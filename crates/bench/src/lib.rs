@@ -19,6 +19,8 @@
 //! default 1.0) to scale Monte Carlo budgets up or down, and print
 //! machine-readable Markdown tables.
 
+pub mod baseline;
+
 /// Scales a default Monte Carlo budget by the `BTWC_SCALE` environment
 /// variable (min 0.01, so `BTWC_SCALE=0.05` gives quick smoke runs).
 #[must_use]
@@ -34,10 +36,7 @@ pub fn scaled(default: u64) -> u64 {
 /// Number of worker threads for parallel sweeps.
 #[must_use]
 pub fn workers() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(16)
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(4).min(16)
 }
 
 /// The paper's Fig. 4 scenarios: `(physical error rate, target logical
@@ -74,20 +73,12 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
             *w = (*w).max(cell.len());
         }
     }
-    let head: Vec<String> = headers
-        .iter()
-        .zip(&widths)
-        .map(|(h, w)| format!("{h:>w$}"))
-        .collect();
+    let head: Vec<String> = headers.iter().zip(&widths).map(|(h, w)| format!("{h:>w$}")).collect();
     println!("| {} |", head.join(" | "));
     let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
     println!("| {} |", sep.join(" | "));
     for row in rows {
-        let cells: Vec<String> = row
-            .iter()
-            .zip(&widths)
-            .map(|(c, w)| format!("{c:>w$}"))
-            .collect();
+        let cells: Vec<String> = row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
         println!("| {} |", cells.join(" | "));
     }
 }

@@ -33,12 +33,17 @@ impl CliqueDecoder {
     #[must_use]
     pub fn new(code: &SurfaceCode, ty: StabilizerType) -> Self {
         let graph = code.detector_graph(ty);
-        let sites = (0..graph.num_nodes())
+        let sites: Vec<CliqueSite> = (0..graph.num_nodes())
             .map(|a| CliqueSite {
                 neighbors: graph.ancilla_neighbors(a),
                 private_qubit: graph.private_qubits(a).into_iter().min(),
             })
             .collect();
+        // `decode` keeps its lit-neighbor scratch on the stack.
+        assert!(
+            sites.iter().all(|s| s.neighbors.len() <= 4),
+            "surface-code cliques have at most 4 same-type neighbors"
+        );
         Self { ty, sites }
     }
 
@@ -66,16 +71,22 @@ impl CliqueDecoder {
             return CliqueDecision::AllZeros;
         }
         let mut flips = Vec::new();
+        // A clique has at most 4 same-type neighbors on any surface
+        // code, so the lit-neighbor scratch lives on the stack.
+        let mut lit = [0usize; 4];
         for a in syndrome.iter_set() {
             let site = &self.sites[a];
-            let lit: Vec<usize> = site
-                .neighbors
-                .iter()
-                .filter_map(|&(n, q)| syndrome.get(n).then_some(q))
-                .collect();
+            let mut lit_n = 0;
+            for &(n, q) in &site.neighbors {
+                if syndrome.get(n) {
+                    lit[lit_n] = q;
+                    lit_n += 1;
+                }
+            }
+            let lit = &lit[..lit_n];
             if lit.len() % 2 == 1 {
                 // Odd parity: each lit neighbor pair fixes its shared qubit.
-                flips.extend_from_slice(&lit);
+                flips.extend_from_slice(lit);
             } else if lit.is_empty() {
                 match site.private_qubit {
                     // Boundary special case: a lone lit ancilla with a
@@ -112,11 +123,7 @@ impl CliqueDecoder {
         if !syndrome.get(a) {
             return false;
         }
-        let lit = site
-            .neighbors
-            .iter()
-            .filter(|&&(n, _)| syndrome.get(n))
-            .count();
+        let lit = site.neighbors.iter().filter(|&&(n, _)| syndrome.get(n)).count();
         if lit % 2 == 1 {
             return false;
         }
@@ -157,9 +164,7 @@ mod tests {
                         let mut residual = errors.clone();
                         c.apply_to(&mut residual);
                         assert!(
-                            code.syndrome_of(StabilizerType::X, &residual)
-                                .iter()
-                                .all(|&s| !s),
+                            code.syndrome_of(StabilizerType::X, &residual).iter().all(|&s| !s),
                             "d={d} q={q}: residual syndrome nonzero"
                         );
                         assert!(
@@ -183,10 +188,7 @@ mod tests {
         let c = decision.correction().expect("trivial decode");
         let mut residual = errors.clone();
         c.apply_to(&mut residual);
-        assert!(code
-            .syndrome_of(StabilizerType::X, &residual)
-            .iter()
-            .all(|&s| !s));
+        assert!(code.syndrome_of(StabilizerType::X, &residual).iter().all(|&s| !s));
         assert!(!code.is_logical_error(StabilizerType::X, &residual));
     }
 
@@ -291,9 +293,7 @@ mod tests {
                 let mut residual = errors.clone();
                 c.apply_to(&mut residual);
                 assert!(
-                    code.syndrome_of(StabilizerType::X, &residual)
-                        .iter()
-                        .all(|&s| !s),
+                    code.syndrome_of(StabilizerType::X, &residual).iter().all(|&s| !s),
                     "residual syndrome nonzero for {errors:?}"
                 );
                 assert!(!code.is_logical_error(StabilizerType::X, &residual));

@@ -1,7 +1,7 @@
 //! The complete on-chip unit: sticky filter + clique logic.
 
 use btwc_lattice::{StabilizerType, SurfaceCode};
-use btwc_syndrome::RoundHistory;
+use btwc_syndrome::{PackedBits, RoundHistory, Syndrome};
 
 use crate::decision::CliqueDecision;
 use crate::decoder::CliqueDecoder;
@@ -19,6 +19,8 @@ pub struct CliqueFrontend {
     decoder: CliqueDecoder,
     history: RoundHistory,
     rounds: usize,
+    /// Reused sticky-filter output (no per-cycle allocation).
+    filtered: Syndrome,
 }
 
 impl CliqueFrontend {
@@ -39,7 +41,8 @@ impl CliqueFrontend {
         assert!(rounds >= 1, "sticky filter needs at least one round");
         let decoder = CliqueDecoder::new(code, ty);
         let history = RoundHistory::new(decoder.num_cliques(), rounds);
-        Self { decoder, history, rounds }
+        let filtered = Syndrome::new(decoder.num_cliques());
+        Self { decoder, history, rounds, filtered }
     }
 
     /// The sticky window length `k`.
@@ -62,8 +65,24 @@ impl CliqueFrontend {
     /// Panics if `raw.len()` does not match the number of ancillas.
     pub fn push_round(&mut self, raw: &[bool]) -> CliqueDecision {
         self.history.push(raw);
-        let filtered = self.history.sticky(self.rounds);
-        self.decoder.decode(&filtered)
+        self.decide()
+    }
+
+    /// [`CliqueFrontend::push_round`] for an already-packed round — the
+    /// allocation-free hot path: ring-buffer word copy, word-AND sticky
+    /// filter, and a decode that touches only lit words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw.len()` does not match the number of ancillas.
+    pub fn push_round_packed(&mut self, raw: &PackedBits) -> CliqueDecision {
+        self.history.push_packed(raw);
+        self.decide()
+    }
+
+    fn decide(&mut self) -> CliqueDecision {
+        self.history.sticky_into(self.rounds, &mut self.filtered);
+        self.decoder.decode(&self.filtered)
     }
 
     /// Clears the filter pipeline (e.g. after the off-chip decoder has
@@ -123,9 +142,8 @@ mod tests {
         // being a lone defect, flagged complex.
         let code = SurfaceCode::new(7);
         let graph = code.detector_graph(StabilizerType::X);
-        let interior = (0..graph.num_nodes())
-            .find(|&a| graph.private_qubits(a).is_empty())
-            .unwrap();
+        let interior =
+            (0..graph.num_nodes()).find(|&a| graph.private_qubits(a).is_empty()).unwrap();
         let mut fe = CliqueFrontend::new(&code, StabilizerType::X);
         let clean = vec![false; code.num_data_qubits()];
         let flipped = raw_syndrome(&code, &clean, &[interior]);
@@ -137,9 +155,8 @@ mod tests {
     fn three_round_filter_suppresses_two_round_flip() {
         let code = SurfaceCode::new(7);
         let graph = code.detector_graph(StabilizerType::X);
-        let interior = (0..graph.num_nodes())
-            .find(|&a| graph.private_qubits(a).is_empty())
-            .unwrap();
+        let interior =
+            (0..graph.num_nodes()).find(|&a| graph.private_qubits(a).is_empty()).unwrap();
         let mut fe = CliqueFrontend::with_rounds(&code, StabilizerType::X, 3);
         let clean = vec![false; code.num_data_qubits()];
         let quiet = raw_syndrome(&code, &clean, &[]);

@@ -3,7 +3,7 @@
 use btwc_clique::{CliqueDecision, CliqueFrontend};
 use btwc_lattice::{StabilizerType, SurfaceCode};
 use btwc_mwpm::MwpmDecoder;
-use btwc_syndrome::{Correction, RoundHistory};
+use btwc_syndrome::{Correction, PackedBits, RoundHistory};
 
 /// An off-chip decoder that resolves a window of measurement rounds.
 ///
@@ -131,10 +131,7 @@ impl<'a> BtwcBuilder<'a> {
 
     /// Replaces the default MWPM complex decoder.
     #[must_use]
-    pub fn complex_decoder(
-        mut self,
-        decoder: Box<dyn ComplexDecoder + Send + Sync>,
-    ) -> Self {
+    pub fn complex_decoder(mut self, decoder: Box<dyn ComplexDecoder + Send + Sync>) -> Self {
         self.complex = Some(decoder);
         self
     }
@@ -144,14 +141,14 @@ impl<'a> BtwcBuilder<'a> {
     pub fn build(self) -> BtwcDecoder {
         let frontend = CliqueFrontend::with_rounds(self.code, self.ty, self.clique_rounds);
         let n_anc = self.code.num_ancillas(self.ty);
-        let complex = self
-            .complex
-            .unwrap_or_else(|| Box::new(MwpmDecoder::new(self.code, self.ty)));
+        let complex =
+            self.complex.unwrap_or_else(|| Box::new(MwpmDecoder::new(self.code, self.ty)));
         BtwcDecoder {
             frontend,
             complex,
             window: RoundHistory::new(n_anc, self.window_rounds),
             stats: DecoderStats::default(),
+            scratch: PackedBits::new(n_anc),
         }
     }
 }
@@ -164,6 +161,8 @@ pub struct BtwcDecoder {
     complex: Box<dyn ComplexDecoder + Send + Sync>,
     window: RoundHistory,
     stats: DecoderStats,
+    /// Reused packed buffer for bool-slice ingestion.
+    scratch: PackedBits,
 }
 
 impl std::fmt::Debug for BtwcDecoder {
@@ -183,20 +182,53 @@ impl BtwcDecoder {
         BtwcBuilder::new(code, ty)
     }
 
-    /// Ingests one raw measurement round and returns the cycle outcome.
-    /// Corrections returned must be applied to the tracked error state
-    /// (or the Pauli frame) by the caller.
+    /// Ingests one raw measurement round (bool-slice convenience form:
+    /// packs into a reused buffer, then runs the packed pipeline) and
+    /// returns the cycle outcome. Corrections returned must be applied
+    /// to the tracked error state (or the Pauli frame) by the caller.
     ///
     /// # Panics
     ///
     /// Panics if `raw.len()` does not match the ancilla count.
     pub fn process_round(&mut self, raw: &[bool]) -> BtwcOutcome {
+        self.scratch.fill_from_bools(raw);
+        let round = std::mem::take(&mut self.scratch);
+        let outcome = self.process_round_packed(&round);
+        self.scratch = round;
+        outcome
+    }
+
+    /// Ingests one already-packed raw measurement round — the hot path:
+    /// the window push is a recycled word copy, the sticky filter a
+    /// word-AND, and the all-zero common case touches no per-bit state.
+    ///
+    /// Window bookkeeping, and what it retains:
+    ///
+    /// * While the window is **empty**, all-zero rounds are not pushed
+    ///   at all. They carry no detection events and only shift event
+    ///   times uniformly, so the space-time matching of a later complex
+    ///   decode is unchanged — this removes the seed implementation's
+    ///   per-cycle round copy in the >90% quiet case.
+    /// * When the window **fills**, it is reset rather than slid: every
+    ///   round in it was either quiet or already consumed by Clique's
+    ///   on-chip corrections (a complex decode would have reset the
+    ///   window when it was resolved), so the dropped history is stale
+    ///   by construction. Resetting also restores the all-zero
+    ///   detection-event baseline that `decode_window` assumes.
+    /// * A complex decode consumes the window and resets it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw.len()` does not match the ancilla count.
+    pub fn process_round_packed(&mut self, raw: &PackedBits) -> BtwcOutcome {
         if self.window.len() == self.window.capacity() {
             self.window.reset();
         }
-        self.window.push(raw);
+        if !(self.window.is_empty() && raw.is_zero()) {
+            self.window.push_packed(raw);
+        }
         self.stats.cycles += 1;
-        match self.frontend.push_round(raw) {
+        match self.frontend.push_round_packed(raw) {
             CliqueDecision::AllZeros => {
                 self.stats.quiet += 1;
                 BtwcOutcome::Quiet
@@ -279,10 +311,7 @@ mod tests {
         // The MWPM correction must cancel the syndrome equivalently.
         let mut residual = errors.clone();
         c.apply_to(&mut residual);
-        assert!(code
-            .syndrome_of(StabilizerType::X, &residual)
-            .iter()
-            .all(|&s| !s));
+        assert!(code.syndrome_of(StabilizerType::X, &residual).iter().all(|&s| !s));
         assert!(!code.is_logical_error(StabilizerType::X, &residual));
         assert_eq!(dec.stats().offchip, 1);
     }

@@ -115,14 +115,8 @@ mod tests {
         let first = dec.process_rounds(&xr, &zr);
         assert!(!first.went_offchip());
         let second = dec.process_rounds(&xr, &zr);
-        assert_eq!(
-            second.z_correction().map(Correction::qubits),
-            Some(&[12usize][..])
-        );
-        assert_eq!(
-            second.x_correction().map(Correction::qubits),
-            Some(&[6usize][..])
-        );
+        assert_eq!(second.z_correction().map(Correction::qubits), Some(&[12usize][..]));
+        assert_eq!(second.x_correction().map(Correction::qubits), Some(&[6usize][..]));
     }
 
     #[test]

@@ -64,11 +64,14 @@ impl BtwcSystem {
     ///
     /// Panics if `num_qubits == 0` or `bandwidth == 0`.
     #[must_use]
-    pub fn new(code: &SurfaceCode, ty: StabilizerType, num_qubits: usize, bandwidth: usize) -> Self {
+    pub fn new(
+        code: &SurfaceCode,
+        ty: StabilizerType,
+        num_qubits: usize,
+        bandwidth: usize,
+    ) -> Self {
         assert!(num_qubits > 0, "need at least one logical qubit");
-        let decoders = (0..num_qubits)
-            .map(|_| BtwcDecoder::builder(code, ty).build())
-            .collect();
+        let decoders = (0..num_qubits).map(|_| BtwcDecoder::builder(code, ty).build()).collect();
         Self {
             decoders,
             queue: QueueSim::new(bandwidth),
@@ -163,12 +166,8 @@ mod tests {
         let complex_round = code.syndrome_of(StabilizerType::X, &errors);
         let quiet = vec![false; code.num_ancillas(StabilizerType::X)];
         // Two qubits see the chain, two stay quiet.
-        let rounds = vec![
-            complex_round.clone(),
-            complex_round.clone(),
-            quiet.clone(),
-            quiet.clone(),
-        ];
+        let rounds =
+            vec![complex_round.clone(), complex_round.clone(), quiet.clone(), quiet.clone()];
         let c1 = sys.step(&rounds); // filter filling; nothing yet
         assert_eq!(c1.offchip_requests, 0);
         let c2 = sys.step(&rounds); // both flagged complex, bandwidth 1
@@ -211,11 +210,7 @@ mod tests {
         );
         // The decode loop keeps every qubit's syndrome under control.
         for e in &errors {
-            let weight = code
-                .syndrome_of(ty, e)
-                .iter()
-                .filter(|&&s| s)
-                .count();
+            let weight = code.syndrome_of(ty, e).iter().filter(|&&s| s).count();
             assert!(weight <= 6, "runaway syndrome weight {weight}");
         }
     }

@@ -80,11 +80,8 @@ impl SurfaceCode {
                 if !Self::plaquette_kept(p, distance) {
                     continue;
                 }
-                let data = p
-                    .data_neighbors(distance)
-                    .into_iter()
-                    .map(|q| q.index(distance))
-                    .collect();
+                let data =
+                    p.data_neighbors(distance).into_iter().map(|q| q.index(distance)).collect();
                 let ancilla = Ancilla { plaquette: p, data };
                 match p.stabilizer_type() {
                     StabilizerType::X => x_ancillas.push(ancilla),
@@ -97,15 +94,7 @@ impl SurfaceCode {
         let z_graph = DetectorGraph::build(&z_ancillas, num_data);
         let logical_z = LogicalOperator::column(distance, (distance - 1) / 2);
         let logical_x = LogicalOperator::row(distance, (distance - 1) / 2);
-        Self {
-            distance,
-            x_ancillas,
-            z_ancillas,
-            x_graph,
-            z_graph,
-            logical_z,
-            logical_x,
-        }
+        Self { distance, x_ancillas, z_ancillas, x_graph, z_graph, logical_z, logical_x }
     }
 
     /// Whether plaquette `p` hosts a stabilizer on a distance-`d` code.
@@ -268,10 +257,7 @@ mod tests {
                     }
                 }
                 for (q, &c) in cover.iter().enumerate() {
-                    assert!(
-                        c == 1 || c == 2,
-                        "d={d} ty={ty} qubit {q} covered {c} times"
-                    );
+                    assert!(c == 1 || c == 2, "d={d} ty={ty} qubit {q} covered {c} times");
                 }
             }
         }
@@ -300,11 +286,8 @@ mod tests {
         let mut errors = vec![false; code.num_data_qubits()];
         errors[q] = true;
         let syndrome = code.syndrome_of(StabilizerType::X, &errors);
-        let set: Vec<usize> = syndrome
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &s)| s.then_some(i))
-            .collect();
+        let set: Vec<usize> =
+            syndrome.iter().enumerate().filter_map(|(i, &s)| s.then_some(i)).collect();
         assert_eq!(set.len(), 2, "interior error flips exactly two X ancillas");
         for &i in &set {
             assert!(code.ancillas(StabilizerType::X)[i].data_qubits().contains(&q));

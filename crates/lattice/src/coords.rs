@@ -74,10 +74,7 @@ impl DataQubit {
     pub fn from_index(index: usize, d: u16) -> Self {
         let dd = usize::from(d);
         assert!(index < dd * dd, "data qubit index {index} out of range for d={d}");
-        Self {
-            row: (index / dd) as u16,
-            col: (index % dd) as u16,
-        }
+        Self { row: (index / dd) as u16, col: (index % dd) as u16 }
     }
 }
 

@@ -107,15 +107,7 @@ impl DetectorGraph {
         // Multi-source BFS from the boundary.
         let (boundary_dist, boundary_parent) = bfs_from_boundary(&adjacency, num_nodes);
 
-        Self {
-            num_nodes,
-            edges,
-            adjacency,
-            dist,
-            parent,
-            boundary_dist,
-            boundary_parent,
-        }
+        Self { num_nodes, edges, adjacency, dist, parent, boundary_dist, boundary_parent }
     }
 
     /// Number of ancilla nodes.

@@ -76,11 +76,7 @@ mod tests {
         let d = 5;
         let col = LogicalOperator::column(d, 2);
         let cross = col.crossing_check(d);
-        let overlap = col
-            .support()
-            .iter()
-            .filter(|q| cross.support().contains(q))
-            .count();
+        let overlap = col.support().iter().filter(|q| cross.support().contains(q)).count();
         assert_eq!(overlap, 1);
     }
 

@@ -34,17 +34,8 @@ impl SurfaceCode {
     /// Panics (in the `Display` impl) if the overlay lengths do not match
     /// the code.
     #[must_use]
-    pub fn render_with<'a>(
-        &'a self,
-        errors: &'a [bool],
-        x_syndrome: &'a [bool],
-    ) -> Render<'a> {
-        Render {
-            code: self,
-            errors: Some(errors),
-            x_syndrome: Some(x_syndrome),
-            z_syndrome: None,
-        }
+    pub fn render_with<'a>(&'a self, errors: &'a [bool], x_syndrome: &'a [bool]) -> Render<'a> {
+        Render { code: self, errors: Some(errors), x_syndrome: Some(x_syndrome), z_syndrome: None }
     }
 
     /// Renders the lattice with error overlay and both syndrome types
@@ -105,9 +96,7 @@ impl fmt::Display for Render<'_> {
 impl Render<'_> {
     fn plaquette_char(&self, p: Plaquette) -> char {
         let code = self.code;
-        let find = |ty: StabilizerType| {
-            code.ancillas(ty).iter().position(|a| a.plaquette() == p)
-        };
+        let find = |ty: StabilizerType| code.ancillas(ty).iter().position(|a| a.plaquette() == p);
         if let Some(i) = find(StabilizerType::X) {
             let lit = self.x_syndrome.map(|s| s[i]).unwrap_or(false);
             return if lit { 'X' } else { 'x' };

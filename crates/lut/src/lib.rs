@@ -186,10 +186,8 @@ mod tests {
             let mut errors = vec![false; code.num_data_qubits()];
             errors[q] = true;
             let syndrome = Syndrome::from_bits(code.syndrome_of(ty, &errors));
-            let events: Vec<DetectionEvent> = syndrome
-                .iter_set()
-                .map(|ancilla| DetectionEvent { ancilla, round: 0 })
-                .collect();
+            let events: Vec<DetectionEvent> =
+                syndrome.iter_set().map(|ancilla| DetectionEvent { ancilla, round: 0 }).collect();
             assert_eq!(lut.decode(&syndrome), mwpm.decode_events(&events), "qubit {q}");
         }
     }
@@ -199,9 +197,8 @@ mod tests {
         use btwc_core::{BtwcDecoder, BtwcOutcome};
         let code = SurfaceCode::new(5);
         let lut = LutDecoder::build(&code, StabilizerType::X);
-        let mut dec = BtwcDecoder::builder(&code, StabilizerType::X)
-            .complex_decoder(Box::new(lut))
-            .build();
+        let mut dec =
+            BtwcDecoder::builder(&code, StabilizerType::X).complex_decoder(Box::new(lut)).build();
         let mut errors = vec![false; code.num_data_qubits()];
         errors[5 + 2] = true;
         errors[2 * 5 + 2] = true; // interior chain => complex

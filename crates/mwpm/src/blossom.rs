@@ -8,6 +8,13 @@
 //! a large constant so that maximizing weight first maximizes cardinality
 //! and then minimizes the original total.
 //!
+//! The solver's dense state (several `(2n+2)²` tables) dominates the
+//! cost of small decodes if reallocated per call, so it lives in a
+//! caller-reusable [`MatchingScratch`]:
+//! [`minimum_weight_perfect_matching_with`] resets and regrows the
+//! scratch instead of allocating, which is what the decode hot path
+//! uses.
+//!
 //! Correctness here is essential (the decoder's accuracy *is* the
 //! baseline of the paper's Fig. 14), so this module is property-tested
 //! against the exponential reference matcher in [`crate::brute`].
@@ -15,14 +22,30 @@
 use std::collections::VecDeque;
 
 /// A perfect matching: `pairs[i] = (u, v)` with `u < v`, plus the total
-/// weight under the *original* (minimization) weights.
+/// weight under the *original* (minimization) weights and an O(1)
+/// partner lookup table.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Matching {
     pairs: Vec<(usize, usize)>,
+    /// `partners[u]` = vertex matched to `u` (`usize::MAX` = none).
+    partners: Vec<usize>,
     total: i64,
 }
 
 impl Matching {
+    // The table costs one n-word allocation per returned `Matching` —
+    // the same order as `pairs` itself, and negligible next to the
+    // solver's O(n²) tables — in exchange for O(1) `partner` queries
+    // instead of the previous O(n) pair scan.
+    fn new(pairs: Vec<(usize, usize)>, n: usize, total: i64) -> Self {
+        let mut partners = vec![usize::MAX; n];
+        for &(u, v) in &pairs {
+            partners[u] = v;
+            partners[v] = u;
+        }
+        Self { pairs, partners, total }
+    }
+
     /// Matched pairs, each as `(u, v)` with `u < v`, sorted by `u`.
     #[must_use]
     pub fn pairs(&self) -> &[(usize, usize)] {
@@ -35,18 +58,30 @@ impl Matching {
         self.total
     }
 
-    /// The partner of vertex `u`, if matched.
+    /// The partner of vertex `u`, if matched — O(1) table lookup.
     #[must_use]
     pub fn partner(&self, u: usize) -> Option<usize> {
-        self.pairs.iter().find_map(|&(a, b)| {
-            if a == u {
-                Some(b)
-            } else if b == u {
-                Some(a)
-            } else {
-                None
-            }
-        })
+        match self.partners.get(u) {
+            Some(&v) if v != usize::MAX => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Reusable storage for [`minimum_weight_perfect_matching_with`]: the
+/// solver's dense tables plus the complemented weight matrix, regrown
+/// monotonically and reset (not reallocated) per call.
+#[derive(Debug, Clone, Default)]
+pub struct MatchingScratch {
+    solver: Solver,
+    w: Vec<Option<i64>>,
+}
+
+impl MatchingScratch {
+    /// An empty scratch; it sizes itself on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -56,6 +91,9 @@ impl Matching {
 ///
 /// Returns `None` when no perfect matching exists (including odd `n`).
 ///
+/// Allocates fresh working state; hot paths should hold a
+/// [`MatchingScratch`] and call [`minimum_weight_perfect_matching_with`].
+///
 /// # Panics
 ///
 /// Panics if any provided weight is negative.
@@ -63,14 +101,35 @@ pub fn minimum_weight_perfect_matching<F>(n: usize, weight: F) -> Option<Matchin
 where
     F: Fn(usize, usize) -> Option<i64>,
 {
+    minimum_weight_perfect_matching_with(&mut MatchingScratch::new(), n, weight)
+}
+
+/// [`minimum_weight_perfect_matching`] reusing caller-owned scratch
+/// storage (allocation-free once the scratch has grown to the largest
+/// `n` seen).
+///
+/// # Panics
+///
+/// Panics if any provided weight is negative.
+pub fn minimum_weight_perfect_matching_with<F>(
+    scratch: &mut MatchingScratch,
+    n: usize,
+    weight: F,
+) -> Option<Matching>
+where
+    F: Fn(usize, usize) -> Option<i64>,
+{
     if n == 0 {
-        return Some(Matching { pairs: Vec::new(), total: 0 });
+        return Some(Matching::new(Vec::new(), 0, 0));
     }
     if n % 2 == 1 {
         return None;
     }
-    // Collect weights; find the maximum for complementation.
-    let mut w = vec![None; n * n];
+    // Collect weights into the reused matrix; find the max for
+    // complementation.
+    let w = &mut scratch.w;
+    w.clear();
+    w.resize(n * n, None);
     let mut w_max = 0i64;
     for u in 0..n {
         for v in (u + 1)..n {
@@ -84,7 +143,8 @@ where
     }
     // big enough that every extra matched edge beats any weight savings
     let m = (n as i64) * w_max + 1;
-    let mut solver = Solver::new(n);
+    let solver = &mut scratch.solver;
+    solver.prepare(n);
     for u in 0..n {
         for v in (u + 1)..n {
             if let Some(x) = w[u * n + v] {
@@ -107,11 +167,14 @@ where
             pairs.push((u - 1, v - 1));
         }
     }
-    Some(Matching { pairs, total })
+    Some(Matching::new(pairs, n, total))
 }
 
 /// Dense O(n³) maximum-weight matching solver (1-indexed internally;
-/// index 0 is the null sentinel).
+/// index 0 is the null sentinel). All storage is regrown monotonically
+/// and reset by [`Solver::prepare`], never reallocated between calls of
+/// the same or smaller size.
+#[derive(Debug, Clone, Default)]
 struct Solver {
     n: usize,
     n_x: usize,
@@ -135,34 +198,51 @@ struct Solver {
 }
 
 impl Solver {
-    fn new(n: usize) -> Self {
+    /// Sizes the tables for `n` vertices and resets every entry to the
+    /// pristine state (no allocation once grown to the largest `n`).
+    fn prepare(&mut self, n: usize) {
         let cap = 2 * n + 2;
-        let mut s = Self {
-            n,
-            n_x: n,
-            cap,
-            e_u: vec![0; cap * cap],
-            e_v: vec![0; cap * cap],
-            e_w: vec![0; cap * cap],
-            lab: vec![0; cap],
-            mate: vec![0; cap],
-            slack: vec![0; cap],
-            st: vec![0; cap],
-            pa: vec![0; cap],
-            flower_from: vec![0; cap * (n + 1)],
-            s: vec![-1; cap],
-            vis: vec![0; cap],
-            vis_t: 0,
-            flower: vec![Vec::new(); cap],
-            q: VecDeque::new(),
-        };
+        self.n = n;
+        self.n_x = n;
+        self.cap = cap;
+        let sq = cap * cap;
+        self.e_u.clear();
+        self.e_u.resize(sq, 0);
+        self.e_v.clear();
+        self.e_v.resize(sq, 0);
+        self.e_w.clear();
+        self.e_w.resize(sq, 0);
         for u in 0..cap {
             for v in 0..cap {
-                s.e_u[u * cap + v] = u;
-                s.e_v[u * cap + v] = v;
+                self.e_u[u * cap + v] = u;
+                self.e_v[u * cap + v] = v;
             }
         }
-        s
+        self.lab.clear();
+        self.lab.resize(cap, 0);
+        self.mate.clear();
+        self.mate.resize(cap, 0);
+        self.slack.clear();
+        self.slack.resize(cap, 0);
+        self.st.clear();
+        self.st.resize(cap, 0);
+        self.pa.clear();
+        self.pa.resize(cap, 0);
+        self.flower_from.clear();
+        self.flower_from.resize(cap * (n + 1), 0);
+        self.s.clear();
+        self.s.resize(cap, -1);
+        self.vis.clear();
+        self.vis.resize(cap, 0);
+        self.vis_t = 0;
+        // Reuse the petal vectors' capacity, drop any stale contents.
+        if self.flower.len() < cap {
+            self.flower.resize(cap, Vec::new());
+        }
+        for f in &mut self.flower[..cap] {
+            f.clear();
+        }
+        self.q.clear();
     }
 
     fn set_edge(&mut self, u: usize, v: usize, w: i64) {
@@ -231,10 +311,7 @@ impl Solver {
     }
 
     fn get_pr(&mut self, b: usize, xr: usize) -> usize {
-        let pr = self.flower[b]
-            .iter()
-            .position(|&x| x == xr)
-            .expect("xr must be a petal of b");
+        let pr = self.flower[b].iter().position(|&x| x == xr).expect("xr must be a petal of b");
         if pr % 2 == 1 {
             self.flower[b][1..].reverse();
             self.flower[b].len() - pr
@@ -304,7 +381,8 @@ impl Solver {
         self.lab[b] = 0;
         self.s[b] = 0;
         self.mate[b] = self.mate[lca];
-        self.flower[b] = vec![lca];
+        self.flower[b].clear();
+        self.flower[b].push(lca);
         let mut x = u;
         while x != lca {
             let y = self.st[self.mate[x]];
@@ -549,6 +627,7 @@ mod tests {
         let m = minimum_weight_perfect_matching(0, |_, _| None).unwrap();
         assert!(m.pairs().is_empty());
         assert_eq!(m.total_weight(), 0);
+        assert_eq!(m.partner(0), None);
     }
 
     #[test]
@@ -563,6 +642,7 @@ mod tests {
         assert_eq!(m.total_weight(), 7);
         assert_eq!(m.partner(0), Some(1));
         assert_eq!(m.partner(1), Some(0));
+        assert_eq!(m.partner(2), None, "out of range is unmatched");
     }
 
     #[test]
@@ -574,11 +654,9 @@ mod tests {
     #[test]
     fn four_vertices_chooses_cheaper_pairing() {
         // Pairings: (01)(23) = 1+1 = 2; (02)(13) = 10+10 = 20; (03)(12) = 10+10.
-        let m = complete(
-            4,
-            &[(0, 1, 1), (2, 3, 1), (0, 2, 10), (1, 3, 10), (0, 3, 10), (1, 2, 10)],
-        )
-        .unwrap();
+        let m =
+            complete(4, &[(0, 1, 1), (2, 3, 1), (0, 2, 10), (1, 3, 10), (0, 3, 10), (1, 2, 10)])
+                .unwrap();
         assert_eq!(m.total_weight(), 2);
         assert_eq!(m.pairs(), &[(0, 1), (2, 3)]);
     }
@@ -586,11 +664,8 @@ mod tests {
     #[test]
     fn forced_expensive_pairing() {
         // The cheap edges share vertex 0, so one expensive edge is forced.
-        let m = complete(
-            4,
-            &[(0, 1, 1), (0, 2, 1), (0, 3, 1), (1, 2, 50), (1, 3, 60), (2, 3, 70)],
-        )
-        .unwrap();
+        let m = complete(4, &[(0, 1, 1), (0, 2, 1), (0, 3, 1), (1, 2, 50), (1, 3, 60), (2, 3, 70)])
+            .unwrap();
         // Best: (0,1)+(2,3)=71, (0,2)+(1,3)=61, (0,3)+(1,2)=51.
         assert_eq!(m.total_weight(), 51);
     }
@@ -605,19 +680,49 @@ mod tests {
     fn six_vertex_triangle_structure_forces_blossom_logic() {
         // Two triangles {0,1,2} and {3,4,5} joined by one bridge; odd
         // components force the matching through the bridge.
-        let edges = [
-            (0, 1, 2),
-            (1, 2, 2),
-            (0, 2, 2),
-            (3, 4, 2),
-            (4, 5, 2),
-            (3, 5, 2),
-            (2, 3, 1),
-        ];
+        let edges = [(0, 1, 2), (1, 2, 2), (0, 2, 2), (3, 4, 2), (4, 5, 2), (3, 5, 2), (2, 3, 1)];
         let m = complete(6, &edges).unwrap();
         // Must use bridge (2,3) plus one edge inside each triangle: 1+2+2.
         assert_eq!(m.total_weight(), 5);
         assert_eq!(m.partner(2), Some(3));
+    }
+
+    #[test]
+    fn partner_table_is_consistent_with_pairs() {
+        let m = complete(
+            6,
+            &[(0, 1, 2), (1, 2, 2), (0, 2, 2), (3, 4, 2), (4, 5, 2), (3, 5, 2), (2, 3, 1)],
+        )
+        .unwrap();
+        for &(u, v) in m.pairs() {
+            assert_eq!(m.partner(u), Some(v));
+            assert_eq!(m.partner(v), Some(u));
+        }
+        assert_eq!(m.pairs().len(), 3);
+    }
+
+    #[test]
+    fn scratch_reuse_across_sizes_matches_fresh_runs() {
+        // Shrink and regrow: reuse must never leak state between calls.
+        type Problem = (usize, Vec<(usize, usize, i64)>);
+        let mut scratch = MatchingScratch::new();
+        let problems: Vec<Problem> = vec![
+            (6, vec![(0, 1, 2), (1, 2, 2), (0, 2, 2), (3, 4, 2), (4, 5, 2), (3, 5, 2), (2, 3, 1)]),
+            (2, vec![(0, 1, 7)]),
+            (4, vec![(0, 1, 1), (2, 3, 1), (0, 2, 10), (1, 3, 10), (0, 3, 10), (1, 2, 10)]),
+            (6, vec![(0, 1, 2), (1, 2, 2), (0, 2, 2), (3, 4, 2), (4, 5, 2), (3, 5, 2), (2, 3, 1)]),
+        ];
+        for (n, edges) in problems {
+            let weight = |u: usize, v: usize| {
+                edges
+                    .iter()
+                    .find(|&&(a, b, _)| (a, b) == (u, v) || (a, b) == (v, u))
+                    .map(|&(_, _, w)| w)
+            };
+            let reused = minimum_weight_perfect_matching_with(&mut scratch, n, weight).unwrap();
+            let fresh = minimum_weight_perfect_matching(n, weight).unwrap();
+            assert_eq!(reused, fresh);
+        }
     }
 
     #[test]

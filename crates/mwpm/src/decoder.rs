@@ -1,9 +1,11 @@
 //! Space-time MWPM decoding of detection-event windows.
 
+use std::sync::Mutex;
+
 use btwc_lattice::{DetectorGraph, StabilizerType, SurfaceCode};
 use btwc_syndrome::{Correction, DetectionEvent, RoundHistory};
 
-use crate::blossom::minimum_weight_perfect_matching;
+use crate::blossom::{minimum_weight_perfect_matching_with, MatchingScratch};
 
 /// The heavyweight off-chip decoder: exact minimum-weight perfect
 /// matching over space-time detection events.
@@ -24,17 +26,46 @@ use crate::blossom::minimum_weight_perfect_matching;
 /// flip the qubits along a shortest detector-graph path, time-like pairs
 /// (measurement errors) flip nothing, boundary pairs flip a shortest
 /// path out of the lattice.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct MwpmDecoder {
     ty: StabilizerType,
     graph: DetectorGraph,
+    /// Reusable decode state (the event buffer and the blossom
+    /// solver's dense tables), so the dominant per-decode costs
+    /// allocate nothing once warmed up; only the returned
+    /// `Correction`'s own storage (and the small `Matching`) is
+    /// allocated per call. Behind a mutex to keep the decoder `Sync`
+    /// with `&self` decode methods; decodes are short and the
+    /// simulators hold one decoder per thread, so the lock is
+    /// uncontended in practice.
+    scratch: Mutex<DecodeScratch>,
+}
+
+#[derive(Debug, Default)]
+struct DecodeScratch {
+    matching: MatchingScratch,
+    events: Vec<DetectionEvent>,
+}
+
+impl Clone for MwpmDecoder {
+    fn clone(&self) -> Self {
+        Self {
+            ty: self.ty,
+            graph: self.graph.clone(),
+            scratch: Mutex::new(DecodeScratch::default()),
+        }
+    }
 }
 
 impl MwpmDecoder {
     /// Builds the decoder for stabilizer type `ty` of `code`.
     #[must_use]
     pub fn new(code: &SurfaceCode, ty: StabilizerType) -> Self {
-        Self { ty, graph: code.detector_graph(ty).clone() }
+        Self {
+            ty,
+            graph: code.detector_graph(ty).clone(),
+            scratch: Mutex::new(DecodeScratch::default()),
+        }
     }
 
     /// The stabilizer type this decoder serves.
@@ -50,46 +81,61 @@ impl MwpmDecoder {
     /// Panics if any event references an out-of-range ancilla.
     #[must_use]
     pub fn decode_events(&self, events: &[DetectionEvent]) -> Correction {
+        let mut scratch = self.scratch.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        Self::decode_events_with(&self.graph, events, &mut scratch.matching)
+    }
+
+    /// The decode kernel, reusing caller-provided scratch: the
+    /// complemented event-weight matrix and the blossom solver's dense
+    /// work arrays — the O(n²) per-decode costs — persist across calls
+    /// (regrown monotonically, reset in place). The flip list is a
+    /// plain local: its storage leaves in the returned `Correction`
+    /// anyway, so caching it would buy nothing.
+    fn decode_events_with(
+        graph: &DetectorGraph,
+        events: &[DetectionEvent],
+        matching_scratch: &mut MatchingScratch,
+    ) -> Correction {
         let n = events.len();
         if n == 0 {
             return Correction::new();
         }
         for ev in events {
-            assert!(
-                ev.ancilla < self.graph.num_nodes(),
-                "event ancilla {} out of range",
-                ev.ancilla
-            );
+            assert!(ev.ancilla < graph.num_nodes(), "event ancilla {} out of range", ev.ancilla);
         }
-        // Nodes 0..n are events, n..2n their boundary twins.
+        // Nodes 0..n are events, n..2n their boundary twins. The
+        // detector-graph distances behind `weight` are precomputed by
+        // the lattice, so each query is an O(1) lookup.
         let weight = |u: usize, v: usize| -> Option<i64> {
             match (u < n, v < n) {
                 (true, true) => {
                     let (a, b) = (&events[u], &events[v]);
-                    let spatial = self.graph.distance(a.ancilla, b.ancilla);
+                    let spatial = graph.distance(a.ancilla, b.ancilla);
                     let temporal = a.round.abs_diff(b.round);
                     Some(i64::from(spatial) + temporal as i64)
                 }
-                (true, false) => (v - n == u)
-                    .then(|| i64::from(self.graph.boundary_distance(events[u].ancilla))),
-                (false, true) => (u - n == v)
-                    .then(|| i64::from(self.graph.boundary_distance(events[v].ancilla))),
+                (true, false) => {
+                    (v - n == u).then(|| i64::from(graph.boundary_distance(events[u].ancilla)))
+                }
+                (false, true) => {
+                    (u - n == v).then(|| i64::from(graph.boundary_distance(events[v].ancilla)))
+                }
                 (false, false) => Some(0),
             }
         };
-        let matching = minimum_weight_perfect_matching(2 * n, weight)
+        let matching = minimum_weight_perfect_matching_with(matching_scratch, 2 * n, weight)
             .expect("event graph with boundary twins always has a perfect matching");
         let mut flips = Vec::new();
         for &(u, v) in matching.pairs() {
             match (u < n, v < n) {
                 (true, true) => {
-                    flips.extend(self.graph.path(events[u].ancilla, events[v].ancilla));
+                    flips.extend(graph.path(events[u].ancilla, events[v].ancilla));
                 }
                 (true, false) => {
-                    flips.extend(self.graph.path_to_boundary(events[u].ancilla));
+                    flips.extend(graph.path_to_boundary(events[u].ancilla));
                 }
                 (false, true) => {
-                    flips.extend(self.graph.path_to_boundary(events[v].ancilla));
+                    flips.extend(graph.path_to_boundary(events[v].ancilla));
                 }
                 (false, false) => {}
             }
@@ -99,10 +145,14 @@ impl MwpmDecoder {
 
     /// Decodes a whole window of measurement rounds (the off-chip path
     /// of the paper's Fig. 2: raw syndromes are shipped out and matched
-    /// in space-time).
+    /// in space-time). The detection-event diff lands in a reused
+    /// buffer — no per-decode allocation.
     #[must_use]
     pub fn decode_window(&self, history: &RoundHistory) -> Correction {
-        self.decode_events(&history.detection_events())
+        let mut scratch = self.scratch.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let DecodeScratch { matching, events } = &mut *scratch;
+        history.detection_events_into(events);
+        Self::decode_events_with(&self.graph, events, matching)
     }
 }
 

@@ -112,9 +112,7 @@ fn metric_like_instances_match_brute_force() {
             let w: Vec<Vec<Option<i64>>> = (0..n)
                 .map(|u| {
                     (0..n)
-                        .map(|v| {
-                            (u != v).then(|| (pos[u] - pos[v]).abs() + (t[u] - t[v]).abs())
-                        })
+                        .map(|v| (u != v).then(|| (pos[u] - pos[v]).abs() + (t[u] - t[v]).abs()))
                         .collect()
                 })
                 .collect();

@@ -116,15 +116,10 @@ mod tests {
     fn mean_flip_count_matches_np() {
         let mut rng = SimRng::from_seed(8);
         let (n, p, trials) = (200usize, 0.01f64, 20_000usize);
-        let total: usize = (0..trials)
-            .map(|_| SparseFlips::new(&mut rng, n, p).count())
-            .sum();
+        let total: usize = (0..trials).map(|_| SparseFlips::new(&mut rng, n, p).count()).sum();
         let mean = total as f64 / trials as f64;
         let expect = n as f64 * p;
-        assert!(
-            (mean - expect).abs() < 0.1 * expect,
-            "mean {mean}, expected {expect}"
-        );
+        assert!((mean - expect).abs() < 0.1 * expect, "mean {mean}, expected {expect}");
     }
 
     #[test]

@@ -125,11 +125,7 @@ mod tests {
         for d in [3u16, 9, 15, 21] {
             let r = model
                 .report(synthesize_clique(&SurfaceCode::new(d), StabilizerType::X, 2).netlist());
-            assert!(
-                (0.02..0.6).contains(&r.latency_ns),
-                "d={d} latency {} ns",
-                r.latency_ns
-            );
+            assert!((0.02..0.6).contains(&r.latency_ns), "d={d} latency {} ns", r.latency_ns);
         }
     }
 

@@ -110,8 +110,7 @@ impl Netlist {
         assert!(a < self.num_nets, "input net out of range");
         let o1 = self.new_net();
         let o2 = self.new_net();
-        self.gates
-            .push(Gate { kind: CellKind::Split, inputs: [a, usize::MAX], outputs: [o1, o2] });
+        self.gates.push(Gate { kind: CellKind::Split, inputs: [a, usize::MAX], outputs: [o1, o2] });
         (o1, o2)
     }
 
@@ -174,10 +173,7 @@ impl Netlist {
     /// cost metric).
     #[must_use]
     pub fn jj_count(&self) -> u64 {
-        self.gates
-            .iter()
-            .map(|g| u64::from(cell_library(g.kind).jj_count))
-            .sum()
+        self.gates.iter().map(|g| u64::from(cell_library(g.kind).jj_count)).sum()
     }
 
     /// Total standard-cell area in µm².
@@ -199,11 +195,7 @@ impl Netlist {
         let mut arrival = vec![0.0f64; self.num_nets];
         for &gi in &order {
             let g = &self.gates[gi];
-            let t_in = g
-                .inputs()
-                .iter()
-                .map(|&n| arrival[n])
-                .fold(0.0f64, f64::max);
+            let t_in = g.inputs().iter().map(|&n| arrival[n]).fold(0.0f64, f64::max);
             let t_out = t_in + cell_library(g.kind).delay_ps;
             for &o in g.outputs() {
                 arrival[o] = t_out;
@@ -274,9 +266,8 @@ impl Netlist {
                 }
             }
         }
-        let mut queue: VecDeque<usize> = (0..self.gates.len())
-            .filter(|&gi| indegree[gi] == 0)
-            .collect();
+        let mut queue: VecDeque<usize> =
+            (0..self.gates.len()).filter(|&gi| indegree[gi] == 0).collect();
         let mut order = Vec::with_capacity(self.gates.len());
         while let Some(gi) = queue.pop_front() {
             order.push(gi);
@@ -369,11 +360,7 @@ impl NetlistState {
     /// Panics if `inputs.len()` differs from the number of primary
     /// inputs.
     pub fn step(&mut self, netlist: &Netlist, inputs: &[bool]) -> Vec<bool> {
-        assert_eq!(
-            inputs.len(),
-            netlist.primary_inputs().len(),
-            "primary input width mismatch"
-        );
+        assert_eq!(inputs.len(), netlist.primary_inputs().len(), "primary input width mismatch");
         for (&net, &v) in netlist.primary_inputs().iter().zip(inputs) {
             self.values[net] = v;
         }
@@ -415,11 +402,7 @@ impl NetlistState {
                 self.dff[gi] = self.values[g.inputs()[0]];
             }
         }
-        netlist
-            .primary_outputs()
-            .iter()
-            .map(|&n| self.values[n])
-            .collect()
+        netlist.primary_outputs().iter().map(|&n| self.values[n]).collect()
     }
 
     /// Holds `inputs` constant for `cycles` steps and returns the final

@@ -90,11 +90,8 @@ impl Netlist {
                 let (a, b) = (g.inputs()[0], g.inputs()[1]);
                 let (da, db) = (depth[a], depth[b]);
                 if da != db {
-                    let (shallow_slot, shallow_net, diff) = if da < db {
-                        (0, a, db - da)
-                    } else {
-                        (1, b, da - db)
-                    };
+                    let (shallow_slot, shallow_net, diff) =
+                        if da < db { (0, a, db - da) } else { (1, b, da - db) };
                     let padded = self.pad_with_dffs(shallow_net, diff, &mut depth);
                     rewire_input(&mut self.gates_mut()[gi], shallow_slot, padded);
                 }
@@ -106,12 +103,7 @@ impl Netlist {
             }
         }
         // Align all primary outputs to the deepest one.
-        let max_po = self
-            .primary_outputs()
-            .iter()
-            .map(|&n| depth[n])
-            .max()
-            .unwrap_or(0);
+        let max_po = self.primary_outputs().iter().map(|&n| depth[n]).max().unwrap_or(0);
         for pi in 0..self.primary_outputs().len() {
             let net = self.primary_outputs()[pi];
             let diff = max_po - depth[net];
@@ -204,12 +196,7 @@ mod tests {
     #[test]
     fn passes_preserve_function_modulo_latency() {
         // The padded pipeline must compute the same function once settled.
-        let cases = [
-            [false, false],
-            [false, true],
-            [true, false],
-            [true, true],
-        ];
+        let cases = [[false, false], [false, true], [true, false], [true, true]];
         let mut reference = sample_unbalanced();
         let mut transformed = sample_unbalanced();
         transformed.insert_splitters();

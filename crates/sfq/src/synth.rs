@@ -101,11 +101,8 @@ pub fn synthesize_clique(code: &SurfaceCode, ty: StabilizerType, rounds: usize) 
     let mut complex_flags = Vec::with_capacity(n);
     let mut any_neighbor: Vec<Option<NetId>> = vec![None; n];
     for a in 0..n {
-        let neighbors: Vec<NetId> = graph
-            .ancilla_neighbors(a)
-            .iter()
-            .map(|&(b, _)| filtered[b])
-            .collect();
+        let neighbors: Vec<NetId> =
+            graph.ancilla_neighbors(a).iter().map(|&(b, _)| filtered[b]).collect();
         let parity = reduce_tree(&mut nl, CellKind::Xor2, &neighbors);
         let even = nl.add_gate1(CellKind::Not, parity);
         let base = nl.add_gate2(CellKind::And2, filtered[a], even);
@@ -294,12 +291,10 @@ mod tests {
 
     #[test]
     fn gate_count_grows_quadratically_with_distance() {
-        let jj3 = synthesize_clique(&SurfaceCode::new(3), StabilizerType::X, 2)
-            .netlist()
-            .jj_count();
-        let jj9 = synthesize_clique(&SurfaceCode::new(9), StabilizerType::X, 2)
-            .netlist()
-            .jj_count();
+        let jj3 =
+            synthesize_clique(&SurfaceCode::new(3), StabilizerType::X, 2).netlist().jj_count();
+        let jj9 =
+            synthesize_clique(&SurfaceCode::new(9), StabilizerType::X, 2).netlist().jj_count();
         // Cliques scale with d^2; ratio (81-1)/(9-1) = 10x, modulo trees.
         let ratio = jj9 as f64 / jj3 as f64;
         assert!((5.0..25.0).contains(&ratio), "jj ratio {ratio}");

@@ -4,7 +4,7 @@ use btwc_clique::{CliqueDecision, CliqueFrontend};
 use btwc_lattice::{StabilizerType, SurfaceCode};
 use btwc_mwpm::MwpmDecoder;
 use btwc_noise::{SimRng, SparseFlips};
-use btwc_syndrome::RoundHistory;
+use btwc_syndrome::{PackedBits, RoundHistory};
 use serde::Serialize;
 
 use crate::tracker::ErrorTracker;
@@ -143,6 +143,11 @@ pub fn logical_error_rate(cfg: &ShotConfig, kind: DecoderKind) -> LerEstimate {
     let mut window = RoundHistory::new(n_anc, cfg.rounds + 1);
     let mut est = LerEstimate { shots: 0, failures: 0, offchip_shots: 0 };
     let p = cfg.physical_error_rate;
+    // Reused packed round buffer: the shot loop performs no per-round
+    // heap allocation (sparse flips are consumed straight off the
+    // sampler, the raw round is a word copy plus bit toggles, and the
+    // window/filter recycle their ring buffers).
+    let mut round = PackedBits::new(n_anc);
 
     for _ in 0..cfg.shots {
         tracker.reset();
@@ -150,18 +155,23 @@ pub fn logical_error_rate(cfg: &ShotConfig, kind: DecoderKind) -> LerEstimate {
         window.reset();
         let mut went_offchip = false;
         for _ in 0..cfg.rounds {
-            let flips: Vec<usize> = SparseFlips::new(&mut rng, n_data, p).collect();
-            for q in flips {
+            for q in SparseFlips::new(&mut rng, n_data, p) {
                 tracker.flip(q);
             }
-            let mut round = tracker.syndrome().to_vec();
-            let mflips: Vec<usize> = SparseFlips::new(&mut rng, n_anc, p).collect();
-            for a in mflips {
-                round[a] ^= true;
+            round.copy_from(tracker.syndrome());
+            for a in SparseFlips::new(&mut rng, n_anc, p) {
+                round.toggle(a);
             }
-            window.push(&round);
+            // While the window is empty, all-zero rounds carry no
+            // detection events and only shift event times uniformly, so
+            // skipping them leaves the space-time matching (pairwise
+            // time separations and the zero baseline) bit-identical
+            // while skipping the common case's copies entirely.
+            if !(window.is_empty() && round.is_zero()) {
+                window.push_packed(&round);
+            }
             if kind == DecoderKind::CliquePlusMwpm {
-                match frontend.push_round(&round) {
+                match frontend.push_round_packed(&round) {
                     CliqueDecision::AllZeros => {}
                     CliqueDecision::Trivial(c) => tracker.apply(c.qubits()),
                     CliqueDecision::Complex => {
@@ -179,7 +189,9 @@ pub fn logical_error_rate(cfg: &ShotConfig, kind: DecoderKind) -> LerEstimate {
         }
         // Final perfect readout round closes the window in time; the
         // off-chip decoder resolves everything Clique did not.
-        window.push(tracker.syndrome());
+        if !(window.is_empty() && tracker.syndrome().is_zero()) {
+            window.push_packed(tracker.syndrome());
+        }
         let cleanup = mwpm.decode_window(&window);
         tracker.apply(cleanup.qubits());
         debug_assert!(tracker.is_quiet(), "decode must clear the syndrome");
@@ -241,8 +253,14 @@ mod tests {
     fn ler_decreases_with_distance_below_threshold() {
         // The defining property of a working decoder (Fig. 14's slope).
         let p = 8e-3;
-        let d3 = logical_error_rate(&ShotConfig::new(3, p).with_shots(4000).with_seed(1), DecoderKind::MwpmOnly);
-        let d5 = logical_error_rate(&ShotConfig::new(5, p).with_shots(4000).with_seed(2), DecoderKind::MwpmOnly);
+        let d3 = logical_error_rate(
+            &ShotConfig::new(3, p).with_shots(4000).with_seed(1),
+            DecoderKind::MwpmOnly,
+        );
+        let d5 = logical_error_rate(
+            &ShotConfig::new(5, p).with_shots(4000).with_seed(2),
+            DecoderKind::MwpmOnly,
+        );
         assert!(d3.failures > 0, "d=3 at p=8e-3 must show failures");
         assert!(
             d5.rate() < d3.rate(),

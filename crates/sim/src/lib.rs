@@ -36,12 +36,13 @@ mod multi;
 mod sweep;
 mod tracker;
 
-pub use ler::{logical_error_rate, logical_error_rate_parallel, DecoderKind, LerEstimate, ShotConfig};
+pub use ler::{
+    logical_error_rate, logical_error_rate_parallel, DecoderKind, LerEstimate, ShotConfig,
+};
 pub use lifetime::{LifetimeConfig, LifetimeSim, LifetimeStats};
 pub use multi::{multi_qubit_trace, offchip_probability};
 pub use sweep::{
     afs_comparison, coverage_sweep, coverage_sweep_iid, signature_distribution,
-    signature_distribution_iid,
-    AfsComparison, CoveragePoint, SignatureDistribution,
+    signature_distribution_iid, AfsComparison, CoveragePoint, SignatureDistribution,
 };
 pub use tracker::ErrorTracker;

@@ -4,7 +4,7 @@ use btwc_clique::{CliqueDecision, CliqueFrontend};
 use btwc_lattice::{StabilizerType, SurfaceCode};
 use btwc_mwpm::MwpmDecoder;
 use btwc_noise::{SimRng, SparseFlips};
-use btwc_syndrome::RoundHistory;
+use btwc_syndrome::{PackedBits, RoundHistory};
 use serde::Serialize;
 
 use crate::tracker::ErrorTracker;
@@ -171,11 +171,7 @@ impl LifetimeStats {
         self.complex += other.complex;
         self.onchip_corrected_qubits += other.onchip_corrected_qubits;
         self.offchip_corrected_qubits += other.offchip_corrected_qubits;
-        for (a, b) in self
-            .raw_weight_histogram
-            .iter_mut()
-            .zip(&other.raw_weight_histogram)
-        {
+        for (a, b) in self.raw_weight_histogram.iter_mut().zip(&other.raw_weight_histogram) {
             *a += b;
         }
     }
@@ -193,7 +189,8 @@ pub struct LifetimeSim {
     mwpm: MwpmDecoder,
     window: RoundHistory,
     rng: SimRng,
-    meas: Vec<bool>,
+    /// Reused packed buffer for the current raw measurement round.
+    round: PackedBits,
     stats: LifetimeStats,
 }
 
@@ -214,7 +211,7 @@ impl LifetimeSim {
         Self {
             cfg: *cfg,
             rng: SimRng::from_seed(cfg.seed),
-            meas: vec![false; n_anc],
+            round: PackedBits::new(n_anc),
             code,
             tracker,
             frontend,
@@ -234,36 +231,37 @@ impl LifetimeSim {
     /// decode.
     pub fn step(&mut self) -> bool {
         let p = self.cfg.physical_error_rate;
-        // 1. Inject this cycle's data errors (accumulate)...
+        // 1. Inject this cycle's data errors (accumulate, straight off
+        //    the sparse sampler — no per-cycle allocation)...
         let n_data = self.code.num_data_qubits();
-        let flips: Vec<usize> = SparseFlips::new(&mut self.rng, n_data, p).collect();
-        for q in flips {
+        for q in SparseFlips::new(&mut self.rng, n_data, p) {
             self.tracker.flip(q);
         }
-        // ...and transient measurement flips.
+        // 2. The raw measurement round: a word copy of the packed
+        //    syndrome, with transient measurement flips toggled in.
         let n_anc = self.stats.num_ancillas;
-        self.meas.fill(false);
         let pm = self.cfg.measurement_error_rate;
-        let mflips: Vec<usize> = SparseFlips::new(&mut self.rng, n_anc, pm).collect();
-        for a in mflips {
-            self.meas[a] = true;
+        self.round.copy_from(self.tracker.syndrome());
+        for a in SparseFlips::new(&mut self.rng, n_anc, pm) {
+            self.round.toggle(a);
         }
-        // 2. The raw measurement round.
-        let mut round = self.tracker.syndrome().to_vec();
-        for (r, &m) in round.iter_mut().zip(&self.meas) {
-            *r ^= m;
-        }
-        let weight = round.iter().filter(|&&b| b).count();
+        let weight = self.round.weight();
         self.stats.raw_weight_histogram[weight] += 1;
         // 3. Feed the decode window (resetting keeps the detection-event
-        //    baseline aligned with the accumulated-error frame).
+        //    baseline aligned with the accumulated-error frame). While
+        //    the window is empty, all-zero rounds are skipped: they
+        //    carry no detection events and only shift event times
+        //    uniformly, so the space-time matching is unchanged while
+        //    the dominant quiet case stays copy-free.
         if self.window.len() == self.window.capacity() {
             self.window.reset();
         }
-        self.window.push(&round);
+        if !(self.window.is_empty() && self.round.is_zero()) {
+            self.window.push_packed(&self.round);
+        }
         // 4. Clique decision on the sticky-filtered syndrome.
         self.stats.cycles += 1;
-        match self.frontend.push_round(&round) {
+        match self.frontend.push_round_packed(&self.round) {
             CliqueDecision::AllZeros => {
                 self.stats.all_zeros += 1;
                 false

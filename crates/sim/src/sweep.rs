@@ -4,7 +4,7 @@ use btwc_afs::{Compressor, SparseRepr};
 use btwc_clique::{CliqueDecision, CliqueDecoder};
 use btwc_lattice::{StabilizerType, SurfaceCode};
 use btwc_noise::{SimRng, SparseFlips};
-use btwc_syndrome::Syndrome;
+use btwc_syndrome::{PackedBits, Syndrome};
 use serde::Serialize;
 
 use crate::lifetime::{LifetimeConfig, LifetimeSim, LifetimeStats};
@@ -79,9 +79,8 @@ pub fn signature_distribution(
     seed: u64,
     workers: usize,
 ) -> SignatureDistribution {
-    let cfg = LifetimeConfig::new(distance, physical_error_rate)
-        .with_cycles(cycles)
-        .with_seed(seed);
+    let cfg =
+        LifetimeConfig::new(distance, physical_error_rate).with_cycles(cycles).with_seed(seed);
     let stats = LifetimeSim::run_parallel(&cfg, workers);
     let n = stats.cycles as f64;
     SignatureDistribution {
@@ -128,36 +127,31 @@ pub fn signature_distribution_iid(
                     let n_data = code.num_data_qubits();
                     let p = physical_error_rate;
                     let mut local = [0u64; 3];
+                    // Reused packed buffers: the trial loop allocates
+                    // nothing per iteration.
+                    let mut round1 = PackedBits::new(n_anc);
+                    let mut round2 = PackedBits::new(n_anc);
+                    let mut filtered = Syndrome::new(n_anc);
                     for _ in 0..n {
                         tracker.reset();
-                        let flips: Vec<usize> =
-                            SparseFlips::new(&mut rng, n_data, p).collect();
-                        for q in flips {
+                        for q in SparseFlips::new(&mut rng, n_data, p) {
                             tracker.flip(q);
                         }
                         // Two measurement rounds of the same error state
                         // with independent measurement noise, AND-combined
-                        // (the Fig. 7 sticky filter).
-                        let mut filtered = tracker.syndrome().to_vec();
-                        let m1: Vec<usize> =
-                            SparseFlips::new(&mut rng, n_anc, p).collect();
-                        let mut round1 = tracker.syndrome().to_vec();
-                        for a in m1 {
-                            round1[a] ^= true;
+                        // (the Fig. 7 sticky filter) — all word ops.
+                        round1.copy_from(tracker.syndrome());
+                        for a in SparseFlips::new(&mut rng, n_anc, p) {
+                            round1.toggle(a);
                         }
-                        let m2: Vec<usize> =
-                            SparseFlips::new(&mut rng, n_anc, p).collect();
-                        let mut round2 = tracker.syndrome().to_vec();
-                        for a in m2 {
-                            round2[a] ^= true;
+                        round2.copy_from(tracker.syndrome());
+                        for a in SparseFlips::new(&mut rng, n_anc, p) {
+                            round2.toggle(a);
                         }
-                        for ((f, &r1), &r2) in
-                            filtered.iter_mut().zip(&round1).zip(&round2)
-                        {
-                            *f = r1 && r2;
-                        }
-                        let syndrome = Syndrome::from_bits(filtered);
-                        let idx = match decoder.decode(&syndrome) {
+                        let packed = filtered.as_packed_mut();
+                        packed.copy_from(&round1);
+                        packed.and_with(&round2);
+                        let idx = match decoder.decode(&filtered) {
                             CliqueDecision::AllZeros => 0,
                             CliqueDecision::Trivial(_) => 1,
                             CliqueDecision::Complex => 2,
@@ -267,11 +261,7 @@ pub fn afs_comparison(
         physical_error_rate,
         raw_bits: n,
         afs_reduction: raw_total / afs_bits_total.max(1) as f64,
-        clique_reduction: if clique_mean > 0.0 {
-            n as f64 / clique_mean
-        } else {
-            f64::INFINITY
-        },
+        clique_reduction: if clique_mean > 0.0 { n as f64 / clique_mean } else { f64::INFINITY },
     }
     .validated(afs_mean)
 }

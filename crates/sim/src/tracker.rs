@@ -6,19 +6,28 @@
 //! data qubit touches only its (≤ 2) adjacent ancillas, so a cycle costs
 //! O(#flips), not O(d²). This mirrors how the paper's own "lifetime
 //! simulation over a billion cycles" is feasible at all.
+//!
+//! The syndrome is held word-packed ([`PackedBits`]) so downstream
+//! consumers (round ingestion, the sticky filter, detection-event
+//! diffs) copy and combine it with word operations; the qubit→ancilla
+//! adjacency is a flat CSR layout to keep the flip path free of pointer
+//! chasing.
 
 use btwc_lattice::{StabilizerType, SurfaceCode};
+use btwc_syndrome::PackedBits;
 
 /// Accumulated data-error state for one error species of one code, with
-/// an incrementally maintained syndrome.
+/// an incrementally maintained packed syndrome.
 #[derive(Debug, Clone)]
 pub struct ErrorTracker {
     ty: StabilizerType,
     errors: Vec<bool>,
-    syndrome: Vec<bool>,
+    syndrome: PackedBits,
     syndrome_weight: usize,
-    /// qubit -> adjacent ancilla indices (1 or 2 of this type).
-    adjacency: Vec<Vec<usize>>,
+    /// CSR adjacency: ancillas of qubit `q` are
+    /// `adj_data[adj_idx[q]..adj_idx[q + 1]]` (1 or 2 entries).
+    adj_idx: Vec<u32>,
+    adj_data: Vec<u32>,
 }
 
 impl ErrorTracker {
@@ -28,15 +37,23 @@ impl ErrorTracker {
         let mut adjacency = vec![Vec::new(); code.num_data_qubits()];
         for (i, a) in code.ancillas(ty).iter().enumerate() {
             for &q in a.data_qubits() {
-                adjacency[q].push(i);
+                adjacency[q].push(i as u32);
             }
+        }
+        let mut adj_idx = Vec::with_capacity(adjacency.len() + 1);
+        let mut adj_data = Vec::new();
+        adj_idx.push(0);
+        for ancillas in &adjacency {
+            adj_data.extend_from_slice(ancillas);
+            adj_idx.push(adj_data.len() as u32);
         }
         Self {
             ty,
             errors: vec![false; code.num_data_qubits()],
-            syndrome: vec![false; code.num_ancillas(ty)],
+            syndrome: PackedBits::new(code.num_ancillas(ty)),
             syndrome_weight: 0,
-            adjacency,
+            adj_idx,
+            adj_data,
         }
     }
 
@@ -51,15 +68,14 @@ impl ErrorTracker {
     /// # Panics
     ///
     /// Panics if `q` is out of range.
+    #[inline]
     pub fn flip(&mut self, q: usize) {
         self.errors[q] ^= true;
-        for &a in &self.adjacency[q] {
-            self.syndrome_weight = if self.syndrome[a] {
-                self.syndrome_weight - 1
-            } else {
-                self.syndrome_weight + 1
-            };
-            self.syndrome[a] ^= true;
+        let (lo, hi) = (self.adj_idx[q] as usize, self.adj_idx[q + 1] as usize);
+        for &a in &self.adj_data[lo..hi] {
+            let now = self.syndrome.toggle(a as usize);
+            self.syndrome_weight =
+                if now { self.syndrome_weight + 1 } else { self.syndrome_weight - 1 };
         }
     }
 
@@ -76,9 +92,9 @@ impl ErrorTracker {
         &self.errors
     }
 
-    /// Current (noise-free) syndrome.
+    /// Current (noise-free) syndrome, word-packed.
     #[must_use]
-    pub fn syndrome(&self) -> &[bool] {
+    pub fn syndrome(&self) -> &PackedBits {
         &self.syndrome
     }
 
@@ -103,7 +119,7 @@ impl ErrorTracker {
     /// Clears all state.
     pub fn reset(&mut self) {
         self.errors.fill(false);
-        self.syndrome.fill(false);
+        self.syndrome.clear();
         self.syndrome_weight = 0;
     }
 }
@@ -121,11 +137,9 @@ mod tests {
             tracker.flip(q);
         }
         let batch = code.syndrome_of(StabilizerType::X, tracker.errors());
-        assert_eq!(tracker.syndrome(), &batch[..]);
-        assert_eq!(
-            tracker.syndrome_weight(),
-            batch.iter().filter(|&&s| s).count()
-        );
+        assert_eq!(tracker.syndrome().to_bools(), batch);
+        assert_eq!(tracker.syndrome_weight(), batch.iter().filter(|&&s| s).count());
+        assert_eq!(tracker.syndrome().weight(), tracker.syndrome_weight());
     }
 
     #[test]
@@ -168,7 +182,7 @@ mod tests {
         let mut tracker = ErrorTracker::new(&code, StabilizerType::Z);
         tracker.flip(12);
         let batch = code.syndrome_of(StabilizerType::Z, tracker.errors());
-        assert_eq!(tracker.syndrome(), &batch[..]);
+        assert_eq!(tracker.syndrome().to_bools(), batch);
         assert_eq!(tracker.stabilizer_type(), StabilizerType::Z);
     }
 }

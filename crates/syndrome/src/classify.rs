@@ -80,20 +80,14 @@ mod tests {
     use btwc_lattice::DataQubit;
 
     fn empty(code: &SurfaceCode, ty: StabilizerType) -> (Vec<bool>, Vec<bool>) {
-        (
-            vec![false; code.num_data_qubits()],
-            vec![false; code.num_ancillas(ty)],
-        )
+        (vec![false; code.num_data_qubits()], vec![false; code.num_ancillas(ty)])
     }
 
     #[test]
     fn no_errors_is_all_zeros() {
         let code = SurfaceCode::new(5);
         let (data, meas) = empty(&code, StabilizerType::X);
-        assert_eq!(
-            classify_true(&code, StabilizerType::X, &data, &meas),
-            SignatureClass::AllZeros
-        );
+        assert_eq!(classify_true(&code, StabilizerType::X, &data, &meas), SignatureClass::AllZeros);
     }
 
     #[test]
@@ -126,10 +120,7 @@ mod tests {
         // Two vertically adjacent data qubits share an X ancilla.
         data[DataQubit::new(1, 2).index(5)] = true;
         data[DataQubit::new(2, 2).index(5)] = true;
-        assert_eq!(
-            classify_true(&code, StabilizerType::X, &data, &meas),
-            SignatureClass::Complex
-        );
+        assert_eq!(classify_true(&code, StabilizerType::X, &data, &meas), SignatureClass::Complex);
     }
 
     #[test]
@@ -137,10 +128,7 @@ mod tests {
         let code = SurfaceCode::new(5);
         let (data, mut meas) = empty(&code, StabilizerType::X);
         meas[0] = true;
-        assert_eq!(
-            classify_true(&code, StabilizerType::X, &data, &meas),
-            SignatureClass::Complex
-        );
+        assert_eq!(classify_true(&code, StabilizerType::X, &data, &meas), SignatureClass::Complex);
     }
 
     #[test]
@@ -152,10 +140,7 @@ mod tests {
         for &q in stab.data_qubits() {
             data[q] = true;
         }
-        assert_eq!(
-            classify_true(&code, StabilizerType::X, &data, &meas),
-            SignatureClass::AllZeros
-        );
+        assert_eq!(classify_true(&code, StabilizerType::X, &data, &meas), SignatureClass::AllZeros);
     }
 
     #[test]
@@ -169,10 +154,7 @@ mod tests {
         let syndrome = code.syndrome_of(StabilizerType::X, &data);
         let lit = syndrome.iter().position(|&s| s).unwrap();
         meas[lit] = true;
-        assert_eq!(
-            classify_true(&code, StabilizerType::X, &data, &meas),
-            SignatureClass::Complex
-        );
+        assert_eq!(classify_true(&code, StabilizerType::X, &data, &meas), SignatureClass::Complex);
     }
 
     #[test]

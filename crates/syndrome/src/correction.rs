@@ -85,7 +85,6 @@ impl fmt::Display for Correction {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;

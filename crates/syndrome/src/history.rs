@@ -2,6 +2,7 @@
 
 use std::collections::VecDeque;
 
+use crate::packed::PackedBits;
 use crate::repr::Syndrome;
 
 /// A detection event: ancilla `ancilla` changed value at round `round`
@@ -14,22 +15,30 @@ pub struct DetectionEvent {
     pub round: usize,
 }
 
-/// Ring buffer of the most recent syndrome measurement rounds.
+/// Ring buffer of the most recent syndrome measurement rounds, stored
+/// word-packed.
 ///
 /// Two consumers read this window:
 ///
 /// * the Clique decoder's **sticky filter** ([`RoundHistory::sticky`]),
 ///   which accepts an ancilla only when its raw syndrome has been lit for
 ///   `k` consecutive rounds (paper Fig. 7, default `k = 2`) — this is
-///   what suppresses single-round measurement flips;
+///   what suppresses single-round measurement flips. Packed, the filter
+///   is a word-parallel AND over the last `k` rounds;
 /// * the MWPM decoder's **space-time matching**, which consumes
 ///   [`RoundHistory::detection_events`] — the round-to-round differences
-///   that mark where error chains start and end in time.
+///   that mark where error chains start and end in time. Packed, the
+///   diff is a word-parallel XOR plus a trailing-zeros scan.
+///
+/// Evicted round buffers are recycled, so a long-running window performs
+/// no per-round heap allocation in steady state.
 #[derive(Debug, Clone)]
 pub struct RoundHistory {
     num_ancillas: usize,
     capacity: usize,
-    rounds: VecDeque<Syndrome>,
+    rounds: VecDeque<PackedBits>,
+    /// Recycled buffers from evicted/reset rounds.
+    spare: Vec<PackedBits>,
 }
 
 impl RoundHistory {
@@ -42,7 +51,12 @@ impl RoundHistory {
     #[must_use]
     pub fn new(num_ancillas: usize, capacity: usize) -> Self {
         assert!(capacity > 0, "round history needs capacity >= 1");
-        Self { num_ancillas, capacity, rounds: VecDeque::with_capacity(capacity + 1) }
+        Self {
+            num_ancillas,
+            capacity,
+            rounds: VecDeque::with_capacity(capacity + 1),
+            spare: Vec::with_capacity(capacity + 1),
+        }
     }
 
     /// Number of ancillas per round.
@@ -69,17 +83,44 @@ impl RoundHistory {
         self.rounds.is_empty()
     }
 
-    /// Appends a measurement round, evicting the oldest if full.
+    /// Takes a recycled (or fresh) buffer of the right width.
+    fn take_buffer(&mut self) -> PackedBits {
+        self.spare.pop().unwrap_or_else(|| PackedBits::new(self.num_ancillas))
+    }
+
+    /// Appends a filled buffer, evicting (and recycling) the oldest
+    /// round if full.
+    fn push_buffer(&mut self, buf: PackedBits) {
+        self.rounds.push_back(buf);
+        if self.rounds.len() > self.capacity {
+            let evicted = self.rounds.pop_front().expect("non-empty after push");
+            self.spare.push(evicted);
+        }
+    }
+
+    /// Appends a measurement round given as a bool slice.
     ///
     /// # Panics
     ///
     /// Panics if `round.len() != num_ancillas()`.
     pub fn push(&mut self, round: &[bool]) {
         assert_eq!(round.len(), self.num_ancillas, "round width mismatch");
-        self.rounds.push_back(Syndrome::from_bits(round.to_vec()));
-        if self.rounds.len() > self.capacity {
-            self.rounds.pop_front();
-        }
+        let mut buf = self.take_buffer();
+        buf.fill_from_bools(round);
+        self.push_buffer(buf);
+    }
+
+    /// Appends an already-packed measurement round (the hot path —
+    /// a word copy into a recycled buffer, no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round.len() != num_ancillas()`.
+    pub fn push_packed(&mut self, round: &PackedBits) {
+        assert_eq!(round.len(), self.num_ancillas, "round width mismatch");
+        let mut buf = self.take_buffer();
+        buf.copy_from(round);
+        self.push_buffer(buf);
     }
 
     /// The `i`-th retained round (0 = oldest).
@@ -88,18 +129,19 @@ impl RoundHistory {
     ///
     /// Panics if `i >= len()`.
     #[must_use]
-    pub fn round(&self, i: usize) -> &Syndrome {
+    pub fn round(&self, i: usize) -> &PackedBits {
         &self.rounds[i]
     }
 
     /// The most recent round, if any.
     #[must_use]
-    pub fn latest(&self) -> Option<&Syndrome> {
+    pub fn latest(&self) -> Option<&PackedBits> {
         self.rounds.back()
     }
 
     /// The `k`-round sticky syndrome: ancilla `i` is accepted iff its raw
-    /// syndrome was lit in each of the last `k` rounds.
+    /// syndrome was lit in each of the last `k` rounds — a word-parallel
+    /// AND across those rounds.
     ///
     /// Returns all-zeros while fewer than `k` rounds have been recorded —
     /// the hardware equivalent is the DFF pipeline still filling up.
@@ -109,17 +151,30 @@ impl RoundHistory {
     /// Panics if `k == 0` or `k > capacity()`.
     #[must_use]
     pub fn sticky(&self, k: usize) -> Syndrome {
-        assert!(k >= 1 && k <= self.capacity, "sticky window {k} out of range");
         let mut out = Syndrome::new(self.num_ancillas);
+        self.sticky_into(k, &mut out);
+        out
+    }
+
+    /// [`RoundHistory::sticky`] into a caller-owned buffer (the
+    /// allocation-free hot path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `k > capacity()`, or `out` has the wrong width.
+    pub fn sticky_into(&self, k: usize, out: &mut Syndrome) {
+        assert!(k >= 1 && k <= self.capacity, "sticky window {k} out of range");
+        assert_eq!(out.len(), self.num_ancillas, "sticky output width mismatch");
         if self.rounds.len() < k {
-            return out;
+            out.clear();
+            return;
         }
         let start = self.rounds.len() - k;
-        for i in 0..self.num_ancillas {
-            let stuck = (start..self.rounds.len()).all(|r| self.rounds[r].get(i));
-            out.set(i, stuck);
+        let packed = out.as_packed_mut();
+        packed.copy_from(&self.rounds[start]);
+        for r in (start + 1)..self.rounds.len() {
+            packed.and_with(&self.rounds[r]);
         }
-        out
     }
 
     /// Detection events over the retained window: an event at round `t`
@@ -129,22 +184,40 @@ impl RoundHistory {
     #[must_use]
     pub fn detection_events(&self) -> Vec<DetectionEvent> {
         let mut events = Vec::new();
-        for t in 0..self.rounds.len() {
-            for i in 0..self.num_ancillas {
-                let now = self.rounds[t].get(i);
-                let before = if t == 0 { false } else { self.rounds[t - 1].get(i) };
-                if now != before {
-                    events.push(DetectionEvent { ancilla: i, round: t });
-                }
-            }
-        }
+        self.detection_events_into(&mut events);
         events
     }
 
+    /// [`RoundHistory::detection_events`] into a caller-owned buffer
+    /// (cleared first). The diff of consecutive rounds is a word XOR;
+    /// events are then enumerated with a trailing-zeros scan, so quiet
+    /// windows cost one word-scan per round and nothing more.
+    pub fn detection_events_into(&self, events: &mut Vec<DetectionEvent>) {
+        events.clear();
+        for t in 0..self.rounds.len() {
+            let now = self.rounds[t].words();
+            if t == 0 {
+                for ancilla in self.rounds[0].iter_set() {
+                    events.push(DetectionEvent { ancilla, round: 0 });
+                }
+                continue;
+            }
+            let before = self.rounds[t - 1].words();
+            for (w, (&a, &b)) in now.iter().zip(before).enumerate() {
+                let mut diff = a ^ b;
+                while diff != 0 {
+                    let bit = diff.trailing_zeros() as usize;
+                    diff &= diff - 1;
+                    events.push(DetectionEvent { ancilla: w * 64 + bit, round: t });
+                }
+            }
+        }
+    }
+
     /// Forgets all retained rounds (used after a decoder resolves the
-    /// window and resets the reference frame).
+    /// window and resets the reference frame). Buffers are recycled.
     pub fn reset(&mut self) {
-        self.rounds.clear();
+        self.spare.extend(self.rounds.drain(..));
     }
 }
 
@@ -198,6 +271,20 @@ mod tests {
     }
 
     #[test]
+    fn sticky_into_reuses_buffer() {
+        let mut h = RoundHistory::new(5, 4);
+        h.push(&round(&[1, 0, 1, 1, 0]));
+        h.push(&round(&[1, 1, 0, 1, 0]));
+        let mut out = Syndrome::new(5);
+        h.sticky_into(2, &mut out);
+        assert_eq!(out, h.sticky(2));
+        // A stale buffer must be fully overwritten.
+        let mut stale: Syndrome = [true; 5].into_iter().collect();
+        h.sticky_into(2, &mut stale);
+        assert_eq!(stale, h.sticky(2));
+    }
+
+    #[test]
     fn eviction_keeps_window_bounded() {
         let mut h = RoundHistory::new(1, 2);
         h.push(&round(&[1]));
@@ -206,6 +293,18 @@ mod tests {
         assert_eq!(h.len(), 2);
         // The old lit round fell out of the window.
         assert!(h.round(0).is_zero());
+    }
+
+    #[test]
+    fn push_packed_matches_push() {
+        let mut a = RoundHistory::new(9, 4);
+        let mut b = RoundHistory::new(9, 4);
+        let bits = round(&[1, 0, 0, 1, 1, 0, 1, 0, 1]);
+        let packed = PackedBits::from_bools(&bits);
+        a.push(&bits);
+        b.push_packed(&packed);
+        assert_eq!(a.round(0), b.round(0));
+        assert_eq!(a.detection_events(), b.detection_events());
     }
 
     #[test]
@@ -238,13 +337,18 @@ mod tests {
     }
 
     #[test]
-    fn reset_clears_window() {
+    fn reset_clears_window_and_recycles() {
         let mut h = RoundHistory::new(2, 4);
         h.push(&round(&[1, 1]));
         h.reset();
         assert!(h.is_empty());
         assert!(h.latest().is_none());
         assert!(h.detection_events().is_empty());
+        // Recycled buffers must come back zeroed-or-overwritten: a fresh
+        // push after reset must show exactly the new bits.
+        h.push(&round(&[0, 1]));
+        assert!(!h.round(0).get(0));
+        assert!(h.round(0).get(1));
     }
 
     #[test]

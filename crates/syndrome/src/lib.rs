@@ -7,6 +7,11 @@
 //! space-time matching consume, and classifies signatures into the
 //! paper's Fig. 4 taxonomy (All-0s / Local-1s / Complex).
 //!
+//! Syndromes are stored word-packed ([`PackedBits`]): XOR/AND/OR, zero
+//! tests, and weight counts are word-parallel, and the sticky filter /
+//! detection-event diffs are word ops — the representation the Monte
+//! Carlo engines push billions of cycles through.
+//!
 //! # Example
 //!
 //! ```
@@ -21,8 +26,8 @@
 //! assert_eq!(syndrome.weight(), 2);
 //!
 //! let mut history = RoundHistory::new(syndrome.len(), 4);
-//! history.push(syndrome.as_slice());
-//! history.push(syndrome.as_slice());
+//! history.push_packed(syndrome.as_packed());
+//! history.push_packed(syndrome.as_packed());
 //! // The two-round sticky filter accepts errors that persist:
 //! assert_eq!(history.sticky(2).weight(), 2);
 //! ```
@@ -30,9 +35,11 @@
 mod classify;
 mod correction;
 mod history;
+mod packed;
 mod repr;
 
 pub use classify::{classify_true, SignatureClass};
 pub use correction::Correction;
 pub use history::{DetectionEvent, RoundHistory};
+pub use packed::{PackedBits, SetBits};
 pub use repr::Syndrome;

@@ -2,23 +2,36 @@
 
 use std::fmt;
 
+use crate::packed::{PackedBits, SetBits};
+
 /// One round of syndrome bits for one stabilizer type; bit `i` belongs
 /// to ancilla `i` (the indexing of [`btwc_lattice::SurfaceCode::ancillas`]).
+///
+/// Backed by a word-packed bit vector ([`PackedBits`]), so the
+/// operations the decode hot path leans on — [`Syndrome::is_zero`],
+/// [`Syndrome::weight`], [`Syndrome::xor_with`], [`Syndrome::iter_set`]
+/// — are word-parallel rather than bit-at-a-time.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Syndrome {
-    bits: Vec<bool>,
+    bits: PackedBits,
 }
 
 impl Syndrome {
     /// An all-zero syndrome over `n` ancillas.
     #[must_use]
     pub fn new(n: usize) -> Self {
-        Self { bits: vec![false; n] }
+        Self { bits: PackedBits::new(n) }
     }
 
-    /// Wraps an existing bit vector.
+    /// Packs an existing bit vector.
     #[must_use]
     pub fn from_bits(bits: Vec<bool>) -> Self {
+        Self { bits: PackedBits::from_bools(&bits) }
+    }
+
+    /// Wraps an already-packed bit vector.
+    #[must_use]
+    pub fn from_packed(bits: PackedBits) -> Self {
         Self { bits }
     }
 
@@ -34,16 +47,17 @@ impl Syndrome {
         self.bits.is_empty()
     }
 
-    /// Number of set bits (lit ancillas).
+    /// Number of set bits (lit ancillas) — hardware popcount.
     #[must_use]
     pub fn weight(&self) -> usize {
-        self.bits.iter().filter(|&&b| b).count()
+        self.bits.weight()
     }
 
-    /// Whether no ancilla is lit — the paper's "All-0s" signature.
+    /// Whether no ancilla is lit — the paper's "All-0s" signature
+    /// (a word scan, not a bit loop).
     #[must_use]
     pub fn is_zero(&self) -> bool {
-        self.bits.iter().all(|&b| !b)
+        self.bits.is_zero()
     }
 
     /// Bit for ancilla `i`.
@@ -51,9 +65,10 @@ impl Syndrome {
     /// # Panics
     ///
     /// Panics if `i >= len()`.
+    #[inline]
     #[must_use]
     pub fn get(&self, i: usize) -> bool {
-        self.bits[i]
+        self.bits.get(i)
     }
 
     /// Sets the bit for ancilla `i`.
@@ -62,38 +77,45 @@ impl Syndrome {
     ///
     /// Panics if `i >= len()`.
     pub fn set(&mut self, i: usize, value: bool) {
-        self.bits[i] = value;
+        self.bits.set(i, value);
     }
 
-    /// XORs another syndrome into this one.
+    /// XORs another syndrome into this one (word-parallel).
     ///
     /// # Panics
     ///
     /// Panics if the lengths differ.
     pub fn xor_with(&mut self, other: &Syndrome) {
         assert_eq!(self.len(), other.len(), "syndrome lengths must match");
-        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
-            *a ^= *b;
-        }
+        self.bits.xor_with(&other.bits);
     }
 
     /// Clears all bits.
     pub fn clear(&mut self) {
-        self.bits.fill(false);
+        self.bits.clear();
     }
 
-    /// Indices of the lit ancillas, ascending.
-    pub fn iter_set(&self) -> impl Iterator<Item = usize> + '_ {
-        self.bits
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &b)| b.then_some(i))
-    }
-
-    /// Borrow as a plain bool slice.
+    /// Indices of the lit ancillas, ascending (trailing-zeros scan).
     #[must_use]
-    pub fn as_slice(&self) -> &[bool] {
+    pub fn iter_set(&self) -> SetBits<'_> {
+        self.bits.iter_set()
+    }
+
+    /// Borrow the packed representation.
+    #[must_use]
+    pub fn as_packed(&self) -> &PackedBits {
         &self.bits
+    }
+
+    /// Mutably borrow the packed representation.
+    pub fn as_packed_mut(&mut self) -> &mut PackedBits {
+        &mut self.bits
+    }
+
+    /// Unpacks to a plain bool vector (cold paths and tests only).
+    #[must_use]
+    pub fn to_bools(&self) -> Vec<bool> {
+        self.bits.to_bools()
     }
 }
 
@@ -103,18 +125,21 @@ impl From<Vec<bool>> for Syndrome {
     }
 }
 
+impl From<PackedBits> for Syndrome {
+    fn from(bits: PackedBits) -> Self {
+        Self::from_packed(bits)
+    }
+}
+
 impl FromIterator<bool> for Syndrome {
     fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
-        Self::from_bits(iter.into_iter().collect())
+        Self { bits: iter.into_iter().collect() }
     }
 }
 
 impl fmt::Display for Syndrome {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for &b in &self.bits {
-            write!(f, "{}", u8::from(b))?;
-        }
-        Ok(())
+        self.bits.fmt(f)
     }
 }
 
@@ -177,5 +202,14 @@ mod tests {
         assert_eq!(s.weight(), 2);
         s.clear();
         assert!(s.is_zero());
+    }
+
+    #[test]
+    fn packed_views_roundtrip() {
+        let bools = vec![true, false, true, true, false, false, true];
+        let s = Syndrome::from_bits(bools.clone());
+        assert_eq!(s.to_bools(), bools);
+        let p = s.as_packed().clone();
+        assert_eq!(Syndrome::from_packed(p), s);
     }
 }

@@ -1,8 +1,9 @@
 #![allow(clippy::needless_range_loop)]
 
-//! Property-based tests of the round history and correction algebra.
+//! Property-based tests of the round history and correction algebra,
+//! plus packed-vs-reference equivalence for the word-parallel bitset.
 
-use btwc_syndrome::{Correction, RoundHistory, Syndrome};
+use btwc_syndrome::{Correction, PackedBits, RoundHistory, Syndrome};
 use proptest::prelude::*;
 
 proptest! {
@@ -102,5 +103,125 @@ proptest! {
         t.xor_with(&s);
         prop_assert!(t.is_zero());
         prop_assert_eq!(s.iter_set().count(), s.weight());
+    }
+
+    /// The packed bitset agrees with the `Vec<bool>` reference on every
+    /// operation, across odd lengths straddling word boundaries.
+    #[test]
+    fn packed_matches_bool_reference(
+        len in prop_oneof![Just(1usize), Just(7), Just(63), Just(64),
+                           Just(65), Just(127), Just(129), Just(200)],
+        seed_a in proptest::collection::vec(any::<bool>(), 200),
+        seed_b in proptest::collection::vec(any::<bool>(), 200),
+    ) {
+        let a_bits = &seed_a[..len];
+        let b_bits = &seed_b[..len];
+        let a = PackedBits::from_bools(a_bits);
+        let b = PackedBits::from_bools(b_bits);
+        // Round-trips.
+        prop_assert_eq!(&a.to_bools()[..], a_bits);
+        // Scalar queries.
+        prop_assert_eq!(a.weight(), a_bits.iter().filter(|&&x| x).count());
+        prop_assert_eq!(a.is_zero(), a_bits.iter().all(|&x| !x));
+        for i in 0..len {
+            prop_assert_eq!(a.get(i), a_bits[i]);
+        }
+        // iter_set equals the enumerate-filter reference.
+        let set: Vec<usize> = a.iter_set().collect();
+        let set_ref: Vec<usize> = a_bits
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &x)| x.then_some(i))
+            .collect();
+        prop_assert_eq!(set, set_ref);
+        // xor / and / or match the per-bit reference.
+        let mut x = a.clone();
+        x.xor_with(&b);
+        let mut n = a.clone();
+        n.and_with(&b);
+        let mut o = a.clone();
+        o.or_with(&b);
+        for i in 0..len {
+            prop_assert_eq!(x.get(i), a_bits[i] ^ b_bits[i]);
+            prop_assert_eq!(n.get(i), a_bits[i] & b_bits[i]);
+            prop_assert_eq!(o.get(i), a_bits[i] | b_bits[i]);
+        }
+        // xor round-trips.
+        x.xor_with(&b);
+        prop_assert_eq!(x, a);
+    }
+
+    /// set / toggle keep weight, tail invariants, and bit state in sync
+    /// with a mutable `Vec<bool>` model.
+    #[test]
+    fn packed_mutation_matches_model(
+        len in prop_oneof![Just(5usize), Just(64), Just(65), Just(130)],
+        ops in proptest::collection::vec((0usize..130, any::<bool>(), any::<bool>()), 0..40),
+    ) {
+        let mut p = PackedBits::new(len);
+        let mut model = vec![false; len];
+        for (i, use_toggle, value) in ops {
+            let i = i % len;
+            if use_toggle {
+                let now = p.toggle(i);
+                model[i] ^= true;
+                prop_assert_eq!(now, model[i]);
+            } else {
+                p.set(i, value);
+                model[i] = value;
+            }
+        }
+        prop_assert_eq!(p.to_bools(), model.clone());
+        prop_assert_eq!(p.weight(), model.iter().filter(|&&x| x).count());
+        // The tail of the last word must stay clear (whole-word ops
+        // rely on it).
+        if let Some(&last) = p.words().last() {
+            let used = len - (p.words().len() - 1) * 64;
+            if used < 64 {
+                prop_assert_eq!(last >> used, 0);
+            }
+        }
+    }
+
+    /// The packed sticky filter and detection events equal a bit-at-a-
+    /// time reference over random windows.
+    #[test]
+    fn history_matches_bool_reference(
+        rounds in proptest::collection::vec(
+            proptest::collection::vec(any::<bool>(), 67), 1..7),
+    ) {
+        let n = 67usize;
+        let mut h = RoundHistory::new(n, 8);
+        for r in &rounds {
+            h.push(r);
+        }
+        // Sticky reference: AND of the last k rounds, per bit.
+        for k in 1..=rounds.len() {
+            let sticky = h.sticky(k);
+            for i in 0..n {
+                let expect = rounds[rounds.len() - k..].iter().all(|r| r[i]);
+                prop_assert_eq!(sticky.get(i), expect, "k={} i={}", k, i);
+            }
+        }
+        // Detection-event reference: diff against the previous round.
+        let mut expect = Vec::new();
+        for (t, r) in rounds.iter().enumerate() {
+            for i in 0..n {
+                let before = if t == 0 { false } else { rounds[t - 1][i] };
+                if r[i] != before {
+                    expect.push((i, t));
+                }
+            }
+        }
+        let got: Vec<(usize, usize)> = h
+            .detection_events()
+            .into_iter()
+            .map(|e| (e.ancilla, e.round))
+            .collect();
+        let mut expect_sorted = expect.clone();
+        expect_sorted.sort_by_key(|&(i, t)| (t, i));
+        let mut got_sorted = got.clone();
+        got_sorted.sort_by_key(|&(i, t)| (t, i));
+        prop_assert_eq!(got_sorted, expect_sorted);
     }
 }

@@ -144,10 +144,7 @@ impl UnionFindDecoder {
             }
             let Some(ei) = parent_edge[v] else {
                 // Root of a tree: parity must already be even here.
-                debug_assert!(
-                    false,
-                    "unresolved defect at a forest root — growth incomplete"
-                );
+                debug_assert!(false, "unresolved defect at a forest root — growth incomplete");
                 continue;
             };
             let edge = st.edges()[ei];
@@ -319,9 +316,8 @@ mod tests {
         use btwc_core::{BtwcDecoder, BtwcOutcome};
         let code = SurfaceCode::new(7);
         let uf = UnionFindDecoder::new(&code, StabilizerType::X);
-        let mut dec = BtwcDecoder::builder(&code, StabilizerType::X)
-            .complex_decoder(Box::new(uf))
-            .build();
+        let mut dec =
+            BtwcDecoder::builder(&code, StabilizerType::X).complex_decoder(Box::new(uf)).build();
         let mut errors = vec![false; code.num_data_qubits()];
         errors[3 * 7 + 3] = true;
         errors[4 * 7 + 3] = true; // interior chain -> complex

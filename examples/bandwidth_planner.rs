@@ -28,7 +28,10 @@ fn main() {
         let percentiles = [0.50, 0.90, 0.99, 0.999, 0.9999];
         let points = sweep_tradeoff(&model, &mut rng, &percentiles, 50_000);
 
-        println!("{:>8} {:>10} {:>11} {:>12} {:>8}", "pct", "bandwidth", "reduction", "exec+%", "stall%");
+        println!(
+            "{:>8} {:>10} {:>11} {:>12} {:>8}",
+            "pct", "bandwidth", "reduction", "exec+%", "stall%"
+        );
         let mut recommended = None;
         for pt in &points {
             println!(

@@ -13,10 +13,7 @@ fn main() {
     let p = 6e-3;
     let shots = 20_000;
     println!("Logical memory at p={p:.0e}, {shots} shots per point, d rounds per shot");
-    println!(
-        "{:>4} {:>14} {:>18} {:>12}",
-        "d", "MWPM baseline", "Clique+MWPM (k=2)", "off-chip %"
-    );
+    println!("{:>4} {:>14} {:>18} {:>12}", "d", "MWPM baseline", "Clique+MWPM (k=2)", "off-chip %");
     for d in [3u16, 5, 7] {
         let cfg = ShotConfig::new(d, p).with_shots(shots).with_seed(u64::from(d));
         let base = logical_error_rate_parallel(&cfg, DecoderKind::MwpmOnly, 4);

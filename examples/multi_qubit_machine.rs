@@ -52,17 +52,12 @@ fn main() {
     println!("machine: {num_qubits} logical qubits, d={d}, p={p:.0e}");
     println!("link   : {bandwidth} decodes/cycle provisioned");
     println!("cycles : {} total, {} stalls", stats.cycles, stats.stalls);
-    println!(
-        "slowdown: {:.2}% execution-time increase",
-        stats.execution_time_increase() * 100.0
-    );
+    println!("slowdown: {:.2}% execution-time increase", stats.execution_time_increase() * 100.0);
     println!(
         "off-chip: {} requests total, peak {} in one cycle",
         stats.offchip_requests, peak_requests
     );
-    let mean_cov: f64 = (0..num_qubits)
-        .map(|q| system.decoder(q).stats().coverage())
-        .sum::<f64>()
+    let mean_cov: f64 = (0..num_qubits).map(|q| system.decoder(q).stats().coverage()).sum::<f64>()
         / num_qubits as f64;
     println!("coverage: {:.2}% mean across qubits", mean_cov * 100.0);
 

@@ -52,10 +52,7 @@ fn main() {
 
     let stats = decoder.stats();
     println!("cycles processed      : {}", stats.cycles);
-    println!(
-        "quiet / on-chip / off : {} / {} / {}",
-        stats.quiet, stats.onchip, stats.offchip
-    );
+    println!("quiet / on-chip / off : {} / {} / {}", stats.quiet, stats.onchip, stats.offchip);
     println!("Clique coverage       : {:.3}%", stats.coverage() * 100.0);
     println!(
         "bandwidth elimination : {:.1}% of cycles never leave the fridge",
@@ -63,10 +60,6 @@ fn main() {
     );
     println!("data flips applied    : {onchip_flips} on-chip, {offchip_flips} off-chip");
 
-    let residual_syndrome = code
-        .syndrome_of(ty, &errors)
-        .iter()
-        .filter(|&&s| s)
-        .count();
+    let residual_syndrome = code.syndrome_of(ty, &errors).iter().filter(|&&s| s).count();
     println!("residual lit ancillas : {residual_syndrome} (in-flight errors only)");
 }

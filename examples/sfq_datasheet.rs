@@ -36,16 +36,10 @@ fn main() {
     // Refrigerator budget check (Sec. 7.4: ~1 W of cooling at 4 K).
     let d21 = synthesize_clique(&SurfaceCode::new(21), StabilizerType::X, 2);
     let r21 = model.report(d21.netlist());
-    println!(
-        "\n1 W @ 4K supports ~{} logical qubits at d=21",
-        (1e6 / r21.power_uw) as u64
-    );
+    println!("\n1 W @ 4K supports ~{} logical qubits at d=21", (1e6 / r21.power_uw) as u64);
     let d3 = synthesize_clique(&SurfaceCode::new(3), StabilizerType::X, 2);
     let r3 = model.report(d3.netlist());
-    println!(
-        "1 W @ 4K supports ~{} logical qubits at d=3",
-        (1e6 / r3.power_uw) as u64
-    );
+    println!("1 W @ 4K supports ~{} logical qubits at d=3", (1e6 / r3.power_uw) as u64);
 
     // NISQ+ comparison at the paper's d=9 anchor point.
     let d9 = synthesize_clique(&SurfaceCode::new(9), StabilizerType::X, 2);
@@ -92,9 +86,6 @@ Wrote {} lines of structural Verilog to {}",
     for k in 1..=4 {
         let synth = synthesize_clique(&SurfaceCode::new(9), StabilizerType::X, k);
         let r = model.report(synth.netlist());
-        println!(
-            "  k={k}: {:>6} JJs, {:>6.1} µW, {:.3} ns",
-            r.jj_count, r.power_uw, r.latency_ns
-        );
+        println!("  k={k}: {:>6} JJs, {:>6.1} µW, {:.3} ns", r.jj_count, r.power_uw, r.latency_ns);
     }
 }

@@ -16,13 +16,13 @@
 //! |---|---|
 //! | [`lattice`] | Rotated surface code geometry, detector graphs, logical operators |
 //! | [`noise`] | Phenomenological noise model, deterministic forkable RNG |
-//! | [`syndrome`] | Syndrome rounds, sticky filtering, detection events, corrections |
+//! | [`syndrome`] | Word-packed syndrome rounds ([`syndrome::PackedBits`]), sticky filtering, detection events, corrections |
 //! | [`clique`] | The Clique decoder (paper contribution 1) |
-//! | [`mwpm`] | Exact blossom matching + space-time MWPM baseline |
+//! | [`mwpm`] | Exact blossom matching (reusable decode scratch) + space-time MWPM baseline |
 //! | [`afs`] | AFS sparse syndrome compression baseline |
 //! | [`sfq`] | ERSFQ cell library, netlist synthesis, power/area/latency |
 //! | [`bandwidth`] | Statistical link provisioning + overflow stalling (contributions 2–3) |
-//! | [`sim`] | Monte Carlo lifetime / logical-error-rate engines |
+//! | [`sim`] | Allocation-free Monte Carlo lifetime / logical-error-rate engines |
 //! | [`core`] | The assembled BTWC system (`BtwcDecoder`, `BtwcSystem`) |
 //! | [`uf`] | Union-find decoder (the Sec. 8.1 hierarchical-decoding extension) |
 //! | [`lut`] | Lookup-table decoder for small distances (LILLIPUT-style baseline) |
@@ -56,10 +56,10 @@ pub use btwc_bandwidth as bandwidth;
 pub use btwc_clique as clique;
 pub use btwc_core as core;
 pub use btwc_lattice as lattice;
+pub use btwc_lut as lut;
 pub use btwc_mwpm as mwpm;
 pub use btwc_noise as noise;
 pub use btwc_sfq as sfq;
 pub use btwc_sim as sim;
 pub use btwc_syndrome as syndrome;
 pub use btwc_uf as uf;
-pub use btwc_lut as lut;

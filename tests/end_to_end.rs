@@ -6,12 +6,7 @@ use btwc::noise::{NoiseModel, PhenomenologicalNoise, SimRng};
 
 /// Drives a decoder against live noise and returns (coverage, final
 /// syndrome weight).
-fn drive(
-    d: u16,
-    p: f64,
-    cycles: usize,
-    seed: u64,
-) -> (f64, usize) {
+fn drive(d: u16, p: f64, cycles: usize, seed: u64) -> (f64, usize) {
     let code = SurfaceCode::new(d);
     let ty = StabilizerType::X;
     let mut decoder = BtwcDecoder::builder(&code, ty).build();
@@ -38,14 +33,8 @@ fn drive(
 fn pipeline_controls_errors_across_distances() {
     for (d, p) in [(3u16, 3e-3), (5, 3e-3), (7, 5e-3), (9, 5e-3)] {
         let (coverage, weight) = drive(d, p, 20_000, 0xE2E + u64::from(d));
-        assert!(
-            coverage > 0.80,
-            "d={d} p={p}: coverage {coverage} too low"
-        );
-        assert!(
-            weight <= 8,
-            "d={d} p={p}: decode loop lost control, syndrome weight {weight}"
-        );
+        assert!(coverage > 0.80, "d={d} p={p}: coverage {coverage} too low");
+        assert!(weight <= 8, "d={d} p={p}: decode loop lost control, syndrome weight {weight}");
     }
 }
 

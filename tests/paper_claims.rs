@@ -20,11 +20,7 @@ fn claim_bandwidth_elimination_70_to_99_percent() {
     assert!(easy.coverage() > 0.99, "easy regime coverage {}", easy.coverage());
     // Hard regime (near threshold, large distance): still well above 50%.
     let hard = LifetimeSim::new(&LifetimeConfig::new(13, 8e-3).with_cycles(20_000)).run();
-    assert!(
-        hard.coverage() > 0.70,
-        "hard regime coverage {}",
-        hard.coverage()
-    );
+    assert!(hard.coverage() > 0.70, "hard regime coverage {}", hard.coverage());
 }
 
 /// Abstract (claim 2): "10–10000x bandwidth reduction over prior
@@ -52,11 +48,7 @@ fn claim_nisq_plus_resource_reduction() {
     let report = CostModel::default()
         .report(synthesize_clique(&SurfaceCode::new(9), StabilizerType::X, 2).netlist());
     // Paper text: 10 µW (d=3) … 500 µW (d=21); d=9 sits inside.
-    assert!(
-        report.power_uw > 10.0 && report.power_uw < 500.0,
-        "d=9 power {} µW",
-        report.power_uw
-    );
+    assert!(report.power_uw > 10.0 && report.power_uw < 500.0, "d=9 power {} µW", report.power_uw);
 }
 
 /// Sec. 7.3: Clique+baseline accuracy tracks the baseline ("almost
@@ -108,7 +100,8 @@ fn claim_subnanosecond_flat_latency() {
     let model = CostModel::default();
     let mut latencies = Vec::new();
     for d in [3u16, 9, 15, 21] {
-        let r = model.report(synthesize_clique(&SurfaceCode::new(d), StabilizerType::X, 2).netlist());
+        let r =
+            model.report(synthesize_clique(&SurfaceCode::new(d), StabilizerType::X, 2).netlist());
         latencies.push(r.latency_ns);
     }
     for &l in &latencies {
@@ -124,10 +117,8 @@ fn claim_subnanosecond_flat_latency() {
 /// nearly all non-zero signatures on-chip.
 #[test]
 fn claim_nonzero_signatures_dominate_onchip_traffic_near_threshold() {
-    let stats = LifetimeSim::new(
-        &LifetimeConfig::new(11, 8e-3).with_cycles(30_000).with_seed(6),
-    )
-    .run();
+    let stats =
+        LifetimeSim::new(&LifetimeConfig::new(11, 8e-3).with_cycles(30_000).with_seed(6)).run();
     // (The 2-round filter books each error's confirmation cycle as the
     // error cycle, so roughly half the on-chip decodes carry errors at
     // this operating point; the fraction keeps rising with p·d².)

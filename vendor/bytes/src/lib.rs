@@ -1,0 +1,155 @@
+//! Vendored, dependency-free stand-in for the parts of the `bytes`
+//! crate this workspace uses (offline build): big-endian `Buf`/`BufMut`
+//! accessors and the `Bytes`/`BytesMut` owner pair.
+
+use std::ops::Deref;
+
+/// An immutable byte buffer (here: a plain `Vec<u8>` behind `Deref`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Self { data }
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer with `cap` bytes reserved.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { data: Vec::with_capacity(cap) }
+    }
+
+    /// Converts into an immutable buffer without copying.
+    #[must_use]
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data }
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// Write-side accessors (big endian, matching the real crate).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+/// Read-side accessors consuming from the front (big endian).
+///
+/// # Panics
+///
+/// Like the real crate, the `get_*` methods panic when the buffer has
+/// fewer bytes than requested — callers bounds-check first.
+pub trait Buf {
+    /// Discards the next `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Next `N` bytes as an array, consumed.
+    fn take_array<const N: usize>(&mut self) -> [u8; N];
+
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(self.take_array())
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take_array())
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take_array())
+    }
+}
+
+impl Buf for &[u8] {
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+
+    fn take_array<const N: usize>(&mut self) -> [u8; N] {
+        let (head, rest) = self.split_at(N);
+        *self = rest;
+        head.try_into().expect("split_at returned N bytes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_header_fields() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u32(7);
+        buf.put_u64(123_456);
+        buf.put_u16(3);
+        buf.put_slice(&[0xAB, 0xCD]);
+        let frozen = buf.freeze();
+        assert_eq!(frozen.len(), 16);
+        let mut rd: &[u8] = &frozen;
+        assert_eq!(rd.get_u32(), 7);
+        assert_eq!(rd.get_u64(), 123_456);
+        assert_eq!(rd.get_u16(), 3);
+        assert_eq!(rd, &[0xAB, 0xCD]);
+        let mut rd2: &[u8] = &frozen;
+        rd2.advance(14);
+        assert_eq!(rd2.get_u16(), 0xABCD);
+    }
+}

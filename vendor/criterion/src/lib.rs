@@ -1,0 +1,290 @@
+//! Vendored mini benchmark harness, API-compatible with the subset of
+//! `criterion` this workspace uses (no network access at build time, so
+//! the real crate is unavailable).
+//!
+//! This is a *real* harness, not a no-op: every benchmark is warmed up,
+//! then timed over enough iterations to fill a measurement window, and
+//! the median of several samples is reported as
+//! `name  time: <t>/iter  thrpt: <n> iter/s` on stdout. Use it through
+//! the usual `criterion_group!` / `criterion_main!` pair with
+//! `harness = false` bench targets.
+//!
+//! Environment knobs:
+//!
+//! * `BENCH_MEASURE_MS` — per-sample measurement window in ms (default 60);
+//! * `BENCH_SAMPLES` — samples per benchmark, before `sample_size` caps
+//!   (default 11).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One recorded benchmark result.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/function` or `group/param`).
+    pub id: String,
+    /// Median time per iteration.
+    pub per_iter: Duration,
+    /// Iterations per second implied by `per_iter`.
+    pub per_sec: f64,
+}
+
+/// The top-level harness.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+fn measure_ms() -> u64 {
+    std::env::var("BENCH_MEASURE_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(60)
+}
+
+fn samples_default() -> usize {
+    std::env::var("BENCH_SAMPLES").ok().and_then(|v| v.parse().ok()).unwrap_or(11)
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_secs_f64() * 1e9;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let result = run_bench(name, samples_default(), &mut f);
+        self.results.push(result);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.to_owned(), samples: samples_default() }
+    }
+
+    /// All results recorded so far (used by JSON emitters).
+    #[must_use]
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.clamp(3, 101);
+        self
+    }
+
+    /// Sets the measurement window (accepted for API compatibility; the
+    /// window is controlled by `BENCH_MEASURE_MS` here).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl ToString,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, name.to_string());
+        let result = run_bench(&id, self.samples, &mut f);
+        self.parent.results.push(result);
+        self
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.param);
+        let result = run_bench(&id, self.samples, &mut |b: &mut Bencher| f(b, input));
+        self.parent.results.push(result);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier of one parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    param: String,
+}
+
+impl BenchmarkId {
+    /// Id from a function name and a parameter.
+    #[must_use]
+    pub fn new(name: impl ToString, param: impl ToString) -> Self {
+        Self { param: format!("{}/{}", name.to_string(), param.to_string()) }
+    }
+
+    /// Id from a parameter alone.
+    #[must_use]
+    pub fn from_parameter(param: impl ToString) -> Self {
+        Self { param: param.to_string() }
+    }
+}
+
+/// Batch sizing for [`Bencher::iter_batched`] (accepted for API
+/// compatibility; batches are sized per-iteration here).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Times closures handed to it by a benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Measured (total, iterations) per sample.
+    samples: Vec<(Duration, u64)>,
+    target: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over a measurement window.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Calibrate: grow the iteration count until the window is filled.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.target {
+                self.samples.push((elapsed, iters));
+                return;
+            }
+            let grow = if elapsed.is_zero() {
+                8.0
+            } else {
+                (self.target.as_secs_f64() / elapsed.as_secs_f64() * 1.2).clamp(1.5, 16.0)
+            };
+            iters = ((iters as f64) * grow).ceil() as u64;
+        }
+    }
+
+    /// Times `routine` over fresh inputs built by `setup` (setup time is
+    /// excluded from the measurement).
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let mut iters: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.target {
+                self.samples.push((elapsed, iters));
+                return;
+            }
+            let grow = if elapsed.is_zero() {
+                8.0
+            } else {
+                (self.target.as_secs_f64() / elapsed.as_secs_f64() * 1.2).clamp(1.5, 16.0)
+            };
+            iters = ((iters as f64) * grow).ceil() as u64;
+        }
+    }
+}
+
+fn run_bench(id: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) -> BenchResult {
+    let target = Duration::from_millis(measure_ms());
+    // Warm-up pass (cheap: one short window).
+    let mut warm = Bencher { samples: Vec::new(), target: target / 4 };
+    f(&mut warm);
+    // Measured samples.
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples.max(1) {
+        let mut b = Bencher { samples: Vec::new(), target };
+        f(&mut b);
+        for (total, iters) in b.samples {
+            per_iter.push(total.as_secs_f64() / iters as f64);
+        }
+    }
+    per_iter.sort_by(f64::total_cmp);
+    let median = per_iter[per_iter.len() / 2];
+    let result = BenchResult {
+        id: id.to_owned(),
+        per_iter: Duration::from_secs_f64(median),
+        per_sec: 1.0 / median,
+    };
+    println!(
+        "{:<44} time: {:>10}/iter   thrpt: {:>14.1} iter/s",
+        result.id,
+        fmt_duration(result.per_iter),
+        result.per_sec
+    );
+    result
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_measures_and_reports() {
+        std::env::set_var("BENCH_MEASURE_MS", "2");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+        assert_eq!(c.results().len(), 3);
+        assert!(c.results().iter().all(|r| r.per_sec > 0.0));
+        assert_eq!(c.results()[1].id, "grp/4");
+    }
+}

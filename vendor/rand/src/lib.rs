@@ -1,0 +1,179 @@
+//! Vendored, dependency-free stand-in for the parts of the `rand` crate
+//! this workspace uses (the build environment has no network access, so
+//! crates.io is unavailable).
+//!
+//! Provides [`rngs::SmallRng`] backed by xoshiro256++ — the same family
+//! the real `rand::rngs::SmallRng` uses on 64-bit targets — plus the
+//! `Rng` / `SeedableRng` trait surface consumed by `btwc-noise`:
+//! `seed_from_u64`, `random::<f64>()`, `random::<u64>()`,
+//! `random_bool(p)`, and `random_range(0..n)`.
+//!
+//! The streams are deterministic functions of the seed, which is the
+//! only property the Monte Carlo engine relies on; they make no attempt
+//! to be bit-compatible with any published `rand` release.
+
+/// Seedable generators.
+pub mod rngs {
+    /// A small, fast, non-cryptographic generator (xoshiro256++).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    impl SmallRng {
+        #[inline]
+        pub(crate) fn next_raw(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s2 = s2 ^ s0;
+            let mut s3 = s3 ^ s1;
+            let s1 = s1 ^ s2;
+            let s0 = s0 ^ s3;
+            s2 ^= t;
+            s3 = s3.rotate_left(45);
+            self.s = [s0, s1, s2, s3];
+            result
+        }
+    }
+}
+
+/// SplitMix64 step, used to expand a 64-bit seed into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Construction of generators from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a deterministic function of
+    /// `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+impl SeedableRng for rngs::SmallRng {
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = splitmix64(&mut sm);
+        }
+        // xoshiro must not start from the all-zero state.
+        if s == [0; 4] {
+            s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+        }
+        Self { s }
+    }
+}
+
+/// Types samplable uniformly from a generator ("standard" distribution).
+pub trait StandardSample {
+    fn sample_from(rng: &mut rngs::SmallRng) -> Self;
+}
+
+impl StandardSample for u64 {
+    #[inline]
+    fn sample_from(rng: &mut rngs::SmallRng) -> Self {
+        rng.next_raw()
+    }
+}
+
+impl StandardSample for f64 {
+    #[inline]
+    fn sample_from(rng: &mut rngs::SmallRng) -> Self {
+        // 53 mantissa bits -> uniform in [0, 1).
+        (rng.next_raw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges samplable by `random_range`.
+pub trait SampleRange {
+    type Output;
+    fn sample_from(self, rng: &mut rngs::SmallRng) -> Self::Output;
+}
+
+impl SampleRange for core::ops::Range<usize> {
+    type Output = usize;
+    #[inline]
+    fn sample_from(self, rng: &mut rngs::SmallRng) -> usize {
+        assert!(self.start < self.end, "empty range");
+        let span = (self.end - self.start) as u64;
+        // Multiply-shift bounded sampling (Lemire); the slight modulo
+        // bias of the naive approach is irrelevant for simulation but
+        // this is just as cheap.
+        let hi = ((u128::from(rng.next_raw()) * u128::from(span)) >> 64) as u64;
+        self.start + hi as usize
+    }
+}
+
+/// The sampling trait surface used by `btwc-noise`.
+pub trait Rng {
+    /// Uniform sample of `T`'s standard distribution.
+    fn random<T: StandardSample>(&mut self) -> T;
+    /// Bernoulli draw with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool;
+    /// Uniform draw from `range`.
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output;
+}
+
+impl Rng for rngs::SmallRng {
+    #[inline]
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::sample_from(self)
+    }
+
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of [0,1]");
+        self.random::<f64>() < p
+    }
+
+    #[inline]
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample_from(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let u = rng.random::<f64>();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = rng.random_range(3..17usize);
+            assert!((3..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bool_mean_tracks_p() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.3)).count();
+        let mean = hits as f64 / 100_000.0;
+        assert!((mean - 0.3).abs() < 0.01, "mean {mean}");
+    }
+}

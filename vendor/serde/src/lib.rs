@@ -1,0 +1,12 @@
+//! Vendored, dependency-free stand-in for the `serde` facade (no
+//! network access at build time). Exposes the `Serialize` trait name and
+//! the derive macro under the same paths as the real crate, so the
+//! workspace compiles identically against either.
+
+/// Marker trait standing in for `serde::Serialize`.
+///
+/// The derive emits no impl — nothing in the workspace serializes
+/// through serde; JSON artifacts are hand-rolled by `btwc-bench`.
+pub trait Serialize {}
+
+pub use serde_derive::Serialize;
