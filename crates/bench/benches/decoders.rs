@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criteri
 use std::hint::black_box;
 
 use btwc_afs::{Compressor, DynamicCompressor, SparseRepr};
-use btwc_bench::baseline::{sample_noisy_rounds, BoolVecHistory};
+use btwc_bench::baseline::{sample_noisy_rounds, sample_noisy_window, BoolVecHistory};
 use btwc_clique::{CliqueDecoder, CliqueFrontend};
 use btwc_lattice::{StabilizerType, SurfaceCode};
 use btwc_mwpm::blossom::minimum_weight_perfect_matching;
@@ -15,6 +15,7 @@ use btwc_mwpm::MwpmDecoder;
 use btwc_noise::{NoiseModel, PhenomenologicalNoise, SimRng};
 use btwc_sfq::{synthesize_clique, NetlistState};
 use btwc_sim::{logical_error_rate, DecoderKind, ShotConfig};
+use btwc_sparse::SparseDecoder;
 use btwc_syndrome::{DetectionEvent, PackedBits, RoundHistory, Syndrome};
 use btwc_uf::UnionFindDecoder;
 
@@ -141,6 +142,42 @@ fn bench_mwpm_decode(c: &mut Criterion) {
     group.finish();
 }
 
+/// The off-chip scaling comparison: dense all-pairs blossom versus
+/// sparse region-collision matching on identical noisy windows at the
+/// paper's operational error rate. The dense side pays O(n³) in the
+/// event count per decode; the sparse side merges colliding regions and
+/// matches only inside the resulting clusters, so it wins from d = 13
+/// up (the acceptance bar).
+fn bench_sparse_vs_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_vs_dense");
+    group.sample_size(20);
+    for d in [5u16, 9, 13, 17, 21] {
+        let code = SurfaceCode::new(d);
+        let ty = StabilizerType::X;
+        let dense = MwpmDecoder::new(&code, ty);
+        let sparse = SparseDecoder::new(&code, ty);
+        let mut rng = SimRng::from_seed(8);
+        let windows: Vec<RoundHistory> = (0..16)
+            .map(|_| sample_noisy_window(&code, ty, 1e-3, usize::from(d), &mut rng))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("dense", d), &d, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % windows.len();
+                black_box(dense.decode_window(&windows[i]))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sparse", d), &d, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % windows.len();
+                black_box(sparse.decode_window(&windows[i]))
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_blossom_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("blossom_matching");
     group.sample_size(20);
@@ -257,6 +294,7 @@ criterion_group!(
     bench_ler_shots_d11,
     bench_clique_decode,
     bench_mwpm_decode,
+    bench_sparse_vs_dense,
     bench_blossom_scaling,
     bench_mwpm_events,
     bench_uf_decode,

@@ -7,6 +7,7 @@ use std::collections::VecDeque;
 
 use btwc_lattice::{StabilizerType, SurfaceCode};
 use btwc_noise::{NoiseModel, PhenomenologicalNoise, SimRng};
+use btwc_syndrome::RoundHistory;
 
 /// A deterministic stream of raw syndrome rounds (accumulating data
 /// errors plus per-round transient measurement flips) — the shared
@@ -30,6 +31,37 @@ pub fn sample_noisy_rounds(code: &SurfaceCode, count: usize, p: f64, seed: u64) 
             round
         })
         .collect()
+}
+
+/// One shot-protocol decode window: `rounds` rounds of accumulating
+/// data errors with independent transient measurement flips, closed by
+/// a perfect readout round — the workload of the `sparse_vs_dense`
+/// decode benchmarks (Criterion and the `bench` binary share it so
+/// both matchers are measured on the identical window distribution).
+#[must_use]
+pub fn sample_noisy_window(
+    code: &SurfaceCode,
+    ty: StabilizerType,
+    p: f64,
+    rounds: usize,
+    rng: &mut SimRng,
+) -> RoundHistory {
+    let noise = PhenomenologicalNoise::uniform(p);
+    let n_anc = code.num_ancillas(ty);
+    let mut errors = vec![false; code.num_data_qubits()];
+    let mut meas = vec![false; n_anc];
+    let mut window = RoundHistory::new(n_anc, rounds + 1);
+    for _ in 0..rounds {
+        noise.sample_data_into(rng, &mut errors);
+        noise.sample_measurement_into(rng, &mut meas);
+        let mut round = code.syndrome_of(ty, &errors);
+        for (r, &m) in round.iter_mut().zip(&meas) {
+            *r ^= m;
+        }
+        window.push(&round);
+    }
+    window.push(&code.syndrome_of(ty, &errors));
+    window
 }
 
 /// The pre-packing round window: one heap-allocated `Vec<bool>` per

@@ -8,6 +8,10 @@
 //!   baseline the packed rewrite is judged against);
 //! * `sticky_packed` — the word-packed filter on identical rounds;
 //! * `sticky_packed_frontend` — filter plus the full Clique decision;
+//! * `offchip_{dense,sparse}_d{5,9,13,17,21}` — the `sparse_vs_dense`
+//!   decode group: the dense all-pairs blossom versus the sparse
+//!   region-growth matcher on identical noisy windows, reported as
+//!   decoded rounds per second (windows/s × rounds per window);
 //! * `ler_d{7,11}_{mwpm,clique}` — the Fig. 14 shot loop, reported as
 //!   decoded rounds per second.
 //!
@@ -16,10 +20,13 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use btwc_bench::baseline::{sample_noisy_rounds, BoolVecHistory};
+use btwc_bench::baseline::{sample_noisy_rounds, sample_noisy_window, BoolVecHistory};
 use btwc_bench::{print_table, scaled};
 use btwc_lattice::{StabilizerType, SurfaceCode};
+use btwc_mwpm::MwpmDecoder;
+use btwc_noise::SimRng;
 use btwc_sim::{logical_error_rate, DecoderKind, ShotConfig};
+use btwc_sparse::SparseDecoder;
 use btwc_syndrome::{PackedBits, RoundHistory, Syndrome};
 
 struct Entry {
@@ -91,6 +98,59 @@ fn sticky_benches(entries: &mut Vec<Entry>) -> (f64, f64) {
     (boolvec, packed_rate)
 }
 
+/// The `sparse_vs_dense` decode group: both exact matchers on identical
+/// noisy windows per distance, at the paper's operational error rate
+/// (p = 1e-3). Returns the sparse/dense speedups at d = 13 and d = 21
+/// (the acceptance bar is a clear sparse win at d ≥ 13).
+fn sparse_vs_dense_benches(entries: &mut Vec<Entry>) -> (f64, f64) {
+    let ty = StabilizerType::X;
+    let mut speedups = (0.0, 0.0);
+    // Iteration budgets shrink with d: a dense d=21 decode is five
+    // orders slower than a d=5 one.
+    for (d, base_iters) in [(5u16, 100_000u64), (9, 40_000), (13, 8_000), (17, 1_500), (21, 400)] {
+        let code = SurfaceCode::new(d);
+        let mut dense = MwpmDecoder::new(&code, ty);
+        let mut sparse = SparseDecoder::new(&code, ty);
+        let mut rng = SimRng::from_seed(8);
+        let rounds = usize::from(d) + 1;
+        let windows: Vec<RoundHistory> = (0..32)
+            .map(|_| sample_noisy_window(&code, ty, 1e-3, usize::from(d), &mut rng))
+            .collect();
+        let events: usize =
+            windows.iter().map(RoundHistory::detection_event_count).sum::<usize>() / windows.len();
+        let iters = scaled(base_iters);
+
+        let mut i = 0;
+        let dense_rate = time_rounds(iters, || {
+            i = (i + 1) % windows.len();
+            std::hint::black_box(dense.decode_window_mut(&windows[i]).weight());
+        }) * rounds as f64;
+        entries.push(Entry {
+            name: format!("offchip_dense_d{d}"),
+            rounds_per_sec: dense_rate,
+            detail: format!("all-pairs blossom, ~{events} events/window"),
+        });
+
+        let mut i = 0;
+        let sparse_rate = time_rounds(iters, || {
+            i = (i + 1) % windows.len();
+            std::hint::black_box(sparse.decode_window_mut(&windows[i]).weight());
+        }) * rounds as f64;
+        entries.push(Entry {
+            name: format!("offchip_sparse_d{d}"),
+            rounds_per_sec: sparse_rate,
+            detail: format!("region collisions + clusters, ~{events} events/window"),
+        });
+        let speedup = sparse_rate / dense_rate.max(1e-12);
+        if d == 13 {
+            speedups.0 = speedup;
+        } else if d == 21 {
+            speedups.1 = speedup;
+        }
+    }
+    speedups
+}
+
 fn ler_benches(entries: &mut Vec<Entry>) {
     for d in [7u16, 11] {
         let shots = scaled(400);
@@ -118,6 +178,7 @@ fn json_escape(s: &str) -> String {
 fn main() {
     let mut entries = Vec::new();
     let (boolvec, packed) = sticky_benches(&mut entries);
+    let (sparse_d13, sparse_d21) = sparse_vs_dense_benches(&mut entries);
     ler_benches(&mut entries);
     let speedup = packed / boolvec.max(1e-12);
 
@@ -128,10 +189,13 @@ fn main() {
     println!("# Decoder throughput (rounds/sec)\n");
     print_table(&["kernel", "rounds/s", "detail"], &rows);
     println!("\nsticky filter packed vs Vec<bool> baseline: {speedup:.1}x");
+    println!("off-chip sparse vs dense decode: {sparse_d13:.1}x at d=13, {sparse_d21:.1}x at d=21");
 
     let mut json =
         String::from("{\n  \"benchmark\": \"BENCH_decoders\",\n  \"unit\": \"rounds_per_sec\",\n");
     let _ = writeln!(json, "  \"sticky_packed_speedup_vs_boolvec\": {speedup:.3},");
+    let _ = writeln!(json, "  \"offchip_sparse_speedup_vs_dense_d13\": {sparse_d13:.3},");
+    let _ = writeln!(json, "  \"offchip_sparse_speedup_vs_dense_d21\": {sparse_d21:.3},");
     json.push_str("  \"results\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let comma = if i + 1 == entries.len() { "" } else { "," };

@@ -3,21 +3,83 @@
 use btwc_clique::{CliqueDecision, CliqueFrontend};
 use btwc_lattice::{StabilizerType, SurfaceCode};
 use btwc_mwpm::MwpmDecoder;
+use btwc_sparse::SparseDecoder;
 use btwc_syndrome::{Correction, PackedBits, RoundHistory};
 
 /// An off-chip decoder that resolves a window of measurement rounds.
 ///
-/// Implemented by [`MwpmDecoder`] (the default); custom implementations
-/// let experiments swap in other heavyweight decoders (union-find,
-/// neural, lookup tables) behind the same BTWC front end.
+/// Implemented by [`MwpmDecoder`] (the dense default) and
+/// [`SparseDecoder`] (the sparse-blossom backend); custom
+/// implementations let experiments swap in other heavyweight decoders
+/// (union-find, neural, lookup tables) behind the same BTWC front end.
 pub trait ComplexDecoder {
     /// Decodes the detection events of `window` into a data correction.
     fn decode_window(&self, window: &RoundHistory) -> Correction;
+
+    /// [`ComplexDecoder::decode_window`] with exclusive access. The
+    /// pipeline owns its decoder mutably, so implementations with
+    /// internal locking (both built-in matchers guard a reusable
+    /// scratch) override this to skip the lock; the default just
+    /// forwards to the shared path.
+    fn decode_window_mut(&mut self, window: &RoundHistory) -> Correction {
+        self.decode_window(window)
+    }
 }
 
 impl ComplexDecoder for MwpmDecoder {
     fn decode_window(&self, window: &RoundHistory) -> Correction {
         MwpmDecoder::decode_window(self, window)
+    }
+
+    fn decode_window_mut(&mut self, window: &RoundHistory) -> Correction {
+        MwpmDecoder::decode_window_mut(self, window)
+    }
+}
+
+impl ComplexDecoder for SparseDecoder {
+    fn decode_window(&self, window: &RoundHistory) -> Correction {
+        SparseDecoder::decode_window(self, window)
+    }
+
+    fn decode_window_mut(&mut self, window: &RoundHistory) -> Correction {
+        SparseDecoder::decode_window_mut(self, window)
+    }
+}
+
+/// Which built-in off-chip matcher a pipeline (or simulator) uses for
+/// complex windows.
+///
+/// Both are *exact* minimum-weight perfect matchers — they commit to
+/// matchings of identical total space-time weight — so the choice is
+/// purely a cost-model one: the dense blossom pays O(n³) in the event
+/// count every decode, while the sparse backend grows bounded regions
+/// on the detector graph and solves only the event clusters that
+/// collide, which is near-linear on the sparse windows BTWC ships
+/// off-chip and wins clearly from mid distances (d ≳ 13) upward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OffchipBackend {
+    /// The dense O(n³) blossom over all event pairs ([`MwpmDecoder`]) —
+    /// the paper-faithful baseline.
+    #[default]
+    DenseMwpm,
+    /// Sparse-blossom region growth + per-cluster matching
+    /// ([`SparseDecoder`]).
+    SparseBlossom,
+}
+
+impl OffchipBackend {
+    /// Constructs the chosen decoder for `code` / `ty`, boxed for the
+    /// pipeline.
+    #[must_use]
+    pub fn build(
+        self,
+        code: &SurfaceCode,
+        ty: StabilizerType,
+    ) -> Box<dyn ComplexDecoder + Send + Sync> {
+        match self {
+            OffchipBackend::DenseMwpm => Box::new(MwpmDecoder::new(code, ty)),
+            OffchipBackend::SparseBlossom => Box::new(SparseDecoder::new(code, ty)),
+        }
     }
 }
 
@@ -80,6 +142,7 @@ pub struct BtwcBuilder<'a> {
     ty: StabilizerType,
     clique_rounds: usize,
     window_rounds: usize,
+    backend: OffchipBackend,
     complex: Option<Box<dyn ComplexDecoder + Send + Sync>>,
 }
 
@@ -89,6 +152,7 @@ impl std::fmt::Debug for BtwcBuilder<'_> {
             .field("ty", &self.ty)
             .field("clique_rounds", &self.clique_rounds)
             .field("window_rounds", &self.window_rounds)
+            .field("backend", &self.backend)
             .field("custom_complex", &self.complex.is_some())
             .finish()
     }
@@ -101,6 +165,7 @@ impl<'a> BtwcBuilder<'a> {
             ty,
             clique_rounds: 2,
             window_rounds: usize::from(code.distance()).max(4) * 4,
+            backend: OffchipBackend::default(),
             complex: None,
         }
     }
@@ -129,6 +194,15 @@ impl<'a> BtwcBuilder<'a> {
         self
     }
 
+    /// Selects one of the built-in off-chip matchers (default: the
+    /// dense MWPM baseline). Ignored when a custom
+    /// [`BtwcBuilder::complex_decoder`] is installed.
+    #[must_use]
+    pub fn offchip_backend(mut self, backend: OffchipBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Replaces the default MWPM complex decoder.
     #[must_use]
     pub fn complex_decoder(mut self, decoder: Box<dyn ComplexDecoder + Send + Sync>) -> Self {
@@ -141,8 +215,7 @@ impl<'a> BtwcBuilder<'a> {
     pub fn build(self) -> BtwcDecoder {
         let frontend = CliqueFrontend::with_rounds(self.code, self.ty, self.clique_rounds);
         let n_anc = self.code.num_ancillas(self.ty);
-        let complex =
-            self.complex.unwrap_or_else(|| Box::new(MwpmDecoder::new(self.code, self.ty)));
+        let complex = self.complex.unwrap_or_else(|| self.backend.build(self.code, self.ty));
         BtwcDecoder {
             frontend,
             complex,
@@ -239,7 +312,7 @@ impl BtwcDecoder {
             }
             CliqueDecision::Complex => {
                 self.stats.offchip += 1;
-                let c = self.complex.decode_window(&self.window);
+                let c = self.complex.decode_window_mut(&self.window);
                 // Window consumed; the sticky filter clears itself once
                 // the correction lands, so no pipeline reset is needed.
                 self.window.reset();
@@ -335,6 +408,50 @@ mod tests {
         let _ = dec.process_round(&round);
         let out = dec.process_round(&round);
         assert_eq!(out.correction().map(Correction::qubits), Some(&[99usize][..]));
+    }
+
+    #[test]
+    fn sparse_backend_resolves_complex_windows_like_dense() {
+        let code = SurfaceCode::new(7);
+        let mut dense = BtwcDecoder::builder(&code, StabilizerType::X).build();
+        let mut sparse = BtwcDecoder::builder(&code, StabilizerType::X)
+            .offchip_backend(OffchipBackend::SparseBlossom)
+            .build();
+        let mut errors = vec![false; code.num_data_qubits()];
+        errors[3 * 7 + 3] = true;
+        errors[4 * 7 + 3] = true;
+        let round = round_for(&code, &errors);
+        for dec in [&mut dense, &mut sparse] {
+            let _ = dec.process_round(&round);
+            let out = dec.process_round(&round);
+            assert!(out.went_offchip());
+            let mut residual = errors.clone();
+            out.correction().unwrap().apply_to(&mut residual);
+            assert!(code.syndrome_of(StabilizerType::X, &residual).iter().all(|&s| !s));
+            assert!(!code.is_logical_error(StabilizerType::X, &residual));
+        }
+    }
+
+    #[test]
+    fn backend_is_ignored_when_custom_decoder_installed() {
+        struct NullDecoder;
+        impl ComplexDecoder for NullDecoder {
+            fn decode_window(&self, _w: &RoundHistory) -> Correction {
+                Correction::from_flips(vec![42])
+            }
+        }
+        let code = SurfaceCode::new(7);
+        let mut dec = BtwcDecoder::builder(&code, StabilizerType::X)
+            .offchip_backend(OffchipBackend::SparseBlossom)
+            .complex_decoder(Box::new(NullDecoder))
+            .build();
+        let mut errors = vec![false; code.num_data_qubits()];
+        errors[3 * 7 + 3] = true;
+        errors[4 * 7 + 3] = true;
+        let round = round_for(&code, &errors);
+        let _ = dec.process_round(&round);
+        let out = dec.process_round(&round);
+        assert_eq!(out.correction().map(Correction::qubits), Some(&[42usize][..]));
     }
 
     #[test]

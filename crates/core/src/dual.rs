@@ -12,7 +12,7 @@
 use btwc_lattice::{StabilizerType, SurfaceCode};
 use btwc_syndrome::Correction;
 
-use crate::decoder::{BtwcDecoder, BtwcOutcome, DecoderStats};
+use crate::decoder::{BtwcDecoder, BtwcOutcome, DecoderStats, OffchipBackend};
 
 /// Corrections for both species of one cycle.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,9 +54,17 @@ impl DualBtwcDecoder {
     /// Builds both planes with default settings.
     #[must_use]
     pub fn new(code: &SurfaceCode) -> Self {
+        Self::with_backend(code, OffchipBackend::default())
+    }
+
+    /// Builds both planes with the chosen off-chip matcher — one knob
+    /// for the pair, since a deployed qubit's two planes share the same
+    /// off-chip decode fabric.
+    #[must_use]
+    pub fn with_backend(code: &SurfaceCode, backend: OffchipBackend) -> Self {
         Self {
-            x_plane: BtwcDecoder::builder(code, StabilizerType::X).build(),
-            z_plane: BtwcDecoder::builder(code, StabilizerType::Z).build(),
+            x_plane: BtwcDecoder::builder(code, StabilizerType::X).offchip_backend(backend).build(),
+            z_plane: BtwcDecoder::builder(code, StabilizerType::Z).offchip_backend(backend).build(),
         }
     }
 
@@ -160,6 +168,22 @@ mod tests {
         assert!(combined <= sx.coverage() + 1e-12);
         assert!(combined <= sz.coverage() + 1e-12);
         assert!(combined > 0.85, "combined coverage {combined}");
+    }
+
+    #[test]
+    fn sparse_backend_corrects_both_species() {
+        let code = SurfaceCode::new(5);
+        let mut dec = DualBtwcDecoder::with_backend(&code, OffchipBackend::SparseBlossom);
+        let mut z_errors = vec![false; code.num_data_qubits()];
+        let mut x_errors = vec![false; code.num_data_qubits()];
+        z_errors[12] = true;
+        x_errors[6] = true;
+        let xr = code.syndrome_of(StabilizerType::X, &z_errors);
+        let zr = code.syndrome_of(StabilizerType::Z, &x_errors);
+        let _ = dec.process_rounds(&xr, &zr);
+        let second = dec.process_rounds(&xr, &zr);
+        assert_eq!(second.z_correction().map(Correction::qubits), Some(&[12usize][..]));
+        assert_eq!(second.x_correction().map(Correction::qubits), Some(&[6usize][..]));
     }
 
     #[test]

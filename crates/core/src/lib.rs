@@ -38,7 +38,9 @@ mod dual;
 mod prefilter;
 mod system;
 
-pub use decoder::{BtwcBuilder, BtwcDecoder, BtwcOutcome, ComplexDecoder, DecoderStats};
+pub use decoder::{
+    BtwcBuilder, BtwcDecoder, BtwcOutcome, ComplexDecoder, DecoderStats, OffchipBackend,
+};
 pub use dual::{DualBtwcDecoder, DualOutcome};
 pub use prefilter::{PrefilterModel, PrefilterReport};
 pub use system::{BtwcSystem, SystemCycle, SystemStats};
@@ -47,4 +49,5 @@ pub use system::{BtwcSystem, SystemCycle, SystemStats};
 pub use btwc_clique::{CliqueDecision, CliqueDecoder, CliqueFrontend};
 pub use btwc_lattice::{StabilizerType, SurfaceCode};
 pub use btwc_mwpm::MwpmDecoder;
+pub use btwc_sparse::SparseDecoder;
 pub use btwc_syndrome::{Correction, RoundHistory, Syndrome};

@@ -50,6 +50,15 @@ pub struct DetectorGraph {
     /// First hop of a shortest path toward the boundary:
     /// either directly out (the private qubit) or to a neighbor ancilla.
     boundary_parent: Vec<(NodeRef, usize)>,
+    /// CSR ancilla-ancilla adjacency (boundary edges excluded):
+    /// neighbors of `a` are `nbr_data[nbr_idx[a]..nbr_idx[a + 1]]`.
+    /// Flat and allocation-free to query — the decoders' graph-walk
+    /// hot paths (sparse region growth in particular) iterate it per
+    /// visited node.
+    nbr_idx: Vec<u32>,
+    nbr_data: Vec<u32>,
+    /// `max(boundary_dist)` — the radius bound sparse region growth uses.
+    max_boundary_dist: u32,
 }
 
 impl DetectorGraph {
@@ -107,7 +116,32 @@ impl DetectorGraph {
         // Multi-source BFS from the boundary.
         let (boundary_dist, boundary_parent) = bfs_from_boundary(&adjacency, num_nodes);
 
-        Self { num_nodes, edges, adjacency, dist, parent, boundary_dist, boundary_parent }
+        // Flatten the ancilla-ancilla adjacency into CSR form.
+        let mut nbr_idx = Vec::with_capacity(num_nodes + 1);
+        let mut nbr_data = Vec::new();
+        nbr_idx.push(0);
+        for adj in &adjacency {
+            for &(n, _) in adj {
+                if let NodeRef::Ancilla(b) = n {
+                    nbr_data.push(b as u32);
+                }
+            }
+            nbr_idx.push(nbr_data.len() as u32);
+        }
+        let max_boundary_dist = boundary_dist.iter().copied().max().unwrap_or(0);
+
+        Self {
+            num_nodes,
+            edges,
+            adjacency,
+            dist,
+            parent,
+            boundary_dist,
+            boundary_parent,
+            nbr_idx,
+            nbr_data,
+            max_boundary_dist,
+        }
     }
 
     /// Number of ancilla nodes.
@@ -133,6 +167,23 @@ impl DetectorGraph {
                 NodeRef::Boundary => None,
             })
             .collect()
+    }
+
+    /// The same-type ancilla neighbors of `a` as a flat slice —
+    /// the allocation-free form of [`DetectorGraph::ancilla_neighbors`]
+    /// (without the shared-qubit labels) for graph-walk hot paths.
+    #[inline]
+    #[must_use]
+    pub fn neighbors(&self, a: usize) -> &[u32] {
+        &self.nbr_data[self.nbr_idx[a] as usize..self.nbr_idx[a + 1] as usize]
+    }
+
+    /// The largest boundary distance over all ancillas — the worst-case
+    /// cost of absorbing a lone defect, and the radius bound for region
+    /// growth in the sparse matcher.
+    #[must_use]
+    pub fn max_boundary_distance(&self) -> u32 {
+        self.max_boundary_dist
     }
 
     /// Data qubits checked *only* by ancilla `a` (boundary edges).
@@ -391,6 +442,32 @@ mod tests {
                     "neighbor relation must be symmetric"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn csr_neighbors_match_ancilla_neighbors() {
+        let code = SurfaceCode::new(7);
+        for ty in StabilizerType::both() {
+            let g = code.detector_graph(ty);
+            for a in 0..g.num_nodes() {
+                let mut from_pairs: Vec<u32> =
+                    g.ancilla_neighbors(a).iter().map(|&(b, _)| b as u32).collect();
+                let mut from_csr = g.neighbors(a).to_vec();
+                from_pairs.sort_unstable();
+                from_csr.sort_unstable();
+                assert_eq!(from_csr, from_pairs, "ancilla {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_boundary_distance_is_the_max() {
+        for d in [3u16, 5, 9] {
+            let code = SurfaceCode::new(d);
+            let g = code.detector_graph(StabilizerType::X);
+            let max = (0..g.num_nodes()).map(|a| g.boundary_distance(a)).max().unwrap();
+            assert_eq!(g.max_boundary_distance(), max);
         }
     }
 

@@ -6,6 +6,7 @@ use btwc_lattice::{DetectorGraph, StabilizerType, SurfaceCode};
 use btwc_syndrome::{Correction, DetectionEvent, RoundHistory};
 
 use crate::blossom::{minimum_weight_perfect_matching_with, MatchingScratch};
+use crate::project::project_pairs;
 
 /// The heavyweight off-chip decoder: exact minimum-weight perfect
 /// matching over space-time detection events.
@@ -82,6 +83,35 @@ impl MwpmDecoder {
     #[must_use]
     pub fn decode_events(&self, events: &[DetectionEvent]) -> Correction {
         let mut scratch = self.scratch.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        Self::decode_events_with(&self.graph, events, &mut scratch.matching).0
+    }
+
+    /// [`MwpmDecoder::decode_events`] through exclusive access — no
+    /// mutex traffic at all ([`std::sync::Mutex::get_mut`] borrows the
+    /// scratch directly). The Monte Carlo engines own their decoders
+    /// per thread, so this is their path; the locked `&self` form stays
+    /// for shared-reference plumbing (the `ComplexDecoder` trait
+    /// object's `&self` decode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any event references an out-of-range ancilla.
+    #[must_use]
+    pub fn decode_events_mut(&mut self, events: &[DetectionEvent]) -> Correction {
+        let scratch = self.scratch.get_mut().unwrap_or_else(std::sync::PoisonError::into_inner);
+        Self::decode_events_with(&self.graph, events, &mut scratch.matching).0
+    }
+
+    /// [`MwpmDecoder::decode_events_mut`] also reporting the total
+    /// space-time weight of the matching it committed to — the quantity
+    /// the sparse decoder's exactness is validated against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any event references an out-of-range ancilla.
+    #[must_use]
+    pub fn decode_events_weighted(&mut self, events: &[DetectionEvent]) -> (Correction, i64) {
+        let scratch = self.scratch.get_mut().unwrap_or_else(std::sync::PoisonError::into_inner);
         Self::decode_events_with(&self.graph, events, &mut scratch.matching)
     }
 
@@ -95,10 +125,10 @@ impl MwpmDecoder {
         graph: &DetectorGraph,
         events: &[DetectionEvent],
         matching_scratch: &mut MatchingScratch,
-    ) -> Correction {
+    ) -> (Correction, i64) {
         let n = events.len();
         if n == 0 {
-            return Correction::new();
+            return (Correction::new(), 0);
         }
         for ev in events {
             assert!(ev.ancilla < graph.num_nodes(), "event ancilla {} out of range", ev.ancilla);
@@ -126,30 +156,43 @@ impl MwpmDecoder {
         let matching = minimum_weight_perfect_matching_with(matching_scratch, 2 * n, weight)
             .expect("event graph with boundary twins always has a perfect matching");
         let mut flips = Vec::new();
-        for &(u, v) in matching.pairs() {
-            match (u < n, v < n) {
-                (true, true) => {
-                    flips.extend(graph.path(events[u].ancilla, events[v].ancilla));
-                }
-                (true, false) => {
-                    flips.extend(graph.path_to_boundary(events[u].ancilla));
-                }
-                (false, true) => {
-                    flips.extend(graph.path_to_boundary(events[v].ancilla));
-                }
-                (false, false) => {}
-            }
-        }
-        Correction::from_flips(flips)
+        project_pairs(graph, events, matching.pairs(), &mut flips);
+        (Correction::from_flips(flips), matching.total_weight())
     }
 
     /// Decodes a whole window of measurement rounds (the off-chip path
     /// of the paper's Fig. 2: raw syndromes are shipped out and matched
     /// in space-time). The detection-event diff lands in a reused
-    /// buffer — no per-decode allocation.
+    /// buffer — no per-decode allocation — and windows with no events
+    /// at all are dismissed by a fused XOR+popcount scan before the
+    /// scratch lock is even taken.
     #[must_use]
     pub fn decode_window(&self, history: &RoundHistory) -> Correction {
+        if history.detection_event_count() == 0 {
+            return Correction::new();
+        }
         let mut scratch = self.scratch.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let DecodeScratch { matching, events } = &mut *scratch;
+        history.detection_events_into(events);
+        Self::decode_events_with(&self.graph, events, matching).0
+    }
+
+    /// [`MwpmDecoder::decode_window`] through exclusive access (see
+    /// [`MwpmDecoder::decode_events_mut`]): the sweep/lifetime loops
+    /// hold one decoder per worker, so they skip the mutex entirely.
+    #[must_use]
+    pub fn decode_window_mut(&mut self, history: &RoundHistory) -> Correction {
+        self.decode_window_weighted(history).0
+    }
+
+    /// [`MwpmDecoder::decode_window_mut`] also reporting the committed
+    /// matching's total space-time weight.
+    #[must_use]
+    pub fn decode_window_weighted(&mut self, history: &RoundHistory) -> (Correction, i64) {
+        if history.detection_event_count() == 0 {
+            return (Correction::new(), 0);
+        }
+        let scratch = self.scratch.get_mut().unwrap_or_else(std::sync::PoisonError::into_inner);
         let DecodeScratch { matching, events } = &mut *scratch;
         history.detection_events_into(events);
         Self::decode_events_with(&self.graph, events, matching)
@@ -275,6 +318,28 @@ mod tests {
                     "d={d}: weight<=t error mis-decoded: {errors:?}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn mut_path_matches_locked_path() {
+        let code = SurfaceCode::new(7);
+        let mut decoder = MwpmDecoder::new(&code, StabilizerType::X);
+        let mut rng = SimRng::from_seed(0xBEEF);
+        for _ in 0..50 {
+            let mut errors = vec![false; code.num_data_qubits()];
+            for _ in 0..4 {
+                errors[rng.below(code.num_data_qubits())] ^= true;
+            }
+            let window = window_for(&code, &errors, 3);
+            let locked = decoder.decode_window(&window);
+            let unlocked = decoder.decode_window_mut(&window);
+            assert_eq!(locked, unlocked);
+            let events = window.detection_events();
+            assert_eq!(decoder.decode_events(&events), decoder.decode_events_mut(&events));
+            let (c, w) = decoder.decode_events_weighted(&events);
+            assert_eq!(c, locked);
+            assert!(w >= 0);
         }
     }
 

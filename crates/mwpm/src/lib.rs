@@ -2,18 +2,23 @@
 //!
 //! This crate is the workspace's from-scratch port of the state-of-the-art
 //! decoder the paper uses as its complex/off-chip baseline (Dennis et al.,
-//! "Topological quantum memory"). It has three layers:
+//! "Topological quantum memory"). It has four layers:
 //!
 //! 1. [`blossom`] — an exact O(n³) maximum-weight general-graph matching
 //!    (Galil-style primal-dual with blossom shrinking), wrapped into
 //!    minimum-weight *perfect* matching via weight complementation;
 //! 2. [`brute`] — an exponential but obviously-correct reference matcher
 //!    used by the property-test suite to validate the blossom code;
-//! 3. [`MwpmDecoder`] — the space-time decoder: detection events from a
+//! 3. [`project`] — the shared projection of matched event/boundary-twin
+//!    pairs onto data-qubit flips, used here and by the sparse decoder
+//!    in `btwc-sparse`;
+//! 4. [`MwpmDecoder`] — the space-time decoder: detection events from a
 //!    window of measurement rounds become nodes, weights are detector-
 //!    graph distance plus time separation, every event may also match to
 //!    the open boundary, and matched pairs are projected back to data-
-//!    qubit corrections along shortest paths.
+//!    qubit corrections along shortest paths. The `_mut` decode paths
+//!    skip the scratch mutex for exclusive callers; `_weighted` variants
+//!    also report the committed matching's total weight.
 //!
 //! # Example
 //!
@@ -39,5 +44,6 @@
 pub mod blossom;
 pub mod brute;
 mod decoder;
+pub mod project;
 
 pub use decoder::MwpmDecoder;

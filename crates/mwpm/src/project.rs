@@ -1,0 +1,93 @@
+//! Projection of matched space-time event pairs onto data-qubit flips.
+//!
+//! Both off-chip matchers — the dense blossom decoder here and the
+//! sparse region-growth decoder in `btwc-sparse` — use the same node
+//! convention and the same projection: with `n` detection events,
+//! nodes `0..n` are the events and `n..2n` their virtual boundary
+//! twins. A real–real pair flips the data qubits along a shortest
+//! detector-graph path between the two ancillas (time-like pairs share
+//! an ancilla, so the path is empty and nothing is flipped), a
+//! real–twin pair flips a shortest path out to the open boundary, and
+//! twin–twin pairs are bookkeeping only.
+
+use btwc_lattice::DetectorGraph;
+use btwc_syndrome::DetectionEvent;
+
+/// Appends the data-qubit flips implied by matched pairs over `events`
+/// (indices `0..events.len()` are events, `events.len()..2*events.len()`
+/// their boundary twins) to `flips`. The caller owns the buffer so hot
+/// paths can recycle it; duplicates are fine — [`btwc_syndrome::Correction::from_flips`]
+/// cancels them pairwise.
+///
+/// # Panics
+///
+/// Panics if a pair references a node `>= 2 * events.len()`.
+pub fn project_pairs(
+    graph: &DetectorGraph,
+    events: &[DetectionEvent],
+    pairs: &[(usize, usize)],
+    flips: &mut Vec<usize>,
+) {
+    let n = events.len();
+    for &(u, v) in pairs {
+        assert!(u < 2 * n && v < 2 * n, "pair ({u},{v}) out of range for {n} events");
+        match (u < n, v < n) {
+            (true, true) => flips.extend(graph.path(events[u].ancilla, events[v].ancilla)),
+            (true, false) => flips.extend(graph.path_to_boundary(events[u].ancilla)),
+            (false, true) => flips.extend(graph.path_to_boundary(events[v].ancilla)),
+            (false, false) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btwc_lattice::{StabilizerType, SurfaceCode};
+    use btwc_syndrome::Correction;
+
+    #[test]
+    fn projected_pairs_cancel_their_events() {
+        let code = SurfaceCode::new(5);
+        let ty = StabilizerType::X;
+        let graph = code.detector_graph(ty);
+        let events = [
+            DetectionEvent { ancilla: 0, round: 0 },
+            DetectionEvent { ancilla: 7, round: 0 },
+            DetectionEvent { ancilla: 3, round: 1 },
+        ];
+        // Pair the first two, exit the third through the boundary; the
+        // twin of event 0 pairs with the twin of event 1 for free.
+        let mut flips = Vec::new();
+        project_pairs(graph, &events, &[(0, 1), (2, 5), (3, 4)], &mut flips);
+        let c = Correction::from_flips(flips);
+        let mut errors = vec![false; code.num_data_qubits()];
+        c.apply_to(&mut errors);
+        let syndrome = code.syndrome_of(ty, &errors);
+        for (i, &s) in syndrome.iter().enumerate() {
+            let expect = i == 0 || i == 7 || i == 3;
+            assert_eq!(s, expect, "ancilla {i}");
+        }
+    }
+
+    #[test]
+    fn time_like_pair_flips_nothing() {
+        let code = SurfaceCode::new(5);
+        let graph = code.detector_graph(StabilizerType::X);
+        let events =
+            [DetectionEvent { ancilla: 4, round: 1 }, DetectionEvent { ancilla: 4, round: 2 }];
+        let mut flips = Vec::new();
+        project_pairs(graph, &events, &[(0, 1), (2, 3)], &mut flips);
+        assert!(flips.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_pair_rejected() {
+        let code = SurfaceCode::new(3);
+        let graph = code.detector_graph(StabilizerType::X);
+        let events = [DetectionEvent { ancilla: 0, round: 0 }];
+        let mut flips = Vec::new();
+        project_pairs(graph, &events, &[(0, 2)], &mut flips);
+    }
+}

@@ -1,8 +1,8 @@
 //! Shot-based logical error rate estimation (Fig. 14).
 
 use btwc_clique::{CliqueDecision, CliqueFrontend};
+use btwc_core::OffchipBackend;
 use btwc_lattice::{StabilizerType, SurfaceCode};
-use btwc_mwpm::MwpmDecoder;
 use btwc_noise::{SimRng, SparseFlips};
 use btwc_syndrome::{PackedBits, RoundHistory};
 use serde::Serialize;
@@ -33,6 +33,9 @@ pub struct ShotConfig {
     pub shots: u64,
     /// Clique sticky-filter depth (used by `CliquePlusMwpm` only).
     pub clique_rounds: usize,
+    /// Which off-chip matcher decodes the shipped windows (both exact;
+    /// see [`OffchipBackend`]).
+    pub offchip: OffchipBackend,
     /// RNG seed.
     pub seed: u64,
 }
@@ -55,6 +58,7 @@ impl ShotConfig {
             rounds: usize::from(distance),
             shots: 10_000,
             clique_rounds: 2,
+            offchip: OffchipBackend::default(),
             seed: 0,
         }
     }
@@ -82,6 +86,13 @@ impl ShotConfig {
     pub fn with_clique_rounds(mut self, rounds: usize) -> Self {
         assert!(rounds >= 1, "sticky filter needs at least one round");
         self.clique_rounds = rounds;
+        self
+    }
+
+    /// Selects the off-chip matcher for shipped windows.
+    #[must_use]
+    pub fn with_offchip(mut self, backend: OffchipBackend) -> Self {
+        self.offchip = backend;
         self
     }
 
@@ -134,7 +145,7 @@ impl LerEstimate {
 pub fn logical_error_rate(cfg: &ShotConfig, kind: DecoderKind) -> LerEstimate {
     let ty = StabilizerType::X;
     let code = SurfaceCode::new(cfg.distance);
-    let mwpm = MwpmDecoder::new(&code, ty);
+    let mut offchip = cfg.offchip.build(&code, ty);
     let mut tracker = ErrorTracker::new(&code, ty);
     let mut frontend = CliqueFrontend::with_rounds(&code, ty, cfg.clique_rounds);
     let n_anc = code.num_ancillas(ty);
@@ -192,7 +203,7 @@ pub fn logical_error_rate(cfg: &ShotConfig, kind: DecoderKind) -> LerEstimate {
         if !(window.is_empty() && tracker.syndrome().is_zero()) {
             window.push_packed(tracker.syndrome());
         }
-        let cleanup = mwpm.decode_window(&window);
+        let cleanup = offchip.decode_window_mut(&window);
         tracker.apply(cleanup.qubits());
         debug_assert!(tracker.is_quiet(), "decode must clear the syndrome");
         est.shots += 1;
@@ -286,6 +297,31 @@ mod tests {
             base.rate()
         );
         assert!(clique.offchip_shots > 0, "some shots must go off-chip");
+    }
+
+    #[test]
+    fn sparse_backend_tracks_dense_ler() {
+        // Exactness in the shot loop: same shots, same noise, and a
+        // logical error rate in the same regime (corrections may differ
+        // on weight ties, so bit-identical failure sets are not
+        // guaranteed — but the rates must agree within Monte Carlo
+        // noise).
+        let p = 8e-3;
+        let cfg = ShotConfig::new(5, p).with_shots(4000).with_seed(23);
+        let dense = logical_error_rate(&cfg, DecoderKind::MwpmOnly);
+        let sparse = logical_error_rate(
+            &cfg.with_offchip(OffchipBackend::SparseBlossom),
+            DecoderKind::MwpmOnly,
+        );
+        assert_eq!(dense.shots, sparse.shots);
+        assert!(dense.failures > 0, "need a measurable baseline");
+        let ratio = sparse.rate() / dense.rate().max(1e-9);
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "sparse LER {} vs dense LER {}",
+            sparse.rate(),
+            dense.rate()
+        );
     }
 
     #[test]

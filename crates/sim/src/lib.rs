@@ -18,7 +18,11 @@
 //! Multi-qubit off-chip demand traces for the bandwidth study (Figs. 9
 //! and 16) come from [`multi_qubit_trace`] / [`offchip_probability`].
 //! Everything is deterministic given a seed and parallelized with
-//! scoped threads.
+//! scoped threads. Both engines pick their off-chip matcher through
+//! [`OffchipBackend`] (`with_offchip` on either config): the dense MWPM
+//! baseline or the weight-equal sparse-blossom decoder, each used
+//! through its lock-free `&mut` decode path — one decoder per worker,
+//! no synchronization per complex decode.
 //!
 //! # Example
 //!
@@ -36,6 +40,10 @@ mod multi;
 mod sweep;
 mod tracker;
 
+// Both engines take an off-chip matcher choice (dense MWPM or
+// sparse-blossom) through their configs; re-export the selector so sim
+// users don't need a separate `btwc_core` import.
+pub use btwc_core::OffchipBackend;
 pub use ler::{
     logical_error_rate, logical_error_rate_parallel, DecoderKind, LerEstimate, ShotConfig,
 };

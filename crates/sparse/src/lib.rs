@@ -1,0 +1,57 @@
+//! Sparse-blossom off-chip decoding — exact MWPM without the dense
+//! all-pairs event matrix.
+//!
+//! The BTWC hierarchy keeps Clique on-chip and ships only rare complex
+//! windows to the off-chip matcher. The workspace's dense baseline
+//! ([`btwc_mwpm::MwpmDecoder`]) solves those windows with an O(n³)
+//! blossom over *every* event pair; this crate replaces that with the
+//! sparse-blossom structure (à la PyMatching v2): work directly on the
+//! space-time detector graph, give each detection event a region whose
+//! radius is its boundary-exit bid (the virtual boundary twin as a
+//! zero-cost exit), discover matchable edges lazily by detecting region
+//! collisions in round order — each check one O(1) lookup in the
+//! lattice's once-per-code distance tables, with a time-horizon prune
+//! ending every scan early — and solve only the small clusters of
+//! events whose regions actually collide.
+//!
+//! The result is exact — identical total matching weight to the dense
+//! blossom on every input, which the property suite verifies against
+//! both the dense decoder and the exponential reference matcher — while
+//! the per-decode cost drops from "cubic in all events" to "a pruned
+//! collision scan plus per-cluster matchings sized by how entangled the
+//! events actually are". All working state lives in a reusable
+//! [`SparseScratch`], so warmed-up decodes allocate only what leaves in
+//! the returned correction.
+//!
+//! [`SparseDecoder`] mirrors the dense decoder's API (`decode_window`,
+//! `decode_events`, lock-free `_mut` and weight-reporting `_weighted`
+//! variants) and plugs into the hierarchy as a `ComplexDecoder` backend
+//! via `btwc_core::BtwcBuilder::offchip_backend`.
+//!
+//! # Example
+//!
+//! ```
+//! use btwc_lattice::{StabilizerType, SurfaceCode};
+//! use btwc_sparse::SparseDecoder;
+//! use btwc_syndrome::RoundHistory;
+//!
+//! let code = SurfaceCode::new(5);
+//! let decoder = SparseDecoder::new(&code, StabilizerType::X);
+//!
+//! // A single data error seen over two rounds:
+//! let mut errors = vec![false; code.num_data_qubits()];
+//! errors[12] = true;
+//! let round = code.syndrome_of(StabilizerType::X, &errors);
+//! let mut history = RoundHistory::new(round.len(), 8);
+//! history.push(&round);
+//! history.push(&round);
+//! let correction = decoder.decode_window(&history);
+//! assert_eq!(correction.qubits(), &[12]);
+//! ```
+
+mod decoder;
+mod regions;
+mod scratch;
+
+pub use decoder::SparseDecoder;
+pub use scratch::SparseScratch;

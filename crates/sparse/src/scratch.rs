@@ -1,0 +1,119 @@
+//! Reusable per-decoder working state.
+//!
+//! Every array the sparse decode kernel touches lives here and is
+//! recycled across decodes (cleared, never reallocated once grown to
+//! the largest event count seen). Warmed up, a decode allocates only
+//! what leaves in its return value: the `Correction`'s flip list, plus
+//! the tiny per-cluster `Matching` of the rare ≥ 3-event clusters — the
+//! same caveat the dense decoder documents for its own returned
+//! `Matching`.
+
+use btwc_mwpm::blossom::MatchingScratch;
+use btwc_syndrome::DetectionEvent;
+
+/// Scratch for [`crate::SparseDecoder`]; grows monotonically to the
+/// largest decode seen and is never shrunk.
+#[derive(Debug, Default)]
+pub struct SparseScratch {
+    /// Union-find over events (parent pointers + subtree sizes).
+    pub(crate) uf_parent: Vec<u32>,
+    pub(crate) uf_size: Vec<u32>,
+    /// Resolved cluster root per event, and event indices sorted first
+    /// by round (the collision-scan order) and then by root (so each
+    /// cluster is one contiguous run).
+    pub(crate) root: Vec<u32>,
+    pub(crate) order: Vec<u32>,
+    /// Events of the cluster currently being solved.
+    pub(crate) local_events: Vec<DetectionEvent>,
+    /// Dense blossom tables for ≥ 3-event clusters (sized by the largest
+    /// cluster seen, typically a handful of nodes).
+    pub(crate) blossom: MatchingScratch,
+    /// Detection events of the window being decoded (filled by
+    /// `decode_window`).
+    pub(crate) events: Vec<DetectionEvent>,
+}
+
+impl SparseScratch {
+    /// An empty scratch; it sizes itself on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Readies the scratch for a decode over `num_events` events:
+    /// resets the union-find to singletons and clears the index
+    /// buffers, all in place.
+    pub(crate) fn prepare(&mut self, num_events: usize) {
+        self.uf_parent.clear();
+        self.uf_parent.extend(0..num_events as u32);
+        self.uf_size.clear();
+        self.uf_size.resize(num_events, 1);
+        self.root.clear();
+        self.order.clear();
+    }
+
+    /// Union-find root of event `x`, with path halving.
+    pub(crate) fn find(&mut self, mut x: u32) -> u32 {
+        while self.uf_parent[x as usize] != x {
+            let grand = self.uf_parent[self.uf_parent[x as usize] as usize];
+            self.uf_parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    /// Merges the clusters of events `a` and `b` (union by size).
+    pub(crate) fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        let (big, small) = if self.uf_size[ra as usize] >= self.uf_size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.uf_parent[small as usize] = big;
+        self.uf_size[big as usize] += self.uf_size[small as usize];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_resets_union_find() {
+        let mut s = SparseScratch::new();
+        s.prepare(4);
+        s.union(0, 2);
+        s.union(1, 2);
+        assert_eq!(s.find(0), s.find(1));
+        assert_ne!(s.find(0), s.find(3));
+        s.prepare(4);
+        assert_ne!(s.find(0), s.find(2), "prepare must forget old unions");
+    }
+
+    #[test]
+    fn prepare_shrinks_and_regrows() {
+        let mut s = SparseScratch::new();
+        s.prepare(8);
+        s.union(6, 7);
+        s.prepare(2);
+        assert_eq!(s.uf_parent.len(), 2);
+        s.prepare(8);
+        assert_ne!(s.find(6), s.find(7), "regrown state must be pristine");
+    }
+
+    #[test]
+    fn union_by_size_builds_one_cluster() {
+        let mut s = SparseScratch::new();
+        s.prepare(6);
+        for i in 1..6 {
+            s.union(0, i);
+        }
+        let root = s.find(0);
+        assert!((0..6).all(|i| s.find(i) == root));
+        assert_eq!(s.uf_size[root as usize], 6);
+    }
+}

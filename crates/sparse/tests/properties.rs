@@ -1,0 +1,148 @@
+//! Property-based validation of the sparse matcher.
+//!
+//! The contract under test is *exactness*: the sparse region-growth
+//! decoder commits to matchings of the same total space-time weight as
+//! the exponential brute-force reference (small instances) and the
+//! dense blossom decoder (realistic windows), boundary twins included.
+
+use btwc_lattice::{StabilizerType, SurfaceCode};
+use btwc_mwpm::brute::brute_force_min_weight;
+use btwc_mwpm::MwpmDecoder;
+use btwc_sparse::SparseDecoder;
+use btwc_syndrome::{DetectionEvent, RoundHistory};
+use proptest::prelude::*;
+
+/// The exact optimum for an event set, via the brute-force matcher on
+/// the dense event + boundary-twin construction (nodes `0..n` events,
+/// `n..2n` twins; twin–twin edges free).
+fn brute_optimum(code: &SurfaceCode, ty: StabilizerType, events: &[DetectionEvent]) -> i64 {
+    let graph = code.detector_graph(ty);
+    let n = events.len();
+    let weight = |u: usize, v: usize| -> Option<i64> {
+        match (u < n, v < n) {
+            (true, true) => {
+                let (a, b) = (&events[u], &events[v]);
+                let spatial = graph.distance(a.ancilla, b.ancilla);
+                Some(i64::from(spatial) + a.round.abs_diff(b.round) as i64)
+            }
+            (true, false) => {
+                (v - n == u).then(|| i64::from(graph.boundary_distance(events[u].ancilla)))
+            }
+            (false, true) => {
+                (u - n == v).then(|| i64::from(graph.boundary_distance(events[v].ancilla)))
+            }
+            (false, false) => Some(0),
+        }
+    };
+    brute_force_min_weight(2 * n, weight).expect("twin construction always matches")
+}
+
+/// Deduplicated events drawn from an (ancilla, round) grid.
+fn events_from_cells(
+    code: &SurfaceCode,
+    ty: StabilizerType,
+    rounds: usize,
+    cells: &[usize],
+) -> Vec<DetectionEvent> {
+    let n_anc = code.num_ancillas(ty);
+    let mut events: Vec<DetectionEvent> = cells
+        .iter()
+        .map(|&c| {
+            let c = c % (n_anc * rounds);
+            DetectionEvent { ancilla: c % n_anc, round: c / n_anc }
+        })
+        .collect();
+    events.sort_unstable_by_key(|e| (e.round, e.ancilla));
+    events.dedup();
+    events
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Sparse equals brute force on arbitrary small event sets — odd
+    /// and even counts, forcing odd numbers of boundary exits.
+    #[test]
+    fn sparse_is_optimal_vs_brute(
+        d in prop_oneof![Just(3u16), Just(5), Just(7)],
+        cells in proptest::collection::vec(0usize..100_000, 0..9),
+    ) {
+        let code = SurfaceCode::new(d);
+        let ty = StabilizerType::X;
+        let events = events_from_cells(&code, ty, 6, &cells);
+        let mut sparse = SparseDecoder::new(&code, ty);
+        let (_, w) = sparse.decode_events_weighted(&events);
+        prop_assert_eq!(w, brute_optimum(&code, ty, &events), "events {:?}", events);
+    }
+
+    /// Sparse equals the dense blossom on windows whose ancilla count
+    /// straddles the 64-bit word boundary (d = 13 → 84 ancillas), on
+    /// both stabilizer types.
+    #[test]
+    fn sparse_matches_dense_across_word_boundary(
+        use_z in any::<bool>(),
+        cells in proptest::collection::vec(0usize..1_000_000, 1..24),
+    ) {
+        let code = SurfaceCode::new(13);
+        let ty = if use_z { StabilizerType::Z } else { StabilizerType::X };
+        let events = events_from_cells(&code, ty, 10, &cells);
+        let mut sparse = SparseDecoder::new(&code, ty);
+        let mut dense = MwpmDecoder::new(&code, ty);
+        let (_, w_sparse) = sparse.decode_events_weighted(&events);
+        let (_, w_dense) = dense.decode_events_weighted(&events);
+        prop_assert_eq!(w_sparse, w_dense, "events {:?}", events);
+    }
+
+    /// The sparse corrections cancel the syndrome of any accumulated
+    /// data-error pattern observed over a closed window (the same
+    /// contract the dense decoder's suite pins).
+    #[test]
+    fn corrections_cancel_arbitrary_patterns(
+        d in prop_oneof![Just(3u16), Just(5), Just(7)],
+        flips in proptest::collection::vec(0usize..49, 0..10),
+    ) {
+        let code = SurfaceCode::new(d);
+        let n = code.num_data_qubits();
+        let decoder = SparseDecoder::new(&code, StabilizerType::X);
+        let mut errors = vec![false; n];
+        for &q in &flips {
+            errors[q % n] ^= true;
+        }
+        let round = code.syndrome_of(StabilizerType::X, &errors);
+        let mut window = RoundHistory::new(round.len(), 2);
+        window.push(&round);
+        window.push(&round);
+        let c = decoder.decode_window(&window);
+        let mut residual = errors;
+        c.apply_to(&mut residual);
+        let s = code.syndrome_of(StabilizerType::X, &residual);
+        prop_assert!(s.iter().all(|&b| !b));
+    }
+
+    /// Boundary twins: events pinned near the open boundary must decode
+    /// to exits whose weight the brute construction confirms (the exit
+    /// cost is the ancilla's boundary distance, twins pair freely).
+    #[test]
+    fn boundary_heavy_sets_stay_optimal(
+        d in prop_oneof![Just(5u16), Just(7)],
+        picks in proptest::collection::vec((0usize..64, 0usize..4), 1..7),
+    ) {
+        let code = SurfaceCode::new(d);
+        let ty = StabilizerType::X;
+        let graph = code.detector_graph(ty);
+        let near: Vec<usize> =
+            (0..graph.num_nodes()).filter(|&a| graph.boundary_distance(a) == 1).collect();
+        let mut events: Vec<DetectionEvent> = picks
+            .iter()
+            .map(|&(i, t)| DetectionEvent { ancilla: near[i % near.len()], round: t })
+            .collect();
+        events.sort_unstable_by_key(|e| (e.round, e.ancilla));
+        events.dedup();
+        let mut sparse = SparseDecoder::new(&code, ty);
+        let (_, w) = sparse.decode_events_weighted(&events);
+        prop_assert_eq!(w, brute_optimum(&code, ty, &events), "events {:?}", events);
+        // Every event is one step from the boundary, so the optimum can
+        // never exceed all-exits.
+        prop_assert!(w <= events.len() as i64);
+    }
+}

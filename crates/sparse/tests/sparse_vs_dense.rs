@@ -1,0 +1,87 @@
+//! The exactness acceptance sweep: sparse and dense decoders commit to
+//! matchings of identical total space-time weight on over a thousand
+//! randomized noisy windows across d ∈ {5, 9, 13}, and the sparse
+//! corrections are equally valid (zero residual syndrome against the
+//! final perfect round).
+
+use btwc_lattice::{StabilizerType, SurfaceCode};
+use btwc_mwpm::MwpmDecoder;
+use btwc_noise::{NoiseModel, PhenomenologicalNoise, SimRng};
+use btwc_sparse::SparseDecoder;
+use btwc_syndrome::RoundHistory;
+
+/// One noisy shot window: `rounds` rounds of accumulating data errors
+/// with independent measurement flips, closed by a perfect readout
+/// round. Returns the window and the final error state.
+fn noisy_window(
+    code: &SurfaceCode,
+    ty: StabilizerType,
+    p: f64,
+    rounds: usize,
+    rng: &mut SimRng,
+) -> (RoundHistory, Vec<bool>) {
+    let noise = PhenomenologicalNoise::uniform(p);
+    let n_anc = code.num_ancillas(ty);
+    let mut errors = vec![false; code.num_data_qubits()];
+    let mut meas = vec![false; n_anc];
+    let mut window = RoundHistory::new(n_anc, rounds + 1);
+    for _ in 0..rounds {
+        noise.sample_data_into(rng, &mut errors);
+        noise.sample_measurement_into(rng, &mut meas);
+        let mut round = code.syndrome_of(ty, &errors);
+        for (r, &m) in round.iter_mut().zip(&meas) {
+            *r ^= m;
+        }
+        window.push(&round);
+    }
+    window.push(&code.syndrome_of(ty, &errors));
+    (window, errors)
+}
+
+#[test]
+fn sparse_weight_equals_dense_on_1000_random_windows() {
+    // (distance, error rate, windows): ≥ 1000 windows total, with the
+    // higher rates producing dense multi-cluster event sets.
+    let plan: [(u16, f64, u64); 6] = [
+        (5, 3e-3, 200),
+        (5, 1e-2, 200),
+        (9, 3e-3, 150),
+        (9, 1e-2, 150),
+        (13, 3e-3, 150),
+        (13, 8e-3, 150),
+    ];
+    let total: u64 = plan.iter().map(|&(_, _, n)| n).sum();
+    assert!(total >= 1000, "acceptance demands at least 1000 windows");
+    let ty = StabilizerType::X;
+    let mut nonzero = 0u64;
+    for (d, p, windows) in plan {
+        let code = SurfaceCode::new(d);
+        let mut sparse = SparseDecoder::new(&code, ty);
+        let mut dense = MwpmDecoder::new(&code, ty);
+        let mut rng = SimRng::from_seed(0xACCE97 ^ (u64::from(d) << 32) ^ p.to_bits());
+        for i in 0..windows {
+            let (window, errors) = noisy_window(&code, ty, p, usize::from(d), &mut rng);
+            let (c_sparse, w_sparse) = sparse.decode_window_weighted(&window);
+            let (c_dense, w_dense) = dense.decode_window_weighted(&window);
+            assert_eq!(
+                w_sparse,
+                w_dense,
+                "weight mismatch at d={d} p={p} window {i} \
+                 ({} events)",
+                window.detection_event_count()
+            );
+            nonzero += u64::from(w_sparse > 0);
+            // Both corrections must explain the final-round syndrome.
+            for c in [&c_sparse, &c_dense] {
+                let mut residual = errors.clone();
+                c.apply_to(&mut residual);
+                assert!(
+                    code.syndrome_of(ty, &residual).iter().all(|&s| !s),
+                    "residual syndrome at d={d} p={p} window {i}"
+                );
+            }
+        }
+    }
+    // The sweep must actually exercise the matchers, not decode silence.
+    assert!(nonzero > total / 2, "only {nonzero}/{total} windows had events");
+}

@@ -214,6 +214,24 @@ impl RoundHistory {
         }
     }
 
+    /// Number of detection events in the retained window, without
+    /// materializing them: each adjacent round pair costs one fused
+    /// XOR+popcount pass ([`PackedBits::xor_weight`]) and the round-0
+    /// baseline diff is a plain weight — no temporary buffer, no event
+    /// list. Decoders use this to skip the event enumeration (and any
+    /// scratch locking) on windows with nothing to match.
+    #[must_use]
+    pub fn detection_event_count(&self) -> usize {
+        let mut count = match self.rounds.front() {
+            None => return 0,
+            Some(first) => first.weight(),
+        };
+        for t in 1..self.rounds.len() {
+            count += self.rounds[t].xor_weight(&self.rounds[t - 1]);
+        }
+        count
+    }
+
     /// Forgets all retained rounds (used after a decoder resolves the
     /// window and resets the reference frame). Buffers are recycled.
     pub fn reset(&mut self) {
@@ -334,6 +352,22 @@ mod tests {
         assert_eq!(ev.len(), 2, "transient flip yields an event pair in time");
         assert_eq!(ev[0].ancilla, ev[1].ancilla);
         assert_eq!(ev[1].round - ev[0].round, 1);
+    }
+
+    #[test]
+    fn detection_event_count_matches_enumeration() {
+        let mut h = RoundHistory::new(130, 8);
+        assert_eq!(h.detection_event_count(), 0);
+        let mut state = 0x5EEDu64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state
+        };
+        for _ in 0..6 {
+            let bits: Vec<bool> = (0..130).map(|_| next() % 7 == 0).collect();
+            h.push(&bits);
+            assert_eq!(h.detection_event_count(), h.detection_events().len());
+        }
     }
 
     #[test]

@@ -169,6 +169,23 @@ impl PackedBits {
         }
     }
 
+    /// Weight of `self XOR other` in a single fused pass: per word one
+    /// XOR feeding straight into a hardware popcount, with no temporary
+    /// buffer and no second traversal. This is the detection-event
+    /// count between two adjacent rounds, and the scalar form of the
+    /// planned `std::simd` XOR+popcount fusion — the loop body is
+    /// already one-load-per-operand, so wider lanes drop in without
+    /// restructuring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    #[must_use]
+    pub fn xor_weight(&self, other: &PackedBits) -> usize {
+        assert_eq!(self.len, other.len, "bit length mismatch");
+        self.words.iter().zip(&other.words).map(|(&a, &b)| (a ^ b).count_ones() as usize).sum()
+    }
+
     /// Whether every bit is zero (word scan, no per-bit work).
     #[must_use]
     pub fn is_zero(&self) -> bool {
@@ -297,8 +314,14 @@ mod tests {
             let expect: Vec<usize> =
                 a_bits.iter().enumerate().filter_map(|(i, &x)| x.then_some(i)).collect();
             assert_eq!(set, expect, "len {len}");
+            assert_eq!(
+                a.xor_weight(&b),
+                reference_xor(&a_bits, &b_bits).iter().filter(|&&x| x).count(),
+                "len {len}: fused xor_weight must equal xor-then-count"
+            );
             a.xor_with(&b);
             assert_eq!(a.to_bools(), reference_xor(&a_bits, &b_bits), "len {len}");
+            assert_eq!(a.xor_weight(&a), 0, "xor_weight with self is zero");
             a.xor_with(&b);
             assert_eq!(a.to_bools(), a_bits, "xor is an involution");
             let mut o = PackedBits::from_bools(&a_bits);
@@ -349,6 +372,12 @@ mod tests {
     fn xor_rejects_length_mismatch() {
         let mut a = PackedBits::new(3);
         a.xor_with(&PackedBits::new(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn xor_weight_rejects_length_mismatch() {
+        let _ = PackedBits::new(3).xor_weight(&PackedBits::new(4));
     }
 
     #[test]

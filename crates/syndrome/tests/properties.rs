@@ -146,6 +146,10 @@ proptest! {
             prop_assert_eq!(n.get(i), a_bits[i] & b_bits[i]);
             prop_assert_eq!(o.get(i), a_bits[i] | b_bits[i]);
         }
+        // Fused xor_weight equals xor-then-count, both ways around.
+        let xor_count = (0..len).filter(|&i| a_bits[i] ^ b_bits[i]).count();
+        prop_assert_eq!(a.xor_weight(&b), xor_count);
+        prop_assert_eq!(b.xor_weight(&a), xor_count);
         // xor round-trips.
         x.xor_with(&b);
         prop_assert_eq!(x, a);

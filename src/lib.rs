@@ -19,6 +19,7 @@
 //! | [`syndrome`] | Word-packed syndrome rounds ([`syndrome::PackedBits`]), sticky filtering, detection events, corrections |
 //! | [`clique`] | The Clique decoder (paper contribution 1) |
 //! | [`mwpm`] | Exact blossom matching (reusable decode scratch) + space-time MWPM baseline |
+//! | [`sparse`] | Sparse-blossom off-chip decoder: region growth + per-cluster exact matching |
 //! | [`afs`] | AFS sparse syndrome compression baseline |
 //! | [`sfq`] | ERSFQ cell library, netlist synthesis, power/area/latency |
 //! | [`bandwidth`] | Statistical link provisioning + overflow stalling (contributions 2–3) |
@@ -61,5 +62,6 @@ pub use btwc_mwpm as mwpm;
 pub use btwc_noise as noise;
 pub use btwc_sfq as sfq;
 pub use btwc_sim as sim;
+pub use btwc_sparse as sparse;
 pub use btwc_syndrome as syndrome;
 pub use btwc_uf as uf;
