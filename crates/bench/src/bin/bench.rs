@@ -13,19 +13,25 @@
 //!   region-growth matcher on identical noisy windows, reported as
 //!   decoded rounds per second (windows/s × rounds per window);
 //! * `ler_d{7,11}_{mwpm,clique}` — the Fig. 14 shot loop, reported as
-//!   decoded rounds per second.
+//!   decoded rounds per second;
+//! * `sweep_{scoped_per_point,pooled_grid}` — the `sweep_throughput`
+//!   schedule comparison: the pre-pool per-point scoped-thread sweep
+//!   versus the whole-grid work-stealing pool on a mixed-distance
+//!   `(p, d)` grid at fixed total trials.
 //!
 //! `BTWC_SCALE` scales the measurement budgets as usual.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use btwc_bench::baseline::{sample_noisy_rounds, sample_noisy_window, BoolVecHistory};
-use btwc_bench::{print_table, scaled};
+use btwc_bench::baseline::{
+    coverage_sweep_per_point, sample_noisy_rounds, sample_noisy_window, BoolVecHistory,
+};
+use btwc_bench::{print_table, scaled, sweep_throughput_axes, SWEEP_BENCH_WORKERS};
 use btwc_lattice::{StabilizerType, SurfaceCode};
 use btwc_mwpm::MwpmDecoder;
 use btwc_noise::SimRng;
-use btwc_sim::{logical_error_rate, DecoderKind, ShotConfig};
+use btwc_sim::{coverage_sweep, logical_error_rate, DecoderKind, ShotConfig};
 use btwc_sparse::SparseDecoder;
 use btwc_syndrome::{PackedBits, RoundHistory, Syndrome};
 
@@ -171,6 +177,46 @@ fn ler_benches(entries: &mut Vec<Entry>) {
     }
 }
 
+/// The `sweep_throughput` schedule comparison: identical mixed-distance
+/// grid and per-point cycle budget, scheduled the old way (per-point
+/// scoped threads, a barrier and `workers` thread spawns + pipeline
+/// constructions at every point) versus the pooled way (every
+/// `(point, shard)` task in one work-stealing pool). Returns the
+/// pooled/scoped wall-clock speedup — the PR's acceptance number.
+fn sweep_benches(entries: &mut Vec<Entry>) -> f64 {
+    let (rates, distances) = sweep_throughput_axes();
+    let cycles = scaled(2_000);
+    // Resolve the effective count once (a `BTWC_WORKERS` override
+    // applies to the pool arm either way; the scoped baseline spawns
+    // raw threads) so both schedules run at the same width and the
+    // recorded details stay truthful.
+    let workers = btwc_pool::Pool::new(SWEEP_BENCH_WORKERS).workers();
+    let total_cycles = (cycles * (rates.len() * distances.len()) as u64) as f64;
+    let reps = 6;
+
+    let scoped = time_rounds(reps, || {
+        std::hint::black_box(coverage_sweep_per_point(&rates, &distances, cycles, 11, workers));
+    }) * total_cycles;
+    entries.push(Entry {
+        name: "sweep_scoped_per_point".into(),
+        rounds_per_sec: scoped,
+        detail: format!(
+            "d∈{{3,7,13}}, {} pts × {cycles} cycles, {workers} threads/pt",
+            rates.len() * distances.len()
+        ),
+    });
+
+    let pooled = time_rounds(reps, || {
+        std::hint::black_box(coverage_sweep(&rates, &distances, cycles, 11, workers));
+    }) * total_cycles;
+    entries.push(Entry {
+        name: "sweep_pooled_grid".into(),
+        rounds_per_sec: pooled,
+        detail: format!("same grid, all shards in one {workers}-worker pool, per-point grid seeds"),
+    });
+    pooled / scoped.max(1e-12)
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -180,6 +226,7 @@ fn main() {
     let (boolvec, packed) = sticky_benches(&mut entries);
     let (sparse_d13, sparse_d21) = sparse_vs_dense_benches(&mut entries);
     ler_benches(&mut entries);
+    let sweep_speedup = sweep_benches(&mut entries);
     let speedup = packed / boolvec.max(1e-12);
 
     let rows: Vec<Vec<String>> = entries
@@ -190,12 +237,14 @@ fn main() {
     print_table(&["kernel", "rounds/s", "detail"], &rows);
     println!("\nsticky filter packed vs Vec<bool> baseline: {speedup:.1}x");
     println!("off-chip sparse vs dense decode: {sparse_d13:.1}x at d=13, {sparse_d21:.1}x at d=21");
+    println!("whole-grid pooled sweep vs per-point scoped threads: {sweep_speedup:.1}x");
 
     let mut json =
         String::from("{\n  \"benchmark\": \"BENCH_decoders\",\n  \"unit\": \"rounds_per_sec\",\n");
     let _ = writeln!(json, "  \"sticky_packed_speedup_vs_boolvec\": {speedup:.3},");
     let _ = writeln!(json, "  \"offchip_sparse_speedup_vs_dense_d13\": {sparse_d13:.3},");
     let _ = writeln!(json, "  \"offchip_sparse_speedup_vs_dense_d21\": {sparse_d21:.3},");
+    let _ = writeln!(json, "  \"sweep_pooled_speedup_vs_scoped\": {sweep_speedup:.3},");
     json.push_str("  \"results\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let comma = if i + 1 == entries.len() { "" } else { "," };

@@ -1,0 +1,60 @@
+//! Per-worker task deques: LIFO for the owner, FIFO for thieves.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, PoisonError};
+
+/// A two-ended task queue owned by one worker.
+///
+/// The owner pushes and pops at the *back* (LIFO — the most recently
+/// queued task is the one whose inputs are hottest in cache); thieves
+/// take from the *front* (FIFO — the oldest task, farthest from the
+/// owner's working set, and under block distribution the start of a
+/// still-untouched run of work).
+///
+/// A `Mutex<VecDeque>` rather than a lock-free Chase–Lev deque: the
+/// pool schedules coarse Monte Carlo shards (milliseconds to seconds of
+/// work each), so queue operations are nowhere near the contention
+/// regime that justifies atomics.
+pub(crate) struct TaskDeque<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> TaskDeque<T> {
+    /// A deque preloaded with the owner's initial block of tasks.
+    pub(crate) fn preload(tasks: Vec<T>) -> Self {
+        Self { queue: Mutex::new(VecDeque::from(tasks)) }
+    }
+
+    /// Owner pop: the most recently queued task (back).
+    pub(crate) fn pop(&self) -> Option<T> {
+        self.lock().pop_back()
+    }
+
+    /// Thief pop: the oldest queued task (front).
+    pub(crate) fn steal(&self) -> Option<T> {
+        self.lock().pop_front()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        // Tasks never panic while holding the queue lock (panics are
+        // caught around task execution), but recover from poisoning
+        // anyway: a queue of not-yet-run tasks is always consistent.
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_is_lifo_thief_is_fifo() {
+        let d = TaskDeque::preload(vec![1, 2, 3, 4]);
+        assert_eq!(d.pop(), Some(4), "owner takes the newest");
+        assert_eq!(d.steal(), Some(1), "thief takes the oldest");
+        assert_eq!(d.pop(), Some(3));
+        assert_eq!(d.steal(), Some(2));
+        assert_eq!(d.pop(), None);
+        assert_eq!(d.steal(), None);
+    }
+}

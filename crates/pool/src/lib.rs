@@ -1,0 +1,45 @@
+//! Work-stealing thread pool for the Monte Carlo sweep engines.
+//!
+//! The workspace's simulation hot paths fan out over a `(p, d)` grid:
+//! cheap points (d = 3) finish orders of magnitude before expensive ones
+//! (d ≥ 13), so the previous per-point `std::thread::scope` schedule
+//! left cores idle at every point boundary and re-paid thread spawn and
+//! per-worker decoder construction at each of them. This crate is a
+//! small vendored work-stealing pool (the build environment has no
+//! crates.io access, so rayon is unavailable) that takes the *whole*
+//! task set at once and lets idle workers steal across point
+//! boundaries:
+//!
+//! * **per-worker LIFO deques** — each worker owns a contiguous block of
+//!   the submitted tasks and pops from the back of its own deque;
+//! * **random stealing** — an empty worker picks a random victim and
+//!   steals the victim's *oldest* task (front of the deque), the one
+//!   farthest from the owner's working set;
+//! * **scoped spawn** — tasks may borrow from the caller's stack
+//!   ([`Pool::scope`] joins every task before returning), and a panic in
+//!   any task aborts the remaining work and resumes on the caller;
+//! * **deterministic map/reduce** — [`Pool::map`] returns results in
+//!   submission order and [`Pool::map_reduce`] folds them in shard
+//!   order, so outputs are **bit-identical regardless of worker count**.
+//!   Callers split work into *fixed* shards (independent of the worker
+//!   count) with forked RNG streams keyed by shard index; the pool only
+//!   decides *where* each shard runs, never *what* it computes.
+//!
+//! The `BTWC_WORKERS` environment variable overrides every requested
+//! worker count (see [`Pool::new`]) — CI runs the test suite once with
+//! `BTWC_WORKERS=1` to catch any accidental worker-count dependence.
+//!
+//! # Example
+//!
+//! ```
+//! use btwc_pool::Pool;
+//!
+//! let pool = Pool::new(4);
+//! let squares = pool.map(&[1u64, 2, 3, 4], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+mod deque;
+mod pool;
+
+pub use pool::{Pool, Scope, WORKERS_ENV};

@@ -1,0 +1,319 @@
+//! The work-stealing pool and its scoped-spawn surface.
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use crate::deque::TaskDeque;
+
+/// One unit of work scheduled onto the pool. Tasks may borrow from the
+/// submitting stack frame (`'env`): the pool joins every task before
+/// [`Pool::scope`] returns, so the borrows never outlive their owners.
+type Task<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// Environment variable overriding every requested worker count.
+///
+/// Results are bit-identical for any worker count by construction, so
+/// forcing `BTWC_WORKERS=1` across a test run is a pure scheduling
+/// change — CI uses it to catch accidental worker-count dependence.
+pub const WORKERS_ENV: &str = "BTWC_WORKERS";
+
+fn env_workers() -> Option<usize> {
+    std::env::var(WORKERS_ENV).ok()?.parse::<usize>().ok().filter(|&w| w > 0)
+}
+
+/// A work-stealing thread pool over scoped tasks.
+///
+/// The pool is a scheduling *policy*, not a set of live threads: worker
+/// threads are spawned per [`Pool::scope`] / [`Pool::map`] call (via
+/// `std::thread::scope`, so tasks may borrow) and joined before the
+/// call returns. Submitting the whole workload of a sweep as one task
+/// set is what keeps every core busy — stealing balances cheap tasks
+/// against expensive ones with no barrier in between.
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    workers: usize,
+}
+
+impl Pool {
+    /// A pool with `workers` workers, unless the [`WORKERS_ENV`]
+    /// environment variable overrides the count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        Self { workers: env_workers().unwrap_or(workers) }
+    }
+
+    /// A pool sized to the machine: [`WORKERS_ENV`] if set, otherwise
+    /// the available parallelism (capped at 16 — the sweep engines'
+    /// shards are coarse enough that wider pools only add steal
+    /// traffic).
+    #[must_use]
+    pub fn auto() -> Self {
+        let fallback = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4)
+            .min(16);
+        Self { workers: env_workers().unwrap_or(fallback) }
+    }
+
+    /// The worker count this pool schedules onto.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Collects tasks from `build`, then runs them all to completion
+    /// with work stealing.
+    ///
+    /// Tasks may borrow anything alive across the `scope` call (the
+    /// pool joins them before returning). Execution order is
+    /// unspecified — tasks communicate results through the locations
+    /// they capture, keyed by something fixed at spawn time (an index,
+    /// a slot), never through completion order.
+    ///
+    /// # Panics
+    ///
+    /// If a task panics, the remaining queued tasks are abandoned and
+    /// the first panic payload is resumed on the caller once every
+    /// in-flight task has finished.
+    pub fn scope<'env>(&self, build: impl FnOnce(&mut Scope<'env>)) {
+        let mut scope = Scope { tasks: Vec::new() };
+        build(&mut scope);
+        self.run(scope.tasks);
+    }
+
+    /// Applies `f` to every item, in parallel, returning results in
+    /// item order — bit-identical for any worker count (the pool only
+    /// decides *where* each call runs; `f(i, &items[i])` itself must be
+    /// deterministic in `i`, which the sim engines guarantee by forking
+    /// RNG streams keyed by shard index).
+    pub fn map<T, R>(&self, items: &[T], f: impl Fn(usize, &T) -> R + Sync) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+    {
+        self.map_indices(items.len(), |i| f(i, &items[i]))
+    }
+
+    /// [`Pool::map`] over the index range `0..n`.
+    pub fn map_indices<R: Send>(&self, n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+        if self.workers == 1 || n <= 1 {
+            // Inline on the caller: no threads, no boxing — the
+            // `BTWC_WORKERS=1` CI pass and tiny task sets take this
+            // path, and produce the same results by construction.
+            return (0..n).map(f).collect();
+        }
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        self.scope(|s| {
+            for (i, slot) in slots.iter().enumerate() {
+                let f = &f;
+                s.spawn(move || {
+                    let r = f(i);
+                    *slot.lock().expect("result slot") = Some(r);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| m.into_inner().expect("result slot").expect("every task ran"))
+            .collect()
+    }
+
+    /// Chunked reduce: runs `f(shard)` for `0..shards` in parallel and
+    /// folds the results **in shard order** — deterministic even for
+    /// non-commutative `merge`.
+    pub fn map_reduce<R, A>(
+        &self,
+        shards: usize,
+        f: impl Fn(usize) -> R + Sync,
+        init: A,
+        merge: impl FnMut(A, R) -> A,
+    ) -> A
+    where
+        R: Send,
+    {
+        self.map_indices(shards, f).into_iter().fold(init, merge)
+    }
+
+    /// Executes a task set with per-worker LIFO deques and random
+    /// stealing.
+    fn run(&self, tasks: Vec<Task<'_>>) {
+        let n = tasks.len();
+        if n == 0 {
+            return;
+        }
+        let workers = self.workers.min(n);
+        if workers == 1 {
+            for task in tasks {
+                task();
+            }
+            return;
+        }
+        // Block distribution: worker w starts owning the contiguous
+        // index run [w·n/W, (w+1)·n/W) — neighbouring tasks (same grid
+        // point, consecutive shards) start on the same worker, and a
+        // thief stealing from the front of a victim peels off the start
+        // of an untouched run.
+        let mut blocks: Vec<Vec<Task<'_>>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, task) in tasks.into_iter().enumerate() {
+            blocks[i * workers / n].push(task);
+        }
+        let deques: Vec<TaskDeque<Task<'_>>> = blocks.into_iter().map(TaskDeque::preload).collect();
+        let first_panic: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+        let abort = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                let deques = &deques;
+                let first_panic = &first_panic;
+                let abort = &abort;
+                s.spawn(move || {
+                    let mut rng = splitmix64(w as u64);
+                    while !abort.load(Ordering::Relaxed) {
+                        let task = match deques[w].pop() {
+                            Some(task) => task,
+                            None => match steal(deques, w, &mut rng) {
+                                Some(task) => task,
+                                // Every deque was empty: tasks never
+                                // spawn new tasks mid-run, so no more
+                                // work will appear.
+                                None => break,
+                            },
+                        };
+                        if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
+                            let mut first =
+                                first_panic.lock().unwrap_or_else(PoisonError::into_inner);
+                            first.get_or_insert(payload);
+                            abort.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        if let Some(payload) = first_panic.into_inner().unwrap_or_else(PoisonError::into_inner) {
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// One steal attempt round: scan every other worker starting from a
+/// random victim, taking the first available front task.
+fn steal<'env>(
+    deques: &[TaskDeque<Task<'env>>],
+    thief: usize,
+    rng: &mut u64,
+) -> Option<Task<'env>> {
+    let n = deques.len();
+    *rng = splitmix64(*rng);
+    let start = (*rng % n as u64) as usize;
+    for k in 0..n {
+        let victim = (start + k) % n;
+        if victim != thief {
+            if let Some(task) = deques[victim].steal() {
+                return Some(task);
+            }
+        }
+    }
+    None
+}
+
+/// Collects tasks for one [`Pool::scope`] run.
+///
+/// Spawns are *deferred*: tasks queue here while the build closure
+/// runs and start executing (with stealing) once it returns. Tasks may
+/// borrow anything outliving the `scope` call; they cannot themselves
+/// spawn further tasks.
+pub struct Scope<'env> {
+    tasks: Vec<Task<'env>>,
+}
+
+impl<'env> Scope<'env> {
+    /// Queues a task for this scope's run.
+    pub fn spawn(&mut self, f: impl FnOnce() + Send + 'env) {
+        self.tasks.push(Box::new(f));
+    }
+
+    /// Number of tasks queued so far.
+    #[must_use]
+    pub fn spawned(&self) -> usize {
+        self.tasks.len()
+    }
+}
+
+impl std::fmt::Debug for Scope<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scope").field("tasks", &self.tasks.len()).finish()
+    }
+}
+
+/// SplitMix64 finalizer — drives victim selection; scheduling-only, so
+/// its quality never affects results.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let pool = Pool::new(4);
+        let items: Vec<u64> = (0..100).collect();
+        let out = pool.map(&items, |i, &x| x * 2 + i as u64);
+        let expected: Vec<u64> = (0..100).map(|x| x * 3).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn map_handles_empty_and_single() {
+        let pool = Pool::new(8);
+        assert_eq!(pool.map(&[] as &[u64], |_, &x| x), Vec::<u64>::new());
+        assert_eq!(pool.map(&[7u64], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn map_reduce_folds_in_shard_order() {
+        let pool = Pool::new(4);
+        // String concatenation is non-commutative: any out-of-order
+        // merge would scramble the digits.
+        let s = pool.map_reduce(10, |i| i.to_string(), String::new(), |acc, d| acc + &d);
+        assert_eq!(s, "0123456789");
+    }
+
+    #[test]
+    fn scope_tasks_borrow_caller_state() {
+        let pool = Pool::new(4);
+        let totals = Mutex::new(vec![0u64; 8]);
+        pool.scope(|s| {
+            for i in 0..8 {
+                let totals = &totals;
+                s.spawn(move || totals.lock().expect("totals")[i] += i as u64);
+            }
+        });
+        assert_eq!(totals.into_inner().expect("totals"), (0..8).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn oversubscribed_pool_completes() {
+        // More workers than tasks: the pool clamps to the task count.
+        let pool = Pool::new(16);
+        let out = pool.map_indices(3, |i| i * i);
+        assert_eq!(out, vec![0, 1, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = Pool::new(0);
+    }
+}

@@ -1,0 +1,32 @@
+//! `BTWC_WORKERS` override behaviour.
+//!
+//! Kept in its own integration-test binary: mutating the process
+//! environment is only safe when no other test in the same process
+//! reads it concurrently.
+
+use btwc_pool::{Pool, WORKERS_ENV};
+
+#[test]
+fn env_var_overrides_requested_worker_count() {
+    std::env::set_var(WORKERS_ENV, "1");
+    assert_eq!(Pool::new(8).workers(), 1, "override wins over the request");
+    assert_eq!(Pool::auto().workers(), 1, "override wins over auto-sizing");
+
+    std::env::set_var(WORKERS_ENV, "0");
+    assert_eq!(Pool::new(3).workers(), 3, "zero is ignored, not honoured");
+
+    std::env::set_var(WORKERS_ENV, "not-a-number");
+    assert_eq!(Pool::new(5).workers(), 5, "garbage is ignored");
+
+    std::env::remove_var(WORKERS_ENV);
+    assert_eq!(Pool::new(2).workers(), 2);
+
+    // Results stay bit-identical whatever the override says — that is
+    // the contract that makes the override safe to apply globally.
+    let items: Vec<u64> = (0..50).collect();
+    let expect: Vec<u64> = items.iter().map(|&x| x * x).collect();
+    std::env::set_var(WORKERS_ENV, "1");
+    assert_eq!(Pool::new(8).map(&items, |_, &x| x * x), expect);
+    std::env::remove_var(WORKERS_ENV);
+    assert_eq!(Pool::new(8).map(&items, |_, &x| x * x), expect);
+}

@@ -4,10 +4,33 @@ use btwc_clique::{CliqueDecision, CliqueFrontend};
 use btwc_core::OffchipBackend;
 use btwc_lattice::{StabilizerType, SurfaceCode};
 use btwc_noise::{SimRng, SparseFlips};
+use btwc_pool::Pool;
 use btwc_syndrome::{PackedBits, RoundHistory};
 use serde::Serialize;
 
 use crate::tracker::ErrorTracker;
+
+/// Shots per deterministic work shard (each shot is `rounds` decode
+/// cycles, so shards are comparable in weight to the lifetime engine's
+/// [`crate::lifetime::SHARD_CYCLES`]-cycle shards).
+pub(crate) const SHARD_SHOTS: u64 = 256;
+
+/// Splits `cfg` into its fixed shard plan (shard count and seeds depend
+/// only on `cfg`, never on the worker count — RNG streams live in the
+/// shot engine's slice of the fork space, see [`crate::shard`]);
+/// merging shard estimates in plan order reproduces the same
+/// [`LerEstimate`] on any pool.
+pub(crate) fn shard_plan(cfg: &ShotConfig) -> Vec<ShotConfig> {
+    crate::shard::shard_streams(cfg.shots, SHARD_SHOTS, cfg.seed, crate::shard::SHOT_STREAM)
+        .into_iter()
+        .map(|(shots, rng)| {
+            let mut shard = *cfg;
+            shard.shots = shots;
+            shard.seed = rng.seed();
+            shard
+        })
+        .collect()
+}
 
 /// Which decode pipeline a shot uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -213,7 +236,9 @@ pub fn logical_error_rate(cfg: &ShotConfig, kind: DecoderKind) -> LerEstimate {
     est
 }
 
-/// [`logical_error_rate`] split across `workers` threads.
+/// [`logical_error_rate`] over `cfg`'s fixed shard plan on a
+/// `workers`-wide work-stealing pool. The estimate is bit-identical for
+/// any worker count (see [`shard_plan`]).
 ///
 /// # Panics
 ///
@@ -224,25 +249,17 @@ pub fn logical_error_rate_parallel(
     kind: DecoderKind,
     workers: usize,
 ) -> LerEstimate {
-    assert!(workers > 0, "need at least one worker");
-    let per = cfg.shots / workers as u64;
-    let extra = cfg.shots % workers as u64;
-    let root = SimRng::from_seed(cfg.seed);
-    let mut merged = LerEstimate { shots: 0, failures: 0, offchip_shots: 0 };
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let mut wcfg = *cfg;
-                wcfg.shots = per + u64::from((w as u64) < extra);
-                wcfg.seed = root.fork(w as u64 + 0x1E4).seed();
-                scope.spawn(move || logical_error_rate(&wcfg, kind))
-            })
-            .collect();
-        for h in handles {
-            merged.merge(&h.join().expect("worker panicked"));
-        }
-    });
-    merged
+    let pool = Pool::new(workers);
+    let plan = shard_plan(cfg);
+    pool.map_reduce(
+        plan.len(),
+        |s| logical_error_rate(&plan[s], kind),
+        LerEstimate { shots: 0, failures: 0, offchip_shots: 0 },
+        |mut merged, est| {
+            merged.merge(&est);
+            merged
+        },
+    )
 }
 
 #[cfg(test)]

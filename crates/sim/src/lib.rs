@@ -17,12 +17,24 @@
 //!
 //! Multi-qubit off-chip demand traces for the bandwidth study (Figs. 9
 //! and 16) come from [`multi_qubit_trace`] / [`offchip_probability`].
-//! Everything is deterministic given a seed and parallelized with
-//! scoped threads. Both engines pick their off-chip matcher through
-//! [`OffchipBackend`] (`with_offchip` on either config): the dense MWPM
-//! baseline or the weight-equal sparse-blossom decoder, each used
-//! through its lock-free `&mut` decode path — one decoder per worker,
-//! no synchronization per complex decode.
+//!
+//! Everything is deterministic given a seed. Parallel execution runs on
+//! the workspace's work-stealing pool ([`Pool`], re-exported here):
+//! work is split into *fixed* shards with RNG streams forked by shard
+//! index and merged in shard order, so every result — [`LifetimeStats`],
+//! [`LerEstimate`], sweep points — is **bit-identical regardless of the
+//! worker count** (override it globally with `BTWC_WORKERS`). The grid
+//! sweeps ([`coverage_sweep`], [`coverage_sweep_iid`]) submit all
+//! `(p, d) × shard` tasks to one pool at once, so stealing balances
+//! cheap low-distance points against expensive high-distance ones
+//! instead of barriering per point; each point's seed is forked from
+//! its grid position ([`grid_point_seed`]), decorrelating points while
+//! keeping every one individually reproducible. Both engines pick
+//! their off-chip matcher through [`OffchipBackend`] (`with_offchip` on
+//! either config): the dense MWPM baseline or the weight-equal
+//! sparse-blossom decoder, each used through its lock-free `&mut`
+//! decode path — one decoder per worker, no synchronization per
+//! complex decode.
 //!
 //! # Example
 //!
@@ -37,20 +49,24 @@
 mod ler;
 mod lifetime;
 mod multi;
+mod shard;
 mod sweep;
 mod tracker;
 
 // Both engines take an off-chip matcher choice (dense MWPM or
 // sparse-blossom) through their configs; re-export the selector so sim
-// users don't need a separate `btwc_core` import.
+// users don't need a separate `btwc_core` import. Likewise the pool,
+// so callers can size one (`Pool::auto()`) without a `btwc_pool`
+// import.
 pub use btwc_core::OffchipBackend;
+pub use btwc_pool::Pool;
 pub use ler::{
     logical_error_rate, logical_error_rate_parallel, DecoderKind, LerEstimate, ShotConfig,
 };
 pub use lifetime::{LifetimeConfig, LifetimeSim, LifetimeStats};
 pub use multi::{multi_qubit_trace, offchip_probability};
 pub use sweep::{
-    afs_comparison, coverage_sweep, coverage_sweep_iid, signature_distribution,
+    afs_comparison, coverage_sweep, coverage_sweep_iid, grid_point_seed, signature_distribution,
     signature_distribution_iid, AfsComparison, CoveragePoint, SignatureDistribution,
 };
 pub use tracker::ErrorTracker;

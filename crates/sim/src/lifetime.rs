@@ -4,10 +4,35 @@ use btwc_clique::{CliqueDecision, CliqueFrontend};
 use btwc_core::{ComplexDecoder, OffchipBackend};
 use btwc_lattice::{StabilizerType, SurfaceCode};
 use btwc_noise::{SimRng, SparseFlips};
+use btwc_pool::Pool;
 use btwc_syndrome::{PackedBits, RoundHistory};
 use serde::Serialize;
 
 use crate::tracker::ErrorTracker;
+
+/// Cycles per deterministic work shard. Small enough that a sweep over
+/// a mixed-distance grid yields many more shards than workers (so
+/// stealing can balance cheap d = 3 shards against expensive d ≥ 13
+/// ones), large enough that per-shard pipeline construction stays in
+/// the noise.
+pub(crate) const SHARD_CYCLES: u64 = 8_192;
+
+/// Splits `cfg` into its fixed shard plan: shard count and sizes depend
+/// only on `cfg.cycles` (never on the worker count), and each shard's
+/// RNG stream is forked from the root seed by shard index (see
+/// [`crate::shard`]). Merging the shard results in plan order therefore
+/// reproduces the same [`LifetimeStats`] on any pool.
+pub(crate) fn shard_plan(cfg: &LifetimeConfig) -> Vec<LifetimeConfig> {
+    crate::shard::shard_streams(cfg.cycles, SHARD_CYCLES, cfg.seed, crate::shard::LIFETIME_STREAM)
+        .into_iter()
+        .map(|(cycles, rng)| {
+            let mut shard = *cfg;
+            shard.cycles = cycles;
+            shard.seed = rng.seed();
+            shard
+        })
+        .collect()
+}
 
 /// Parameters of a lifetime run (builder style).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
@@ -328,37 +353,36 @@ impl LifetimeSim {
         (self.stats, trace)
     }
 
-    /// Runs `cfg` split across `workers` threads (forked RNG streams)
-    /// and merges the statistics.
+    /// Runs `cfg` on a `workers`-wide work-stealing pool and merges the
+    /// statistics — shorthand for [`LifetimeSim::run_pooled`] on a
+    /// freshly sized [`Pool`].
     ///
     /// # Panics
     ///
     /// Panics if `workers == 0`.
     #[must_use]
     pub fn run_parallel(cfg: &LifetimeConfig, workers: usize) -> LifetimeStats {
-        assert!(workers > 0, "need at least one worker");
-        let per = cfg.cycles / workers as u64;
-        let extra = cfg.cycles % workers as u64;
-        let root = SimRng::from_seed(cfg.seed);
+        Self::run_pooled(cfg, &Pool::new(workers))
+    }
+
+    /// Runs `cfg`'s fixed shard plan on `pool` and merges the shard
+    /// statistics in plan order.
+    ///
+    /// The shard plan depends only on `cfg` (see [`shard_plan`]), so
+    /// the returned stats are **bit-identical for any worker count** —
+    /// the pool decides where shards run, never what they compute.
+    #[must_use]
+    pub fn run_pooled(cfg: &LifetimeConfig, pool: &Pool) -> LifetimeStats {
+        let plan = shard_plan(cfg);
+        let shard_stats = pool.map(&plan, |_, shard| LifetimeSim::new(shard).run());
         let mut merged: Option<LifetimeStats> = None;
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|w| {
-                    let mut wcfg = *cfg;
-                    wcfg.cycles = per + u64::from((w as u64) < extra);
-                    wcfg.seed = root.fork(w as u64).seed();
-                    scope.spawn(move || LifetimeSim::new(&wcfg).run())
-                })
-                .collect();
-            for h in handles {
-                let stats = h.join().expect("worker panicked");
-                match &mut merged {
-                    None => merged = Some(stats),
-                    Some(m) => m.merge(&stats),
-                }
+        for stats in shard_stats {
+            match &mut merged {
+                None => merged = Some(stats),
+                Some(m) => m.merge(&stats),
             }
-        });
-        merged.expect("at least one worker ran")
+        }
+        merged.expect("at least one shard ran")
     }
 }
 

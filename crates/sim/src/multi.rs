@@ -1,6 +1,9 @@
 //! Multi-logical-qubit off-chip demand (inputs to Figs. 9 and 16).
 
+use std::sync::Mutex;
+
 use btwc_noise::SimRng;
+use btwc_pool::Pool;
 
 use crate::lifetime::{LifetimeConfig, LifetimeSim};
 
@@ -16,9 +19,10 @@ pub fn offchip_probability(cfg: &LifetimeConfig) -> f64 {
 /// cycles each and returns the per-cycle total number of off-chip
 /// decode requests — the bar heights of Fig. 9.
 ///
-/// Work is split across `workers` threads; each qubit gets a forked RNG
-/// stream, so the trace is deterministic in `(cfg.seed, num_qubits)`
-/// regardless of thread count.
+/// Each qubit is one work-stealing pool task with an RNG stream forked
+/// by qubit index, and per-cycle request counts accumulate by integer
+/// addition, so the trace is deterministic in `(cfg.seed, num_qubits)`
+/// regardless of the worker count (and identical to a serial run).
 ///
 /// # Panics
 ///
@@ -26,40 +30,27 @@ pub fn offchip_probability(cfg: &LifetimeConfig) -> f64 {
 #[must_use]
 pub fn multi_qubit_trace(cfg: &LifetimeConfig, num_qubits: usize, workers: usize) -> Vec<usize> {
     assert!(num_qubits > 0, "need at least one qubit");
-    assert!(workers > 0, "need at least one worker");
+    let pool = Pool::new(workers);
     let cycles = cfg.cycles as usize;
     let root = SimRng::from_seed(cfg.seed);
-    let mut totals = vec![0usize; cycles];
-    std::thread::scope(|scope| {
-        let chunk = num_qubits.div_ceil(workers);
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let lo = w * chunk;
-                let hi = ((w + 1) * chunk).min(num_qubits);
-                let root = root.clone();
-                let cfg = *cfg;
-                scope.spawn(move || {
-                    let mut partial = vec![0usize; cycles];
-                    for qubit in lo..hi {
-                        let mut qcfg = cfg;
-                        qcfg.seed = root.fork(qubit as u64 + 0xC0FFEE).seed();
-                        let (_, trace) = LifetimeSim::new(&qcfg).run_with_trace();
-                        for (t, &off) in trace.iter().enumerate() {
-                            partial[t] += usize::from(off);
-                        }
-                    }
-                    partial
-                })
-            })
-            .collect();
-        for h in handles {
-            let partial = h.join().expect("worker panicked");
-            for (t, p) in totals.iter_mut().zip(partial) {
-                *t += p;
-            }
+    let totals = Mutex::new(vec![0usize; cycles]);
+    pool.scope(|s| {
+        for qubit in 0..num_qubits {
+            let totals = &totals;
+            let root = &root;
+            let cfg = *cfg;
+            s.spawn(move || {
+                let mut qcfg = cfg;
+                qcfg.seed = root.fork(crate::shard::QUBIT_STREAM + qubit as u64).seed();
+                let (_, trace) = LifetimeSim::new(&qcfg).run_with_trace();
+                let mut totals = totals.lock().expect("trace totals");
+                for (t, off) in totals.iter_mut().zip(trace) {
+                    *t += usize::from(off);
+                }
+            });
         }
     });
-    totals
+    totals.into_inner().expect("trace totals")
 }
 
 #[cfg(test)]

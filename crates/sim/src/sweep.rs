@@ -4,11 +4,39 @@ use btwc_afs::{Compressor, SparseRepr};
 use btwc_clique::{CliqueDecision, CliqueDecoder};
 use btwc_lattice::{StabilizerType, SurfaceCode};
 use btwc_noise::{SimRng, SparseFlips};
+use btwc_pool::Pool;
 use btwc_syndrome::{PackedBits, Syndrome};
 use serde::Serialize;
 
-use crate::lifetime::{LifetimeConfig, LifetimeSim, LifetimeStats};
+use crate::lifetime::{self, LifetimeConfig, LifetimeSim, LifetimeStats};
 use crate::tracker::ErrorTracker;
+
+/// Independent trials per deterministic work shard of the iid engines
+/// (each trial is two filtered rounds — far cheaper than a lifetime
+/// cycle, hence the larger shard).
+pub(crate) const SHARD_TRIALS: u64 = 16_384;
+
+/// The root seed of grid point `(p_index, d_index)` in a sweep seeded
+/// with `seed`.
+///
+/// Every grid point used to receive the *identical* root seed, which
+/// correlated the points (the same error history replayed on each
+/// distance). Forking by grid position — in the sweeps' own slice of
+/// the fork-stream space (see [`crate::shard`]), 20 bits per axis —
+/// decorrelates them while keeping each point individually
+/// reproducible: running [`LifetimeSim::run_parallel`] with this seed
+/// reproduces the sweep's point bit-for-bit, on any worker count.
+///
+/// # Panics
+///
+/// Panics if either index exceeds 2²⁰ − 1 (a grid axis a million points
+/// wide is a misuse, not a workload).
+#[must_use]
+pub fn grid_point_seed(seed: u64, p_index: usize, d_index: usize) -> u64 {
+    assert!(p_index < (1 << 20) && d_index < (1 << 20), "grid axis out of range");
+    let stream = crate::shard::GRID_STREAM + (((p_index as u64) << 20) | d_index as u64);
+    SimRng::from_seed(seed).fork(stream).seed()
+}
 
 /// One Clique coverage measurement (a point of Figs. 11 and 12).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
@@ -26,6 +54,14 @@ pub struct CoveragePoint {
 }
 
 /// Sweeps Clique coverage over a `(p, d)` grid (Figs. 11–12).
+///
+/// Every `(point, shard)` task of the whole grid is submitted to one
+/// work-stealing pool at once, so idle workers steal across point
+/// boundaries — cheap d = 3 points no longer leave cores waiting on
+/// expensive d ≥ 13 ones at a per-point barrier. Each point's root seed
+/// comes from [`grid_point_seed`], so points are decorrelated yet
+/// individually reproducible, and the whole sweep is bit-identical for
+/// any worker count.
 #[must_use]
 pub fn coverage_sweep(
     error_rates: &[f64],
@@ -34,21 +70,43 @@ pub fn coverage_sweep(
     seed: u64,
     workers: usize,
 ) -> Vec<CoveragePoint> {
-    let mut out = Vec::with_capacity(error_rates.len() * distances.len());
-    for &p in error_rates {
-        for &d in distances {
-            let cfg = LifetimeConfig::new(d, p).with_cycles(cycles).with_seed(seed);
-            let stats = LifetimeSim::run_parallel(&cfg, workers);
-            out.push(CoveragePoint {
-                distance: d,
-                physical_error_rate: p,
+    let pool = Pool::new(workers);
+    let mut points = Vec::with_capacity(error_rates.len() * distances.len());
+    let mut tasks = Vec::new();
+    for (pi, &p) in error_rates.iter().enumerate() {
+        for (di, &d) in distances.iter().enumerate() {
+            let cfg = LifetimeConfig::new(d, p)
+                .with_cycles(cycles)
+                .with_seed(grid_point_seed(seed, pi, di));
+            let point = points.len();
+            tasks.extend(lifetime::shard_plan(&cfg).into_iter().map(|shard| (point, shard)));
+            points.push(cfg);
+        }
+    }
+    let shard_stats = pool.map(&tasks, |_, (point, shard)| (*point, LifetimeSim::new(shard).run()));
+    // `map` returns in task order, i.e. shard order within each point:
+    // this merge is exactly the one `run_parallel` performs per point.
+    let mut merged: Vec<Option<LifetimeStats>> = vec![None; points.len()];
+    for (point, stats) in shard_stats {
+        match &mut merged[point] {
+            None => merged[point] = Some(stats),
+            Some(m) => m.merge(&stats),
+        }
+    }
+    points
+        .iter()
+        .zip(merged)
+        .map(|(cfg, stats)| {
+            let stats = stats.expect("every point has at least one shard");
+            CoveragePoint {
+                distance: cfg.distance,
+                physical_error_rate: cfg.physical_error_rate,
                 coverage: stats.coverage(),
                 nonzero_onchip: stats.nonzero_onchip_fraction(),
                 offchip_fraction: stats.offchip_fraction(),
-            });
-        }
-    }
-    out
+            }
+        })
+        .collect()
 }
 
 /// One column of Fig. 4: the signature-class distribution for a
@@ -108,67 +166,17 @@ pub fn signature_distribution_iid(
     seed: u64,
     workers: usize,
 ) -> SignatureDistribution {
-    assert!(workers > 0, "need at least one worker");
-    let per = trials / workers as u64;
-    let extra = trials % workers as u64;
-    let root = SimRng::from_seed(seed);
-    let mut counts = [0u64; 3]; // all0, local1, complex
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let n = per + u64::from((w as u64) < extra);
-                let mut rng = root.fork(w as u64 + 0x51D);
-                scope.spawn(move || {
-                    let ty = StabilizerType::X;
-                    let code = SurfaceCode::new(distance);
-                    let decoder = CliqueDecoder::new(&code, ty);
-                    let mut tracker = ErrorTracker::new(&code, ty);
-                    let n_anc = code.num_ancillas(ty);
-                    let n_data = code.num_data_qubits();
-                    let p = physical_error_rate;
-                    let mut local = [0u64; 3];
-                    // Reused packed buffers: the trial loop allocates
-                    // nothing per iteration.
-                    let mut round1 = PackedBits::new(n_anc);
-                    let mut round2 = PackedBits::new(n_anc);
-                    let mut filtered = Syndrome::new(n_anc);
-                    for _ in 0..n {
-                        tracker.reset();
-                        for q in SparseFlips::new(&mut rng, n_data, p) {
-                            tracker.flip(q);
-                        }
-                        // Two measurement rounds of the same error state
-                        // with independent measurement noise, AND-combined
-                        // (the Fig. 7 sticky filter) — all word ops.
-                        round1.copy_from(tracker.syndrome());
-                        for a in SparseFlips::new(&mut rng, n_anc, p) {
-                            round1.toggle(a);
-                        }
-                        round2.copy_from(tracker.syndrome());
-                        for a in SparseFlips::new(&mut rng, n_anc, p) {
-                            round2.toggle(a);
-                        }
-                        let packed = filtered.as_packed_mut();
-                        packed.copy_from(&round1);
-                        packed.and_with(&round2);
-                        let idx = match decoder.decode(&filtered) {
-                            CliqueDecision::AllZeros => 0,
-                            CliqueDecision::Trivial(_) => 1,
-                            CliqueDecision::Complex => 2,
-                        };
-                        local[idx] += 1;
-                    }
-                    local
-                })
-            })
-            .collect();
-        for h in handles {
-            let local = h.join().expect("worker panicked");
-            for (c, l) in counts.iter_mut().zip(local) {
-                *c += l;
-            }
-        }
-    });
+    let pool = Pool::new(workers);
+    let plan = iid_shard_plan(trials, seed);
+    let counts = pool.map_reduce(
+        plan.len(),
+        |s| {
+            let (n, rng) = &plan[s];
+            iid_trial_shard(distance, physical_error_rate, *n, rng.clone())
+        },
+        [0u64; 3],
+        merge_counts,
+    );
     let n = trials.max(1) as f64;
     SignatureDistribution {
         label: label.to_owned(),
@@ -178,6 +186,64 @@ pub fn signature_distribution_iid(
         local_ones: counts[1] as f64 / n,
         complex: counts[2] as f64 / n,
     }
+}
+
+/// The fixed shard plan of an iid-trial measurement: `(trial count,
+/// forked RNG)` per shard, depending only on `(trials, seed)` — never
+/// on the worker count.
+fn iid_shard_plan(trials: u64, seed: u64) -> Vec<(u64, SimRng)> {
+    crate::shard::shard_streams(trials, SHARD_TRIALS, seed, crate::shard::IID_STREAM)
+}
+
+fn merge_counts(mut acc: [u64; 3], local: [u64; 3]) -> [u64; 3] {
+    for (a, l) in acc.iter_mut().zip(local) {
+        *a += l;
+    }
+    acc
+}
+
+/// One iid shard: `n` independent trials classified with the Clique
+/// decision logic — `[all-zeros, local-ones, complex]` counts.
+fn iid_trial_shard(distance: u16, p: f64, n: u64, mut rng: SimRng) -> [u64; 3] {
+    let ty = StabilizerType::X;
+    let code = SurfaceCode::new(distance);
+    let decoder = CliqueDecoder::new(&code, ty);
+    let mut tracker = ErrorTracker::new(&code, ty);
+    let n_anc = code.num_ancillas(ty);
+    let n_data = code.num_data_qubits();
+    let mut local = [0u64; 3];
+    // Reused packed buffers: the trial loop allocates nothing per
+    // iteration.
+    let mut round1 = PackedBits::new(n_anc);
+    let mut round2 = PackedBits::new(n_anc);
+    let mut filtered = Syndrome::new(n_anc);
+    for _ in 0..n {
+        tracker.reset();
+        for q in SparseFlips::new(&mut rng, n_data, p) {
+            tracker.flip(q);
+        }
+        // Two measurement rounds of the same error state with
+        // independent measurement noise, AND-combined (the Fig. 7
+        // sticky filter) — all word ops.
+        round1.copy_from(tracker.syndrome());
+        for a in SparseFlips::new(&mut rng, n_anc, p) {
+            round1.toggle(a);
+        }
+        round2.copy_from(tracker.syndrome());
+        for a in SparseFlips::new(&mut rng, n_anc, p) {
+            round2.toggle(a);
+        }
+        let packed = filtered.as_packed_mut();
+        packed.copy_from(&round1);
+        packed.and_with(&round2);
+        let idx = match decoder.decode(&filtered) {
+            CliqueDecision::AllZeros => 0,
+            CliqueDecision::Trivial(_) => 1,
+            CliqueDecision::Complex => 2,
+        };
+        local[idx] += 1;
+    }
+    local
 }
 
 /// Sweeps the iid per-signature Clique coverage over a `(p, d)` grid —
@@ -193,21 +259,47 @@ pub fn coverage_sweep_iid(
     seed: u64,
     workers: usize,
 ) -> Vec<CoveragePoint> {
-    let mut out = Vec::with_capacity(error_rates.len() * distances.len());
-    for &p in error_rates {
-        for &d in distances {
-            let dist = signature_distribution_iid("", d, p, trials, seed, workers);
-            let onchip = dist.all_zeros + dist.local_ones;
-            out.push(CoveragePoint {
+    let pool = Pool::new(workers);
+    // Whole-grid schedule, as in [`coverage_sweep`]: all (point, shard)
+    // trial batches go into one pool, with per-point seeds forked by
+    // grid position.
+    let mut points = Vec::with_capacity(error_rates.len() * distances.len());
+    let mut tasks = Vec::new();
+    for (pi, &p) in error_rates.iter().enumerate() {
+        for (di, &d) in distances.iter().enumerate() {
+            let point = points.len();
+            let plan = iid_shard_plan(trials, grid_point_seed(seed, pi, di));
+            tasks.extend(plan.into_iter().map(|(n, rng)| (point, n, rng)));
+            points.push((d, p));
+        }
+    }
+    let shard_counts = pool.map(&tasks, |_, (point, n, rng)| {
+        let &(d, p) = &points[*point];
+        (*point, iid_trial_shard(d, p, *n, rng.clone()))
+    });
+    let mut counts = vec![[0u64; 3]; points.len()];
+    for (point, local) in shard_counts {
+        counts[point] = merge_counts(counts[point], local);
+    }
+    let n = trials.max(1) as f64;
+    points
+        .iter()
+        .zip(counts)
+        .map(|(&(d, p), c)| {
+            // The same arithmetic as deriving the point from a
+            // [`signature_distribution_iid`] measurement (fractions
+            // first, then their sum), so the two stay bit-identical.
+            let (all_zeros, local_ones) = (c[0] as f64 / n, c[1] as f64 / n);
+            let onchip = all_zeros + local_ones;
+            CoveragePoint {
                 distance: d,
                 physical_error_rate: p,
                 coverage: onchip,
-                nonzero_onchip: if onchip > 0.0 { dist.local_ones / onchip } else { 0.0 },
-                offchip_fraction: dist.complex,
-            });
-        }
-    }
-    out
+                nonzero_onchip: if onchip > 0.0 { local_ones / onchip } else { 0.0 },
+                offchip_fraction: c[2] as f64 / n,
+            }
+        })
+        .collect()
 }
 
 /// One point of the Fig. 13 comparison: average off-chip data reduction

@@ -24,6 +24,7 @@
 //! | [`sfq`] | ERSFQ cell library, netlist synthesis, power/area/latency |
 //! | [`bandwidth`] | Statistical link provisioning + overflow stalling (contributions 2–3) |
 //! | [`sim`] | Allocation-free Monte Carlo lifetime / logical-error-rate engines |
+//! | [`pool`] | Work-stealing thread pool with deterministic sharded map/reduce |
 //! | [`core`] | The assembled BTWC system (`BtwcDecoder`, `BtwcSystem`) |
 //! | [`uf`] | Union-find decoder (the Sec. 8.1 hierarchical-decoding extension) |
 //! | [`lut`] | Lookup-table decoder for small distances (LILLIPUT-style baseline) |
@@ -60,6 +61,7 @@ pub use btwc_lattice as lattice;
 pub use btwc_lut as lut;
 pub use btwc_mwpm as mwpm;
 pub use btwc_noise as noise;
+pub use btwc_pool as pool;
 pub use btwc_sfq as sfq;
 pub use btwc_sim as sim;
 pub use btwc_sparse as sparse;
