@@ -15,6 +15,7 @@
 //! The payload packs each round's syndrome bits LSB-first, padded to a
 //! whole byte per round (hardware serializers work in byte lanes).
 
+use btwc_syndrome::RoundHistory;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// One off-chip decode request: a window of raw syndrome rounds from
@@ -34,6 +35,13 @@ pub struct DecodeRequest {
 pub enum ParseFrameError {
     /// The buffer ended before the fixed header was complete.
     TruncatedHeader,
+    /// The header is structurally impossible: no well-formed encoder
+    /// emits it (the invariants [`DecodeRequest::new`] enforces —
+    /// at least one round, at least one bit per round).
+    CorruptHeader {
+        /// What the header declares that no valid frame can.
+        reason: &'static str,
+    },
     /// The buffer ended before the declared payload was complete.
     TruncatedPayload {
         /// Bytes expected from the header.
@@ -47,6 +55,9 @@ impl std::fmt::Display for ParseFrameError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ParseFrameError::TruncatedHeader => write!(f, "frame header truncated"),
+            ParseFrameError::CorruptHeader { reason } => {
+                write!(f, "frame header corrupt: {reason}")
+            }
             ParseFrameError::TruncatedPayload { expected, actual } => {
                 write!(f, "frame payload truncated: expected {expected} bytes, got {actual}")
             }
@@ -61,15 +72,46 @@ impl DecodeRequest {
     ///
     /// # Panics
     ///
-    /// Panics if `rounds` is empty, rounds have differing widths, or a
-    /// round is wider than `u16::MAX` bits.
+    /// Panics if `rounds` is empty, rounds are empty or have differing
+    /// widths, or a round is wider than `u16::MAX` bits.
     #[must_use]
     pub fn new(qubit: u32, cycle: u64, rounds: Vec<Vec<bool>>) -> Self {
         assert!(!rounds.is_empty(), "a decode request needs at least one round");
         let width = rounds[0].len();
+        assert!(width >= 1, "a decode request needs at least one bit per round");
         assert!(width <= usize::from(u16::MAX), "round too wide for the frame format");
         assert!(rounds.iter().all(|r| r.len() == width), "all rounds must have equal width");
         Self { qubit, cycle, rounds }
+    }
+
+    /// Frames a decode window straight off a packed [`RoundHistory`] —
+    /// the cryogenic-side entry point the machine tier uses when a
+    /// Clique plane raises COMPLEX.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is empty or wider than the frame format
+    /// allows (see [`DecodeRequest::new`]).
+    #[must_use]
+    pub fn from_history(qubit: u32, cycle: u64, window: &RoundHistory) -> Self {
+        let rounds = (0..window.len()).map(|r| window.round(r).to_bools()).collect();
+        Self::new(qubit, cycle, rounds)
+    }
+
+    /// Replays the received rounds into a caller-owned window (reset
+    /// first) — the room-temperature side of the link. The rebuilt
+    /// window is bit-identical to the one that was framed, so the
+    /// off-chip decoder's matching is unchanged by the wire trip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window`'s width or capacity cannot hold the rounds.
+    pub fn replay_into(&self, window: &mut RoundHistory) {
+        assert!(self.rounds.len() <= window.capacity(), "window capacity too small for frame");
+        window.reset();
+        for round in &self.rounds {
+            window.push(round);
+        }
     }
 
     /// Syndrome bits per round.
@@ -110,7 +152,8 @@ impl DecodeRequest {
     /// # Errors
     ///
     /// Returns [`ParseFrameError`] if the buffer is shorter than the
-    /// header or the declared payload.
+    /// header or the declared payload, or if the header declares a
+    /// frame no valid encoder can produce (zero rounds / zero width).
     pub fn decode(mut data: &[u8]) -> Result<Self, ParseFrameError> {
         if data.len() < 16 {
             return Err(ParseFrameError::TruncatedHeader);
@@ -119,6 +162,12 @@ impl DecodeRequest {
         let cycle = data.get_u64();
         let n_rounds = usize::from(data.get_u16());
         let width = usize::from(data.get_u16());
+        if n_rounds == 0 {
+            return Err(ParseFrameError::CorruptHeader { reason: "zero rounds declared" });
+        }
+        if width == 0 {
+            return Err(ParseFrameError::CorruptHeader { reason: "zero bits per round declared" });
+        }
         let stride = width.div_ceil(8);
         let expected = n_rounds * stride;
         if data.len() < expected {
@@ -205,5 +254,13 @@ mod tests {
     #[should_panic(expected = "at least one round")]
     fn empty_request_rejected() {
         let _ = DecodeRequest::new(0, 0, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit per round")]
+    fn zero_width_request_rejected() {
+        // Invariant matching the decoder's CorruptHeader rejection: a
+        // zero-width frame must be unencodable, not a round-trip hole.
+        let _ = DecodeRequest::new(0, 0, vec![vec![]]);
     }
 }

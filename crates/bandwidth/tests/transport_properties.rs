@@ -1,0 +1,94 @@
+//! Property coverage of the wire framing: lossless round-trips over
+//! random round counts/widths, and rejection of every malformed frame
+//! class ([`ParseFrameError`]: truncated header, corrupt header,
+//! truncated payload).
+
+use btwc_bandwidth::{DecodeRequest, ParseFrameError};
+use proptest::prelude::*;
+
+fn request_strategy() -> impl Strategy<Value = DecodeRequest> {
+    (1usize..10, 1usize..300usize, 0u32..1000, 0u64..1_000_000).prop_flat_map(
+        |(rounds, width, qubit, cycle)| {
+            proptest::collection::vec(proptest::collection::vec(any::<bool>(), width), rounds)
+                .prop_map(move |rs| DecodeRequest::new(qubit, cycle, rs))
+        },
+    )
+}
+
+proptest! {
+    /// Encode → decode is the identity for any round count and width
+    /// (including widths crossing byte and word boundaries).
+    #[test]
+    fn roundtrip_is_lossless(req in request_strategy()) {
+        let frame = req.encode();
+        prop_assert_eq!(frame.len(), req.frame_len());
+        let back = DecodeRequest::decode(&frame).expect("well-formed frame parses");
+        prop_assert_eq!(back, req);
+    }
+
+    /// Every strict prefix of the header is rejected as truncated; a
+    /// complete header with a short payload is rejected with the exact
+    /// byte accounting.
+    #[test]
+    fn every_truncation_is_rejected(req in request_strategy(), cut_seed in 0usize..10_000) {
+        let frame = req.encode();
+        let cut = cut_seed % frame.len();
+        match DecodeRequest::decode(&frame[..cut]) {
+            Err(ParseFrameError::TruncatedHeader) => prop_assert!(cut < 16),
+            Err(ParseFrameError::TruncatedPayload { expected, actual }) => {
+                prop_assert!(cut >= 16);
+                prop_assert_eq!(actual, cut - 16);
+                prop_assert_eq!(
+                    expected,
+                    req.rounds.len() * req.bits_per_round().div_ceil(8)
+                );
+            }
+            other => prop_assert!(false, "cut {cut} parsed as {other:?}"),
+        }
+    }
+
+    /// A header declaring zero rounds or zero bits per round can never
+    /// come from a valid encoder ([`DecodeRequest::new`] rejects both)
+    /// and must be flagged corrupt, not silently parsed into an empty
+    /// request.
+    #[test]
+    fn corrupt_header_is_rejected(req in request_strategy(), zero_width in any::<bool>()) {
+        let mut frame = req.encode().to_vec();
+        // Rounds live at bytes 12..14, width at 14..16 (big endian).
+        let field = if zero_width { 14 } else { 12 };
+        frame[field] = 0;
+        frame[field + 1] = 0;
+        match DecodeRequest::decode(&frame) {
+            Err(ParseFrameError::CorruptHeader { reason }) => {
+                prop_assert!(reason.contains(if zero_width { "bits per round" } else { "rounds" }));
+            }
+            other => prop_assert!(false, "corrupt header parsed as {other:?}"),
+        }
+    }
+
+    /// Extra trailing bytes beyond the declared payload are ignored
+    /// (frames may arrive in a larger buffer), and the parse still
+    /// reconstructs the original request.
+    #[test]
+    fn trailing_bytes_are_tolerated(req in request_strategy(), extra in 1usize..16) {
+        let mut frame = req.encode().to_vec();
+        frame.extend(std::iter::repeat_n(0xAA, extra));
+        let back = DecodeRequest::decode(&frame).expect("padded frame parses");
+        prop_assert_eq!(back, req);
+    }
+}
+
+#[test]
+fn corrupt_header_error_messages_are_informative() {
+    let req = DecodeRequest::new(1, 2, vec![vec![true, false, true]]);
+    let mut zero_rounds = req.encode().to_vec();
+    zero_rounds[12] = 0;
+    zero_rounds[13] = 0;
+    let err = DecodeRequest::decode(&zero_rounds).unwrap_err();
+    assert_eq!(err.to_string(), "frame header corrupt: zero rounds declared");
+    let mut zero_width = req.encode().to_vec();
+    zero_width[14] = 0;
+    zero_width[15] = 0;
+    let err = DecodeRequest::decode(&zero_width).unwrap_err();
+    assert_eq!(err.to_string(), "frame header corrupt: zero bits per round declared");
+}

@@ -206,6 +206,50 @@ fn bench_sweep_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// The machine-tier comparison: one batched [`BtwcMachine::step`]
+/// (word-parallel sticky filtering across all qubits, transport-framed
+/// escalations) versus the per-qubit reference loop
+/// (`BtwcDecoder::process_round_packed` per qubit plus a hand-stepped
+/// queue) on identical pre-generated streams. The batched side is
+/// pinned bit-identical to the loop (`machine_equivalence.rs`), so the
+/// measured delta is pure reorganization.
+fn bench_machine_step(c: &mut Criterion) {
+    use btwc_bandwidth::QueueSim;
+    use btwc_bench::machine_step_workload;
+    use btwc_core::{BtwcDecoder, BtwcMachine};
+
+    let mut group = c.benchmark_group("machine_step");
+    let d = 9u16;
+    for qubits in [64usize, 256] {
+        let (code, batches, rounds) = machine_step_workload(d, qubits, 512, 1e-3, 0xBA7C);
+        group.bench_with_input(BenchmarkId::new("per_qubit_loop", qubits), &qubits, |b, _| {
+            let mut decoders: Vec<BtwcDecoder> = (0..qubits)
+                .map(|_| BtwcDecoder::builder(&code, StabilizerType::X).build())
+                .collect();
+            let mut queue = QueueSim::new(qubits);
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % rounds.len();
+                let mut offchip = 0usize;
+                for (dec, round) in decoders.iter_mut().zip(&rounds[i]) {
+                    offchip += usize::from(dec.process_round_packed(round).went_offchip());
+                }
+                black_box(queue.step(offchip))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("batched", qubits), &qubits, |b, _| {
+            let mut machine =
+                BtwcMachine::builder(&code, StabilizerType::X, qubits, qubits).build();
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % batches.len();
+                black_box(machine.step(&batches[i]).offchip_requests)
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_blossom_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("blossom_matching");
     group.sample_size(20);
@@ -324,6 +368,7 @@ criterion_group!(
     bench_mwpm_decode,
     bench_sparse_vs_dense,
     bench_sweep_throughput,
+    bench_machine_step,
     bench_blossom_scaling,
     bench_mwpm_events,
     bench_uf_decode,

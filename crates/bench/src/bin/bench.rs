@@ -27,7 +27,9 @@ use std::time::Instant;
 use btwc_bench::baseline::{
     coverage_sweep_per_point, sample_noisy_rounds, sample_noisy_window, BoolVecHistory,
 };
-use btwc_bench::{print_table, scaled, sweep_throughput_axes, SWEEP_BENCH_WORKERS};
+use btwc_bench::{
+    machine_step_workload, print_table, scaled, sweep_throughput_axes, SWEEP_BENCH_WORKERS,
+};
 use btwc_lattice::{StabilizerType, SurfaceCode};
 use btwc_mwpm::MwpmDecoder;
 use btwc_noise::SimRng;
@@ -217,6 +219,53 @@ fn sweep_benches(entries: &mut Vec<Entry>) -> f64 {
     pooled / scoped.max(1e-12)
 }
 
+/// The `machine_step` comparison: one batched `BtwcMachine::step`
+/// versus the per-qubit reference loop (one `process_round_packed` per
+/// qubit plus a hand-stepped queue) on identical pre-generated
+/// transient-noise streams (d = 9, 64 qubits, p = 1e-3 per ancilla).
+/// Returns the batched/per-qubit throughput ratio — the machine-tier
+/// acceptance number.
+fn machine_benches(entries: &mut Vec<Entry>) -> f64 {
+    use btwc_bandwidth::QueueSim;
+    use btwc_core::{BtwcDecoder, BtwcMachine};
+
+    let d = 9u16;
+    let qubits = 64usize;
+    let (code, batches, rounds) = machine_step_workload(d, qubits, 512, 1e-3, 0xBA7C);
+    let iters = scaled(100_000);
+
+    let mut decoders: Vec<BtwcDecoder> =
+        (0..qubits).map(|_| BtwcDecoder::builder(&code, StabilizerType::X).build()).collect();
+    let mut queue = QueueSim::new(qubits);
+    let mut i = 0;
+    let per_qubit = time_rounds(iters, || {
+        i = (i + 1) % rounds.len();
+        let mut offchip = 0usize;
+        for (dec, round) in decoders.iter_mut().zip(&rounds[i]) {
+            offchip += usize::from(dec.process_round_packed(round).went_offchip());
+        }
+        std::hint::black_box(queue.step(offchip));
+    }) * qubits as f64;
+    entries.push(Entry {
+        name: "machine_per_qubit_loop".into(),
+        rounds_per_sec: per_qubit,
+        detail: format!("d={d}, {qubits} qubits, per-qubit BtwcDecoder loop"),
+    });
+
+    let mut machine = BtwcMachine::builder(&code, StabilizerType::X, qubits, qubits).build();
+    let mut i = 0;
+    let batched = time_rounds(iters, || {
+        i = (i + 1) % batches.len();
+        std::hint::black_box(machine.step(&batches[i]).offchip_requests);
+    }) * qubits as f64;
+    entries.push(Entry {
+        name: "machine_batched_step".into(),
+        rounds_per_sec: batched,
+        detail: format!("d={d}, {qubits} qubits, one word-parallel BtwcMachine::step"),
+    });
+    batched / per_qubit.max(1e-12)
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -227,6 +276,7 @@ fn main() {
     let (sparse_d13, sparse_d21) = sparse_vs_dense_benches(&mut entries);
     ler_benches(&mut entries);
     let sweep_speedup = sweep_benches(&mut entries);
+    let machine_speedup = machine_benches(&mut entries);
     let speedup = packed / boolvec.max(1e-12);
 
     let rows: Vec<Vec<String>> = entries
@@ -236,6 +286,7 @@ fn main() {
     println!("# Decoder throughput (rounds/sec)\n");
     print_table(&["kernel", "rounds/s", "detail"], &rows);
     println!("\nsticky filter packed vs Vec<bool> baseline: {speedup:.1}x");
+    println!("machine batched step vs per-qubit loop: {machine_speedup:.1}x");
     println!("off-chip sparse vs dense decode: {sparse_d13:.1}x at d=13, {sparse_d21:.1}x at d=21");
     println!("whole-grid pooled sweep vs per-point scoped threads: {sweep_speedup:.1}x");
 
@@ -245,6 +296,7 @@ fn main() {
     let _ = writeln!(json, "  \"offchip_sparse_speedup_vs_dense_d13\": {sparse_d13:.3},");
     let _ = writeln!(json, "  \"offchip_sparse_speedup_vs_dense_d21\": {sparse_d21:.3},");
     let _ = writeln!(json, "  \"sweep_pooled_speedup_vs_scoped\": {sweep_speedup:.3},");
+    let _ = writeln!(json, "  \"machine_batched_speedup_vs_perqubit\": {machine_speedup:.3},");
     json.push_str("  \"results\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let comma = if i + 1 == entries.len() { "" } else { "," };

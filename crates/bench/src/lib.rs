@@ -21,6 +21,8 @@
 
 pub mod baseline;
 
+use btwc_syndrome::{PackedBits, SyndromeBatch};
+
 /// Scales a default Monte Carlo budget by the `BTWC_SCALE` environment
 /// variable (min 0.01, so `BTWC_SCALE=0.05` gives quick smoke runs).
 #[must_use]
@@ -57,6 +59,45 @@ pub fn sweep_throughput_axes() -> (Vec<f64>, Vec<u16>) {
 /// (not machine-sized) so both schedules are compared at the same
 /// operational width — the widest pool the determinism tests pin.
 pub const SWEEP_BENCH_WORKERS: usize = 8;
+
+/// The `machine_step` comparison workload: `cycles` machine-wide
+/// rounds for `qubits` logical qubits at distance `d`, under transient
+/// (measurement-style) noise — each ancilla lit independently with
+/// probability `p` per cycle. Transient noise keeps the stream in the
+/// filter-dominated regime the machine tier optimizes (most qubits
+/// quiet, occasional sticky leaks escalating off-chip), so the timed
+/// quantity is the per-cycle *filter* machinery, not decoder work.
+///
+/// Returns the code, the pre-transposed per-cycle [`SyndromeBatch`]es
+/// (the batched machine's input), and the identical rounds pre-split
+/// per qubit (the per-qubit reference loop's input) — ingestion is off
+/// the clock for both sides.
+#[must_use]
+pub fn machine_step_workload(
+    d: u16,
+    qubits: usize,
+    cycles: usize,
+    p: f64,
+    seed: u64,
+) -> (btwc_lattice::SurfaceCode, Vec<SyndromeBatch>, Vec<Vec<PackedBits>>) {
+    let code = btwc_lattice::SurfaceCode::new(d);
+    let n_anc = code.num_ancillas(btwc_lattice::StabilizerType::X);
+    let mut rng = btwc_noise::SimRng::from_seed(seed);
+    let mut batches = Vec::with_capacity(cycles);
+    let mut rounds = Vec::with_capacity(cycles);
+    for _ in 0..cycles {
+        let mut batch = SyndromeBatch::new(qubits, n_anc);
+        let mut per_qubit = Vec::with_capacity(qubits);
+        for q in 0..qubits {
+            let bits: Vec<bool> = (0..n_anc).map(|_| rng.bernoulli(p)).collect();
+            batch.set_qubit_round_bools(q, &bits);
+            per_qubit.push(PackedBits::from_bools(&bits));
+        }
+        batches.push(batch);
+        rounds.push(per_qubit);
+    }
+    (code, batches, rounds)
+}
 
 /// The paper's Fig. 4 scenarios: `(physical error rate, target logical
 /// error rate label, code distance)`.

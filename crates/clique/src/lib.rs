@@ -38,10 +38,12 @@
 //! }
 //! ```
 
+mod batch;
 mod decision;
 mod decoder;
 mod frontend;
 
+pub use batch::BatchFrontend;
 pub use decision::{CliqueDecision, Correction};
 pub use decoder::CliqueDecoder;
 pub use frontend::CliqueFrontend;

@@ -2,62 +2,39 @@
 
 use btwc_clique::{CliqueDecision, CliqueFrontend};
 use btwc_lattice::{StabilizerType, SurfaceCode};
+use btwc_lut::LutDecoder;
 use btwc_mwpm::MwpmDecoder;
 use btwc_sparse::SparseDecoder;
 use btwc_syndrome::{Correction, PackedBits, RoundHistory};
+use btwc_uf::UnionFindDecoder;
 
-/// An off-chip decoder that resolves a window of measurement rounds.
+pub use btwc_syndrome::ComplexDecoder;
+
+/// Constructor signature of a [`DecoderBackend::Custom`] backend: each
+/// pipeline, plane, and simulation shard builds its *own* decoder
+/// instance (the Monte Carlo engines run one decoder per worker), so a
+/// custom backend registers a factory rather than a single boxed
+/// instance.
+pub type BackendFactory = fn(&SurfaceCode, StabilizerType) -> Box<dyn ComplexDecoder + Send + Sync>;
+
+/// Which off-chip decoder resolves complex windows — the *single*
+/// backend selector of the workspace, consumed uniformly by
+/// [`BtwcBuilder::backend`], [`crate::DualBtwcDecoder::with_backend`],
+/// [`crate::MachineBuilder::backend`], and (via re-export) the sim
+/// configs' `with_backend`. The per-call knobs it replaces
+/// (`BtwcBuilder::offchip_backend`, `BtwcBuilder::complex_decoder`,
+/// `LifetimeConfig::with_offchip`, `ShotConfig::with_offchip`, and the
+/// `OffchipBackend` name) survive as deprecated forwarding wrappers.
 ///
-/// Implemented by [`MwpmDecoder`] (the dense default) and
-/// [`SparseDecoder`] (the sparse-blossom backend); custom
-/// implementations let experiments swap in other heavyweight decoders
-/// (union-find, neural, lookup tables) behind the same BTWC front end.
-pub trait ComplexDecoder {
-    /// Decodes the detection events of `window` into a data correction.
-    fn decode_window(&self, window: &RoundHistory) -> Correction;
-
-    /// [`ComplexDecoder::decode_window`] with exclusive access. The
-    /// pipeline owns its decoder mutably, so implementations with
-    /// internal locking (both built-in matchers guard a reusable
-    /// scratch) override this to skip the lock; the default just
-    /// forwards to the shared path.
-    fn decode_window_mut(&mut self, window: &RoundHistory) -> Correction {
-        self.decode_window(window)
-    }
-}
-
-impl ComplexDecoder for MwpmDecoder {
-    fn decode_window(&self, window: &RoundHistory) -> Correction {
-        MwpmDecoder::decode_window(self, window)
-    }
-
-    fn decode_window_mut(&mut self, window: &RoundHistory) -> Correction {
-        MwpmDecoder::decode_window_mut(self, window)
-    }
-}
-
-impl ComplexDecoder for SparseDecoder {
-    fn decode_window(&self, window: &RoundHistory) -> Correction {
-        SparseDecoder::decode_window(self, window)
-    }
-
-    fn decode_window_mut(&mut self, window: &RoundHistory) -> Correction {
-        SparseDecoder::decode_window_mut(self, window)
-    }
-}
-
-/// Which built-in off-chip matcher a pipeline (or simulator) uses for
-/// complex windows.
-///
-/// Both are *exact* minimum-weight perfect matchers — they commit to
-/// matchings of identical total space-time weight — so the choice is
-/// purely a cost-model one: the dense blossom pays O(n³) in the event
-/// count every decode, while the sparse backend grows bounded regions
-/// on the detector graph and solves only the event clusters that
-/// collide, which is near-linear on the sparse windows BTWC ships
-/// off-chip and wins clearly from mid distances (d ≳ 13) upward.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum OffchipBackend {
+/// [`DecoderBackend::DenseMwpm`] and [`DecoderBackend::SparseBlossom`]
+/// are *exact* minimum-weight perfect matchers — weight-equal on every
+/// input — so choosing between them is purely a cost-model decision
+/// (sparse wins from d ≳ 13 at operational rates).
+/// [`DecoderBackend::UnionFind`] trades a small accuracy loss for
+/// almost-linear decoding; [`DecoderBackend::Lut`] is the
+/// LILLIPUT-style O(1) table for small distances.
+#[derive(Clone, Copy, Default)]
+pub enum DecoderBackend {
     /// The dense O(n³) blossom over all event pairs ([`MwpmDecoder`]) —
     /// the paper-faithful baseline.
     #[default]
@@ -65,11 +42,34 @@ pub enum OffchipBackend {
     /// Sparse-blossom region growth + per-cluster matching
     /// ([`SparseDecoder`]).
     SparseBlossom,
+    /// Almost-linear cluster growth and peeling ([`UnionFindDecoder`],
+    /// the Sec. 8.1 hierarchy tier).
+    UnionFind,
+    /// Exhaustive single-round lookup table ([`LutDecoder`]).
+    /// Construction panics beyond `btwc_lut::MAX_LUT_BITS` ancillas
+    /// (d ≤ 7), exactly the impracticality the paper argues.
+    Lut,
+    /// A caller-registered decoder factory. The `name` identifies the
+    /// backend in `Debug`/`PartialEq` (two customs compare equal iff
+    /// their names match; a custom never equals a built-in, even with
+    /// a colliding name); `build` is invoked once per pipeline.
+    Custom {
+        /// Short identifier for logs, stats, and equality.
+        name: &'static str,
+        /// Constructor invoked for every pipeline/plane/shard.
+        build: BackendFactory,
+    },
 }
 
-impl OffchipBackend {
+impl DecoderBackend {
     /// Constructs the chosen decoder for `code` / `ty`, boxed for the
     /// pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend cannot serve this code (today only
+    /// [`DecoderBackend::Lut`] beyond `btwc_lut::MAX_LUT_BITS`
+    /// ancillas).
     #[must_use]
     pub fn build(
         self,
@@ -77,11 +77,52 @@ impl OffchipBackend {
         ty: StabilizerType,
     ) -> Box<dyn ComplexDecoder + Send + Sync> {
         match self {
-            OffchipBackend::DenseMwpm => Box::new(MwpmDecoder::new(code, ty)),
-            OffchipBackend::SparseBlossom => Box::new(SparseDecoder::new(code, ty)),
+            DecoderBackend::DenseMwpm => Box::new(MwpmDecoder::new(code, ty)),
+            DecoderBackend::SparseBlossom => Box::new(SparseDecoder::new(code, ty)),
+            DecoderBackend::UnionFind => Box::new(UnionFindDecoder::new(code, ty)),
+            DecoderBackend::Lut => Box::new(LutDecoder::build(code, ty)),
+            DecoderBackend::Custom { build, .. } => build(code, ty),
+        }
+    }
+
+    /// Short identifier of this backend.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            DecoderBackend::DenseMwpm => "dense-mwpm",
+            DecoderBackend::SparseBlossom => "sparse-blossom",
+            DecoderBackend::UnionFind => "union-find",
+            DecoderBackend::Lut => "lut",
+            DecoderBackend::Custom { name, .. } => name,
         }
     }
 }
+
+impl std::fmt::Debug for DecoderBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // One stable token per backend (custom factories print their
+        // registered name, not a function pointer).
+        write!(f, "DecoderBackend({})", self.name())
+    }
+}
+
+impl PartialEq for DecoderBackend {
+    fn eq(&self, other: &Self) -> bool {
+        // Compare variant identity plus registered name, never the
+        // factory address: function pointer comparisons are unreliable
+        // across codegen units. The discriminant check keeps a Custom
+        // backend that reuses a built-in token (e.g. "dense-mwpm")
+        // from comparing equal to the built-in itself.
+        std::mem::discriminant(self) == std::mem::discriminant(other) && self.name() == other.name()
+    }
+}
+
+impl Eq for DecoderBackend {}
+
+/// Deprecated name of [`DecoderBackend`], kept so pre-unification code
+/// (and its two variant names) keeps compiling.
+#[deprecated(note = "use DecoderBackend: the single backend selector for every tier")]
+pub type OffchipBackend = DecoderBackend;
 
 /// What one cycle of the pipeline did.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -142,7 +183,7 @@ pub struct BtwcBuilder<'a> {
     ty: StabilizerType,
     clique_rounds: usize,
     window_rounds: usize,
-    backend: OffchipBackend,
+    backend: DecoderBackend,
     complex: Option<Box<dyn ComplexDecoder + Send + Sync>>,
 }
 
@@ -165,7 +206,7 @@ impl<'a> BtwcBuilder<'a> {
             ty,
             clique_rounds: 2,
             window_rounds: usize::from(code.distance()).max(4) * 4,
-            backend: OffchipBackend::default(),
+            backend: DecoderBackend::default(),
             complex: None,
         }
     }
@@ -194,16 +235,27 @@ impl<'a> BtwcBuilder<'a> {
         self
     }
 
-    /// Selects one of the built-in off-chip matchers (default: the
-    /// dense MWPM baseline). Ignored when a custom
-    /// [`BtwcBuilder::complex_decoder`] is installed.
+    /// Selects the off-chip decoder backend (default: the dense MWPM
+    /// baseline) — the one knob shared by every tier of the workspace;
+    /// see [`DecoderBackend`].
     #[must_use]
-    pub fn offchip_backend(mut self, backend: OffchipBackend) -> Self {
+    pub fn backend(mut self, backend: DecoderBackend) -> Self {
         self.backend = backend;
         self
     }
 
-    /// Replaces the default MWPM complex decoder.
+    /// Deprecated spelling of [`BtwcBuilder::backend`].
+    #[deprecated(note = "use BtwcBuilder::backend")]
+    #[must_use]
+    pub fn offchip_backend(self, backend: DecoderBackend) -> Self {
+        self.backend(backend)
+    }
+
+    /// Replaces the default MWPM complex decoder with a one-off boxed
+    /// instance.
+    #[deprecated(
+        note = "register a DecoderBackend::Custom factory and pass it to BtwcBuilder::backend"
+    )]
     #[must_use]
     pub fn complex_decoder(mut self, decoder: Box<dyn ComplexDecoder + Send + Sync>) -> Self {
         self.complex = Some(decoder);
@@ -398,6 +450,7 @@ mod tests {
             }
         }
         let code = SurfaceCode::new(7);
+        #[allow(deprecated)]
         let mut dec = BtwcDecoder::builder(&code, StabilizerType::X)
             .complex_decoder(Box::new(NullDecoder))
             .build();
@@ -415,7 +468,7 @@ mod tests {
         let code = SurfaceCode::new(7);
         let mut dense = BtwcDecoder::builder(&code, StabilizerType::X).build();
         let mut sparse = BtwcDecoder::builder(&code, StabilizerType::X)
-            .offchip_backend(OffchipBackend::SparseBlossom)
+            .backend(DecoderBackend::SparseBlossom)
             .build();
         let mut errors = vec![false; code.num_data_qubits()];
         errors[3 * 7 + 3] = true;
@@ -441,8 +494,9 @@ mod tests {
             }
         }
         let code = SurfaceCode::new(7);
+        #[allow(deprecated)]
         let mut dec = BtwcDecoder::builder(&code, StabilizerType::X)
-            .offchip_backend(OffchipBackend::SparseBlossom)
+            .offchip_backend(DecoderBackend::SparseBlossom)
             .complex_decoder(Box::new(NullDecoder))
             .build();
         let mut errors = vec![false; code.num_data_qubits()];
@@ -452,6 +506,24 @@ mod tests {
         let _ = dec.process_round(&round);
         let out = dec.process_round(&round);
         assert_eq!(out.correction().map(Correction::qubits), Some(&[42usize][..]));
+    }
+
+    #[test]
+    fn backend_equality_is_variant_and_name_aware() {
+        fn null_factory(
+            code: &SurfaceCode,
+            ty: StabilizerType,
+        ) -> Box<dyn ComplexDecoder + Send + Sync> {
+            DecoderBackend::DenseMwpm.build(code, ty)
+        }
+        let custom = DecoderBackend::Custom { name: "mine", build: null_factory };
+        assert_eq!(custom, DecoderBackend::Custom { name: "mine", build: null_factory });
+        assert_ne!(custom, DecoderBackend::Custom { name: "other", build: null_factory });
+        // A custom reusing a built-in token must not impersonate it.
+        let imposter = DecoderBackend::Custom { name: "dense-mwpm", build: null_factory };
+        assert_ne!(imposter, DecoderBackend::DenseMwpm);
+        assert_eq!(DecoderBackend::SparseBlossom, DecoderBackend::SparseBlossom);
+        assert_ne!(DecoderBackend::SparseBlossom, DecoderBackend::UnionFind);
     }
 
     #[test]

@@ -12,7 +12,9 @@
 use btwc_lattice::{StabilizerType, SurfaceCode};
 use btwc_syndrome::Correction;
 
-use crate::decoder::{BtwcDecoder, BtwcOutcome, DecoderStats, OffchipBackend};
+use btwc_syndrome::PackedBits;
+
+use crate::decoder::{BtwcDecoder, BtwcOutcome, DecoderBackend, DecoderStats};
 
 /// Corrections for both species of one cycle.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,17 +56,17 @@ impl DualBtwcDecoder {
     /// Builds both planes with default settings.
     #[must_use]
     pub fn new(code: &SurfaceCode) -> Self {
-        Self::with_backend(code, OffchipBackend::default())
+        Self::with_backend(code, DecoderBackend::default())
     }
 
-    /// Builds both planes with the chosen off-chip matcher — one knob
+    /// Builds both planes with the chosen off-chip backend — one knob
     /// for the pair, since a deployed qubit's two planes share the same
-    /// off-chip decode fabric.
+    /// off-chip decode fabric (the unified [`DecoderBackend`]).
     #[must_use]
-    pub fn with_backend(code: &SurfaceCode, backend: OffchipBackend) -> Self {
+    pub fn with_backend(code: &SurfaceCode, backend: DecoderBackend) -> Self {
         Self {
-            x_plane: BtwcDecoder::builder(code, StabilizerType::X).offchip_backend(backend).build(),
-            z_plane: BtwcDecoder::builder(code, StabilizerType::Z).offchip_backend(backend).build(),
+            x_plane: BtwcDecoder::builder(code, StabilizerType::X).backend(backend).build(),
+            z_plane: BtwcDecoder::builder(code, StabilizerType::Z).backend(backend).build(),
         }
     }
 
@@ -78,6 +80,24 @@ impl DualBtwcDecoder {
         DualOutcome {
             x_plane: self.x_plane.process_round(x_round),
             z_plane: self.z_plane.process_round(z_round),
+        }
+    }
+
+    /// [`DualBtwcDecoder::process_rounds`] for already-packed rounds —
+    /// the allocation-free hot path: both planes run their packed
+    /// pipelines directly instead of forcing a bool-slice detour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either round's width mismatches its ancilla count.
+    pub fn process_rounds_packed(
+        &mut self,
+        x_round: &PackedBits,
+        z_round: &PackedBits,
+    ) -> DualOutcome {
+        DualOutcome {
+            x_plane: self.x_plane.process_round_packed(x_round),
+            z_plane: self.z_plane.process_round_packed(z_round),
         }
     }
 
@@ -173,7 +193,7 @@ mod tests {
     #[test]
     fn sparse_backend_corrects_both_species() {
         let code = SurfaceCode::new(5);
-        let mut dec = DualBtwcDecoder::with_backend(&code, OffchipBackend::SparseBlossom);
+        let mut dec = DualBtwcDecoder::with_backend(&code, DecoderBackend::SparseBlossom);
         let mut z_errors = vec![false; code.num_data_qubits()];
         let mut x_errors = vec![false; code.num_data_qubits()];
         z_errors[12] = true;
@@ -184,6 +204,37 @@ mod tests {
         let second = dec.process_rounds(&xr, &zr);
         assert_eq!(second.z_correction().map(Correction::qubits), Some(&[12usize][..]));
         assert_eq!(second.x_correction().map(Correction::qubits), Some(&[6usize][..]));
+    }
+
+    #[test]
+    fn packed_rounds_match_bool_rounds() {
+        // The packed entry point must replay the exact per-plane
+        // pipeline of the bool-slice path (same outcomes, same stats).
+        let code = SurfaceCode::new(5);
+        let mut bools = DualBtwcDecoder::new(&code);
+        let mut packed = DualBtwcDecoder::new(&code);
+        let noise = PhenomenologicalNoise::uniform(8e-3);
+        let mut rng = SimRng::from_seed(0xBADC);
+        let mut z_err = vec![false; code.num_data_qubits()];
+        let mut x_err = vec![false; code.num_data_qubits()];
+        for _ in 0..2_000 {
+            noise.sample_data_into(&mut rng, &mut z_err);
+            noise.sample_data_into(&mut rng, &mut x_err);
+            let xr = code.syndrome_of(StabilizerType::X, &z_err);
+            let zr = code.syndrome_of(StabilizerType::Z, &x_err);
+            let a = bools.process_rounds(&xr, &zr);
+            let b = packed
+                .process_rounds_packed(&PackedBits::from_bools(&xr), &PackedBits::from_bools(&zr));
+            assert_eq!(a, b);
+            if let Some(c) = a.z_correction() {
+                c.apply_to(&mut z_err);
+            }
+            if let Some(c) = a.x_correction() {
+                c.apply_to(&mut x_err);
+            }
+        }
+        assert_eq!(bools.stats(), packed.stats());
+        assert!(bools.stats().0.cycles == 2_000);
     }
 
     #[test]

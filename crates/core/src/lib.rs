@@ -7,10 +7,15 @@
 //! corrected on the spot, complex ones are shipped to a pluggable
 //! [`ComplexDecoder`] (by default the exact space-time MWPM decoder).
 //!
-//! [`BtwcSystem`] scales that to many logical qubits behind one
-//! provisioned off-chip link: per-cycle complex decodes beyond the
-//! provisioned bandwidth trigger stall cycles (idle-gate insertion),
-//! exactly the Sec. 5 mechanism.
+//! [`BtwcMachine`] scales that to many logical qubits: one batched
+//! packed [`SyndromeBatch`] per cycle runs the sticky filter
+//! word-parallel across the whole machine, escalations cross the
+//! off-chip link as real [`btwc_bandwidth::DecodeRequest`] frames, and
+//! per-cycle complex decodes beyond the provisioned bandwidth trigger
+//! stall cycles (idle-gate insertion), exactly the Sec. 5 mechanism.
+//! Off-chip decoding everywhere is selected by the single
+//! [`DecoderBackend`] registry. (The pre-batching `BtwcSystem` remains
+//! as a deprecated shim.)
 //!
 //! # Example
 //!
@@ -35,19 +40,28 @@
 
 mod decoder;
 mod dual;
+mod machine;
 mod prefilter;
 mod system;
 
+#[allow(deprecated)]
+pub use decoder::OffchipBackend;
 pub use decoder::{
-    BtwcBuilder, BtwcDecoder, BtwcOutcome, ComplexDecoder, DecoderStats, OffchipBackend,
+    BackendFactory, BtwcBuilder, BtwcDecoder, BtwcOutcome, ComplexDecoder, DecoderBackend,
+    DecoderStats,
 };
 pub use dual::{DualBtwcDecoder, DualOutcome};
+pub use machine::{BtwcMachine, MachineBuilder, MachineCycle, MachineStats};
 pub use prefilter::{PrefilterModel, PrefilterReport};
-pub use system::{BtwcSystem, SystemCycle, SystemStats};
+#[allow(deprecated)]
+pub use system::BtwcSystem;
+pub use system::{SystemCycle, SystemStats};
 
 // Re-export the vocabulary types users need to drive the system.
-pub use btwc_clique::{CliqueDecision, CliqueDecoder, CliqueFrontend};
+pub use btwc_clique::{BatchFrontend, CliqueDecision, CliqueDecoder, CliqueFrontend};
 pub use btwc_lattice::{StabilizerType, SurfaceCode};
+pub use btwc_lut::LutDecoder;
 pub use btwc_mwpm::MwpmDecoder;
 pub use btwc_sparse::SparseDecoder;
-pub use btwc_syndrome::{Correction, RoundHistory, Syndrome};
+pub use btwc_syndrome::{BatchHistory, Correction, RoundHistory, Syndrome, SyndromeBatch};
+pub use btwc_uf::UnionFindDecoder;

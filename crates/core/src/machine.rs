@@ -1,0 +1,578 @@
+//! The machine tier: many logical qubits, one batched packed pipeline,
+//! one transport-metered off-chip link.
+//!
+//! [`BtwcMachine`] is the redesigned machine-level entry point (the
+//! paper's Figs. 9/16 workload). It differs from the deprecated
+//! [`crate::BtwcSystem`] on three seams:
+//!
+//! * **Batched packed ingestion** — one [`SyndromeBatch`] per cycle
+//!   (one qubit-indexed [`PackedBits`] plane per ancilla) instead of
+//!   per-qubit `Vec<bool>` rounds. The sticky filter and the "who needs
+//!   decoding at all" check run word-parallel across the whole machine
+//!   ([`btwc_clique::BatchFrontend`]), so the >90%-quiet common case
+//!   costs no per-qubit work.
+//! * **Unified backend selection** — one [`DecoderBackend`] picks the
+//!   shared room-temperature decoder (dense MWPM, sparse blossom,
+//!   union-find, LUT, or a custom factory), the same selector every
+//!   other tier consumes.
+//! * **Transport integration** — every off-chip escalation is framed as
+//!   a real [`DecodeRequest`], crosses the (simulated) refrigerator
+//!   boundary as wire bytes, is parsed back, and only then decoded; the
+//!   shared link is a [`QueueSim`], so [`MachineStats`] reports genuine
+//!   stall, backlog, and frame-byte figures instead of a bare request
+//!   count.
+//!
+//! The batched step is **bit-identical** (outcomes and stats) to
+//! running every qubit through its own [`crate::BtwcDecoder`] — pinned
+//! by `tests/machine_equivalence.rs` for every [`DecoderBackend`].
+
+use btwc_bandwidth::{DecodeRequest, QueueSim};
+use btwc_clique::{BatchFrontend, CliqueDecision};
+use btwc_lattice::{StabilizerType, SurfaceCode};
+use btwc_syndrome::{BatchHistory, PackedBits, RoundHistory, SyndromeBatch};
+
+use crate::decoder::{BtwcOutcome, ComplexDecoder, DecoderBackend, DecoderStats};
+
+/// What happened across the whole machine in one cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineCycle {
+    /// Per-qubit outcomes for this cycle, indexed by logical qubit.
+    pub outcomes: Vec<BtwcOutcome>,
+    /// Off-chip decode requests issued this cycle.
+    pub offchip_requests: usize,
+    /// Wire bytes shipped across the link this cycle (encoded
+    /// [`DecodeRequest`] frames).
+    pub frame_bytes: usize,
+    /// Whether this cycle was a stall (idle-gate insertion, Sec. 5.2).
+    pub stalled: bool,
+}
+
+/// Aggregate counters of a [`BtwcMachine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MachineStats {
+    /// Total cycles elapsed (useful + stall).
+    pub cycles: u64,
+    /// Stall cycles inserted.
+    pub stalls: u64,
+    /// Total off-chip decode requests.
+    pub offchip_requests: u64,
+    /// Total wire bytes shipped as [`DecodeRequest`] frames.
+    pub frame_bytes: u64,
+    /// Decode requests still waiting after the last cycle's service.
+    pub backlog: u64,
+    /// Largest backlog left waiting after any cycle's service.
+    pub peak_backlog: u64,
+}
+
+impl MachineStats {
+    /// Relative execution-time increase from stalling — the y-axis of
+    /// Fig. 16. 0.10 means the program runs 10% longer.
+    #[must_use]
+    pub fn execution_time_increase(&self) -> f64 {
+        let useful = self.cycles - self.stalls;
+        if useful == 0 {
+            return f64::INFINITY;
+        }
+        self.cycles as f64 / useful as f64 - 1.0
+    }
+}
+
+/// Per-qubit escalation counters (cycle totals live machine-wide).
+#[derive(Debug, Clone, Copy, Default)]
+struct QubitCounters {
+    onchip: u64,
+    offchip: u64,
+}
+
+/// Builder for [`BtwcMachine`] (filter depth, window size, backend,
+/// link bandwidth).
+#[derive(Debug)]
+pub struct MachineBuilder<'a> {
+    code: &'a SurfaceCode,
+    ty: StabilizerType,
+    num_qubits: usize,
+    bandwidth: usize,
+    clique_rounds: usize,
+    window_rounds: usize,
+    backend: DecoderBackend,
+}
+
+impl<'a> MachineBuilder<'a> {
+    fn new(code: &'a SurfaceCode, ty: StabilizerType, num_qubits: usize, bandwidth: usize) -> Self {
+        Self {
+            code,
+            ty,
+            num_qubits,
+            bandwidth,
+            clique_rounds: 2,
+            window_rounds: usize::from(code.distance()).max(4) * 4,
+            backend: DecoderBackend::default(),
+        }
+    }
+
+    /// Sets the Clique sticky-filter depth (default 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0`.
+    #[must_use]
+    pub fn clique_rounds(mut self, rounds: usize) -> Self {
+        assert!(rounds >= 1, "sticky filter needs at least one round");
+        self.clique_rounds = rounds;
+        self
+    }
+
+    /// Sets the off-chip window capacity in rounds (default `4d`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0`.
+    #[must_use]
+    pub fn window_rounds(mut self, rounds: usize) -> Self {
+        assert!(rounds >= 1, "window needs at least one round");
+        self.window_rounds = rounds;
+        self
+    }
+
+    /// Selects the shared off-chip decoder backend (default: dense
+    /// MWPM) — the unified [`DecoderBackend`] selector.
+    #[must_use]
+    pub fn backend(mut self, backend: DecoderBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Builds the machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits == 0` or `bandwidth == 0`.
+    #[must_use]
+    pub fn build(self) -> BtwcMachine {
+        assert!(self.num_qubits > 0, "need at least one logical qubit");
+        let n_anc = self.code.num_ancillas(self.ty);
+        let frontend =
+            BatchFrontend::with_rounds(self.code, self.ty, self.num_qubits, self.clique_rounds);
+        BtwcMachine {
+            num_qubits: self.num_qubits,
+            num_ancillas: n_anc,
+            window_rounds: self.window_rounds,
+            frontend,
+            window_ring: BatchHistory::new(self.num_qubits, n_anc, self.window_rounds),
+            window_len: vec![0; self.num_qubits],
+            pending: PackedBits::new(self.num_qubits),
+            raw_active: PackedBits::new(self.num_qubits),
+            work: PackedBits::new(self.num_qubits),
+            offchip: self.backend.build(self.code, self.ty),
+            backend_name: self.backend.name(),
+            window: RoundHistory::new(n_anc, self.window_rounds),
+            wire: RoundHistory::new(n_anc, self.window_rounds),
+            queue: QueueSim::new(self.bandwidth),
+            stalled: false,
+            stats: MachineStats::default(),
+            per_qubit: vec![QubitCounters::default(); self.num_qubits],
+            ingest: Some(SyndromeBatch::new(self.num_qubits, n_anc)),
+        }
+    }
+}
+
+/// `n` logical qubits decoded by one batched pipeline behind one
+/// provisioned off-chip link — see the module docs.
+///
+/// Feed one [`SyndromeBatch`] per cycle to [`BtwcMachine::step`] (or
+/// per-qubit rounds to [`BtwcMachine::step_rounds`] on cold paths).
+/// When a cycle's complex-decode demand exceeds the link bandwidth, the
+/// following cycle is a stall: the waveform generator issues identity
+/// gates (Fig. 10), no program progress is made, but errors — and
+/// therefore new decode requests — keep arriving.
+pub struct BtwcMachine {
+    num_qubits: usize,
+    num_ancillas: usize,
+    window_rounds: usize,
+    frontend: BatchFrontend,
+    /// One machine-wide ring of raw batched rounds. Per-qubit decode
+    /// windows are *virtual*: each qubit only tracks its window length
+    /// ([`BtwcMachine::window_len`]); the actual rounds are gathered
+    /// out of this shared ring only when an escalation consumes them,
+    /// so the per-cycle cost is a plane-by-plane word copy for the
+    /// whole machine instead of a transpose per active qubit.
+    window_ring: BatchHistory,
+    /// Cycles currently in qubit `q`'s (virtual) window — mirrors
+    /// `BtwcDecoder`'s reset-on-full / skip-while-empty-and-zero
+    /// bookkeeping exactly.
+    window_len: Vec<usize>,
+    /// Bit `q` set iff `window_len[q] > 0` (so quiet qubits with empty
+    /// windows cost no per-qubit work at all).
+    pending: PackedBits,
+    /// Scratch: qubits whose raw round this cycle is non-zero.
+    raw_active: PackedBits,
+    /// Scratch: `raw_active | pending` — qubits needing window work.
+    work: PackedBits,
+    /// The shared room-temperature decoder all qubits' requests hit.
+    offchip: Box<dyn ComplexDecoder + Send + Sync>,
+    backend_name: &'static str,
+    /// Send-side scratch: one qubit's window materialized out of the
+    /// ring for framing.
+    window: RoundHistory,
+    /// Receive-side window rebuilt from each parsed frame.
+    wire: RoundHistory,
+    queue: QueueSim,
+    stalled: bool,
+    stats: MachineStats,
+    per_qubit: Vec<QubitCounters>,
+    /// Reused ingestion batch for [`BtwcMachine::step_rounds`] (taken
+    /// out of the `Option` for the duration of the step so the
+    /// borrow-checker lets it feed `step`; never `None` between calls).
+    ingest: Option<SyndromeBatch>,
+}
+
+impl std::fmt::Debug for BtwcMachine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BtwcMachine")
+            .field("num_qubits", &self.num_qubits)
+            .field("num_ancillas", &self.num_ancillas)
+            .field("backend", &self.backend_name)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl BtwcMachine {
+    /// Starts configuring a machine of `num_qubits` logical qubits
+    /// behind a link of `bandwidth` decodes/cycle.
+    #[must_use]
+    pub fn builder(
+        code: &SurfaceCode,
+        ty: StabilizerType,
+        num_qubits: usize,
+        bandwidth: usize,
+    ) -> MachineBuilder<'_> {
+        MachineBuilder::new(code, ty, num_qubits, bandwidth)
+    }
+
+    /// Number of logical qubits.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Ancillas per qubit (the expected batch plane count).
+    #[must_use]
+    pub fn num_ancillas(&self) -> usize {
+        self.num_ancillas
+    }
+
+    /// Short name of the selected [`DecoderBackend`].
+    #[must_use]
+    pub fn backend_name(&self) -> &'static str {
+        self.backend_name
+    }
+
+    /// Whether the next cycle will be a stall.
+    #[must_use]
+    pub fn is_stalled(&self) -> bool {
+        self.stalled
+    }
+
+    /// Aggregate counters.
+    #[must_use]
+    pub fn stats(&self) -> MachineStats {
+        self.stats
+    }
+
+    /// Lifetime counters of one qubit's pipeline, identical to what a
+    /// standalone [`crate::BtwcDecoder`] fed the same stream would
+    /// report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit` is out of range.
+    #[must_use]
+    pub fn decoder_stats(&self, qubit: usize) -> DecoderStats {
+        let q = &self.per_qubit[qubit];
+        DecoderStats {
+            cycles: self.stats.cycles,
+            quiet: self.stats.cycles - q.onchip - q.offchip,
+            onchip: q.onchip,
+            offchip: q.offchip,
+        }
+    }
+
+    /// Mean on-chip coverage across all qubits.
+    #[must_use]
+    pub fn mean_coverage(&self) -> f64 {
+        let sum: f64 = (0..self.num_qubits).map(|q| self.decoder_stats(q).coverage()).sum();
+        sum / self.num_qubits as f64
+    }
+
+    /// Advances one cycle with one machine-wide batched round.
+    ///
+    /// The rounds are always decoded (errors do not pause during
+    /// stalls); the `stalled` flag in the returned [`MachineCycle`]
+    /// reports whether this cycle executed program gates or idled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch dimensions mismatch the machine's.
+    pub fn step(&mut self, batch: &SyndromeBatch) -> MachineCycle {
+        assert_eq!(batch.num_qubits(), self.num_qubits, "one round per qubit");
+        assert_eq!(batch.num_ancillas(), self.num_ancillas, "batch ancilla width mismatch");
+        let was_stalled = self.stalled;
+        let cycle_index = self.stats.cycles;
+
+        // 1. Window bookkeeping, word-parallel triage: the shared ring
+        //    takes one plane-by-plane copy of the whole machine round;
+        //    per-qubit state is just a length counter, updated only for
+        //    qubits with a non-zero raw round or an already-started
+        //    window (mirrors BtwcDecoder::process_round_packed:
+        //    reset-on-full, skip the push while empty-and-zero).
+        batch.active_qubits_into(&mut self.raw_active);
+        self.work.copy_from(&self.raw_active);
+        self.work.or_with(&self.pending);
+        if !self.work.is_zero() {
+            // Fully-quiet machine cycles are not recorded: no qubit's
+            // window includes them (every started window forces the
+            // push via its pending bit).
+            self.window_ring.push(batch);
+        }
+        for q in self.work.iter_set() {
+            let len = &mut self.window_len[q];
+            if *len == self.window_rounds {
+                *len = 0;
+            }
+            if *len == 0 && !self.raw_active.get(q) {
+                self.pending.set(q, false);
+            } else {
+                *len += 1;
+                self.pending.set(q, true);
+            }
+        }
+
+        // 2. One machine-wide sticky-filter pass; per-qubit decisions
+        //    only where the filtered syndrome is non-zero.
+        let mut outcomes = vec![BtwcOutcome::Quiet; self.num_qubits];
+        let mut offchip_requests = 0usize;
+        let mut frame_bytes = 0usize;
+        let Self {
+            frontend,
+            window_ring,
+            window_len,
+            window,
+            pending,
+            offchip,
+            wire,
+            per_qubit,
+            ..
+        } = self;
+        frontend.push_batch(batch, |q, decision| match decision {
+            CliqueDecision::AllZeros => {}
+            CliqueDecision::Trivial(c) => {
+                per_qubit[q].onchip += 1;
+                outcomes[q] = BtwcOutcome::OnChip(c);
+            }
+            CliqueDecision::Complex => {
+                per_qubit[q].offchip += 1;
+                offchip_requests += 1;
+                // 3. Transport: materialize the qubit's window out of
+                //    the ring, frame it, cross the link as bytes, parse
+                //    it back, decode at room temperature.
+                window_ring.gather_qubit_window(q, window_len[q], window);
+                let request = DecodeRequest::from_history(q as u32, cycle_index, window);
+                let frame = request.encode();
+                frame_bytes += frame.len();
+                let received = DecodeRequest::decode(&frame).expect("loopback frame must parse");
+                received.replay_into(wire);
+                let c = offchip.decode_window_mut(wire);
+                outcomes[q] = BtwcOutcome::OffChip(c);
+                // Window consumed; the sticky filter clears itself once
+                // the correction lands.
+                window_len[q] = 0;
+                pending.set(q, false);
+            }
+        });
+
+        // 4. The shared link: overflow stalls the *next* cycle.
+        let _record = self.queue.step(offchip_requests);
+        let backlog = self.queue.backlog() as u64;
+        self.stalled = backlog > 0;
+        self.stats.cycles += 1;
+        self.stats.stalls += u64::from(was_stalled);
+        self.stats.offchip_requests += offchip_requests as u64;
+        self.stats.frame_bytes += frame_bytes as u64;
+        self.stats.backlog = backlog;
+        self.stats.peak_backlog = self.stats.peak_backlog.max(backlog);
+        MachineCycle { outcomes, offchip_requests, frame_bytes, stalled: was_stalled }
+    }
+
+    /// [`BtwcMachine::step`] from per-qubit bool rounds (cold-path
+    /// convenience; packs into an internal batch first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds.len() != num_qubits()` or any round has the
+    /// wrong width.
+    pub fn step_rounds(&mut self, rounds: &[Vec<bool>]) -> MachineCycle {
+        assert_eq!(rounds.len(), self.num_qubits, "one round per qubit");
+        let mut batch = self.ingest.take().expect("ingest batch present between calls");
+        for (q, round) in rounds.iter().enumerate() {
+            batch.set_qubit_round_bools(q, round);
+        }
+        let cycle = self.step(&batch);
+        self.ingest = Some(batch);
+        cycle
+    }
+
+    /// Clears the filter pipeline and every window (not the counters,
+    /// the queue, or the stall state).
+    pub fn reset_pipelines(&mut self) {
+        self.frontend.reset();
+        self.window_ring.reset();
+        self.window_len.fill(0);
+        self.pending.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btwc_noise::{NoiseModel, PhenomenologicalNoise, SimRng};
+
+    fn quiet_batch(code: &SurfaceCode, n: usize) -> SyndromeBatch {
+        SyndromeBatch::new(n, code.num_ancillas(StabilizerType::X))
+    }
+
+    #[test]
+    fn quiet_machine_never_stalls_and_ships_no_bytes() {
+        let code = SurfaceCode::new(3);
+        let mut machine = BtwcMachine::builder(&code, StabilizerType::X, 8, 2).build();
+        let batch = quiet_batch(&code, 8);
+        for _ in 0..20 {
+            let cycle = machine.step(&batch);
+            assert!(!cycle.stalled);
+            assert_eq!(cycle.offchip_requests, 0);
+            assert_eq!(cycle.frame_bytes, 0);
+        }
+        let stats = machine.stats();
+        assert_eq!(stats.stalls, 0);
+        assert_eq!(stats.frame_bytes, 0);
+        assert_eq!(stats.peak_backlog, 0);
+        assert!(stats.execution_time_increase().abs() < 1e-12);
+        assert!((machine.mean_coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overflow_stalls_next_cycle_and_surfaces_backlog() {
+        let code = SurfaceCode::new(7);
+        let ty = StabilizerType::X;
+        // 4 qubits, bandwidth 1: force 2 simultaneous complex decodes.
+        let mut machine = BtwcMachine::builder(&code, ty, 4, 1).build();
+        let mut errors = vec![false; code.num_data_qubits()];
+        errors[3 * 7 + 3] = true;
+        errors[4 * 7 + 3] = true; // interior chain => complex
+        let complex_round = code.syndrome_of(ty, &errors);
+        let mut batch = quiet_batch(&code, 4);
+        batch.set_qubit_round_bools(0, &complex_round);
+        batch.set_qubit_round_bools(1, &complex_round);
+        let c1 = machine.step(&batch); // filter filling; nothing yet
+        assert_eq!(c1.offchip_requests, 0);
+        let c2 = machine.step(&batch); // both flagged complex, bandwidth 1
+        assert_eq!(c2.offchip_requests, 2);
+        assert!(c2.frame_bytes > 0, "escalations must ship frames");
+        assert!(!c2.stalled, "stall applies to the *next* cycle");
+        assert_eq!(machine.stats().backlog, 1);
+        assert_eq!(machine.stats().peak_backlog, 1);
+        let c3 = machine.step(&quiet_batch(&code, 4));
+        assert!(c3.stalled, "overflow must stall the following cycle");
+        assert_eq!(machine.stats().stalls, 1);
+        assert_eq!(machine.stats().backlog, 0, "the backlog drains");
+        assert_eq!(machine.stats().peak_backlog, 1);
+        // Both escalations got real corrections.
+        for q in [0usize, 1] {
+            let out = &c2.outcomes[q];
+            assert!(out.went_offchip());
+            let mut residual = errors.clone();
+            out.correction().unwrap().apply_to(&mut residual);
+            assert!(code.syndrome_of(ty, &residual).iter().all(|&s| !s));
+        }
+        assert_eq!(machine.decoder_stats(0).offchip, 1);
+        assert_eq!(machine.decoder_stats(2).offchip, 0);
+    }
+
+    #[test]
+    fn noisy_run_controls_errors_with_p99_style_bandwidth() {
+        let code = SurfaceCode::new(3);
+        let ty = StabilizerType::X;
+        let n_qubits = 16;
+        let mut machine = BtwcMachine::builder(&code, ty, n_qubits, 4).build();
+        let noise = PhenomenologicalNoise::uniform(3e-3);
+        let mut rng = SimRng::from_seed(0xE2E);
+        let mut errors = vec![vec![false; code.num_data_qubits()]; n_qubits];
+        let mut batch = quiet_batch(&code, n_qubits);
+        for _ in 0..2000 {
+            for (q, e) in errors.iter_mut().enumerate() {
+                noise.sample_data_into(&mut rng, e);
+                batch.set_qubit_round_bools(q, &code.syndrome_of(ty, e));
+            }
+            let cycle = machine.step(&batch);
+            for (e, out) in errors.iter_mut().zip(&cycle.outcomes) {
+                if let Some(c) = out.correction() {
+                    c.apply_to(e);
+                }
+            }
+        }
+        assert!(
+            machine.stats().execution_time_increase() < 0.25,
+            "execution increase {}",
+            machine.stats().execution_time_increase()
+        );
+        for e in &errors {
+            let weight = code.syndrome_of(ty, e).iter().filter(|&&s| s).count();
+            assert!(weight <= 6, "runaway syndrome weight {weight}");
+        }
+        // The transport meter agrees with the escalation count: every
+        // request ships at least the 16-byte header.
+        let stats = machine.stats();
+        assert!(stats.frame_bytes >= 16 * stats.offchip_requests);
+    }
+
+    #[test]
+    fn step_rounds_matches_step() {
+        let code = SurfaceCode::new(5);
+        let ty = StabilizerType::X;
+        let mut a = BtwcMachine::builder(&code, ty, 3, 2).build();
+        let mut b = BtwcMachine::builder(&code, ty, 3, 2).build();
+        let noise = PhenomenologicalNoise::uniform(8e-3);
+        let mut rng = SimRng::from_seed(7);
+        let mut errors = vec![vec![false; code.num_data_qubits()]; 3];
+        let mut batch = quiet_batch(&code, 3);
+        for _ in 0..300 {
+            let rounds: Vec<Vec<bool>> = errors
+                .iter_mut()
+                .map(|e| {
+                    noise.sample_data_into(&mut rng, e);
+                    code.syndrome_of(ty, e)
+                })
+                .collect();
+            for (q, round) in rounds.iter().enumerate() {
+                batch.set_qubit_round_bools(q, round);
+            }
+            let ca = a.step(&batch);
+            let cb = b.step_rounds(&rounds);
+            assert_eq!(ca, cb);
+            for (e, out) in errors.iter_mut().zip(&ca.outcomes) {
+                if let Some(c) = out.correction() {
+                    c.apply_to(e);
+                }
+            }
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    #[should_panic(expected = "one round per qubit")]
+    fn wrong_batch_width_rejected() {
+        let code = SurfaceCode::new(3);
+        let mut machine = BtwcMachine::builder(&code, StabilizerType::X, 2, 1).build();
+        let _ = machine.step(&quiet_batch(&code, 1));
+    }
+}

@@ -1,9 +1,16 @@
-//! Multi-logical-qubit BTWC system behind a provisioned off-chip link.
+//! Deprecated multi-qubit shim over the machine tier.
+//!
+//! [`BtwcSystem`] was the original machine-level entry point: per-qubit
+//! `Vec<bool>` rounds, a bare off-chip request counter, and no backend
+//! choice. It survives as a thin wrapper over [`BtwcMachine`] so
+//! pre-machine code keeps compiling — new code should drive
+//! [`BtwcMachine::step`] with a packed
+//! [`SyndromeBatch`](btwc_syndrome::SyndromeBatch) directly.
 
-use btwc_bandwidth::QueueSim;
 use btwc_lattice::{StabilizerType, SurfaceCode};
 
-use crate::decoder::{BtwcDecoder, BtwcOutcome};
+use crate::decoder::{BtwcOutcome, DecoderStats};
+use crate::machine::BtwcMachine;
 
 /// What happened across the whole machine in one cycle.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,6 +32,11 @@ pub struct SystemStats {
     pub stalls: u64,
     /// Total off-chip decode requests.
     pub offchip_requests: u64,
+    /// Decode requests still waiting after the last cycle's service
+    /// (previously computed and dropped on the floor).
+    pub backlog: u64,
+    /// Largest backlog left waiting after any cycle's service.
+    pub peak_backlog: u64,
 }
 
 impl SystemStats {
@@ -39,23 +51,17 @@ impl SystemStats {
     }
 }
 
-/// `n` logical qubits, each with its own [`BtwcDecoder`], sharing one
-/// off-chip link provisioned for `bandwidth` complex decodes per cycle.
-///
-/// When a cycle's complex-decode demand exceeds the link, the following
-/// cycle is a stall: the waveform generator issues identity gates
-/// (Fig. 10), no program progress is made, but errors — and therefore
-/// new decode requests — keep arriving. [`BtwcSystem::is_stalled`]
-/// tells the driver whether the machine will accept program gates next
-/// cycle.
+/// `n` logical qubits sharing one off-chip link provisioned for
+/// `bandwidth` complex decodes per cycle — the pre-batching API, now a
+/// shim over [`BtwcMachine`].
+#[deprecated(note = "use BtwcMachine: batched packed ingestion, unified DecoderBackend \
+            selection, and transport-metered stats")]
 #[derive(Debug)]
 pub struct BtwcSystem {
-    decoders: Vec<BtwcDecoder>,
-    queue: QueueSim,
-    stalled: bool,
-    stats: SystemStats,
+    machine: BtwcMachine,
 }
 
+#[allow(deprecated)]
 impl BtwcSystem {
     /// Builds a system of `num_qubits` distance-`d` logical qubits
     /// behind a link of `bandwidth` decodes/cycle.
@@ -70,70 +76,67 @@ impl BtwcSystem {
         num_qubits: usize,
         bandwidth: usize,
     ) -> Self {
-        assert!(num_qubits > 0, "need at least one logical qubit");
-        let decoders = (0..num_qubits).map(|_| BtwcDecoder::builder(code, ty).build()).collect();
-        Self {
-            decoders,
-            queue: QueueSim::new(bandwidth),
-            stalled: false,
-            stats: SystemStats::default(),
-        }
+        Self { machine: BtwcMachine::builder(code, ty, num_qubits, bandwidth).build() }
     }
 
     /// Number of logical qubits.
     #[must_use]
     pub fn num_qubits(&self) -> usize {
-        self.decoders.len()
+        self.machine.num_qubits()
     }
 
     /// Whether the next cycle will be a stall.
     #[must_use]
     pub fn is_stalled(&self) -> bool {
-        self.stalled
+        self.machine.is_stalled()
     }
 
     /// Aggregate counters.
     #[must_use]
     pub fn stats(&self) -> SystemStats {
-        self.stats
+        let m = self.machine.stats();
+        SystemStats {
+            cycles: m.cycles,
+            stalls: m.stalls,
+            offchip_requests: m.offchip_requests,
+            backlog: m.backlog,
+            peak_backlog: m.peak_backlog,
+        }
     }
 
-    /// Per-qubit decoder access (for inspecting coverage, etc.).
+    /// Per-qubit pipeline counters (for inspecting coverage, etc.).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit` is out of range.
     #[must_use]
-    pub fn decoder(&self, qubit: usize) -> &BtwcDecoder {
-        &self.decoders[qubit]
+    pub fn decoder_stats(&self, qubit: usize) -> DecoderStats {
+        self.machine.decoder_stats(qubit)
+    }
+
+    /// The backing machine, for incremental migration.
+    #[must_use]
+    pub fn machine(&mut self) -> &mut BtwcMachine {
+        &mut self.machine
     }
 
     /// Advances one cycle with one raw round per logical qubit.
-    ///
-    /// The rounds are always decoded (errors do not pause during
-    /// stalls); the `stalled` flag in the returned [`SystemCycle`]
-    /// reports whether this cycle executed program gates or idled.
     ///
     /// # Panics
     ///
     /// Panics if `rounds.len() != num_qubits()`.
     pub fn step(&mut self, rounds: &[Vec<bool>]) -> SystemCycle {
-        assert_eq!(rounds.len(), self.decoders.len(), "one round per qubit");
-        let was_stalled = self.stalled;
-        let mut outcomes = Vec::with_capacity(self.decoders.len());
-        let mut offchip = 0usize;
-        for (dec, round) in self.decoders.iter_mut().zip(rounds) {
-            let out = dec.process_round(round);
-            offchip += usize::from(out.went_offchip());
-            outcomes.push(out);
+        let cycle = self.machine.step_rounds(rounds);
+        SystemCycle {
+            outcomes: cycle.outcomes,
+            offchip_requests: cycle.offchip_requests,
+            stalled: cycle.stalled,
         }
-        let record = self.queue.step(offchip);
-        self.stalled = self.queue.backlog() > 0;
-        self.stats.cycles += 1;
-        self.stats.stalls += u64::from(was_stalled);
-        self.stats.offchip_requests += offchip as u64;
-        let _ = record;
-        SystemCycle { outcomes, offchip_requests: offchip, stalled: was_stalled }
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use btwc_noise::{NoiseModel, PhenomenologicalNoise, SimRng};
@@ -152,6 +155,7 @@ mod tests {
             assert_eq!(cycle.offchip_requests, 0);
         }
         assert_eq!(sys.stats().stalls, 0);
+        assert_eq!(sys.stats().peak_backlog, 0);
         assert!(sys.stats().execution_time_increase().abs() < 1e-12);
     }
 
@@ -173,9 +177,15 @@ mod tests {
         let c2 = sys.step(&rounds); // both flagged complex, bandwidth 1
         assert_eq!(c2.offchip_requests, 2);
         assert!(!c2.stalled, "stall applies to the *next* cycle");
+        // The dropped CycleRecord is dropped no longer: the backlog of
+        // 1 unserviced decode is surfaced.
+        assert_eq!(sys.stats().backlog, 1);
+        assert_eq!(sys.stats().peak_backlog, 1);
         let c3 = sys.step(&quiet_rounds(&code, 4));
         assert!(c3.stalled, "overflow must stall the following cycle");
         assert_eq!(sys.stats().stalls, 1);
+        assert_eq!(sys.stats().backlog, 0);
+        assert_eq!(sys.stats().peak_backlog, 1);
     }
 
     #[test]

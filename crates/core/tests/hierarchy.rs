@@ -2,7 +2,7 @@
 //! workspace provides, behaving identically on trivial traffic and
 //! consistently on complex traffic.
 
-use btwc_core::{BtwcDecoder, BtwcOutcome, StabilizerType, SurfaceCode};
+use btwc_core::{BtwcDecoder, BtwcOutcome, DecoderBackend, StabilizerType, SurfaceCode};
 use btwc_noise::{NoiseModel, PhenomenologicalNoise, SimRng};
 
 fn run_pipeline(
@@ -44,8 +44,7 @@ fn mwpm_and_uf_tiers_both_control_errors() {
     let code = SurfaceCode::new(7);
     let ty = StabilizerType::X;
     let mwpm_dec = BtwcDecoder::builder(&code, ty).build();
-    let uf = btwc_uf::UnionFindDecoder::new(&code, ty);
-    let uf_dec = BtwcDecoder::builder(&code, ty).complex_decoder(Box::new(uf)).build();
+    let uf_dec = BtwcDecoder::builder(&code, ty).backend(DecoderBackend::UnionFind).build();
     for (name, dec) in [("mwpm", mwpm_dec), ("uf", uf_dec)] {
         let (coverage, weight) = run_pipeline(dec, &code, 5e-3, 5_000, 11);
         assert!(coverage > 0.9, "{name}: coverage {coverage}");
@@ -57,8 +56,7 @@ fn mwpm_and_uf_tiers_both_control_errors() {
 fn lut_tier_works_for_small_distance() {
     let code = SurfaceCode::new(5);
     let ty = StabilizerType::X;
-    let lut = btwc_lut::LutDecoder::build(&code, ty);
-    let dec = BtwcDecoder::builder(&code, ty).complex_decoder(Box::new(lut)).build();
+    let dec = BtwcDecoder::builder(&code, ty).backend(DecoderBackend::Lut).build();
     let (coverage, weight) = run_pipeline(dec, &code, 5e-3, 5_000, 13);
     assert!(coverage > 0.9, "coverage {coverage}");
     assert_eq!(weight, 0, "defects must drain in quiet");
@@ -71,8 +69,7 @@ fn tiers_agree_on_purely_trivial_traffic() {
     let code = SurfaceCode::new(5);
     let ty = StabilizerType::X;
     let mut a = BtwcDecoder::builder(&code, ty).build();
-    let uf = btwc_uf::UnionFindDecoder::new(&code, ty);
-    let mut b = BtwcDecoder::builder(&code, ty).complex_decoder(Box::new(uf)).build();
+    let mut b = BtwcDecoder::builder(&code, ty).backend(DecoderBackend::UnionFind).build();
     let mut errors = vec![false; code.num_data_qubits()];
     errors[12] = true;
     let round = code.syndrome_of(ty, &errors);

@@ -34,9 +34,9 @@
 //! assert_eq!(lut.decode(&syndrome).qubits(), &[4]);
 //! ```
 
-use btwc_core::ComplexDecoder;
 use btwc_lattice::{StabilizerType, SurfaceCode};
 use btwc_mwpm::MwpmDecoder;
+use btwc_syndrome::ComplexDecoder;
 use btwc_syndrome::{Correction, DetectionEvent, RoundHistory, Syndrome};
 
 /// Maximum supported syndrome width (table size `2^24` ≈ 16M entries).
@@ -194,11 +194,10 @@ mod tests {
 
     #[test]
     fn plugs_into_btwc_pipeline_as_complex_tier() {
-        use btwc_core::{BtwcDecoder, BtwcOutcome};
+        use btwc_core::{BtwcDecoder, BtwcOutcome, DecoderBackend};
         let code = SurfaceCode::new(5);
-        let lut = LutDecoder::build(&code, StabilizerType::X);
         let mut dec =
-            BtwcDecoder::builder(&code, StabilizerType::X).complex_decoder(Box::new(lut)).build();
+            BtwcDecoder::builder(&code, StabilizerType::X).backend(DecoderBackend::Lut).build();
         let mut errors = vec![false; code.num_data_qubits()];
         errors[5 + 2] = true;
         errors[2 * 5 + 2] = true; // interior chain => complex

@@ -3,7 +3,7 @@
 use std::sync::Mutex;
 
 use btwc_lattice::{DetectorGraph, StabilizerType, SurfaceCode};
-use btwc_syndrome::{Correction, DetectionEvent, RoundHistory};
+use btwc_syndrome::{ComplexDecoder, Correction, DetectionEvent, RoundHistory};
 
 use crate::blossom::{minimum_weight_perfect_matching_with, MatchingScratch};
 use crate::project::project_pairs;
@@ -196,6 +196,16 @@ impl MwpmDecoder {
         let DecodeScratch { matching, events } = &mut *scratch;
         history.detection_events_into(events);
         Self::decode_events_with(&self.graph, events, matching)
+    }
+}
+
+impl ComplexDecoder for MwpmDecoder {
+    fn decode_window(&self, window: &RoundHistory) -> Correction {
+        MwpmDecoder::decode_window(self, window)
+    }
+
+    fn decode_window_mut(&mut self, window: &RoundHistory) -> Correction {
+        MwpmDecoder::decode_window_mut(self, window)
     }
 }
 

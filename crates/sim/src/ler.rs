@@ -1,7 +1,7 @@
 //! Shot-based logical error rate estimation (Fig. 14).
 
 use btwc_clique::{CliqueDecision, CliqueFrontend};
-use btwc_core::OffchipBackend;
+use btwc_core::DecoderBackend;
 use btwc_lattice::{StabilizerType, SurfaceCode};
 use btwc_noise::{SimRng, SparseFlips};
 use btwc_pool::Pool;
@@ -56,9 +56,9 @@ pub struct ShotConfig {
     pub shots: u64,
     /// Clique sticky-filter depth (used by `CliquePlusMwpm` only).
     pub clique_rounds: usize,
-    /// Which off-chip matcher decodes the shipped windows (both exact;
-    /// see [`OffchipBackend`]).
-    pub offchip: OffchipBackend,
+    /// Which off-chip decoder resolves the shipped windows (the
+    /// unified [`DecoderBackend`] registry).
+    pub backend: DecoderBackend,
     /// RNG seed.
     pub seed: u64,
 }
@@ -81,7 +81,7 @@ impl ShotConfig {
             rounds: usize::from(distance),
             shots: 10_000,
             clique_rounds: 2,
-            offchip: OffchipBackend::default(),
+            backend: DecoderBackend::default(),
             seed: 0,
         }
     }
@@ -112,11 +112,18 @@ impl ShotConfig {
         self
     }
 
-    /// Selects the off-chip matcher for shipped windows.
+    /// Selects the off-chip decoder backend for shipped windows.
     #[must_use]
-    pub fn with_offchip(mut self, backend: OffchipBackend) -> Self {
-        self.offchip = backend;
+    pub fn with_backend(mut self, backend: DecoderBackend) -> Self {
+        self.backend = backend;
         self
+    }
+
+    /// Deprecated spelling of [`ShotConfig::with_backend`].
+    #[deprecated(note = "use ShotConfig::with_backend")]
+    #[must_use]
+    pub fn with_offchip(self, backend: DecoderBackend) -> Self {
+        self.with_backend(backend)
     }
 
     /// Sets the RNG seed.
@@ -168,7 +175,7 @@ impl LerEstimate {
 pub fn logical_error_rate(cfg: &ShotConfig, kind: DecoderKind) -> LerEstimate {
     let ty = StabilizerType::X;
     let code = SurfaceCode::new(cfg.distance);
-    let mut offchip = cfg.offchip.build(&code, ty);
+    let mut offchip = cfg.backend.build(&code, ty);
     let mut tracker = ErrorTracker::new(&code, ty);
     let mut frontend = CliqueFrontend::with_rounds(&code, ty, cfg.clique_rounds);
     let n_anc = code.num_ancillas(ty);
@@ -327,7 +334,7 @@ mod tests {
         let cfg = ShotConfig::new(5, p).with_shots(4000).with_seed(23);
         let dense = logical_error_rate(&cfg, DecoderKind::MwpmOnly);
         let sparse = logical_error_rate(
-            &cfg.with_offchip(OffchipBackend::SparseBlossom),
+            &cfg.with_backend(DecoderBackend::SparseBlossom),
             DecoderKind::MwpmOnly,
         );
         assert_eq!(dense.shots, sparse.shots);

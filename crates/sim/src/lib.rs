@@ -30,10 +30,11 @@
 //! instead of barriering per point; each point's seed is forked from
 //! its grid position ([`grid_point_seed`]), decorrelating points while
 //! keeping every one individually reproducible. Both engines pick
-//! their off-chip matcher through [`OffchipBackend`] (`with_offchip` on
-//! either config): the dense MWPM baseline or the weight-equal
-//! sparse-blossom decoder, each used through its lock-free `&mut`
-//! decode path — one decoder per worker, no synchronization per
+//! their off-chip decoder through the unified [`DecoderBackend`]
+//! registry (`with_backend` on either config): dense MWPM, the
+//! weight-equal sparse-blossom decoder, union-find, the lookup table,
+//! or a custom factory — each used through its lock-free `&mut`
+//! decode path, one decoder per worker, no synchronization per
 //! complex decode.
 //!
 //! # Example
@@ -48,22 +49,25 @@
 
 mod ler;
 mod lifetime;
+mod machine;
 mod multi;
 mod shard;
 mod sweep;
 mod tracker;
 
-// Both engines take an off-chip matcher choice (dense MWPM or
-// sparse-blossom) through their configs; re-export the selector so sim
-// users don't need a separate `btwc_core` import. Likewise the pool,
-// so callers can size one (`Pool::auto()`) without a `btwc_pool`
-// import.
+// Both engines take an off-chip decoder choice through their configs;
+// re-export the unified selector so sim users don't need a separate
+// `btwc_core` import. Likewise the pool, so callers can size one
+// (`Pool::auto()`) without a `btwc_pool` import.
+pub use btwc_core::DecoderBackend;
+#[allow(deprecated)]
 pub use btwc_core::OffchipBackend;
 pub use btwc_pool::Pool;
 pub use ler::{
     logical_error_rate, logical_error_rate_parallel, DecoderKind, LerEstimate, ShotConfig,
 };
 pub use lifetime::{LifetimeConfig, LifetimeSim, LifetimeStats};
+pub use machine::machine_offchip_trace;
 pub use multi::{multi_qubit_trace, offchip_probability};
 pub use sweep::{
     afs_comparison, coverage_sweep, coverage_sweep_iid, grid_point_seed, signature_distribution,

@@ -1,7 +1,7 @@
 //! Cycle-by-cycle lifetime simulation of one logical qubit.
 
 use btwc_clique::{CliqueDecision, CliqueFrontend};
-use btwc_core::{ComplexDecoder, OffchipBackend};
+use btwc_core::{ComplexDecoder, DecoderBackend};
 use btwc_lattice::{StabilizerType, SurfaceCode};
 use btwc_noise::{SimRng, SparseFlips};
 use btwc_pool::Pool;
@@ -48,9 +48,9 @@ pub struct LifetimeConfig {
     pub cycles: u64,
     /// Sticky-filter depth of the Clique frontend (paper default 2).
     pub clique_rounds: usize,
-    /// Which off-chip matcher resolves complex windows (both choices
-    /// are exact; see [`OffchipBackend`]).
-    pub offchip: OffchipBackend,
+    /// Which off-chip decoder resolves complex windows (the unified
+    /// [`DecoderBackend`] registry).
+    pub backend: DecoderBackend,
     /// RNG seed.
     pub seed: u64,
 }
@@ -74,7 +74,7 @@ impl LifetimeConfig {
             measurement_error_rate: physical_error_rate,
             cycles: 100_000,
             clique_rounds: 2,
-            offchip: OffchipBackend::default(),
+            backend: DecoderBackend::default(),
             seed: 0,
         }
     }
@@ -106,11 +106,18 @@ impl LifetimeConfig {
         self
     }
 
-    /// Selects the off-chip matcher for complex windows.
+    /// Selects the off-chip decoder backend for complex windows.
     #[must_use]
-    pub fn with_offchip(mut self, backend: OffchipBackend) -> Self {
-        self.offchip = backend;
+    pub fn with_backend(mut self, backend: DecoderBackend) -> Self {
+        self.backend = backend;
         self
+    }
+
+    /// Deprecated spelling of [`LifetimeConfig::with_backend`].
+    #[deprecated(note = "use LifetimeConfig::with_backend")]
+    #[must_use]
+    pub fn with_offchip(self, backend: DecoderBackend) -> Self {
+        self.with_backend(backend)
     }
 
     /// Sets the RNG seed.
@@ -216,7 +223,7 @@ impl LifetimeStats {
 /// The per-cycle decode pipeline of the paper's Fig. 2 for one logical
 /// qubit: noise → syndrome round → Clique frontend → on-chip correction
 /// or off-chip matching (dense MWPM or sparse-blossom, per
-/// [`LifetimeConfig::with_offchip`]).
+/// [`LifetimeConfig::with_backend`]).
 pub struct LifetimeSim {
     cfg: LifetimeConfig,
     code: SurfaceCode,
@@ -250,7 +257,7 @@ impl LifetimeSim {
         let code = SurfaceCode::new(cfg.distance);
         let tracker = ErrorTracker::new(&code, ty);
         let frontend = CliqueFrontend::with_rounds(&code, ty, cfg.clique_rounds);
-        let offchip = cfg.offchip.build(&code, ty);
+        let offchip = cfg.backend.build(&code, ty);
         let n_anc = code.num_ancillas(ty);
         // Off-chip window: enough rounds for space-time matching; reset
         // whenever a complex decode resolves it or it fills up.
@@ -474,7 +481,7 @@ mod tests {
         // the residual error just as bounded.
         let base = LifetimeConfig::new(7, 4e-3).with_cycles(30_000).with_seed(17);
         let dense = LifetimeSim::new(&base).run();
-        let sparse = LifetimeSim::new(&base.with_offchip(OffchipBackend::SparseBlossom)).run();
+        let sparse = LifetimeSim::new(&base.with_backend(DecoderBackend::SparseBlossom)).run();
         assert_eq!(dense.cycles, sparse.cycles);
         assert!(sparse.complex > 0, "complex decodes must occur");
         // Classification happens before the off-chip decode, and both

@@ -1,0 +1,131 @@
+//! Closed-loop machine-level simulation: noise → batched machine →
+//! corrections → stalling, end to end (the Figs. 9/16 workload).
+//!
+//! Where [`crate::LifetimeSim`] drives *one* logical qubit,
+//! [`machine_offchip_trace`] drives a whole [`BtwcMachine`]: every
+//! cycle it samples each qubit's noise, packs the raw rounds into one
+//! transposed [`SyndromeBatch`], steps the machine (one word-parallel
+//! sticky-filter pass for all qubits, off-chip escalations framed as
+//! real wire bytes through the shared [`btwc_bandwidth::QueueSim`]),
+//! and applies the returned corrections back onto the per-qubit error
+//! trackers.
+//!
+//! Per-qubit RNG streams are forked from the root seed by qubit index
+//! — the same fork schedule the pre-machine pooled implementation used
+//! — and the batched pipeline is bit-identical to per-qubit decoding
+//! (`crates/core/tests/machine_equivalence.rs`), so the produced
+//! demand trace is deterministic in `(cfg.seed, num_qubits)` and
+//! matches a per-qubit [`crate::LifetimeSim`] run stream-for-stream
+//! (pinned by this module's tests).
+
+use btwc_core::{BtwcMachine, MachineStats, StabilizerType, SurfaceCode};
+use btwc_noise::{SimRng, SparseFlips};
+use btwc_syndrome::{PackedBits, SyndromeBatch};
+
+use crate::lifetime::LifetimeConfig;
+use crate::tracker::ErrorTracker;
+
+/// Simulates `num_qubits` logical qubits behind one link of
+/// `bandwidth` decodes/cycle for `cfg.cycles` cycles and returns the
+/// machine's aggregate stats (stalls, backlog, frame bytes — the
+/// Fig. 16 quantities) together with the per-cycle off-chip demand
+/// trace (the bar heights of Fig. 9).
+///
+/// # Panics
+///
+/// Panics if `num_qubits == 0` or `bandwidth == 0`.
+#[must_use]
+pub fn machine_offchip_trace(
+    cfg: &LifetimeConfig,
+    num_qubits: usize,
+    bandwidth: usize,
+) -> (MachineStats, Vec<usize>) {
+    let ty = StabilizerType::X;
+    let code = SurfaceCode::new(cfg.distance);
+    let n_anc = code.num_ancillas(ty);
+    let n_data = code.num_data_qubits();
+    let mut machine = BtwcMachine::builder(&code, ty, num_qubits, bandwidth)
+        .clique_rounds(cfg.clique_rounds)
+        .backend(cfg.backend)
+        .build();
+    // One tracker + forked RNG stream per qubit, keyed by qubit index:
+    // the identical schedule the pooled per-qubit implementation used,
+    // so traces are reproducible and qubit-count-stable.
+    let root = SimRng::from_seed(cfg.seed);
+    let mut rngs: Vec<SimRng> = (0..num_qubits)
+        .map(|q| SimRng::from_seed(root.fork(crate::shard::QUBIT_STREAM + q as u64).seed()))
+        .collect();
+    let mut trackers: Vec<ErrorTracker> =
+        (0..num_qubits).map(|_| ErrorTracker::new(&code, ty)).collect();
+    let mut batch = SyndromeBatch::new(num_qubits, n_anc);
+    let mut round = PackedBits::new(n_anc);
+    let mut trace = Vec::with_capacity(cfg.cycles as usize);
+    let p = cfg.physical_error_rate;
+    let pm = cfg.measurement_error_rate;
+    for _ in 0..cfg.cycles {
+        for q in 0..num_qubits {
+            let rng = &mut rngs[q];
+            for flip in SparseFlips::new(rng, n_data, p) {
+                trackers[q].flip(flip);
+            }
+            round.copy_from(trackers[q].syndrome());
+            for a in SparseFlips::new(rng, n_anc, pm) {
+                round.toggle(a);
+            }
+            batch.set_qubit_round(q, &round);
+        }
+        let cycle = machine.step(&batch);
+        for (tracker, out) in trackers.iter_mut().zip(&cycle.outcomes) {
+            if let Some(c) = out.correction() {
+                tracker.apply(c.qubits());
+            }
+        }
+        trace.push(cycle.offchip_requests);
+    }
+    (machine.stats(), trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lifetime::LifetimeSim;
+
+    /// The migration pin: the machine-driven trace must reproduce the
+    /// pre-machine implementation (independent per-qubit LifetimeSim
+    /// runs with qubit-forked seeds, summed per cycle) bit-for-bit —
+    /// batching and transport reorganize the work, never the numbers.
+    #[test]
+    fn machine_trace_matches_per_qubit_lifetime_sims() {
+        let cfg = LifetimeConfig::new(3, 6e-3).with_cycles(1_500).with_seed(0xAB);
+        let qubits = 5;
+        let (_, got) = machine_offchip_trace(&cfg, qubits, qubits);
+        let root = SimRng::from_seed(cfg.seed);
+        let mut expected = vec![0usize; cfg.cycles as usize];
+        for q in 0..qubits {
+            let mut qcfg = cfg;
+            qcfg.seed = root.fork(crate::shard::QUBIT_STREAM + q as u64).seed();
+            let (_, flags) = LifetimeSim::new(&qcfg).run_with_trace();
+            for (t, flag) in expected.iter_mut().zip(flags) {
+                *t += usize::from(flag);
+            }
+        }
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn under_provisioning_stalls_and_meters_the_wire() {
+        let cfg = LifetimeConfig::new(5, 8e-3).with_cycles(4_000).with_seed(3);
+        // Bandwidth 1 for 24 noisy qubits: overflow must happen.
+        let (tight, trace) = machine_offchip_trace(&cfg, 24, 1);
+        assert_eq!(trace.len(), 4_000);
+        assert!(tight.stalls > 0, "under-provisioned link must stall");
+        assert!(tight.peak_backlog > 0);
+        assert!(tight.frame_bytes >= 16 * tight.offchip_requests);
+        assert!(tight.execution_time_increase() > 0.0);
+        // A generous link sees the same demand but never stalls.
+        let (wide, wide_trace) = machine_offchip_trace(&cfg, 24, 24);
+        assert_eq!(trace, wide_trace, "demand is independent of provisioning");
+        assert_eq!(wide.stalls, 0);
+        assert!(wide.execution_time_increase().abs() < 1e-12);
+    }
+}

@@ -1,11 +1,7 @@
 //! Multi-logical-qubit off-chip demand (inputs to Figs. 9 and 16).
 
-use std::sync::Mutex;
-
-use btwc_noise::SimRng;
-use btwc_pool::Pool;
-
 use crate::lifetime::{LifetimeConfig, LifetimeSim};
+use crate::machine::machine_offchip_trace;
 
 /// Estimates the per-qubit, per-cycle off-chip decode probability
 /// `q = 1 − coverage` by lifetime simulation — the quantity the
@@ -15,14 +11,23 @@ pub fn offchip_probability(cfg: &LifetimeConfig) -> f64 {
     LifetimeSim::new(cfg).run().offchip_fraction()
 }
 
-/// Simulates `num_qubits` independent logical qubits for `cfg.cycles`
-/// cycles each and returns the per-cycle total number of off-chip
-/// decode requests — the bar heights of Fig. 9.
+/// Simulates `num_qubits` logical qubits for `cfg.cycles` cycles and
+/// returns the per-cycle total number of off-chip decode requests —
+/// the bar heights of Fig. 9.
 ///
-/// Each qubit is one work-stealing pool task with an RNG stream forked
-/// by qubit index, and per-cycle request counts accumulate by integer
-/// addition, so the trace is deterministic in `(cfg.seed, num_qubits)`
-/// regardless of the worker count (and identical to a serial run).
+/// Since the machine-tier redesign this drives one batched
+/// [`btwc_core::BtwcMachine`] (word-parallel sticky filtering across
+/// all qubits, per-qubit RNG streams forked by qubit index) instead of
+/// pooling independent per-qubit simulations — producing the identical
+/// trace (pinned in [`crate::machine`]'s tests) through the packed
+/// machine path. The link is provisioned wide open here (demand
+/// measurement, not stalling); use [`machine_offchip_trace`] directly
+/// to study a finite link.
+///
+/// The trace is deterministic in `(cfg.seed, num_qubits)`; the
+/// `workers` argument is retained for API compatibility and no longer
+/// affects scheduling (the batched machine steps all qubits in one
+/// pass).
 ///
 /// # Panics
 ///
@@ -30,27 +35,8 @@ pub fn offchip_probability(cfg: &LifetimeConfig) -> f64 {
 #[must_use]
 pub fn multi_qubit_trace(cfg: &LifetimeConfig, num_qubits: usize, workers: usize) -> Vec<usize> {
     assert!(num_qubits > 0, "need at least one qubit");
-    let pool = Pool::new(workers);
-    let cycles = cfg.cycles as usize;
-    let root = SimRng::from_seed(cfg.seed);
-    let totals = Mutex::new(vec![0usize; cycles]);
-    pool.scope(|s| {
-        for qubit in 0..num_qubits {
-            let totals = &totals;
-            let root = &root;
-            let cfg = *cfg;
-            s.spawn(move || {
-                let mut qcfg = cfg;
-                qcfg.seed = root.fork(crate::shard::QUBIT_STREAM + qubit as u64).seed();
-                let (_, trace) = LifetimeSim::new(&qcfg).run_with_trace();
-                let mut totals = totals.lock().expect("trace totals");
-                for (t, off) in totals.iter_mut().zip(trace) {
-                    *t += usize::from(off);
-                }
-            });
-        }
-    });
-    totals.into_inner().expect("trace totals")
+    assert!(workers > 0, "need at least one worker");
+    machine_offchip_trace(cfg, num_qubits, num_qubits).1
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@ use std::sync::Mutex;
 use btwc_lattice::{DetectorGraph, StabilizerType, SurfaceCode};
 use btwc_mwpm::blossom::minimum_weight_perfect_matching_with;
 use btwc_mwpm::project::project_pairs;
-use btwc_syndrome::{Correction, DetectionEvent, RoundHistory};
+use btwc_syndrome::{ComplexDecoder, Correction, DetectionEvent, RoundHistory};
 
 use crate::regions::merge_colliding_regions;
 use crate::scratch::SparseScratch;
@@ -242,6 +242,16 @@ impl SparseDecoder {
             start = end;
         }
         (Correction::from_flips(flips), total)
+    }
+}
+
+impl ComplexDecoder for SparseDecoder {
+    fn decode_window(&self, window: &RoundHistory) -> Correction {
+        SparseDecoder::decode_window(self, window)
+    }
+
+    fn decode_window_mut(&mut self, window: &RoundHistory) -> Correction {
+        SparseDecoder::decode_window_mut(self, window)
     }
 }
 

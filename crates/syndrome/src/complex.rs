@@ -1,0 +1,32 @@
+//! The off-chip decoder interface.
+//!
+//! Lives here — next to [`RoundHistory`] and [`Correction`], the types
+//! it consumes and produces — so that every heavyweight decoder crate
+//! (`btwc-mwpm`, `btwc-sparse`, `btwc-uf`, `btwc-lut`, or anything
+//! external) can implement it without depending on the assembled
+//! pipeline in `btwc-core`, and `btwc-core` in turn can depend on all
+//! of them to offer a unified backend registry.
+
+use crate::correction::Correction;
+use crate::history::RoundHistory;
+
+/// An off-chip decoder that resolves a window of measurement rounds.
+///
+/// Implemented by `btwc_mwpm::MwpmDecoder` (the dense default),
+/// `btwc_sparse::SparseDecoder` (the sparse-blossom backend),
+/// `btwc_uf::UnionFindDecoder`, and `btwc_lut::LutDecoder`; custom
+/// implementations let experiments swap in other heavyweight decoders
+/// (neural, belief propagation, …) behind the same BTWC front end.
+pub trait ComplexDecoder {
+    /// Decodes the detection events of `window` into a data correction.
+    fn decode_window(&self, window: &RoundHistory) -> Correction;
+
+    /// [`ComplexDecoder::decode_window`] with exclusive access. The
+    /// pipeline owns its decoder mutably, so implementations with
+    /// internal locking (both built-in matchers guard a reusable
+    /// scratch) override this to skip the lock; the default just
+    /// forwards to the shared path.
+    fn decode_window_mut(&mut self, window: &RoundHistory) -> Correction {
+        self.decode_window(window)
+    }
+}

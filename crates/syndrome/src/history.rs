@@ -123,6 +123,22 @@ impl RoundHistory {
         self.push_buffer(buf);
     }
 
+    /// Appends qubit `qubit`'s round gathered straight out of a
+    /// machine-wide [`SyndromeBatch`](crate::SyndromeBatch) — the batch
+    /// entry point: the transpose read lands directly in a recycled
+    /// buffer, with no intermediate per-qubit round materialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch.num_ancillas() != num_ancillas()` or `qubit`
+    /// is out of range.
+    pub fn push_from_batch(&mut self, batch: &crate::SyndromeBatch, qubit: usize) {
+        assert_eq!(batch.num_ancillas(), self.num_ancillas, "round width mismatch");
+        let mut buf = self.take_buffer();
+        batch.qubit_round_into(qubit, &mut buf);
+        self.push_buffer(buf);
+    }
+
     /// The `i`-th retained round (0 = oldest).
     ///
     /// # Panics

@@ -32,13 +32,17 @@
 //! assert_eq!(history.sticky(2).weight(), 2);
 //! ```
 
+mod batch;
 mod classify;
+mod complex;
 mod correction;
 mod history;
 mod packed;
 mod repr;
 
+pub use batch::{BatchHistory, SyndromeBatch};
 pub use classify::{classify_true, SignatureClass};
+pub use complex::ComplexDecoder;
 pub use correction::Correction;
 pub use history::{DetectionEvent, RoundHistory};
 pub use packed::{PackedBits, SetBits};

@@ -59,6 +59,12 @@ impl PackedBits {
         &self.words
     }
 
+    /// Mutable word access for same-crate transpose kernels; callers
+    /// must keep tail bits beyond `len` zero.
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
     /// Bit `i`.
     ///
     /// # Panics

@@ -1,7 +1,7 @@
 //! Cluster growth and peeling.
 
-use btwc_core::ComplexDecoder;
 use btwc_lattice::{DetectorGraph, StabilizerType, SurfaceCode};
+use btwc_syndrome::ComplexDecoder;
 use btwc_syndrome::{Correction, DetectionEvent, RoundHistory};
 
 use crate::dsu::ClusterSet;
@@ -12,7 +12,7 @@ use crate::graph::SpaceTimeGraph;
 /// Drop-in alternative to the exact MWPM matcher: almost-linear-time
 /// decoding at a small accuracy cost, the natural middle tier of the
 /// paper's proposed decoder hierarchy (Sec. 8.1). Implements
-/// [`btwc_core::ComplexDecoder`], so `BtwcDecoder::builder(...)
+/// [`btwc_syndrome::ComplexDecoder`], so `BtwcDecoder::builder(...)
 /// .complex_decoder(Box::new(uf))` swaps it in behind Clique.
 #[derive(Debug, Clone)]
 pub struct UnionFindDecoder {
@@ -313,11 +313,11 @@ mod tests {
 
     #[test]
     fn plugs_into_the_btwc_pipeline() {
-        use btwc_core::{BtwcDecoder, BtwcOutcome};
+        use btwc_core::{BtwcDecoder, BtwcOutcome, DecoderBackend};
         let code = SurfaceCode::new(7);
-        let uf = UnionFindDecoder::new(&code, StabilizerType::X);
-        let mut dec =
-            BtwcDecoder::builder(&code, StabilizerType::X).complex_decoder(Box::new(uf)).build();
+        let mut dec = BtwcDecoder::builder(&code, StabilizerType::X)
+            .backend(DecoderBackend::UnionFind)
+            .build();
         let mut errors = vec![false; code.num_data_qubits()];
         errors[3 * 7 + 3] = true;
         errors[4 * 7 + 3] = true; // interior chain -> complex

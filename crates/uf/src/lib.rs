@@ -8,7 +8,7 @@
 //! blossom matching at a modest accuracy cost. This crate implements it
 //! from scratch on the same space-time detector graph the MWPM decoder
 //! uses, and plugs it into the BTWC pipeline via
-//! [`btwc_core::ComplexDecoder`].
+//! [`btwc_syndrome::ComplexDecoder`].
 //!
 //! Algorithm (standard):
 //!

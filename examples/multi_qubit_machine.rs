@@ -1,12 +1,14 @@
 //! A whole machine: 32 logical qubits behind one provisioned off-chip
-//! link, with decode-overflow stalling — the full Fig. 2 architecture
-//! driven end to end, including the hierarchy ablation (MWPM vs
-//! union-find as the heavyweight tier).
+//! link, driven through the batched machine tier — packed
+//! [`SyndromeBatch`] ingestion, one word-parallel sticky-filter pass
+//! per cycle, every escalation framed as real wire bytes, and
+//! decode-overflow stalling — with the off-chip backend picked from the
+//! unified [`DecoderBackend`] registry.
 //!
 //! Run with: `cargo run --release --example multi_qubit_machine`
 
 use btwc::bandwidth::IoModel;
-use btwc::core::{BtwcSystem, StabilizerType, SurfaceCode};
+use btwc::core::{BtwcMachine, DecoderBackend, StabilizerType, SurfaceCode, SyndromeBatch};
 use btwc::noise::{NoiseModel, PhenomenologicalNoise, SimRng};
 
 fn main() {
@@ -18,28 +20,28 @@ fn main() {
 
     let code = SurfaceCode::new(d);
     let ty = StabilizerType::X;
-    let mut system = BtwcSystem::new(&code, ty, num_qubits, bandwidth);
+    let mut machine = BtwcMachine::builder(&code, ty, num_qubits, bandwidth)
+        .backend(DecoderBackend::SparseBlossom)
+        .build();
     let noise = PhenomenologicalNoise::uniform(p);
     let mut rng = SimRng::from_seed(0xFEED);
 
     let mut errors = vec![vec![false; code.num_data_qubits()]; num_qubits];
     let mut meas = vec![false; code.num_ancillas(ty)];
+    let mut batch = SyndromeBatch::new(num_qubits, code.num_ancillas(ty));
     let mut peak_requests = 0usize;
 
     for _ in 0..cycles {
-        let rounds: Vec<Vec<bool>> = errors
-            .iter_mut()
-            .map(|e| {
-                noise.sample_data_into(&mut rng, e);
-                noise.sample_measurement_into(&mut rng, &mut meas);
-                let mut round = code.syndrome_of(ty, e);
-                for (r, &m) in round.iter_mut().zip(&meas) {
-                    *r ^= m;
-                }
-                round
-            })
-            .collect();
-        let cycle = system.step(&rounds);
+        for (q, e) in errors.iter_mut().enumerate() {
+            noise.sample_data_into(&mut rng, e);
+            noise.sample_measurement_into(&mut rng, &mut meas);
+            let mut round = code.syndrome_of(ty, e);
+            for (r, &m) in round.iter_mut().zip(&meas) {
+                *r ^= m;
+            }
+            batch.set_qubit_round_bools(q, &round);
+        }
+        let cycle = machine.step(&batch);
         peak_requests = peak_requests.max(cycle.offchip_requests);
         for (e, out) in errors.iter_mut().zip(&cycle.outcomes) {
             if let Some(c) = out.correction() {
@@ -48,18 +50,22 @@ fn main() {
         }
     }
 
-    let stats = system.stats();
-    println!("machine: {num_qubits} logical qubits, d={d}, p={p:.0e}");
-    println!("link   : {bandwidth} decodes/cycle provisioned");
-    println!("cycles : {} total, {} stalls", stats.cycles, stats.stalls);
+    let stats = machine.stats();
+    println!("machine : {num_qubits} logical qubits, d={d}, p={p:.0e}");
+    println!("backend : {}", machine.backend_name());
+    println!("link    : {bandwidth} decodes/cycle provisioned");
+    println!("cycles  : {} total, {} stalls", stats.cycles, stats.stalls);
     println!("slowdown: {:.2}% execution-time increase", stats.execution_time_increase() * 100.0);
     println!(
-        "off-chip: {} requests total, peak {} in one cycle",
-        stats.offchip_requests, peak_requests
+        "off-chip: {} requests total, peak {} in one cycle, peak backlog {}",
+        stats.offchip_requests, peak_requests, stats.peak_backlog
     );
-    let mean_cov: f64 = (0..num_qubits).map(|q| system.decoder(q).stats().coverage()).sum::<f64>()
-        / num_qubits as f64;
-    println!("coverage: {:.2}% mean across qubits", mean_cov * 100.0);
+    println!(
+        "wire    : {} frame bytes total ({:.1} bytes/request)",
+        stats.frame_bytes,
+        stats.frame_bytes as f64 / (stats.offchip_requests.max(1)) as f64
+    );
+    println!("coverage: {:.2}% mean across qubits", machine.mean_coverage() * 100.0);
 
     let io = IoModel::for_distance(d);
     println!(

@@ -16,7 +16,7 @@
 //! |---|---|
 //! | [`lattice`] | Rotated surface code geometry, detector graphs, logical operators |
 //! | [`noise`] | Phenomenological noise model, deterministic forkable RNG |
-//! | [`syndrome`] | Word-packed syndrome rounds ([`syndrome::PackedBits`]), sticky filtering, detection events, corrections |
+//! | [`syndrome`] | Word-packed syndrome rounds ([`syndrome::PackedBits`]), machine-wide transposed batches ([`syndrome::SyndromeBatch`]), sticky filtering, detection events, corrections |
 //! | [`clique`] | The Clique decoder (paper contribution 1) |
 //! | [`mwpm`] | Exact blossom matching (reusable decode scratch) + space-time MWPM baseline |
 //! | [`sparse`] | Sparse-blossom off-chip decoder: region growth + per-cluster exact matching |
@@ -25,7 +25,7 @@
 //! | [`bandwidth`] | Statistical link provisioning + overflow stalling (contributions 2–3) |
 //! | [`sim`] | Allocation-free Monte Carlo lifetime / logical-error-rate engines |
 //! | [`pool`] | Work-stealing thread pool with deterministic sharded map/reduce |
-//! | [`core`] | The assembled BTWC system (`BtwcDecoder`, `BtwcSystem`) |
+//! | [`core`] | The assembled BTWC pipeline and machine tier (`BtwcDecoder`, `BtwcMachine`, the `DecoderBackend` registry) |
 //! | [`uf`] | Union-find decoder (the Sec. 8.1 hierarchical-decoding extension) |
 //! | [`lut`] | Lookup-table decoder for small distances (LILLIPUT-style baseline) |
 //!

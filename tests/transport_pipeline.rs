@@ -1,9 +1,11 @@
 //! Integration: the off-chip path end to end — a complex signature is
 //! framed for the wire, crosses the (simulated) refrigerator boundary,
-//! is parsed back, and decoded by the room-temperature MWPM decoder.
+//! is parsed back, and decoded by the room-temperature MWPM decoder —
+//! and the same loop driven at machine scale through [`BtwcMachine`],
+//! from raw syndromes to Fig. 16-style execution-time increase.
 
 use btwc::bandwidth::{DecodeRequest, IoModel};
-use btwc::core::{StabilizerType, SurfaceCode};
+use btwc::core::{BtwcMachine, DecoderBackend, StabilizerType, SurfaceCode, SyndromeBatch};
 use btwc::mwpm::MwpmDecoder;
 use btwc::syndrome::RoundHistory;
 
@@ -63,6 +65,95 @@ fn frame_size_matches_io_budgeting() {
     // that accounting.
     let io = IoModel::for_distance(d);
     assert!(request.frame_len() * 8 <= 2 * io.bits_per_decode + 16 * 8);
+}
+
+/// Drives a machine end to end: sampled noise → batched packed rounds
+/// → word-parallel filtering → framed off-chip decodes over the shared
+/// link → corrections → the error state. Returns the machine.
+fn drive_machine(bandwidth: usize, backend: DecoderBackend, cycles: usize) -> BtwcMachine {
+    use btwc::noise::{NoiseModel, PhenomenologicalNoise, SimRng};
+
+    let code = SurfaceCode::new(5);
+    let ty = StabilizerType::X;
+    let num_qubits = 24;
+    let mut machine =
+        BtwcMachine::builder(&code, ty, num_qubits, bandwidth).backend(backend).build();
+    let noise = PhenomenologicalNoise::uniform(8e-3);
+    let mut rng = SimRng::from_seed(0xF16);
+    let mut errors = vec![vec![false; code.num_data_qubits()]; num_qubits];
+    let mut meas = vec![false; code.num_ancillas(ty)];
+    let mut batch = SyndromeBatch::new(num_qubits, code.num_ancillas(ty));
+    for _ in 0..cycles {
+        for (q, e) in errors.iter_mut().enumerate() {
+            noise.sample_data_into(&mut rng, e);
+            noise.sample_measurement_into(&mut rng, &mut meas);
+            let mut round = code.syndrome_of(ty, e);
+            for (r, &m) in round.iter_mut().zip(&meas) {
+                *r ^= m;
+            }
+            batch.set_qubit_round_bools(q, &round);
+        }
+        let cycle = machine.step(&batch);
+        for (e, out) in errors.iter_mut().zip(&cycle.outcomes) {
+            if let Some(c) = out.correction() {
+                c.apply_to(e);
+            }
+        }
+    }
+    // The decode loop kept control: residual syndromes stay bounded.
+    for e in &errors {
+        let weight = code.syndrome_of(ty, e).iter().filter(|&&s| s).count();
+        assert!(weight <= 8, "runaway syndrome weight {weight}");
+    }
+    machine
+}
+
+#[test]
+fn machine_executes_the_whole_loop_and_reports_fig16_style_stalling() {
+    // A starved link must stall and stretch execution; a generous link
+    // must not — the Fig. 16 trade-off reproduced from raw syndromes
+    // (not from an arrival model) with every escalation crossing the
+    // wire as a real frame.
+    let tight = drive_machine(1, DecoderBackend::DenseMwpm, 3_000);
+    let ts = tight.stats();
+    assert!(ts.offchip_requests > 0, "noisy machine must escalate");
+    assert!(ts.frame_bytes >= 16 * ts.offchip_requests, "every escalation ships a frame");
+    assert!(ts.stalls > 0, "bandwidth 1 for 24 qubits must stall");
+    assert!(ts.peak_backlog > 0);
+    assert!(ts.execution_time_increase() > 0.0);
+
+    let wide = drive_machine(24, DecoderBackend::DenseMwpm, 3_000);
+    let ws = wide.stats();
+    assert_eq!(ws.stalls, 0, "a machine-wide link never overflows");
+    assert!(ws.execution_time_increase().abs() < 1e-12);
+    assert!(
+        ts.execution_time_increase() > ws.execution_time_increase(),
+        "stalling must fall with provisioned bandwidth"
+    );
+    // Same noise stream, same decode behavior: provisioning changes
+    // stalling, never demand.
+    assert_eq!(ts.offchip_requests, ws.offchip_requests);
+    assert_eq!(ts.frame_bytes, ws.frame_bytes);
+    assert!(wide.mean_coverage() > 0.8, "coverage {}", wide.mean_coverage());
+}
+
+#[test]
+fn machine_transport_loop_works_for_every_builtin_backend() {
+    for backend in [
+        DecoderBackend::DenseMwpm,
+        DecoderBackend::SparseBlossom,
+        DecoderBackend::UnionFind,
+        DecoderBackend::Lut,
+    ] {
+        let machine = drive_machine(4, backend, 600);
+        let stats = machine.stats();
+        assert!(
+            stats.offchip_requests > 0,
+            "backend {backend:?} never exercised the transport path"
+        );
+        assert!(stats.frame_bytes >= 16 * stats.offchip_requests);
+        assert_eq!(machine.backend_name(), backend.name());
+    }
 }
 
 #[test]
