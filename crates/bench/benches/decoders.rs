@@ -181,6 +181,43 @@ fn bench_sparse_vs_dense(c: &mut Criterion) {
     group.finish();
 }
 
+/// The chained-cluster regime: operational-rate windows (p = 5e-3) at
+/// d ∈ {17, 21}, where a window's events routinely merge into a few
+/// large clusters. This is exactly where the pre-in-solver sparse path
+/// lost: its ≥ 3-event clusters fell back to a dense blossom whose
+/// tables scale with the cluster, so one chained cluster dragged the
+/// decode back to dense cost. The in-solver sparse blossom matches the
+/// same clusters on their collision edges alone.
+fn bench_chained_cluster(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chained_cluster");
+    group.sample_size(10);
+    for d in [17u16, 21] {
+        let code = SurfaceCode::new(d);
+        let ty = StabilizerType::X;
+        let dense = MwpmDecoder::new(&code, ty);
+        let sparse = SparseDecoder::new(&code, ty);
+        let mut rng = SimRng::from_seed(0xC4A1);
+        let windows: Vec<RoundHistory> = (0..16)
+            .map(|_| sample_noisy_window(&code, ty, 5e-3, usize::from(d), &mut rng))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("dense", d), &d, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % windows.len();
+                black_box(dense.decode_window(&windows[i]))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sparse", d), &d, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % windows.len();
+                black_box(sparse.decode_window(&windows[i]))
+            });
+        });
+    }
+    group.finish();
+}
+
 /// The sweep *schedule* comparison: one mixed-distance `(p, d)` grid at
 /// a fixed per-point cycle budget, run under the pre-pool per-point
 /// scoped-thread schedule (a barrier plus `SWEEP_BENCH_WORKERS` thread
@@ -367,6 +404,7 @@ criterion_group!(
     bench_clique_decode,
     bench_mwpm_decode,
     bench_sparse_vs_dense,
+    bench_chained_cluster,
     bench_sweep_throughput,
     bench_machine_step,
     bench_blossom_scaling,

@@ -92,9 +92,11 @@ pub fn sample_noisy_rounds(code: &SurfaceCode, count: usize, p: f64, seed: u64) 
 
 /// One shot-protocol decode window: `rounds` rounds of accumulating
 /// data errors with independent transient measurement flips, closed by
-/// a perfect readout round — the workload of the `sparse_vs_dense`
-/// decode benchmarks (Criterion and the `bench` binary share it so
-/// both matchers are measured on the identical window distribution).
+/// a perfect readout round — the workload of the `sparse_vs_dense` and
+/// `chained_cluster` decode benchmarks. Delegates to the shared
+/// [`btwc_testutil`] generator, so the benchmarks measure the *same*
+/// window distribution the differential fuzz suites verify exactness
+/// on.
 #[must_use]
 pub fn sample_noisy_window(
     code: &SurfaceCode,
@@ -103,22 +105,7 @@ pub fn sample_noisy_window(
     rounds: usize,
     rng: &mut SimRng,
 ) -> RoundHistory {
-    let noise = PhenomenologicalNoise::uniform(p);
-    let n_anc = code.num_ancillas(ty);
-    let mut errors = vec![false; code.num_data_qubits()];
-    let mut meas = vec![false; n_anc];
-    let mut window = RoundHistory::new(n_anc, rounds + 1);
-    for _ in 0..rounds {
-        noise.sample_data_into(rng, &mut errors);
-        noise.sample_measurement_into(rng, &mut meas);
-        let mut round = code.syndrome_of(ty, &errors);
-        for (r, &m) in round.iter_mut().zip(&meas) {
-            *r ^= m;
-        }
-        window.push(&round);
-    }
-    window.push(&code.syndrome_of(ty, &errors));
-    window
+    btwc_testutil::noisy_window(code, ty, p, rounds, rng).0
 }
 
 /// The pre-packing round window: one heap-allocated `Vec<bool>` per

@@ -12,6 +12,10 @@
 //!   decode group: the dense all-pairs blossom versus the sparse
 //!   region-growth matcher on identical noisy windows, reported as
 //!   decoded rounds per second (windows/s × rounds per window);
+//! * `chained_{dense,sparse}_d{17,21}` — the `chained_cluster` group:
+//!   the same comparison at p = 5e-3, the operational-rate regime where
+//!   whole windows collapse into a few large clusters and the in-solver
+//!   sparse blossom replaces the old dense per-cluster fallback;
 //! * `ler_d{7,11}_{mwpm,clique}` — the Fig. 14 shot loop, reported as
 //!   decoded rounds per second;
 //! * `sweep_{scoped_per_point,pooled_grid}` — the `sweep_throughput`
@@ -106,24 +110,29 @@ fn sticky_benches(entries: &mut Vec<Entry>) -> (f64, f64) {
     (boolvec, packed_rate)
 }
 
-/// The `sparse_vs_dense` decode group: both exact matchers on identical
-/// noisy windows per distance, at the paper's operational error rate
-/// (p = 1e-3). Returns the sparse/dense speedups at d = 13 and d = 21
-/// (the acceptance bar is a clear sparse win at d ≥ 13).
-fn sparse_vs_dense_benches(entries: &mut Vec<Entry>) -> (f64, f64) {
+/// Shared dense-vs-sparse decode measurement: both exact matchers on
+/// identical noisy windows per distance at error rate `p`, pushing
+/// `{prefix}_dense_d{d}` / `{prefix}_sparse_d{d}` entries and returning
+/// the sparse/dense speedup per `(d, iters)` plan entry, in plan order.
+fn decode_group_benches(
+    entries: &mut Vec<Entry>,
+    prefix: &str,
+    p: f64,
+    seed: u64,
+    plan: &[(u16, u64)],
+    dense_label: &str,
+    sparse_label: &str,
+) -> Vec<f64> {
     let ty = StabilizerType::X;
-    let mut speedups = (0.0, 0.0);
-    // Iteration budgets shrink with d: a dense d=21 decode is five
-    // orders slower than a d=5 one.
-    for (d, base_iters) in [(5u16, 100_000u64), (9, 40_000), (13, 8_000), (17, 1_500), (21, 400)] {
+    let mut speedups = Vec::with_capacity(plan.len());
+    for &(d, base_iters) in plan {
         let code = SurfaceCode::new(d);
         let mut dense = MwpmDecoder::new(&code, ty);
         let mut sparse = SparseDecoder::new(&code, ty);
-        let mut rng = SimRng::from_seed(8);
+        let mut rng = SimRng::from_seed(seed);
         let rounds = usize::from(d) + 1;
-        let windows: Vec<RoundHistory> = (0..32)
-            .map(|_| sample_noisy_window(&code, ty, 1e-3, usize::from(d), &mut rng))
-            .collect();
+        let windows: Vec<RoundHistory> =
+            (0..32).map(|_| sample_noisy_window(&code, ty, p, usize::from(d), &mut rng)).collect();
         let events: usize =
             windows.iter().map(RoundHistory::detection_event_count).sum::<usize>() / windows.len();
         let iters = scaled(base_iters);
@@ -134,9 +143,9 @@ fn sparse_vs_dense_benches(entries: &mut Vec<Entry>) -> (f64, f64) {
             std::hint::black_box(dense.decode_window_mut(&windows[i]).weight());
         }) * rounds as f64;
         entries.push(Entry {
-            name: format!("offchip_dense_d{d}"),
+            name: format!("{prefix}_dense_d{d}"),
             rounds_per_sec: dense_rate,
-            detail: format!("all-pairs blossom, ~{events} events/window"),
+            detail: format!("{dense_label}, ~{events} events/window"),
         });
 
         let mut i = 0;
@@ -145,18 +154,49 @@ fn sparse_vs_dense_benches(entries: &mut Vec<Entry>) -> (f64, f64) {
             std::hint::black_box(sparse.decode_window_mut(&windows[i]).weight());
         }) * rounds as f64;
         entries.push(Entry {
-            name: format!("offchip_sparse_d{d}"),
+            name: format!("{prefix}_sparse_d{d}"),
             rounds_per_sec: sparse_rate,
-            detail: format!("region collisions + clusters, ~{events} events/window"),
+            detail: format!("{sparse_label}, ~{events} events/window"),
         });
-        let speedup = sparse_rate / dense_rate.max(1e-12);
-        if d == 13 {
-            speedups.0 = speedup;
-        } else if d == 21 {
-            speedups.1 = speedup;
-        }
+        speedups.push(sparse_rate / dense_rate.max(1e-12));
     }
     speedups
+}
+
+/// The `sparse_vs_dense` decode group at the paper's operational error
+/// rate (p = 1e-3). Returns the sparse/dense speedups at d = 13 and
+/// d = 21 (the acceptance bar is a clear sparse win at d ≥ 13).
+/// Iteration budgets shrink with d: a dense d = 21 decode is five
+/// orders slower than a d = 5 one.
+fn sparse_vs_dense_benches(entries: &mut Vec<Entry>) -> (f64, f64) {
+    let s = decode_group_benches(
+        entries,
+        "offchip",
+        1e-3,
+        8,
+        &[(5, 100_000), (9, 40_000), (13, 8_000), (17, 1_500), (21, 400)],
+        "all-pairs blossom",
+        "region collisions + clusters",
+    );
+    (s[2], s[4])
+}
+
+/// The `chained_cluster` decode group at p = 5e-3 and d ∈ {17, 21} —
+/// the chained-cluster regime where the pre-in-solver sparse path used
+/// to fall back to a dense blossom per cluster. Returns the
+/// sparse/dense speedups at d = 17 and d = 21 (the acceptance bar is
+/// ≥ 2x at d = 17).
+fn chained_cluster_benches(entries: &mut Vec<Entry>) -> (f64, f64) {
+    let s = decode_group_benches(
+        entries,
+        "chained",
+        5e-3,
+        0xC4A1,
+        &[(17, 600), (21, 200)],
+        "p=5e-3 all-pairs blossom",
+        "p=5e-3 in-solver sparse blossom",
+    );
+    (s[0], s[1])
 }
 
 fn ler_benches(entries: &mut Vec<Entry>) {
@@ -274,6 +314,7 @@ fn main() {
     let mut entries = Vec::new();
     let (boolvec, packed) = sticky_benches(&mut entries);
     let (sparse_d13, sparse_d21) = sparse_vs_dense_benches(&mut entries);
+    let (chained_d17, chained_d21) = chained_cluster_benches(&mut entries);
     ler_benches(&mut entries);
     let sweep_speedup = sweep_benches(&mut entries);
     let machine_speedup = machine_benches(&mut entries);
@@ -288,6 +329,10 @@ fn main() {
     println!("\nsticky filter packed vs Vec<bool> baseline: {speedup:.1}x");
     println!("machine batched step vs per-qubit loop: {machine_speedup:.1}x");
     println!("off-chip sparse vs dense decode: {sparse_d13:.1}x at d=13, {sparse_d21:.1}x at d=21");
+    println!(
+        "chained clusters (p=5e-3) sparse vs dense: {chained_d17:.1}x at d=17, \
+         {chained_d21:.1}x at d=21"
+    );
     println!("whole-grid pooled sweep vs per-point scoped threads: {sweep_speedup:.1}x");
 
     let mut json =
@@ -295,6 +340,8 @@ fn main() {
     let _ = writeln!(json, "  \"sticky_packed_speedup_vs_boolvec\": {speedup:.3},");
     let _ = writeln!(json, "  \"offchip_sparse_speedup_vs_dense_d13\": {sparse_d13:.3},");
     let _ = writeln!(json, "  \"offchip_sparse_speedup_vs_dense_d21\": {sparse_d21:.3},");
+    let _ = writeln!(json, "  \"chained_sparse_speedup_vs_dense_d17\": {chained_d17:.3},");
+    let _ = writeln!(json, "  \"chained_sparse_speedup_vs_dense_d21\": {chained_d21:.3},");
     let _ = writeln!(json, "  \"sweep_pooled_speedup_vs_scoped\": {sweep_speedup:.3},");
     let _ = writeln!(json, "  \"machine_batched_speedup_vs_perqubit\": {machine_speedup:.3},");
     json.push_str("  \"results\": [\n");

@@ -15,8 +15,9 @@ use btwc_core::{
     BtwcDecoder, BtwcMachine, BtwcOutcome, ComplexDecoder, DecoderBackend, StabilizerType,
     SurfaceCode, SyndromeBatch,
 };
-use btwc_noise::{NoiseModel, PhenomenologicalNoise, SimRng};
+use btwc_noise::{PhenomenologicalNoise, SimRng};
 use btwc_syndrome::{Correction, PackedBits, RoundHistory};
+use btwc_testutil::noisy_round;
 
 /// A deliberately odd custom backend: deterministic but unlike any
 /// built-in matcher, so the pin exercises the `Custom` factory path
@@ -78,15 +79,10 @@ fn pin_machine_against_reference(
 
     let mut total_offchip = 0usize;
     for t in 0..cycles {
-        // Identical rounds into both sides: data noise + measurement
-        // flips per qubit.
+        // Identical rounds into both sides: the shared testutil
+        // distribution (data noise + measurement flips) per qubit.
         for (q, e) in errors.iter_mut().enumerate() {
-            noise.sample_data_into(&mut rng, e);
-            noise.sample_measurement_into(&mut rng, &mut meas);
-            let mut raw = code.syndrome_of(ty, e);
-            for (r, &m) in raw.iter_mut().zip(&meas) {
-                *r ^= m;
-            }
+            let raw = noisy_round(&code, ty, &noise, &mut rng, e, &mut meas);
             rounds[q].fill_from_bools(&raw);
             batch.set_qubit_round_bools(q, &raw);
         }

@@ -1,0 +1,1020 @@
+//! In-solver sparse blossom matching: exact minimum-weight perfect
+//! matching over an explicit *edge list* instead of a dense all-pairs
+//! matrix.
+//!
+//! This is the solver behind [`crate::SparseDecoder`]'s per-cluster
+//! matching. The decoder hands it the cluster's collision edges (the
+//! sparse structure [`crate::regions`] already discovered with the
+//! lattice's O(1) distance tables) and it runs Edmonds' primal–dual
+//! blossom algorithm directly on them: grow alternating trees from the
+//! exposed vertices, adjust dual variables (each vertex dual is the
+//! dynamic radius of that event's matching region — it grows while the
+//! vertex is an outer tree node and shrinks while it is inner), *shrink*
+//! every odd alternating cycle into a blossom node, and lazily expand
+//! blossoms whose dual reaches zero. The implementation follows the
+//! van Rantwijk formulation of Galil's exposition — the standard
+//! edge-list O(V·E) -per-stage structure — so the cost of matching a
+//! cluster scales with how many region collisions it actually contains,
+//! not with the square of its event count.
+//!
+//! Minimum-weight **perfect** matching is obtained by maximizing the
+//! complemented weights `2·(w_max − w)` under the maximum-cardinality
+//! rule: every input graph the decoder builds contains a perfect
+//! matching (each event can always exit through its own boundary twin),
+//! so the maximum-cardinality maximum-weight matching is exactly the
+//! minimum-weight perfect one. Doubling keeps every dual variable and
+//! slack integral.
+//!
+//! All solver state lives in a caller-owned [`BlossomArena`] that
+//! regrows monotonically and is reset — never reallocated — per solve,
+//! so the decode hot path stays allocation-free once warm.
+//!
+//! Correctness is pinned three ways: in-module property tests against
+//! the exponential reference matcher, the brute-force cluster suite in
+//! `tests/properties.rs`, and the chained-cluster differential fuzz
+//! sweep against the dense blossom in `tests/sparse_vs_dense.rs`.
+
+const NONE: i32 = -1;
+
+/// One undirected edge of a cluster graph, with its weight under the
+/// original minimization objective (`weight >= 0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterEdge {
+    /// First endpoint (vertex index).
+    pub u: u32,
+    /// Second endpoint (vertex index, `!= u`).
+    pub v: u32,
+    /// Non-negative matching weight of pairing `u` with `v`.
+    pub weight: i64,
+}
+
+impl ClusterEdge {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(u: u32, v: u32, weight: i64) -> Self {
+        Self { u, v, weight }
+    }
+}
+
+/// Recycled working state for the sparse blossom solver: alternating
+/// tree labels, blossom child/endpoint lists, dual variables, and the
+/// per-solve edge-list graph. Grows monotonically to the largest
+/// cluster seen and is never shrunk; [`BlossomArena::solve`] resets it
+/// in place.
+#[derive(Debug, Default)]
+pub struct BlossomArena {
+    /// Number of real vertices of the current solve.
+    n: usize,
+    /// Number of edges of the current solve.
+    m: usize,
+    // --- the graph (edge list + CSR adjacency) ---
+    edge_u: Vec<u32>,
+    edge_v: Vec<u32>,
+    /// Complemented, doubled weights `2 * (w_max - w)` (maximized).
+    wt: Vec<i64>,
+    /// Original minimization weights (for the reported total).
+    orig: Vec<i64>,
+    /// `endpoint[2k] = u`, `endpoint[2k + 1] = v` of edge `k`.
+    endpoint: Vec<u32>,
+    /// CSR offsets into `nb`, length `n + 1`.
+    nb_off: Vec<u32>,
+    /// Remote endpoints of the edges incident to each vertex.
+    nb: Vec<u32>,
+    // --- solver state (vertex- or blossom-indexed, length 2n) ---
+    /// `mate[v]` = remote endpoint of v's matched edge, or -1.
+    mate: Vec<i32>,
+    /// 0 free, 1 S (outer), 2 T (inner), 5 = S + breadcrumb, -1 unused.
+    label: Vec<i8>,
+    /// Remote endpoint of the edge through which the label was claimed.
+    labelend: Vec<i32>,
+    /// Top-level blossom containing each vertex.
+    inblossom: Vec<u32>,
+    blossomparent: Vec<i32>,
+    /// Base vertex of each blossom (-1 for unused blossom slots).
+    blossombase: Vec<i32>,
+    /// Ordered sub-blossoms and their connecting edge endpoints.
+    blossomchilds: Vec<Vec<u32>>,
+    blossomendps: Vec<Vec<u32>>,
+    /// Least-slack edge to each neighboring S-blossom, and the cached
+    /// per-blossom candidate lists.
+    bestedge: Vec<i32>,
+    blossombest: Vec<Vec<u32>>,
+    has_best: Vec<bool>,
+    /// Dual variables: vertex radii and blossom duals.
+    dualvar: Vec<i64>,
+    /// Edges known to have zero slack.
+    allowedge: Vec<bool>,
+    queue: Vec<u32>,
+    unused: Vec<u32>,
+    // --- recycled temporaries ---
+    leaves: Vec<u32>,
+    leaves2: Vec<u32>,
+    scan_path: Vec<u32>,
+    cand: Vec<u32>,
+    bestedgeto: Vec<i32>,
+}
+
+impl BlossomArena {
+    /// An empty arena; it sizes itself on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Computes a minimum-weight perfect matching of `num_vertices`
+    /// vertices over the given edge list, appending the matched pairs
+    /// (each `(u, v)` with `u < v`) into `pairs` and returning the
+    /// total weight under the original minimization weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge is out of range, a weight is negative, or the
+    /// graph has no perfect matching (the decoder's cluster graphs
+    /// always do: every event can exit through its own boundary twin).
+    pub fn solve(
+        &mut self,
+        num_vertices: usize,
+        edges: &[ClusterEdge],
+        pairs: &mut Vec<(usize, usize)>,
+    ) -> i64 {
+        pairs.clear();
+        if num_vertices == 0 {
+            return 0;
+        }
+        assert!(num_vertices.is_multiple_of(2), "odd vertex count {num_vertices} cannot match");
+        self.prepare(num_vertices, edges);
+        let (n, two_n) = (self.n, 2 * self.n);
+
+        for _stage in 0..n {
+            // Stage reset: forget labels, best edges, and allowed
+            // (zero-slack) markers; duals, mates, and the blossom
+            // structure persist across stages.
+            self.label[..two_n].fill(0);
+            self.labelend[..two_n].fill(NONE);
+            self.bestedge[..two_n].fill(NONE);
+            for b in n..two_n {
+                self.blossombest[b].clear();
+                self.has_best[b] = false;
+            }
+            self.allowedge[..self.m].fill(false);
+            self.queue.clear();
+            for v in 0..n {
+                if self.mate[v] == NONE && self.label[self.inblossom[v] as usize] == 0 {
+                    self.assign_label(v, 1, NONE);
+                }
+            }
+
+            let mut augmented = false;
+            loop {
+                // Substage: scan S-vertices until an augmenting path is
+                // found or the queue drains.
+                'scan: while !augmented {
+                    let Some(v) = self.queue.pop() else { break };
+                    let v = v as usize;
+                    debug_assert_eq!(self.label[self.inblossom[v] as usize], 1);
+                    for pi in self.nb_off[v] as usize..self.nb_off[v + 1] as usize {
+                        let p = self.nb[pi] as usize;
+                        let k = p / 2;
+                        let w = self.endpoint[p] as usize;
+                        if self.inblossom[v] == self.inblossom[w] {
+                            continue;
+                        }
+                        let mut kslack = 0;
+                        if !self.allowedge[k] {
+                            kslack = self.slack(k);
+                            if kslack <= 0 {
+                                self.allowedge[k] = true;
+                            }
+                        }
+                        let bw = self.inblossom[w] as usize;
+                        if self.allowedge[k] {
+                            if self.label[bw] == 0 {
+                                // (C1) w is free: grow the tree.
+                                self.assign_label(w, 2, (p ^ 1) as i32);
+                            } else if self.label[bw] == 1 {
+                                // (C2) two S-blossoms meet: either an
+                                // odd cycle to shrink or an augmenting
+                                // path.
+                                let base = self.scan_blossom(v as i32, w as i32);
+                                if base >= 0 {
+                                    self.add_blossom(base as usize, k);
+                                } else {
+                                    self.augment_matching(k);
+                                    augmented = true;
+                                    continue 'scan;
+                                }
+                            } else if self.label[w] == 0 {
+                                // w is inside a T-blossom but unlabeled:
+                                // remember how it was reached.
+                                debug_assert_eq!(self.label[bw], 2);
+                                self.label[w] = 2;
+                                self.labelend[w] = (p ^ 1) as i32;
+                            }
+                        } else if self.label[bw] == 1 {
+                            // Track least-slack edges for the dual step.
+                            let b = self.inblossom[v] as usize;
+                            if self.bestedge[b] == NONE
+                                || kslack < self.slack(self.bestedge[b] as usize)
+                            {
+                                self.bestedge[b] = k as i32;
+                            }
+                        } else if self.label[w] == 0
+                            && (self.bestedge[w] == NONE
+                                || kslack < self.slack(self.bestedge[w] as usize))
+                        {
+                            self.bestedge[w] = k as i32;
+                        }
+                    }
+                }
+                if augmented {
+                    break;
+                }
+
+                // Dual adjustment: the cheapest move that creates a new
+                // tight edge or frees a blossom for expansion.
+                let mut deltatype = -1;
+                let mut delta = 0i64;
+                let mut deltaedge = NONE;
+                let mut deltablossom = NONE;
+                for v in 0..n {
+                    if self.label[self.inblossom[v] as usize] == 0 && self.bestedge[v] != NONE {
+                        let d = self.slack(self.bestedge[v] as usize);
+                        if deltatype == -1 || d < delta {
+                            delta = d;
+                            deltatype = 2;
+                            deltaedge = self.bestedge[v];
+                        }
+                    }
+                }
+                for b in 0..two_n {
+                    if self.blossomparent[b] == NONE
+                        && self.label[b] == 1
+                        && self.bestedge[b] != NONE
+                    {
+                        let kslack = self.slack(self.bestedge[b] as usize);
+                        debug_assert_eq!(kslack % 2, 0, "doubled weights keep slacks even");
+                        let d = kslack / 2;
+                        if deltatype == -1 || d < delta {
+                            delta = d;
+                            deltatype = 3;
+                            deltaedge = self.bestedge[b];
+                        }
+                    }
+                }
+                for b in n..two_n {
+                    if self.blossombase[b] >= 0
+                        && self.blossomparent[b] == NONE
+                        && self.label[b] == 2
+                        && (deltatype == -1 || self.dualvar[b] < delta)
+                    {
+                        delta = self.dualvar[b];
+                        deltatype = 4;
+                        deltablossom = b as i32;
+                    }
+                }
+                if deltatype == -1 {
+                    // No further move: a maximum-cardinality optimum is
+                    // reached (the perfect matching, for our graphs).
+                    deltatype = 1;
+                    delta = self.dualvar[..n].iter().copied().min().unwrap_or(0).max(0);
+                }
+
+                for v in 0..n {
+                    match self.label[self.inblossom[v] as usize] {
+                        1 => self.dualvar[v] -= delta,
+                        2 => self.dualvar[v] += delta,
+                        _ => {}
+                    }
+                }
+                for b in n..two_n {
+                    if self.blossombase[b] >= 0 && self.blossomparent[b] == NONE {
+                        match self.label[b] {
+                            1 => self.dualvar[b] += delta,
+                            2 => self.dualvar[b] -= delta,
+                            _ => {}
+                        }
+                    }
+                }
+
+                match deltatype {
+                    1 => break,
+                    2 => {
+                        let k = deltaedge as usize;
+                        self.allowedge[k] = true;
+                        let (mut i, j) = (self.edge_u[k], self.edge_v[k]);
+                        if self.label[self.inblossom[i as usize] as usize] == 0 {
+                            i = j;
+                        }
+                        debug_assert_eq!(self.label[self.inblossom[i as usize] as usize], 1);
+                        self.queue.push(i);
+                    }
+                    3 => {
+                        let k = deltaedge as usize;
+                        self.allowedge[k] = true;
+                        debug_assert_eq!(
+                            self.label[self.inblossom[self.edge_u[k] as usize] as usize],
+                            1
+                        );
+                        self.queue.push(self.edge_u[k]);
+                    }
+                    _ => self.expand_blossom(deltablossom as usize, false),
+                }
+            }
+
+            if !augmented {
+                break;
+            }
+            // End of stage: expand S-blossoms whose dual hit zero.
+            for b in n..two_n {
+                if self.blossomparent[b] == NONE
+                    && self.blossombase[b] >= 0
+                    && self.label[b] == 1
+                    && self.dualvar[b] == 0
+                {
+                    self.expand_blossom(b, true);
+                }
+            }
+        }
+
+        let mut total = 0i64;
+        for v in 0..n {
+            let p = self.mate[v];
+            assert!(p >= 0, "cluster graph has no perfect matching (vertex {v} exposed)");
+            let u = self.endpoint[p as usize] as usize;
+            if v < u {
+                pairs.push((v, u));
+                total += self.orig[p as usize / 2];
+            }
+        }
+        total
+    }
+
+    /// Sizes and resets every table for a solve over `n` vertices and
+    /// the given edges (no allocation once grown).
+    fn prepare(&mut self, n: usize, edges: &[ClusterEdge]) {
+        let m = edges.len();
+        self.n = n;
+        self.m = m;
+        let two_n = 2 * n;
+
+        self.edge_u.clear();
+        self.edge_v.clear();
+        self.orig.clear();
+        self.endpoint.clear();
+        let mut w_max = 0i64;
+        for e in edges {
+            assert!(
+                (e.u as usize) < n && (e.v as usize) < n && e.u != e.v,
+                "edge ({}, {}) out of range for {n} vertices",
+                e.u,
+                e.v
+            );
+            assert!(e.weight >= 0, "negative weight {} on edge ({}, {})", e.weight, e.u, e.v);
+            w_max = w_max.max(e.weight);
+            self.edge_u.push(e.u);
+            self.edge_v.push(e.v);
+            self.orig.push(e.weight);
+            self.endpoint.push(e.u);
+            self.endpoint.push(e.v);
+        }
+        // Complement and double: maximize 2 * (w_max - w).
+        self.wt.clear();
+        self.wt.extend(self.orig.iter().map(|&w| 2 * (w_max - w)));
+
+        // CSR adjacency of remote endpoints.
+        self.nb_off.clear();
+        self.nb_off.resize(n + 1, 0);
+        for e in edges {
+            self.nb_off[e.u as usize + 1] += 1;
+            self.nb_off[e.v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            self.nb_off[i + 1] += self.nb_off[i];
+        }
+        self.nb.clear();
+        self.nb.resize(2 * m, 0);
+        let mut cursor = std::mem::take(&mut self.leaves);
+        cursor.clear();
+        cursor.extend_from_slice(&self.nb_off[..n]);
+        for (k, e) in edges.iter().enumerate() {
+            self.nb[cursor[e.u as usize] as usize] = (2 * k + 1) as u32;
+            cursor[e.u as usize] += 1;
+            self.nb[cursor[e.v as usize] as usize] = (2 * k) as u32;
+            cursor[e.v as usize] += 1;
+        }
+        self.leaves = cursor;
+
+        self.mate.clear();
+        self.mate.resize(n, NONE);
+        self.label.clear();
+        self.label.resize(two_n, 0);
+        self.labelend.clear();
+        self.labelend.resize(two_n, NONE);
+        self.inblossom.clear();
+        self.inblossom.extend(0..n as u32);
+        self.blossomparent.clear();
+        self.blossomparent.resize(two_n, NONE);
+        self.blossombase.clear();
+        self.blossombase.extend(0..n as i32);
+        self.blossombase.resize(two_n, NONE);
+        self.bestedge.clear();
+        self.bestedge.resize(two_n, NONE);
+        let max_w2 = self.wt.iter().copied().max().unwrap_or(0);
+        self.dualvar.clear();
+        self.dualvar.resize(n, max_w2);
+        self.dualvar.resize(two_n, 0);
+        if self.blossomchilds.len() < two_n {
+            self.blossomchilds.resize_with(two_n, Vec::new);
+            self.blossomendps.resize_with(two_n, Vec::new);
+            self.blossombest.resize_with(two_n, Vec::new);
+        }
+        for b in 0..two_n {
+            self.blossomchilds[b].clear();
+            self.blossomendps[b].clear();
+            self.blossombest[b].clear();
+        }
+        self.has_best.clear();
+        self.has_best.resize(two_n, false);
+        self.allowedge.clear();
+        self.allowedge.resize(m, false);
+        self.queue.clear();
+        self.unused.clear();
+        self.unused.extend(n as u32..two_n as u32);
+    }
+
+    /// Slack of edge `k` under the current duals (doubled weights keep
+    /// every slack integral; zero slack means the edge is tight).
+    #[inline]
+    fn slack(&self, k: usize) -> i64 {
+        self.dualvar[self.edge_u[k] as usize] + self.dualvar[self.edge_v[k] as usize]
+            - 2 * self.wt[k]
+    }
+
+    /// Appends every real vertex inside blossom `b` to `out`.
+    fn collect_leaves(&self, b: usize, out: &mut Vec<u32>) {
+        if b < self.n {
+            out.push(b as u32);
+        } else {
+            for &t in &self.blossomchilds[b] {
+                self.collect_leaves(t as usize, out);
+            }
+        }
+    }
+
+    /// Labels vertex `w` (and its top-level blossom) with `t`, reached
+    /// through remote endpoint `p`. An S label enqueues the blossom's
+    /// vertices for scanning; a T label immediately pulls the base's
+    /// mate into the tree as S.
+    fn assign_label(&mut self, w: usize, t: i8, p: i32) {
+        let b = self.inblossom[w] as usize;
+        debug_assert!(self.label[w] == 0 && self.label[b] == 0);
+        self.label[w] = t;
+        self.label[b] = t;
+        self.labelend[w] = p;
+        self.labelend[b] = p;
+        self.bestedge[w] = NONE;
+        self.bestedge[b] = NONE;
+        if t == 1 {
+            let mut leaves = std::mem::take(&mut self.leaves);
+            leaves.clear();
+            self.collect_leaves(b, &mut leaves);
+            self.queue.extend_from_slice(&leaves);
+            self.leaves = leaves;
+        } else {
+            let base = self.blossombase[b] as usize;
+            let mate_base = self.mate[base];
+            debug_assert!(mate_base >= 0);
+            let next = self.endpoint[mate_base as usize] as usize;
+            self.assign_label(next, 1, mate_base ^ 1);
+        }
+    }
+
+    /// Traces back from the S-vertices `v` and `w` simultaneously.
+    /// Returns the base vertex of the first common ancestor blossom, or
+    /// -1 if the paths reach two different roots (an augmenting path).
+    fn scan_blossom(&mut self, mut v: i32, mut w: i32) -> i32 {
+        let mut path = std::mem::take(&mut self.scan_path);
+        path.clear();
+        let mut base = NONE;
+        while v != NONE || w != NONE {
+            let mut b = self.inblossom[v as usize] as usize;
+            if self.label[b] & 4 != 0 {
+                base = self.blossombase[b];
+                break;
+            }
+            debug_assert_eq!(self.label[b], 1);
+            path.push(b as u32);
+            self.label[b] = 5; // breadcrumb
+            debug_assert_eq!(self.labelend[b], self.mate[self.blossombase[b] as usize]);
+            if self.labelend[b] == NONE {
+                v = NONE; // reached a root
+            } else {
+                v = self.endpoint[self.labelend[b] as usize] as i32;
+                b = self.inblossom[v as usize] as usize;
+                debug_assert_eq!(self.label[b], 2);
+                debug_assert!(self.labelend[b] >= 0);
+                v = self.endpoint[self.labelend[b] as usize] as i32;
+            }
+            if w != NONE {
+                std::mem::swap(&mut v, &mut w);
+            }
+        }
+        for &b in &path {
+            self.label[b as usize] = 1;
+        }
+        self.scan_path = path;
+        base
+    }
+
+    /// Shrinks the odd alternating cycle through edge `k` with common
+    /// ancestor base `base` into a new blossom node.
+    fn add_blossom(&mut self, base: usize, k: usize) {
+        let (mut v, mut w) = (self.edge_u[k] as usize, self.edge_v[k] as usize);
+        let bb = self.inblossom[base] as usize;
+        let mut bv = self.inblossom[v] as usize;
+        let mut bw = self.inblossom[w] as usize;
+        let b = self.unused.pop().expect("a cluster of n events needs at most n blossoms") as usize;
+        self.blossombase[b] = base as i32;
+        self.blossomparent[b] = NONE;
+        self.blossomparent[bb] = b as i32;
+
+        // Collect the cycle's sub-blossoms and connecting endpoints:
+        // walk both tree paths down to the base.
+        let mut path = std::mem::take(&mut self.blossomchilds[b]);
+        let mut endps = std::mem::take(&mut self.blossomendps[b]);
+        path.clear();
+        endps.clear();
+        while bv != bb {
+            self.blossomparent[bv] = b as i32;
+            path.push(bv as u32);
+            endps.push(self.labelend[bv] as u32);
+            debug_assert!(self.labelend[bv] >= 0);
+            v = self.endpoint[self.labelend[bv] as usize] as usize;
+            bv = self.inblossom[v] as usize;
+        }
+        path.push(bb as u32);
+        path.reverse();
+        endps.reverse();
+        endps.push((2 * k) as u32);
+        while bw != bb {
+            self.blossomparent[bw] = b as i32;
+            path.push(bw as u32);
+            endps.push((self.labelend[bw] ^ 1) as u32);
+            debug_assert!(self.labelend[bw] >= 0);
+            w = self.endpoint[self.labelend[bw] as usize] as usize;
+            bw = self.inblossom[w] as usize;
+        }
+        debug_assert_eq!(self.label[bb], 1);
+        self.label[b] = 1;
+        self.labelend[b] = self.labelend[bb];
+        self.dualvar[b] = 0;
+        self.blossomchilds[b] = path;
+        self.blossomendps[b] = endps;
+
+        // Former T-vertices become S-vertices of the new blossom.
+        let mut leaves = std::mem::take(&mut self.leaves);
+        leaves.clear();
+        self.collect_leaves(b, &mut leaves);
+        for &vx in &leaves {
+            let vx = vx as usize;
+            if self.label[self.inblossom[vx] as usize] == 2 {
+                self.queue.push(vx as u32);
+            }
+            self.inblossom[vx] = b as u32;
+        }
+        self.leaves = leaves;
+
+        // Merge the sub-blossoms' least-slack edge lists.
+        let two_n = 2 * self.n;
+        let mut bestedgeto = std::mem::take(&mut self.bestedgeto);
+        bestedgeto.clear();
+        bestedgeto.resize(two_n, NONE);
+        let mut cand = std::mem::take(&mut self.cand);
+        for ci in 0..self.blossomchilds[b].len() {
+            let bvx = self.blossomchilds[b][ci] as usize;
+            cand.clear();
+            if self.has_best[bvx] {
+                cand.extend_from_slice(&self.blossombest[bvx]);
+            } else {
+                let mut lvs = std::mem::take(&mut self.leaves2);
+                lvs.clear();
+                self.collect_leaves(bvx, &mut lvs);
+                for &lf in &lvs {
+                    let lf = lf as usize;
+                    for pi in self.nb_off[lf] as usize..self.nb_off[lf + 1] as usize {
+                        cand.push(self.nb[pi] / 2);
+                    }
+                }
+                self.leaves2 = lvs;
+            }
+            for &kk in &cand {
+                let kk = kk as usize;
+                let (mut i, mut j) = (self.edge_u[kk] as usize, self.edge_v[kk] as usize);
+                if self.inblossom[j] as usize == b {
+                    std::mem::swap(&mut i, &mut j);
+                }
+                let bj = self.inblossom[j] as usize;
+                if bj != b
+                    && self.label[bj] == 1
+                    && (bestedgeto[bj] == NONE
+                        || self.slack(kk) < self.slack(bestedgeto[bj] as usize))
+                {
+                    bestedgeto[bj] = kk as i32;
+                }
+            }
+            self.blossombest[bvx].clear();
+            self.has_best[bvx] = false;
+            self.bestedge[bvx] = NONE;
+        }
+        self.cand = cand;
+        let mut best = std::mem::take(&mut self.blossombest[b]);
+        best.clear();
+        let mut bk = NONE;
+        for &e in bestedgeto.iter() {
+            if e != NONE {
+                best.push(e as u32);
+                if bk == NONE || self.slack(e as usize) < self.slack(bk as usize) {
+                    bk = e;
+                }
+            }
+        }
+        self.bestedgeto = bestedgeto;
+        self.blossombest[b] = best;
+        self.has_best[b] = true;
+        self.bestedge[b] = bk;
+    }
+
+    /// Expands blossom `b`, promoting its children to top level. During
+    /// a stage (`endstage == false`, dual hit zero on a T-blossom) the
+    /// children along the alternating path through the blossom are
+    /// relabeled; at stage end the structure is simply dissolved.
+    fn expand_blossom(&mut self, b: usize, endstage: bool) {
+        // Take `b`'s lists for the duration of the call (returned
+        // cleared below, so the capacity is recycled, not reallocated):
+        // nothing below reads `blossomchilds[b]`/`blossomendps[b]`
+        // through `self` — recursion and leaf collection only touch
+        // sub-blossoms, whose vertices were re-pointed away from `b`
+        // first.
+        let childs = std::mem::take(&mut self.blossomchilds[b]);
+        let endps = std::mem::take(&mut self.blossomendps[b]);
+        for &s in &childs {
+            let s = s as usize;
+            self.blossomparent[s] = NONE;
+            if s < self.n {
+                self.inblossom[s] = s as u32;
+            } else if endstage && self.dualvar[s] == 0 {
+                self.expand_blossom(s, endstage);
+            } else {
+                let mut lvs = std::mem::take(&mut self.leaves2);
+                lvs.clear();
+                self.collect_leaves(s, &mut lvs);
+                for &v in &lvs {
+                    self.inblossom[v as usize] = s as u32;
+                }
+                self.leaves2 = lvs;
+            }
+        }
+        if !endstage && self.label[b] == 2 {
+            let len = childs.len() as isize;
+            let idx = |j: isize| -> usize { j.rem_euclid(len) as usize };
+            debug_assert!(self.labelend[b] >= 0);
+            let entrychild =
+                self.inblossom[self.endpoint[(self.labelend[b] ^ 1) as usize] as usize] as usize;
+            let mut j = childs
+                .iter()
+                .position(|&c| c as usize == entrychild)
+                .expect("entry child must be a sub-blossom") as isize;
+            let (jstep, endptrick): (isize, u32) = if j & 1 != 0 {
+                j -= len;
+                (1, 0)
+            } else {
+                (-1, 1)
+            };
+            // Walk from the entry child to the base, alternately
+            // relabeling T- and stepping over S-sub-blossoms.
+            let mut p = self.labelend[b] as u32;
+            while j != 0 {
+                let ep1 = self.endpoint[(p ^ 1) as usize] as usize;
+                self.label[ep1] = 0;
+                let q = endps[idx(j - endptrick as isize)] ^ endptrick ^ 1;
+                self.label[self.endpoint[q as usize] as usize] = 0;
+                self.assign_label(ep1, 2, p as i32);
+                self.allowedge[(endps[idx(j - endptrick as isize)] / 2) as usize] = true;
+                j += jstep;
+                p = endps[idx(j - endptrick as isize)] ^ endptrick;
+                self.allowedge[(p / 2) as usize] = true;
+                j += jstep;
+            }
+            // Relabel the base sub-blossom without stepping to its mate.
+            let bv = childs[idx(j)] as usize;
+            let ep1 = self.endpoint[(p ^ 1) as usize] as usize;
+            self.label[ep1] = 2;
+            self.label[bv] = 2;
+            self.labelend[ep1] = p as i32;
+            self.labelend[bv] = p as i32;
+            self.bestedge[bv] = NONE;
+            // The remaining children leave the tree unless a vertex of
+            // theirs was reached from outside the expanding blossom.
+            j += jstep;
+            while childs[idx(j)] as usize != entrychild {
+                let bv = childs[idx(j)] as usize;
+                if self.label[bv] == 1 {
+                    j += jstep;
+                    continue;
+                }
+                let mut lvs = std::mem::take(&mut self.leaves2);
+                lvs.clear();
+                self.collect_leaves(bv, &mut lvs);
+                let labeled =
+                    lvs.iter().copied().find(|&v| self.label[v as usize] != 0).map(|v| v as usize);
+                self.leaves2 = lvs;
+                if let Some(v) = labeled {
+                    debug_assert_eq!(self.label[v], 2);
+                    debug_assert_eq!(self.inblossom[v] as usize, bv);
+                    self.label[v] = 0;
+                    let base = self.blossombase[bv] as usize;
+                    self.label[self.endpoint[self.mate[base] as usize] as usize] = 0;
+                    let le = self.labelend[v];
+                    self.assign_label(v, 2, le);
+                }
+                j += jstep;
+            }
+        }
+        // Recycle the slot (and the taken lists' capacity).
+        let (mut childs, mut endps) = (childs, endps);
+        childs.clear();
+        endps.clear();
+        self.blossomchilds[b] = childs;
+        self.blossomendps[b] = endps;
+        self.label[b] = -1;
+        self.labelend[b] = NONE;
+        self.blossombase[b] = NONE;
+        self.blossombest[b].clear();
+        self.has_best[b] = false;
+        self.bestedge[b] = NONE;
+        self.unused.push(b as u32);
+    }
+
+    /// Swaps matched and unmatched edges around blossom `b` so that
+    /// vertex `v` becomes its base (recursing into sub-blossoms).
+    fn augment_blossom(&mut self, b: usize, v: usize) {
+        let mut t = v;
+        while self.blossomparent[t] != b as i32 {
+            t = self.blossomparent[t] as usize;
+        }
+        if t >= self.n {
+            self.augment_blossom(t, v);
+        }
+        // Take `b`'s lists for the walk (restored rotated below):
+        // recursive augments only ever reference sub-blossoms of `b`.
+        let mut childs = std::mem::take(&mut self.blossomchilds[b]);
+        let mut endps = std::mem::take(&mut self.blossomendps[b]);
+        let len = childs.len() as isize;
+        let idx = |j: isize| -> usize { j.rem_euclid(len) as usize };
+        let i = childs.iter().position(|&c| c as usize == t).expect("t is a child of b") as isize;
+        let mut j = i;
+        let (jstep, endptrick): (isize, u32) = if i & 1 != 0 {
+            j -= len;
+            (1, 0)
+        } else {
+            (-1, 1)
+        };
+        while j != 0 {
+            j += jstep;
+            let t1 = childs[idx(j)] as usize;
+            let p = endps[idx(j - endptrick as isize)] ^ endptrick;
+            if t1 >= self.n {
+                self.augment_blossom(t1, self.endpoint[p as usize] as usize);
+            }
+            j += jstep;
+            let t2 = childs[idx(j)] as usize;
+            if t2 >= self.n {
+                self.augment_blossom(t2, self.endpoint[(p ^ 1) as usize] as usize);
+            }
+            self.mate[self.endpoint[p as usize] as usize] = (p ^ 1) as i32;
+            self.mate[self.endpoint[(p ^ 1) as usize] as usize] = p as i32;
+        }
+        childs.rotate_left(i as usize);
+        endps.rotate_left(i as usize);
+        self.blossombase[b] = self.blossombase[childs[0] as usize];
+        self.blossomchilds[b] = childs;
+        self.blossomendps[b] = endps;
+    }
+
+    /// Augments the matching along the path through tight edge `k`,
+    /// flipping matched/unmatched edges back to each tree root.
+    fn augment_matching(&mut self, k: usize) {
+        let (v, w) = (self.edge_u[k] as usize, self.edge_v[k] as usize);
+        for (s0, p0) in [(v, (2 * k + 1) as i32), (w, (2 * k) as i32)] {
+            let mut s = s0;
+            let mut p = p0;
+            loop {
+                let bs = self.inblossom[s] as usize;
+                debug_assert_eq!(self.label[bs], 1);
+                debug_assert_eq!(self.labelend[bs], self.mate[self.blossombase[bs] as usize]);
+                if bs >= self.n {
+                    self.augment_blossom(bs, s);
+                }
+                self.mate[s] = p;
+                if self.labelend[bs] == NONE {
+                    break; // reached the tree root
+                }
+                let t = self.endpoint[self.labelend[bs] as usize] as usize;
+                let bt = self.inblossom[t] as usize;
+                debug_assert_eq!(self.label[bt], 2);
+                debug_assert!(self.labelend[bt] >= 0);
+                s = self.endpoint[self.labelend[bt] as usize] as usize;
+                let j = self.endpoint[(self.labelend[bt] ^ 1) as usize] as usize;
+                debug_assert_eq!(self.blossombase[bt] as usize, t);
+                if bt >= self.n {
+                    self.augment_blossom(bt, j);
+                }
+                self.mate[j] = self.labelend[bt];
+                p = self.labelend[bt] ^ 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btwc_mwpm::brute::brute_force_min_weight;
+    use btwc_noise::SimRng;
+
+    fn solve_fresh(n: usize, edges: &[ClusterEdge]) -> (Vec<(usize, usize)>, i64) {
+        let mut arena = BlossomArena::new();
+        let mut pairs = Vec::new();
+        let total = arena.solve(n, edges, &mut pairs);
+        (pairs, total)
+    }
+
+    fn brute(n: usize, edges: &[ClusterEdge]) -> Option<i64> {
+        brute_force_min_weight(n, |u, v| {
+            edges
+                .iter()
+                .filter(|e| {
+                    (e.u as usize, e.v as usize) == (u, v) || (e.u as usize, e.v as usize) == (v, u)
+                })
+                .map(|e| e.weight)
+                .min()
+        })
+    }
+
+    #[test]
+    fn empty_graph_is_trivially_matched() {
+        let (pairs, total) = solve_fresh(0, &[]);
+        assert!(pairs.is_empty());
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn two_vertices_single_edge() {
+        let (pairs, total) = solve_fresh(2, &[ClusterEdge::new(0, 1, 7)]);
+        assert_eq!(pairs, vec![(0, 1)]);
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn four_vertices_chooses_cheaper_pairing() {
+        let edges = [
+            ClusterEdge::new(0, 1, 1),
+            ClusterEdge::new(2, 3, 1),
+            ClusterEdge::new(0, 2, 10),
+            ClusterEdge::new(1, 3, 10),
+            ClusterEdge::new(0, 3, 10),
+            ClusterEdge::new(1, 2, 10),
+        ];
+        let (pairs, total) = solve_fresh(4, &edges);
+        assert_eq!(total, 2);
+        assert_eq!(pairs, vec![(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn forced_expensive_pairing() {
+        let edges = [
+            ClusterEdge::new(0, 1, 1),
+            ClusterEdge::new(0, 2, 1),
+            ClusterEdge::new(0, 3, 1),
+            ClusterEdge::new(1, 2, 50),
+            ClusterEdge::new(1, 3, 60),
+            ClusterEdge::new(2, 3, 70),
+        ];
+        let (_, total) = solve_fresh(4, &edges);
+        assert_eq!(total, 51);
+    }
+
+    #[test]
+    fn triangles_joined_by_bridge_force_blossoms() {
+        // Two odd cycles joined by one cheap bridge: the solver must
+        // shrink both triangles to route the matching through the
+        // bridge.
+        let edges = [
+            ClusterEdge::new(0, 1, 2),
+            ClusterEdge::new(1, 2, 2),
+            ClusterEdge::new(0, 2, 2),
+            ClusterEdge::new(3, 4, 2),
+            ClusterEdge::new(4, 5, 2),
+            ClusterEdge::new(3, 5, 2),
+            ClusterEdge::new(2, 3, 1),
+        ];
+        let (pairs, total) = solve_fresh(6, &edges);
+        assert_eq!(total, 5);
+        assert!(pairs.contains(&(2, 3)), "bridge must be matched: {pairs:?}");
+    }
+
+    #[test]
+    fn zero_weight_edges_are_allowed() {
+        let edges = [
+            ClusterEdge::new(0, 1, 0),
+            ClusterEdge::new(2, 3, 0),
+            ClusterEdge::new(0, 2, 5),
+            ClusterEdge::new(1, 3, 5),
+        ];
+        let (_, total) = solve_fresh(4, &edges);
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no perfect matching")]
+    fn star_graph_panics() {
+        // All edges share vertex 0, so 1..3 cannot pair up.
+        let edges =
+            [ClusterEdge::new(0, 1, 1), ClusterEdge::new(0, 2, 1), ClusterEdge::new(0, 3, 1)];
+        let _ = solve_fresh(4, &edges);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative weight")]
+    fn negative_weight_rejected() {
+        let _ = solve_fresh(2, &[ClusterEdge::new(0, 1, -3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd vertex count")]
+    fn odd_vertex_count_rejected() {
+        let _ = solve_fresh(3, &[ClusterEdge::new(0, 1, 1)]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_sparse_graphs() {
+        // The transcription pin: random sparse graphs (only keeping
+        // those with a perfect matching) must agree with the
+        // exponential reference on every instance, across sizes that
+        // force deep blossom nesting.
+        let mut rng = SimRng::from_seed(0xB10550);
+        let mut tested = 0u32;
+        for n in [4usize, 6, 8, 10, 12] {
+            for _case in 0..200 {
+                // Random edge set over a Hamiltonian-ish backbone so
+                // perfect matchings usually exist; skip instances
+                // without one.
+                let mut edges = Vec::new();
+                for u in 0..n as u32 {
+                    for v in (u + 1)..n as u32 {
+                        if rng.bernoulli(0.45) {
+                            edges.push(ClusterEdge::new(u, v, (rng.next_u64() % 16) as i64));
+                        }
+                    }
+                }
+                let Some(expect) = brute(n, &edges) else { continue };
+                tested += 1;
+                let (pairs, total) = solve_fresh(n, &edges);
+                assert_eq!(total, expect, "n={n} edges={edges:?}");
+                assert_eq!(pairs.len(), n / 2, "matching must be perfect");
+                let mut seen = vec![false; n];
+                for &(u, v) in &pairs {
+                    assert!(!seen[u] && !seen[v], "vertex reused in {pairs:?}");
+                    seen[u] = true;
+                    seen[v] = true;
+                }
+            }
+        }
+        assert!(tested > 300, "only {tested} solvable instances generated");
+    }
+
+    #[test]
+    fn arena_reuse_across_sizes_matches_fresh_runs() {
+        let mut arena = BlossomArena::new();
+        let mut rng = SimRng::from_seed(0xA2E4A);
+        for _case in 0..150 {
+            let n = 2 * (1 + rng.below(6));
+            let mut edges = Vec::new();
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if rng.bernoulli(0.6) {
+                        edges.push(ClusterEdge::new(u, v, (rng.next_u64() % 9) as i64));
+                    }
+                }
+            }
+            if brute(n, &edges).is_none() {
+                continue;
+            }
+            let mut reused = Vec::new();
+            let total_reused = arena.solve(n, &edges, &mut reused);
+            let (fresh, total_fresh) = solve_fresh(n, &edges);
+            assert_eq!(total_reused, total_fresh, "n={n} edges={edges:?}");
+            assert_eq!(reused, fresh, "reused arena must not change the matching");
+        }
+    }
+}

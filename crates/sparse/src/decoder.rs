@@ -1,13 +1,13 @@
 //! The sparse space-time decoder: cluster formation + exact per-cluster
-//! matching.
+//! matching, entirely on the sparse graph.
 
 use std::sync::Mutex;
 
 use btwc_lattice::{DetectorGraph, StabilizerType, SurfaceCode};
-use btwc_mwpm::blossom::minimum_weight_perfect_matching_with;
 use btwc_mwpm::project::project_pairs;
 use btwc_syndrome::{ComplexDecoder, Correction, DetectionEvent, RoundHistory};
 
+use crate::blossom::ClusterEdge;
 use crate::regions::merge_colliding_regions;
 use crate::scratch::SparseScratch;
 
@@ -28,8 +28,10 @@ use crate::scratch::SparseScratch;
 ///    output-sensitive instead of all-pairs-matrix-shaped.
 /// 2. **Per-cluster exact solve**: singletons exit through the boundary
 ///    (weight = boundary distance), pairs take the cheaper of the direct
-///    edge and two exits, and larger clusters run the workspace's exact
-///    blossom on their handful of events plus boundary twins.
+///    edge and two exits, and larger clusters run the in-crate sparse
+///    blossom ([`crate::blossom`]) on the cluster's *collision edges*
+///    plus boundary twins — alternating trees with blossom shrinking
+///    directly on the sparse graph, never a dense all-pairs table.
 ///
 /// The total matching weight therefore *equals* the dense
 /// [`btwc_mwpm::MwpmDecoder`]'s on every input — this is a faster exact
@@ -172,17 +174,39 @@ impl SparseDecoder {
             let r = scratch.find(i);
             scratch.root.push(r);
         }
-        let SparseScratch { root, order, local_events, blossom, .. } = scratch;
+        let SparseScratch {
+            root,
+            order,
+            collisions,
+            local_events,
+            local_id,
+            cluster_edges,
+            pairs,
+            arena,
+            ..
+        } = scratch;
         order.sort_unstable_by_key(|&i| root[i as usize]);
+        // Group the collision edges the same way: every edge is
+        // intra-cluster by construction, so sorting by one endpoint's
+        // root makes each cluster's edges one contiguous run, consumed
+        // in step with the cluster walk below.
+        collisions.sort_unstable_by_key(|e| root[e.u as usize]);
 
         let mut flips = Vec::new();
         let mut total = 0i64;
         let mut start = 0usize;
+        let mut edge_at = 0usize;
         while start < n {
             let cluster_root = root[order[start] as usize];
             let mut end = start + 1;
             while end < n && root[order[end] as usize] == cluster_root {
                 end += 1;
+            }
+            let mut edge_end = edge_at;
+            while edge_end < collisions.len()
+                && root[collisions[edge_end].u as usize] == cluster_root
+            {
+                edge_end += 1;
             }
             match end - start {
                 // A lone defect: its region met nobody within its own
@@ -209,36 +233,39 @@ impl SparseDecoder {
                         total += exits;
                     }
                 }
-                // A bigger knot: exact blossom over the cluster's events
-                // plus their boundary twins — the dense construction,
-                // shrunk to the handful of events that can actually
-                // interact.
+                // A bigger knot: the in-solver sparse blossom over the
+                // cluster's *collision edges* plus boundary twins. The
+                // two-copy construction keeps the graph sparse: each
+                // event connects to its own twin (weight = its boundary
+                // exit), and every collision edge is mirrored between
+                // the twins at weight zero, so however many events pair
+                // up, the leftover twins can always pair off for free —
+                // an optimal matching never needs an edge the region
+                // scan did not discover.
                 k => {
                     local_events.clear();
                     local_events.extend(order[start..end].iter().map(|&i| events[i as usize]));
-                    let weight = |u: usize, v: usize| -> Option<i64> {
-                        match (u < k, v < k) {
-                            (true, true) => {
-                                let (a, b) = (&local_events[u], &local_events[v]);
-                                let spatial = graph.distance(a.ancilla, b.ancilla);
-                                let temporal = a.round.abs_diff(b.round);
-                                Some(i64::from(spatial) + temporal as i64)
-                            }
-                            (true, false) => (v - k == u).then(|| {
-                                i64::from(graph.boundary_distance(local_events[u].ancilla))
-                            }),
-                            (false, true) => (u - k == v).then(|| {
-                                i64::from(graph.boundary_distance(local_events[v].ancilla))
-                            }),
-                            (false, false) => Some(0),
-                        }
-                    };
-                    let matching = minimum_weight_perfect_matching_with(blossom, 2 * k, weight)
-                        .expect("cluster with boundary twins always has a perfect matching");
-                    project_pairs(graph, local_events, matching.pairs(), &mut flips);
-                    total += matching.total_weight();
+                    for (li, &gi) in order[start..end].iter().enumerate() {
+                        local_id[gi as usize] = li as u32;
+                    }
+                    cluster_edges.clear();
+                    for e in &collisions[edge_at..edge_end] {
+                        let (lu, lv) = (local_id[e.u as usize], local_id[e.v as usize]);
+                        cluster_edges.push(ClusterEdge::new(lu, lv, e.weight));
+                        cluster_edges.push(ClusterEdge::new(lu + k as u32, lv + k as u32, 0));
+                    }
+                    for (li, ev) in local_events.iter().enumerate() {
+                        cluster_edges.push(ClusterEdge::new(
+                            li as u32,
+                            (li + k) as u32,
+                            i64::from(graph.boundary_distance(ev.ancilla)),
+                        ));
+                    }
+                    total += arena.solve(2 * k, cluster_edges, pairs);
+                    project_pairs(graph, local_events, pairs, &mut flips);
                 }
             }
+            edge_at = edge_end;
             start = end;
         }
         (Correction::from_flips(flips), total)

@@ -11,8 +11,12 @@
 //! zero-cost exit), discover matchable edges lazily by detecting region
 //! collisions in round order — each check one O(1) lookup in the
 //! lattice's once-per-code distance tables, with a time-horizon prune
-//! ending every scan early — and solve only the small clusters of
-//! events whose regions actually collide.
+//! ending every scan early — and match the resulting clusters with the
+//! in-crate sparse blossom solver ([`blossom`]): alternating trees,
+//! dual adjustments (dynamic region radii), and blossom shrinking run
+//! directly on the discovered collision edges, so a cluster of any
+//! size — even a chained cluster spanning most of a window — is matched
+//! without ever materializing a dense all-pairs table.
 //!
 //! The result is exact — identical total matching weight to the dense
 //! blossom on every input, which the property suite verifies against
@@ -49,9 +53,11 @@
 //! assert_eq!(correction.qubits(), &[12]);
 //! ```
 
+pub mod blossom;
 mod decoder;
 mod regions;
 mod scratch;
 
+pub use blossom::{BlossomArena, ClusterEdge};
 pub use decoder::SparseDecoder;
 pub use scratch::SparseScratch;

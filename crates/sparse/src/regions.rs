@@ -35,14 +35,19 @@
 use btwc_lattice::DetectorGraph;
 use btwc_syndrome::DetectionEvent;
 
+use crate::blossom::ClusterEdge;
 use crate::scratch::SparseScratch;
 
 /// Merges every colliding pair of regions.
 ///
 /// On return, `scratch`'s union-find partitions `0..events.len()` into
-/// the matching clusters, and `scratch.order` holds the event indices
+/// the matching clusters, `scratch.order` holds the event indices
 /// sorted by round (the scan order, reused by the caller for cluster
-/// grouping). `scratch.prepare` must already have been called.
+/// grouping), and `scratch.collisions` holds every colliding pair with
+/// its space-time weight — the sparse edge set the in-solver blossom
+/// matches on (an optimal matching only ever pairs events across a
+/// collision edge; any other pair is weakly beaten by two boundary
+/// exits). `scratch.prepare` must already have been called.
 pub(crate) fn merge_colliding_regions(
     graph: &DetectorGraph,
     events: &[DetectionEvent],
@@ -76,6 +81,7 @@ pub(crate) fn merge_colliding_regions(
             let d = graph.distance(eu.ancilla, ev.ancilla) + dt as u32;
             if d < bid {
                 scratch.union(u as u32, v as u32);
+                scratch.collisions.push(ClusterEdge::new(u as u32, v as u32, i64::from(d)));
             }
         }
     }

@@ -2,14 +2,16 @@
 //!
 //! Every array the sparse decode kernel touches lives here and is
 //! recycled across decodes (cleared, never reallocated once grown to
-//! the largest event count seen). Warmed up, a decode allocates only
-//! what leaves in its return value: the `Correction`'s flip list, plus
-//! the tiny per-cluster `Matching` of the rare ≥ 3-event clusters — the
-//! same caveat the dense decoder documents for its own returned
-//! `Matching`.
+//! the largest event count seen): the union-find over events, the
+//! collision edge list the region scan discovers, the per-cluster
+//! local graph, and the [`BlossomArena`] holding the sparse blossom
+//! solver's alternating-tree and blossom tables. Warmed up, a decode
+//! allocates only what leaves in its return value: the `Correction`'s
+//! flip list.
 
-use btwc_mwpm::blossom::MatchingScratch;
 use btwc_syndrome::DetectionEvent;
+
+use crate::blossom::{BlossomArena, ClusterEdge};
 
 /// Scratch for [`crate::SparseDecoder`]; grows monotonically to the
 /// largest decode seen and is never shrunk.
@@ -23,11 +25,22 @@ pub struct SparseScratch {
     /// cluster is one contiguous run).
     pub(crate) root: Vec<u32>,
     pub(crate) order: Vec<u32>,
-    /// Events of the cluster currently being solved.
+    /// Every colliding event pair found by the region scan, with its
+    /// space-time weight — the sparse edge set the in-solver blossom
+    /// matches on (global event indices; sorted by cluster root before
+    /// the per-cluster solves).
+    pub(crate) collisions: Vec<ClusterEdge>,
+    /// Events of the cluster currently being solved, and the local
+    /// index (position within the cluster) of each of its events.
     pub(crate) local_events: Vec<DetectionEvent>,
-    /// Dense blossom tables for ≥ 3-event clusters (sized by the largest
-    /// cluster seen, typically a handful of nodes).
-    pub(crate) blossom: MatchingScratch,
+    pub(crate) local_id: Vec<u32>,
+    /// The cluster's local two-copy graph (events + boundary twins) and
+    /// the matched pairs the solver returns.
+    pub(crate) cluster_edges: Vec<ClusterEdge>,
+    pub(crate) pairs: Vec<(usize, usize)>,
+    /// Recycled alternating-tree / blossom tables of the sparse
+    /// blossom solver (sized by the largest cluster seen).
+    pub(crate) arena: BlossomArena,
     /// Detection events of the window being decoded (filled by
     /// `decode_window`).
     pub(crate) events: Vec<DetectionEvent>,
@@ -41,8 +54,8 @@ impl SparseScratch {
     }
 
     /// Readies the scratch for a decode over `num_events` events:
-    /// resets the union-find to singletons and clears the index
-    /// buffers, all in place.
+    /// resets the union-find to singletons and clears the index and
+    /// edge buffers, all in place.
     pub(crate) fn prepare(&mut self, num_events: usize) {
         self.uf_parent.clear();
         self.uf_parent.extend(0..num_events as u32);
@@ -50,6 +63,11 @@ impl SparseScratch {
         self.uf_size.resize(num_events, 1);
         self.root.clear();
         self.order.clear();
+        self.collisions.clear();
+        // `local_id` is only read for events of the cluster being
+        // solved, which always writes first — no reset needed beyond
+        // sizing.
+        self.local_id.resize(num_events, 0);
     }
 
     /// Union-find root of event `x`, with path halving.
@@ -115,5 +133,14 @@ mod tests {
         let root = s.find(0);
         assert!((0..6).all(|i| s.find(i) == root));
         assert_eq!(s.uf_size[root as usize], 6);
+    }
+
+    #[test]
+    fn prepare_clears_collision_edges() {
+        let mut s = SparseScratch::new();
+        s.prepare(4);
+        s.collisions.push(ClusterEdge::new(0, 1, 3));
+        s.prepare(4);
+        assert!(s.collisions.is_empty());
     }
 }

@@ -1,42 +1,27 @@
-//! The exactness acceptance sweep: sparse and dense decoders commit to
-//! matchings of identical total space-time weight on over a thousand
-//! randomized noisy windows across d ∈ {5, 9, 13}, and the sparse
-//! corrections are equally valid (zero residual syndrome against the
-//! final perfect round).
+//! The exactness acceptance sweeps: sparse and dense decoders commit to
+//! matchings of identical total space-time weight on thousands of
+//! randomized noisy windows, and the sparse corrections are equally
+//! valid (zero residual syndrome against the final perfect round).
+//!
+//! Two sweeps share the [`btwc_testutil`] window distribution:
+//!
+//! * the original acceptance sweep at d ∈ {5, 9, 13} and low-to-mid
+//!   rates — the regime region collision was built for;
+//! * the **chained-cluster** differential fuzz at d ∈ {13, 17, 21} and
+//!   p ∈ {5e-3, 1e-2} — the regime where a single cluster chains across
+//!   most of a window's events and the in-solver sparse blossom (not a
+//!   dense fallback) has to shrink real blossoms to stay exact.
+//!
+//! Set `BTWC_FUZZ_WINDOWS` to rescale the chained-cluster budget (the
+//! CI slow-fuzz job raises it; the default keeps `cargo test -q`
+//! fast). Failures print the exact per-window seed plus a full event
+//! dump, so any counterexample is reproducible in isolation.
 
 use btwc_lattice::{StabilizerType, SurfaceCode};
 use btwc_mwpm::MwpmDecoder;
-use btwc_noise::{NoiseModel, PhenomenologicalNoise, SimRng};
+use btwc_noise::SimRng;
 use btwc_sparse::SparseDecoder;
-use btwc_syndrome::RoundHistory;
-
-/// One noisy shot window: `rounds` rounds of accumulating data errors
-/// with independent measurement flips, closed by a perfect readout
-/// round. Returns the window and the final error state.
-fn noisy_window(
-    code: &SurfaceCode,
-    ty: StabilizerType,
-    p: f64,
-    rounds: usize,
-    rng: &mut SimRng,
-) -> (RoundHistory, Vec<bool>) {
-    let noise = PhenomenologicalNoise::uniform(p);
-    let n_anc = code.num_ancillas(ty);
-    let mut errors = vec![false; code.num_data_qubits()];
-    let mut meas = vec![false; n_anc];
-    let mut window = RoundHistory::new(n_anc, rounds + 1);
-    for _ in 0..rounds {
-        noise.sample_data_into(rng, &mut errors);
-        noise.sample_measurement_into(rng, &mut meas);
-        let mut round = code.syndrome_of(ty, &errors);
-        for (r, &m) in round.iter_mut().zip(&meas) {
-            *r ^= m;
-        }
-        window.push(&round);
-    }
-    window.push(&code.syndrome_of(ty, &errors));
-    (window, errors)
-}
+use btwc_testutil::{dump_events, fuzz_window_budget, noisy_window};
 
 #[test]
 fn sparse_weight_equals_dense_on_1000_random_windows() {
@@ -66,9 +51,8 @@ fn sparse_weight_equals_dense_on_1000_random_windows() {
             assert_eq!(
                 w_sparse,
                 w_dense,
-                "weight mismatch at d={d} p={p} window {i} \
-                 ({} events)",
-                window.detection_event_count()
+                "weight mismatch at d={d} p={p} window {i}: {}",
+                dump_events(&window)
             );
             nonzero += u64::from(w_sparse > 0);
             // Both corrections must explain the final-round syndrome.
@@ -84,4 +68,66 @@ fn sparse_weight_equals_dense_on_1000_random_windows() {
     }
     // The sweep must actually exercise the matchers, not decode silence.
     assert!(nonzero > total / 2, "only {nonzero}/{total} windows had events");
+}
+
+/// The chained-cluster regime: operational-to-high rates at d up to 21,
+/// where clusters of well over three events are routine and blossom
+/// shrinking on the sparse graph actually fires. Every window is seeded
+/// independently (`base ^ window index`), so a failure is reproducible
+/// from its printout alone.
+#[test]
+fn chained_cluster_fuzz_sparse_weight_equals_dense() {
+    // Relative weights per (d, p) cell, summing to 100; the total
+    // budget (default 1000, `BTWC_FUZZ_WINDOWS` to override) is split
+    // proportionally. d = 13 carries the bulk for wall-time reasons;
+    // d = 21 at p = 1e-2 is the hardest regime (hundreds of events,
+    // window-spanning clusters) and stays covered on every run.
+    let plan: [(u16, f64, u64); 6] = [
+        (13, 5e-3, 40),
+        (13, 1e-2, 34),
+        (17, 5e-3, 10),
+        (17, 1e-2, 8),
+        (21, 5e-3, 5),
+        (21, 1e-2, 3),
+    ];
+    let total = fuzz_window_budget(1000);
+    let ty = StabilizerType::X;
+    let mut max_events = 0usize;
+    let mut ran = 0u64;
+    for (d, p, weight) in plan {
+        let windows = (total * weight / 100).max(1);
+        let code = SurfaceCode::new(d);
+        let mut sparse = SparseDecoder::new(&code, ty);
+        let mut dense = MwpmDecoder::new(&code, ty);
+        let base = 0xC4A1_7ED0u64 ^ (u64::from(d) << 40) ^ p.to_bits();
+        for i in 0..windows {
+            let seed = base ^ i;
+            let (window, errors) =
+                noisy_window(&code, ty, p, usize::from(d), &mut SimRng::from_seed(seed));
+            max_events = max_events.max(window.detection_event_count());
+            let (c_sparse, w_sparse) = sparse.decode_window_weighted(&window);
+            let (_, w_dense) = dense.decode_window_weighted(&window);
+            assert_eq!(
+                w_sparse,
+                w_dense,
+                "chained-cluster weight mismatch at d={d} p={p} window {i} \
+                 (reproduce: SimRng::from_seed({seed:#x}), {} rounds): {}",
+                d,
+                dump_events(&window)
+            );
+            // The sparse correction must fully explain the syndrome.
+            let mut residual = errors;
+            c_sparse.apply_to(&mut residual);
+            assert!(
+                code.syndrome_of(ty, &residual).iter().all(|&s| !s),
+                "residual syndrome at d={d} p={p} window {i} \
+                 (reproduce: SimRng::from_seed({seed:#x})): {}",
+                dump_events(&window)
+            );
+            ran += 1;
+        }
+    }
+    assert!(ran >= total.min(1000) * 95 / 100, "budget {total} but only {ran} windows ran");
+    // The sweep must reach genuinely chained clusters, not small knots.
+    assert!(max_events >= 40, "largest window had only {max_events} events");
 }

@@ -71,7 +71,8 @@ fn frame_size_matches_io_budgeting() {
 /// → word-parallel filtering → framed off-chip decodes over the shared
 /// link → corrections → the error state. Returns the machine.
 fn drive_machine(bandwidth: usize, backend: DecoderBackend, cycles: usize) -> BtwcMachine {
-    use btwc::noise::{NoiseModel, PhenomenologicalNoise, SimRng};
+    use btwc::noise::{PhenomenologicalNoise, SimRng};
+    use btwc_testutil::noisy_round;
 
     let code = SurfaceCode::new(5);
     let ty = StabilizerType::X;
@@ -85,12 +86,7 @@ fn drive_machine(bandwidth: usize, backend: DecoderBackend, cycles: usize) -> Bt
     let mut batch = SyndromeBatch::new(num_qubits, code.num_ancillas(ty));
     for _ in 0..cycles {
         for (q, e) in errors.iter_mut().enumerate() {
-            noise.sample_data_into(&mut rng, e);
-            noise.sample_measurement_into(&mut rng, &mut meas);
-            let mut round = code.syndrome_of(ty, e);
-            for (r, &m) in round.iter_mut().zip(&meas) {
-                *r ^= m;
-            }
+            let round = noisy_round(&code, ty, &noise, &mut rng, e, &mut meas);
             batch.set_qubit_round_bools(q, &round);
         }
         let cycle = machine.step(&batch);
