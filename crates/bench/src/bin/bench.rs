@@ -16,6 +16,11 @@
 //!   the same comparison at p = 5e-3, the operational-rate regime where
 //!   whole windows collapse into a few large clusters and the in-solver
 //!   sparse blossom replaces the old dense per-cluster fallback;
+//! * `streaming_{incremental,fromscratch}_d{13,17,21}_slide{1,d}` — the
+//!   `streaming_decode` group: the incremental sliding-window sparse
+//!   decode (persistent regions, collision edges, and cluster solutions
+//!   across slides) versus a from-scratch sparse decode of every
+//!   position of a 6d-round window on one continuous p = 5e-3 trace;
 //! * `ler_d{7,11}_{mwpm,clique}` — the Fig. 14 shot loop, reported as
 //!   decoded rounds per second;
 //! * `sweep_{scoped_per_point,pooled_grid}` — the `sweep_throughput`
@@ -29,7 +34,8 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use btwc_bench::baseline::{
-    coverage_sweep_per_point, sample_noisy_rounds, sample_noisy_window, BoolVecHistory,
+    coverage_sweep_per_point, sample_noisy_rounds, sample_noisy_window, sample_streaming_trace,
+    BoolVecHistory,
 };
 use btwc_bench::{
     machine_step_workload, print_table, scaled, sweep_throughput_axes, SWEEP_BENCH_WORKERS,
@@ -199,6 +205,82 @@ fn chained_cluster_benches(entries: &mut Vec<Entry>) -> (f64, f64) {
     (s[0], s[1])
 }
 
+/// The `streaming_decode` comparison: the incremental sliding-window
+/// sparse decode versus a from-scratch sparse decode of every window
+/// position, on one continuous noisy trace per distance (p = 5e-3, a
+/// 6d-round window sliding `slide` rounds between decodes — long
+/// windows are where streaming pays: per-position work tracks the
+/// per-slide dirt, not the window). Slide-by-1 is the streaming regime
+/// the incremental state was built for; slide-by-d forces deep slide
+/// compaction each step. Both arms time from a pre-filled, once-decoded
+/// window so slide-by-1 measures the steady state rather than the
+/// fill-up. Returns the incremental/from-scratch speedups at slide 1
+/// for d = 13, 17, 21 (the acceptance bar is ≥ 3x at d ≥ 17).
+fn streaming_benches(entries: &mut Vec<Entry>) -> (f64, f64, f64) {
+    let ty = StabilizerType::X;
+    let p = 5e-3;
+    let mut slide1_speedups = Vec::new();
+    for &(d, slide1_iters, slided_iters) in
+        &[(13u16, 1_200u64, 240u64), (17, 400, 80), (21, 120, 24)]
+    {
+        let code = SurfaceCode::new(d);
+        let n_anc = code.num_ancillas(ty);
+        let w = 6 * usize::from(d);
+        let trace = sample_streaming_trace(&code, 512, p, 4, 0x57E4 + u64::from(d));
+        let packed: Vec<PackedBits> = trace.iter().map(|r| PackedBits::from_bools(r)).collect();
+        for (slide, base_iters) in [(1usize, slide1_iters), (usize::from(d), slided_iters)] {
+            let iters = scaled(base_iters);
+
+            let mut dec = SparseDecoder::new(&code, ty);
+            let mut window = RoundHistory::new(n_anc, w);
+            let mut i = 0;
+            for _ in 0..w {
+                window.push_packed(&packed[i]);
+                i = (i + 1) % packed.len();
+            }
+            std::hint::black_box(dec.decode_stream_weighted(&window).1);
+            let incremental = time_rounds(iters, || {
+                for _ in 0..slide {
+                    window.push_packed(&packed[i]);
+                    i = (i + 1) % packed.len();
+                }
+                std::hint::black_box(dec.decode_stream_weighted(&window).1);
+            }) * slide as f64;
+            entries.push(Entry {
+                name: format!("streaming_incremental_d{d}_slide{slide}"),
+                rounds_per_sec: incremental,
+                detail: format!("p={p}, {w}-round window, incremental stream decode"),
+            });
+
+            let mut dec = SparseDecoder::new(&code, ty);
+            let mut window = RoundHistory::new(n_anc, w);
+            let mut i = 0;
+            for _ in 0..w {
+                window.push_packed(&packed[i]);
+                i = (i + 1) % packed.len();
+            }
+            std::hint::black_box(dec.decode_window_weighted(&window).1);
+            let fromscratch = time_rounds(iters, || {
+                for _ in 0..slide {
+                    window.push_packed(&packed[i]);
+                    i = (i + 1) % packed.len();
+                }
+                std::hint::black_box(dec.decode_window_weighted(&window).1);
+            }) * slide as f64;
+            entries.push(Entry {
+                name: format!("streaming_fromscratch_d{d}_slide{slide}"),
+                rounds_per_sec: fromscratch,
+                detail: format!("p={p}, {w}-round window, batch decode per position"),
+            });
+
+            if slide == 1 {
+                slide1_speedups.push(incremental / fromscratch.max(1e-12));
+            }
+        }
+    }
+    (slide1_speedups[0], slide1_speedups[1], slide1_speedups[2])
+}
+
 fn ler_benches(entries: &mut Vec<Entry>) {
     for d in [7u16, 11] {
         let shots = scaled(400);
@@ -315,6 +397,7 @@ fn main() {
     let (boolvec, packed) = sticky_benches(&mut entries);
     let (sparse_d13, sparse_d21) = sparse_vs_dense_benches(&mut entries);
     let (chained_d17, chained_d21) = chained_cluster_benches(&mut entries);
+    let (stream_d13, stream_d17, stream_d21) = streaming_benches(&mut entries);
     ler_benches(&mut entries);
     let sweep_speedup = sweep_benches(&mut entries);
     let machine_speedup = machine_benches(&mut entries);
@@ -333,6 +416,10 @@ fn main() {
         "chained clusters (p=5e-3) sparse vs dense: {chained_d17:.1}x at d=17, \
          {chained_d21:.1}x at d=21"
     );
+    println!(
+        "streaming slide-by-1 incremental vs from-scratch sparse: {stream_d13:.1}x at d=13, \
+         {stream_d17:.1}x at d=17, {stream_d21:.1}x at d=21"
+    );
     println!("whole-grid pooled sweep vs per-point scoped threads: {sweep_speedup:.1}x");
 
     let mut json =
@@ -342,6 +429,18 @@ fn main() {
     let _ = writeln!(json, "  \"offchip_sparse_speedup_vs_dense_d21\": {sparse_d21:.3},");
     let _ = writeln!(json, "  \"chained_sparse_speedup_vs_dense_d17\": {chained_d17:.3},");
     let _ = writeln!(json, "  \"chained_sparse_speedup_vs_dense_d21\": {chained_d21:.3},");
+    let _ = writeln!(
+        json,
+        "  \"streaming_sparse_speedup_vs_fromscratch_d13_slide1\": {stream_d13:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"streaming_sparse_speedup_vs_fromscratch_d17_slide1\": {stream_d17:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"streaming_sparse_speedup_vs_fromscratch_d21_slide1\": {stream_d21:.3},"
+    );
     let _ = writeln!(json, "  \"sweep_pooled_speedup_vs_scoped\": {sweep_speedup:.3},");
     let _ = writeln!(json, "  \"machine_batched_speedup_vs_perqubit\": {machine_speedup:.3},");
     json.push_str("  \"results\": [\n");

@@ -334,21 +334,18 @@ impl BtwcDecoder {
     ///   times uniformly, so the space-time matching of a later complex
     ///   decode is unchanged — this removes the seed implementation's
     ///   per-cycle round copy in the >90% quiet case.
-    /// * When the window **fills**, it is reset rather than slid: every
-    ///   round in it was either quiet or already consumed by Clique's
-    ///   on-chip corrections (a complex decode would have reset the
-    ///   window when it was resolved), so the dropped history is stale
-    ///   by construction. Resetting also restores the all-zero
-    ///   detection-event baseline that `decode_window` assumes.
+    /// * When the window **fills**, it **slides**: pushing onto a full
+    ///   [`RoundHistory`] retires the oldest round and re-bases the
+    ///   surviving detection events (`slide(1)` semantics), so the
+    ///   window always holds the most recent non-trivial history and a
+    ///   streaming backend ([`ComplexDecoder::decode_stream_mut`]) can
+    ///   carry its incremental state across the slide.
     /// * A complex decode consumes the window and resets it.
     ///
     /// # Panics
     ///
     /// Panics if `raw.len()` does not match the ancilla count.
     pub fn process_round_packed(&mut self, raw: &PackedBits) -> BtwcOutcome {
-        if self.window.len() == self.window.capacity() {
-            self.window.reset();
-        }
         if !(self.window.is_empty() && raw.is_zero()) {
             self.window.push_packed(raw);
         }
@@ -364,7 +361,7 @@ impl BtwcDecoder {
             }
             CliqueDecision::Complex => {
                 self.stats.offchip += 1;
-                let c = self.complex.decode_window_mut(&self.window);
+                let c = self.complex.decode_stream_mut(&self.window);
                 // Window consumed; the sticky filter clears itself once
                 // the correction lands, so no pipeline reset is needed.
                 self.window.reset();

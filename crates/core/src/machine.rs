@@ -198,8 +198,9 @@ pub struct BtwcMachine {
     /// whole machine instead of a transpose per active qubit.
     window_ring: BatchHistory,
     /// Cycles currently in qubit `q`'s (virtual) window — mirrors
-    /// `BtwcDecoder`'s reset-on-full / skip-while-empty-and-zero
-    /// bookkeeping exactly.
+    /// `BtwcDecoder`'s slide-on-full / skip-while-empty-and-zero
+    /// bookkeeping exactly (saturates at `window_rounds`; the gather
+    /// then yields the ring's most recent rounds).
     window_len: Vec<usize>,
     /// Bit `q` set iff `window_len[q] > 0` (so quiet qubits with empty
     /// windows cost no per-qubit work at all).
@@ -325,7 +326,7 @@ impl BtwcMachine {
         //    per-qubit state is just a length counter, updated only for
         //    qubits with a non-zero raw round or an already-started
         //    window (mirrors BtwcDecoder::process_round_packed:
-        //    reset-on-full, skip the push while empty-and-zero).
+        //    slide-on-full, skip the push while empty-and-zero).
         batch.active_qubits_into(&mut self.raw_active);
         self.work.copy_from(&self.raw_active);
         self.work.or_with(&self.pending);
@@ -337,13 +338,13 @@ impl BtwcMachine {
         }
         for q in self.work.iter_set() {
             let len = &mut self.window_len[q];
-            if *len == self.window_rounds {
-                *len = 0;
-            }
             if *len == 0 && !self.raw_active.get(q) {
                 self.pending.set(q, false);
             } else {
-                *len += 1;
+                // A full window slides instead of restarting: the length
+                // saturates and the ring's most recent rounds are what
+                // the next gather materializes.
+                *len = (*len + 1).min(self.window_rounds);
                 self.pending.set(q, true);
             }
         }
@@ -382,7 +383,7 @@ impl BtwcMachine {
                 frame_bytes += frame.len();
                 let received = DecodeRequest::decode(&frame).expect("loopback frame must parse");
                 received.replay_into(wire);
-                let c = offchip.decode_window_mut(wire);
+                let c = offchip.decode_stream_mut(wire);
                 outcomes[q] = BtwcOutcome::OffChip(c);
                 // Window consumed; the sticky filter clears itself once
                 // the correction lands.

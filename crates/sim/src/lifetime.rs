@@ -260,7 +260,7 @@ impl LifetimeSim {
         let offchip = cfg.backend.build(&code, ty);
         let n_anc = code.num_ancillas(ty);
         // Off-chip window: enough rounds for space-time matching; reset
-        // whenever a complex decode resolves it or it fills up.
+        // when a complex decode resolves it, slid when it fills up.
         let window = RoundHistory::new(n_anc, usize::from(cfg.distance).max(4) * 4);
         let stats = LifetimeStats::new(n_anc);
         Self {
@@ -302,15 +302,14 @@ impl LifetimeSim {
         }
         let weight = self.round.weight();
         self.stats.raw_weight_histogram[weight] += 1;
-        // 3. Feed the decode window (resetting keeps the detection-event
-        //    baseline aligned with the accumulated-error frame). While
-        //    the window is empty, all-zero rounds are skipped: they
-        //    carry no detection events and only shift event times
+        // 3. Feed the decode window. A full window *slides* (pushing
+        //    retires the oldest round and re-bases surviving detection
+        //    events), so an escalation always sees the freshest history
+        //    and streaming backends can reuse their incremental state.
+        //    While the window is empty, all-zero rounds are skipped:
+        //    they carry no detection events and only shift event times
         //    uniformly, so the space-time matching is unchanged while
         //    the dominant quiet case stays copy-free.
-        if self.window.len() == self.window.capacity() {
-            self.window.reset();
-        }
         if !(self.window.is_empty() && self.round.is_zero()) {
             self.window.push_packed(&self.round);
         }
@@ -329,7 +328,7 @@ impl LifetimeSim {
             }
             CliqueDecision::Complex => {
                 self.stats.complex += 1;
-                let c = self.offchip.decode_window_mut(&self.window);
+                let c = self.offchip.decode_stream_mut(&self.window);
                 self.stats.offchip_corrected_qubits += c.weight() as u64;
                 self.tracker.apply(c.qubits());
                 // The window is consumed; the sticky filter needs no

@@ -29,10 +29,27 @@
 //! regrows monotonically and is reset — never reallocated — per solve,
 //! so the decode hot path stays allocation-free once warm.
 //!
+//! **Dual adjustment is slack-ordered**: instead of re-scanning every
+//! vertex and blossom per substage for the smallest dual step, the
+//! solver keeps a lazy priority queue of candidate steps. Each entry is
+//! keyed by `delta-at-push + T`, where `T` is the total dual adjustment
+//! applied so far this stage — a normalization that makes keys
+//! *invariant* under later adjustments (a free-vertex edge's slack and
+//! a T-blossom's dual both shrink at exactly the rate `T` grows, and an
+//! S–S edge's half-slack likewise). Entries go stale only through
+//! structural changes (labels, blossom membership, better best-edges),
+//! all of which push fresh entries, so popped entries are validated
+//! against current structure and discarded or key-corrected; the first
+//! entry that validates exactly is the true minimum. Debug builds
+//! cross-check every chosen delta against the reference linear scan.
+//!
 //! Correctness is pinned three ways: in-module property tests against
 //! the exponential reference matcher, the brute-force cluster suite in
 //! `tests/properties.rs`, and the chained-cluster differential fuzz
 //! sweep against the dense blossom in `tests/sparse_vs_dense.rs`.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 const NONE: i32 = -1;
 
@@ -54,6 +71,144 @@ impl ClusterEdge {
     pub fn new(u: u32, v: u32, weight: i64) -> Self {
         Self { u, v, weight }
     }
+}
+
+/// Sentinel in [`WarmStart::duals`] for "no hint for this vertex".
+pub const NO_HINT: i64 = i64::MIN;
+
+/// One blossom of an exported warm start (see
+/// [`BlossomArena::export_warm`]): enough of the shrunken odd cycle to
+/// re-instantiate it in a later solve over (a superset of) the same
+/// vertices. Serialized bottom-up per subtree; indices are positions in
+/// the same exported list.
+#[derive(Debug, Clone, Default)]
+pub struct StoredBlossom {
+    /// Position of the enclosing blossom in the same list, or -1 for a
+    /// subtree root (a top-level blossom at export time).
+    pub parent: i32,
+    /// The blossom dual `z` (≥ 0; subtree roots have `z > 0`).
+    pub z: i64,
+    /// Base vertex (local id).
+    pub base: u32,
+    /// The odd cycle's children in order: `v << 1` for a vertex `v`,
+    /// `(i << 1) | 1` for the blossom at list position `i`.
+    pub childs: Vec<u32>,
+    /// Connecting edges of the cycle, oriented like the arena's
+    /// endpoint lists: `(from, to)` vertex pairs such that entry `i`
+    /// enters child `i + 1` (wrapping) through vertex `to`.
+    pub endps: Vec<(u32, u32)>,
+}
+
+/// Remaps an exported blossom forest through a vertex renaming,
+/// appending the subtrees that survive it to `out` (list positions and
+/// parent links re-based onto `out`). A subtree survives only if `map`
+/// keeps every vertex it references; a dropped subtree is flattened
+/// instead — each surviving member's entry in `duals` (the *new*-id
+/// dual hints) absorbs the z of every stored blossom that held it, so
+/// the hints stay dual-feasible without the structure.
+pub(crate) fn remap_stored_blossoms(
+    stored: &[StoredBlossom],
+    mut map: impl FnMut(u32) -> Option<u32>,
+    duals: &mut [i64],
+    out: &mut Vec<StoredBlossom>,
+) {
+    let nsb = stored.len();
+    let (mut zsum, mut rootof) = (vec![0i64; nsb], vec![0u32; nsb]);
+    let mut dead = vec![false; nsb];
+    for i in 0..nsb {
+        let sb = &stored[i];
+        debug_assert!(sb.parent < i as i32, "stored parents precede children");
+        if sb.parent < 0 {
+            (zsum[i], rootof[i]) = (sb.z, i as u32);
+        } else {
+            let p = sb.parent as usize;
+            (zsum[i], rootof[i]) = (sb.z + zsum[p], rootof[p]);
+        }
+        let verts = sb
+            .childs
+            .iter()
+            .filter(|&&c| c & 1 == 0)
+            .map(|&c| c >> 1)
+            .chain(sb.endps.iter().flat_map(|&(f, t)| [f, t]))
+            .chain([sb.base]);
+        for v in verts {
+            if map(v).is_none() {
+                dead[rootof[i] as usize] = true;
+                break;
+            }
+        }
+    }
+    let mut newpos = vec![0u32; nsb];
+    let mut next = out.len() as u32;
+    for i in 0..nsb {
+        if !dead[rootof[i] as usize] {
+            newpos[i] = next;
+            next += 1;
+        }
+    }
+    for i in 0..nsb {
+        let sb = &stored[i];
+        if dead[rootof[i] as usize] {
+            // Flatten: the subtree is gone, its members keep its weight.
+            for &c in &sb.childs {
+                if c & 1 == 0 {
+                    if let Some(nv) = map(c >> 1) {
+                        let nv = nv as usize;
+                        if nv < duals.len() && duals[nv] != NO_HINT {
+                            duals[nv] += zsum[i];
+                        }
+                    }
+                }
+            }
+            continue;
+        }
+        let mut remap = |v: u32| map(v).expect("surviving subtrees map every vertex");
+        out.push(StoredBlossom {
+            parent: if sb.parent < 0 { -1 } else { newpos[sb.parent as usize] as i32 },
+            z: sb.z,
+            base: remap(sb.base),
+            childs: sb
+                .childs
+                .iter()
+                .map(|&c| {
+                    if c & 1 == 0 {
+                        remap(c >> 1) << 1
+                    } else {
+                        (newpos[(c >> 1) as usize] << 1) | 1
+                    }
+                })
+                .collect(),
+            endps: sb.endps.iter().map(|&(f, t)| (remap(f), remap(t))).collect(),
+        });
+    }
+}
+
+/// A warm start for [`BlossomArena::solve_warm`]: the surviving primal
+/// (matched pairs) and dual (vertex radii) state of a previous, closely
+/// related solve — typically the same cluster one window-slide ago.
+///
+/// A warm start is a *hint*, never a contract: pairs whose edge is
+/// missing or no longer tight are dropped, duals that violate dual
+/// feasibility are repaired upward, and vertices marked [`NO_HINT`]
+/// start cold. The solve result is therefore exactly the optimum of the
+/// given graph regardless of hint quality — a perfect hint just skips
+/// straight to the few augmentations the slide actually changed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WarmStart<'a> {
+    /// Per-vertex dual hints ([`NO_HINT`] entries and vertices past the
+    /// end start cold).
+    pub duals: &'a [i64],
+    /// Matched pairs `(u, v)` to pre-seed (kept only if the edge exists
+    /// and is tight under the repaired duals).
+    pub pairs: &'a [(u32, u32)],
+    /// The complement base `w_base` the duals were exported under (see
+    /// [`BlossomArena::export_warm`]); the solver shifts them onto its
+    /// own base.
+    pub w_base: i64,
+    /// Surviving blossoms of the exporting solve, to re-instantiate
+    /// (each validated against the current graph and dropped — its dual
+    /// flattened into its members' — if anything no longer fits).
+    pub blossoms: &'a [StoredBlossom],
 }
 
 /// Recycled working state for the sparse blossom solver: alternating
@@ -112,6 +267,23 @@ pub struct BlossomArena {
     scan_path: Vec<u32>,
     cand: Vec<u32>,
     bestedgeto: Vec<i32>,
+    // --- lazy dual-step queue (see module docs) ---
+    /// Min-heap of `(delta-at-push + t_now-at-push, kind, id)` where
+    /// kind 2 = free vertex `id` with a best edge to an S-blossom,
+    /// kind 3 = top-level S-blossom `id` with a best edge to another
+    /// S-blossom, kind 4 = top-level T-blossom `id` awaiting expansion.
+    /// The tuple order also reproduces the reference scan's tie-break
+    /// (type 2 before 3 before 4, then lowest index).
+    delta_heap: BinaryHeap<Reverse<(i64, u8, u32)>>,
+    /// Total dual adjustment applied so far this stage; normalizes heap
+    /// keys so they stay comparable as duals move.
+    t_now: i64,
+    /// Complement base of the current solve: weights are maximized as
+    /// `2 * (w_base - w)`. At least the largest edge weight; a warm
+    /// start can raise it (never lower — duals shift monotonically).
+    w_base: i64,
+    /// Largest complemented weight (the cold dual initializer).
+    max_w2: i64,
 }
 
 impl BlossomArena {
@@ -137,12 +309,34 @@ impl BlossomArena {
         edges: &[ClusterEdge],
         pairs: &mut Vec<(usize, usize)>,
     ) -> i64 {
+        self.solve_warm(num_vertices, edges, pairs, None)
+    }
+
+    /// [`BlossomArena::solve`] seeded from the primal/dual state of a
+    /// previous related solve (see [`WarmStart`]). The result is the
+    /// exact optimum of *this* graph — hints only shorten the road:
+    /// every surviving tight matched edge is one augmentation the
+    /// stages no longer have to rediscover.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`BlossomArena::solve`].
+    pub fn solve_warm(
+        &mut self,
+        num_vertices: usize,
+        edges: &[ClusterEdge],
+        pairs: &mut Vec<(usize, usize)>,
+        warm: Option<&WarmStart<'_>>,
+    ) -> i64 {
         pairs.clear();
         if num_vertices == 0 {
             return 0;
         }
         assert!(num_vertices.is_multiple_of(2), "odd vertex count {num_vertices} cannot match");
-        self.prepare(num_vertices, edges);
+        self.prepare(num_vertices, edges, warm.map_or(0, |w| w.w_base));
+        if let Some(w) = warm {
+            self.seed_warm(w);
+        }
         let (n, two_n) = (self.n, 2 * self.n);
 
         for _stage in 0..n {
@@ -158,6 +352,8 @@ impl BlossomArena {
             }
             self.allowedge[..self.m].fill(false);
             self.queue.clear();
+            self.delta_heap.clear();
+            self.t_now = 0;
             for v in 0..n {
                 if self.mate[v] == NONE && self.label[self.inblossom[v] as usize] == 0 {
                     self.assign_label(v, 1, NONE);
@@ -217,12 +413,14 @@ impl BlossomArena {
                                 || kslack < self.slack(self.bestedge[b] as usize)
                             {
                                 self.bestedge[b] = k as i32;
+                                self.push_delta3(b, k);
                             }
                         } else if self.label[w] == 0
                             && (self.bestedge[w] == NONE
                                 || kslack < self.slack(self.bestedge[w] as usize))
                         {
                             self.bestedge[w] = k as i32;
+                            self.push_delta2(w, k);
                         }
                     }
                 }
@@ -231,52 +429,91 @@ impl BlossomArena {
                 }
 
                 // Dual adjustment: the cheapest move that creates a new
-                // tight edge or frees a blossom for expansion.
+                // tight edge or frees a blossom for expansion, found by
+                // draining the lazy heap instead of rescanning every
+                // vertex and blossom. Popped entries are validated
+                // against current structure: structurally dead ones are
+                // discarded, live ones whose true delta moved since the
+                // push are re-inserted with the corrected key, and the
+                // first exact match is the minimum (see module docs).
                 let mut deltatype = -1;
                 let mut delta = 0i64;
                 let mut deltaedge = NONE;
                 let mut deltablossom = NONE;
-                for v in 0..n {
-                    if self.label[self.inblossom[v] as usize] == 0 && self.bestedge[v] != NONE {
-                        let d = self.slack(self.bestedge[v] as usize);
-                        if deltatype == -1 || d < delta {
-                            delta = d;
-                            deltatype = 2;
-                            deltaedge = self.bestedge[v];
+                while let Some(Reverse((key, kind, id))) = self.delta_heap.pop() {
+                    let id = id as usize;
+                    let claimed = key - self.t_now;
+                    let current = match kind {
+                        2 => {
+                            if self.label[self.inblossom[id] as usize] == 0
+                                && self.bestedge[id] != NONE
+                            {
+                                Some(self.slack(self.bestedge[id] as usize))
+                            } else {
+                                None
+                            }
                         }
-                    }
-                }
-                for b in 0..two_n {
-                    if self.blossomparent[b] == NONE
-                        && self.label[b] == 1
-                        && self.bestedge[b] != NONE
-                    {
-                        let kslack = self.slack(self.bestedge[b] as usize);
-                        debug_assert_eq!(kslack % 2, 0, "doubled weights keep slacks even");
-                        let d = kslack / 2;
-                        if deltatype == -1 || d < delta {
-                            delta = d;
-                            deltatype = 3;
-                            deltaedge = self.bestedge[b];
+                        3 => {
+                            if self.blossomparent[id] == NONE
+                                && self.label[id] == 1
+                                && self.bestedge[id] != NONE
+                            {
+                                let kslack = self.slack(self.bestedge[id] as usize);
+                                debug_assert_eq!(kslack % 2, 0, "doubled weights keep slacks even");
+                                Some(kslack / 2)
+                            } else {
+                                None
+                            }
                         }
-                    }
-                }
-                for b in n..two_n {
-                    if self.blossombase[b] >= 0
-                        && self.blossomparent[b] == NONE
-                        && self.label[b] == 2
-                        && (deltatype == -1 || self.dualvar[b] < delta)
-                    {
-                        delta = self.dualvar[b];
-                        deltatype = 4;
-                        deltablossom = b as i32;
+                        _ => {
+                            if id >= n
+                                && self.blossombase[id] >= 0
+                                && self.blossomparent[id] == NONE
+                                && self.label[id] == 2
+                            {
+                                Some(self.dualvar[id])
+                            } else {
+                                None
+                            }
+                        }
+                    };
+                    match current {
+                        None => {}
+                        Some(d) if d != claimed => {
+                            self.delta_heap.push(Reverse((d + self.t_now, kind, id as u32)));
+                        }
+                        Some(d) => {
+                            delta = d;
+                            deltatype = i32::from(kind);
+                            if kind == 4 {
+                                deltablossom = id as i32;
+                            } else {
+                                deltaedge = self.bestedge[id];
+                            }
+                            break;
+                        }
                     }
                 }
                 if deltatype == -1 {
-                    // No further move: a maximum-cardinality optimum is
-                    // reached (the perfect matching, for our graphs).
+                    // Heap drained with no live candidate: a
+                    // maximum-cardinality optimum is reached (the
+                    // perfect matching, for our graphs).
                     deltatype = 1;
                     delta = self.dualvar[..n].iter().copied().min().unwrap_or(0).max(0);
+                }
+                #[cfg(debug_assertions)]
+                {
+                    let (ref_type, ref_delta) = self.reference_delta();
+                    debug_assert_eq!(
+                        delta, ref_delta,
+                        "lazy heap delta diverged from linear scan \
+                         (heap type {deltatype}, scan type {ref_type})"
+                    );
+                    debug_assert_eq!(
+                        deltatype == 1,
+                        ref_type == 1,
+                        "heap and scan disagree on optimality"
+                    );
                 }
 
                 for v in 0..n {
@@ -295,6 +532,10 @@ impl BlossomArena {
                         }
                     }
                 }
+                // Keys already in the heap were normalized with the old
+                // total; advancing it keeps `key - t_now` equal to each
+                // candidate's remaining delta.
+                self.t_now += delta;
 
                 match deltatype {
                     1 => break,
@@ -350,8 +591,10 @@ impl BlossomArena {
     }
 
     /// Sizes and resets every table for a solve over `n` vertices and
-    /// the given edges (no allocation once grown).
-    fn prepare(&mut self, n: usize, edges: &[ClusterEdge]) {
+    /// the given edges (no allocation once grown). `w_base_floor`
+    /// raises the complement base above the edge maximum so warm duals
+    /// exported under a larger base stay directly comparable.
+    fn prepare(&mut self, n: usize, edges: &[ClusterEdge], w_base_floor: i64) {
         let m = edges.len();
         self.n = n;
         self.m = m;
@@ -377,9 +620,11 @@ impl BlossomArena {
             self.endpoint.push(e.u);
             self.endpoint.push(e.v);
         }
-        // Complement and double: maximize 2 * (w_max - w).
+        // Complement and double: maximize 2 * (w_base - w).
+        self.w_base = w_max.max(w_base_floor);
+        let w_base = self.w_base;
         self.wt.clear();
-        self.wt.extend(self.orig.iter().map(|&w| 2 * (w_max - w)));
+        self.wt.extend(self.orig.iter().map(|&w| 2 * (w_base - w)));
 
         // CSR adjacency of remote endpoints.
         self.nb_off.clear();
@@ -419,9 +664,9 @@ impl BlossomArena {
         self.blossombase.resize(two_n, NONE);
         self.bestedge.clear();
         self.bestedge.resize(two_n, NONE);
-        let max_w2 = self.wt.iter().copied().max().unwrap_or(0);
+        self.max_w2 = self.wt.iter().copied().max().unwrap_or(0);
         self.dualvar.clear();
-        self.dualvar.resize(n, max_w2);
+        self.dualvar.resize(n, self.max_w2);
         self.dualvar.resize(two_n, 0);
         if self.blossomchilds.len() < two_n {
             self.blossomchilds.resize_with(two_n, Vec::new);
@@ -442,12 +687,617 @@ impl BlossomArena {
         self.unused.extend(n as u32..two_n as u32);
     }
 
+    /// Seeds duals, blossoms, and matching from `warm` (called right
+    /// after [`BlossomArena::prepare`], before any stage runs).
+    ///
+    /// Hinted duals are shifted onto the current complement base;
+    /// unhinted vertices start cold at `2 * max_w2 (+ parity)`, which
+    /// dominates every incident slack against any non-negative neighbor
+    /// dual. Stored blossoms are re-instantiated wherever they still
+    /// fit the graph exactly; a subtree that does not — or whose member
+    /// duals the parity normalization had to perturb — is *flattened*:
+    /// each member's dual absorbs the blossom duals above it, which
+    /// keeps every edge it buried feasible on vertex slacks alone. A
+    /// repair pass then raises a free endpoint of any remaining
+    /// negative-slack edge (raising a dual only ever *increases*
+    /// slacks), and finally the hinted pairs whose edge exists and is
+    /// tight get matched. The primal–dual stages are exact from any
+    /// dual-feasible state with a tight matching and valid blossoms, so
+    /// hint quality affects speed, never the result.
+    fn seed_warm(&mut self, warm: &WarmStart<'_>) {
+        let n = self.n;
+        debug_assert!(self.w_base >= warm.w_base, "prepare floors the base at the hint's");
+        let shift = 2 * (self.w_base - warm.w_base);
+        let hint = |v: usize| warm.duals.get(v).copied().unwrap_or(NO_HINT);
+        // The dual steps inherit cold start's even-slack invariant from
+        // a uniform-parity start (doubled weights keep `du + dv - 2wt`
+        // even whenever all duals share a parity — all-odd works as
+        // well as all-even). Exporting solves drift between the two
+        // classes (a type-3 dual step of odd size flips its tree), so
+        // merged hints are routinely mixed; everything below normalizes
+        // back to the *majority* class: whole off-class subtrees shift
+        // `+1` against their root `z` (tightness-preserving), matched
+        // off-class pairs shift `+1`/`-1`, and stray singles round up.
+        let (mut evens, mut odds) = (0u32, 0u32);
+        for v in 0..n {
+            let h = hint(v);
+            if h != NO_HINT {
+                if h & 1 == 0 {
+                    evens += 1;
+                } else {
+                    odds += 1;
+                }
+            }
+        }
+        let parity = i64::from(odds > evens);
+        let cold = 2 * self.max_w2 + parity;
+        for v in 0..n {
+            let h = hint(v);
+            self.dualvar[v] = if h == NO_HINT { cold } else { h + shift };
+        }
+
+        // --- stored blossom forest bookkeeping ---
+        // Cumulative z (own + stored ancestors), subtree root, and
+        // depth per stored node; the deepest stored node holding each
+        // vertex. Serialization pushes parents before children, so one
+        // forward pass resolves the chains.
+        let stored = warm.blossoms;
+        let nsb = stored.len();
+        let mut zsum = vec![0i64; nsb];
+        let mut rootof = vec![0u32; nsb];
+        let mut depth = vec![0u32; nsb];
+        let mut alive = vec![true; nsb];
+        let mut vsub = vec![NONE; n];
+        for i in 0..nsb {
+            let sb = &stored[i];
+            debug_assert!(sb.parent < i as i32, "stored parents precede children");
+            if sb.parent < 0 {
+                (zsum[i], rootof[i], depth[i]) = (sb.z, i as u32, 0);
+            } else {
+                let p = sb.parent as usize;
+                (zsum[i], rootof[i], depth[i]) = (sb.z + zsum[p], rootof[p], depth[p] + 1);
+            }
+            for &c in &sb.childs {
+                if c & 1 == 0 && ((c >> 1) as usize) < n {
+                    vsub[(c >> 1) as usize] = i as i32;
+                }
+            }
+        }
+        // Dropping a subtree = flattening it: every member's dual
+        // absorbs the z of each stored blossom that held it, restoring
+        // feasibility of the edges it buried on vertex slacks alone.
+        // Duals only rise, so a kill never creates a violation
+        // elsewhere.
+        fn kill(
+            root: usize,
+            stored: &[StoredBlossom],
+            zsum: &[i64],
+            rootof: &[u32],
+            alive: &mut [bool],
+            vsub: &mut [i32],
+            dualvar: &mut [i64],
+        ) {
+            if !alive[root] {
+                return;
+            }
+            alive[root] = false;
+            for i in root..stored.len() {
+                if rootof[i] as usize != root {
+                    continue;
+                }
+                for &c in &stored[i].childs {
+                    let v = (c >> 1) as usize;
+                    if c & 1 == 0 && v < vsub.len() && vsub[v] != NONE {
+                        dualvar[v] += zsum[i];
+                        vsub[v] = NONE;
+                    }
+                }
+            }
+        }
+        // Structural screen: a subtree imports only if its shape is a
+        // valid blossom forest over in-range vertices (odd cycles,
+        // parent links matching list order, base threading through
+        // `childs[0]`, non-negative duals) and no member dual needs the
+        // per-vertex parity fix.
+        for i in 0..nsb {
+            let sb = &stored[i];
+            let r = rootof[i] as usize;
+            if !alive[r] {
+                continue;
+            }
+            let len = sb.childs.len();
+            let mut ok = len >= 3
+                && len & 1 == 1
+                && sb.endps.len() == len
+                && (sb.base as usize) < n
+                && sb.z >= 0
+                && (sb.parent >= 0 || sb.z > 0);
+            if ok {
+                for &c in &sb.childs {
+                    let x = (c >> 1) as usize;
+                    ok &= if c & 1 == 0 { x < n } else { x < nsb && stored[x].parent == i as i32 };
+                }
+                ok &= {
+                    let c0 = sb.childs[0];
+                    let x = (c0 >> 1) as usize;
+                    if c0 & 1 == 0 {
+                        sb.base == c0 >> 1
+                    } else {
+                        x < nsb && stored[x].base == sb.base
+                    }
+                };
+            }
+            if !ok {
+                kill(r, stored, &zsum, &rootof, &mut alive, &mut vsub, &mut self.dualvar);
+            }
+        }
+        // Dual feasibility against the imported structure: a negative
+        // vertex-slack edge buried inside one subtree may owe its
+        // feasibility to the blossom duals above it
+        // (`du + dv + 2·Σ z ≥ 2wt` over common containers); anything
+        // the z chain cannot cover — or a negative edge *between* two
+        // subtrees, which shares no container — forfeits a subtree so
+        // the plain repair below can raise a freed endpoint.
+        for k in 0..self.m {
+            let s = self.slack(k);
+            if s >= 0 {
+                continue;
+            }
+            let (u, v) = (self.edge_u[k] as usize, self.edge_v[k] as usize);
+            let (su, sv) = (vsub[u], vsub[v]);
+            if su < 0 || sv < 0 {
+                continue;
+            }
+            let (mut a, mut b) = (su as usize, sv as usize);
+            if rootof[a] != rootof[b] {
+                let t = if self.dualvar[u] <= self.dualvar[v] { a } else { b };
+                let t = rootof[t] as usize;
+                kill(t, stored, &zsum, &rootof, &mut alive, &mut vsub, &mut self.dualvar);
+                continue;
+            }
+            while depth[a] > depth[b] {
+                a = stored[a].parent as usize;
+            }
+            while depth[b] > depth[a] {
+                b = stored[b].parent as usize;
+            }
+            while a != b {
+                a = stored[a].parent as usize;
+                b = stored[b].parent as usize;
+            }
+            if s + 2 * zsum[a] < 0 {
+                let r = rootof[a] as usize;
+                kill(r, stored, &zsum, &rootof, &mut alive, &mut vsub, &mut self.dualvar);
+            }
+        }
+        // Cycle tightness: every stored cycle edge must still exist and
+        // be exactly tight under its z chain (`slack + 2·Σ z = 0`) — a
+        // reweighted or vanished edge means the odd cycle no longer
+        // certifies optimality, so its subtree flattens instead of
+        // importing.
+        for i in 0..nsb {
+            let r = rootof[i] as usize;
+            if !alive[r] {
+                continue;
+            }
+            let zc = 2 * zsum[i];
+            let tight = stored[i].endps.iter().all(|&(from, to)| {
+                (from as usize) < n && (to as usize) < n && self.resolve_endp(from, to, zc) >= 0
+            });
+            if !tight {
+                kill(r, stored, &zsum, &rootof, &mut alive, &mut vsub, &mut self.dualvar);
+            }
+        }
+        // Subtree parity shift: a validated subtree's members all share
+        // one parity class (its cycle edges are tight, and a tight edge
+        // under even weights joins same-parity duals), so an off-class
+        // subtree moves wholesale — every member dual `+1` against the
+        // root's `z` dropping by one. Cycle tightness is exact at every
+        // level (each cycle edge gains `+2` slack, its `Σ z` drops by
+        // one), buried-edge feasibility is unchanged for the same
+        // reason, and edges leaving the subtree only gain slack. The
+        // root's external matched edge does lose tightness (its mate
+        // moves `+1` too, or not at all) — the pair simply isn't
+        // re-seeded, costing one solver stage instead of the whole
+        // structure. Member duals are final after this: the parity fix
+        // and repair below only touch vertices outside surviving
+        // subtrees.
+        let mut zdec = vec![0i64; nsb];
+        for r in 0..nsb {
+            if !alive[r]
+                || stored[r].parent >= 0
+                || self.dualvar[stored[r].base as usize] & 1 == parity
+            {
+                continue;
+            }
+            zdec[r] = 1;
+            for i in r..nsb {
+                if rootof[i] as usize != r {
+                    continue;
+                }
+                zsum[i] -= 1;
+                for &c in &stored[i].childs {
+                    if c & 1 == 0 {
+                        self.dualvar[(c >> 1) as usize] += 1;
+                    }
+                }
+            }
+        }
+        // Parity normalization toward the uniform class: a matched pair
+        // shifts +1/−1 (slack-0 preserved), stray off-parity vertices
+        // round up (a raise never breaks feasibility; any −2 slack this
+        // leaves on a tight unmatched edge is caught by the repair pass
+        // below). Surviving-subtree members match the class after the
+        // shift above — kills re-introduce off-parity duals via odd z,
+        // but only on flattened (unprotected) vertices.
+        for &(a, b) in warm.pairs {
+            let (a, b) = (a as usize, b as usize);
+            if a < n
+                && b < n
+                && hint(a) != NO_HINT
+                && hint(b) != NO_HINT
+                && self.dualvar[a] & 1 != parity
+                && self.dualvar[b] & 1 != parity
+            {
+                self.dualvar[a] += 1;
+                self.dualvar[b] -= 1;
+            }
+        }
+        for v in 0..n {
+            if self.dualvar[v] & 1 != parity {
+                self.dualvar[v] += 1;
+            }
+        }
+        // Fresh-event pre-pairing: unhinted vertices start cold, so
+        // nothing around them is tight and each costs the solver a full
+        // stage. Mutually-nearest unhinted pairs instead drop their
+        // duals to meet on their best edge (`du + dv = 2wt`, both on
+        // the parity class) — error chains mostly enter as adjacent
+        // event pairs, and spare twins pair over zero-cost mirror edges
+        // exactly as an optimal solution uses them. A drop can break
+        // feasibility toward older structure; the repair pass below
+        // re-raises such an endpoint and the pair then simply fails its
+        // tightness check at seeding time.
+        let mut fresh_pairs: Vec<(u32, u32)> = Vec::new();
+        {
+            // An unhinted vertex not yet claimed by this pass still
+            // sits exactly at `cold` (every claim drops below it).
+            let unclaimed = |arena: &Self, x: usize| {
+                warm.duals.get(x).copied().unwrap_or(NO_HINT) == NO_HINT && arena.dualvar[x] == cold
+            };
+            // Nearest unclaimed neighbor (largest complemented weight,
+            // ties to the smallest index so tie groups agree).
+            let best = |arena: &Self, u: usize| -> (i64, i32) {
+                let (mut bw, mut bx) = (i64::MIN, NONE);
+                for pi in arena.nb_off[u] as usize..arena.nb_off[u + 1] as usize {
+                    let p = arena.nb[pi] as usize;
+                    let x = arena.endpoint[p] as usize;
+                    let w = arena.wt[p / 2];
+                    if unclaimed(arena, x) && (w > bw || (w == bw && (x as i32) < bx)) {
+                        (bw, bx) = (w, x as i32);
+                    }
+                }
+                (bw, bx)
+            };
+            // Mutual-best only: one-sided claims pair noise with noise
+            // and cost more repair than they save. Claims free up new
+            // mutual pairs (tie groups chain), so sweep until settled.
+            loop {
+                let mut progress = false;
+                for u in 0..n {
+                    if !unclaimed(self, u) {
+                        continue;
+                    }
+                    let (w, v) = best(self, u);
+                    if v <= u as i32 || best(self, v as usize).1 != u as i32 {
+                        continue;
+                    }
+                    let (mut du, mut dv) = (w, w);
+                    if w & 1 != parity {
+                        (du, dv) = (w + 1, w - 1);
+                    }
+                    if dv >= 0 {
+                        self.dualvar[u] = du;
+                        self.dualvar[v as usize] = dv;
+                        fresh_pairs.push((u as u32, v as u32));
+                        progress = true;
+                    }
+                }
+                if !progress {
+                    break;
+                }
+            }
+        }
+        // Repair: raise a free endpoint of every remaining
+        // negative-slack edge. Edges buried inside one surviving
+        // subtree are *legitimately* negative (their z covers them —
+        // checked above); any other negative edge has at least one
+        // endpoint outside every surviving subtree, because the
+        // feasibility pass flattened one side of each infeasible
+        // cross-subtree pair.
+        for k in 0..self.m {
+            let s = self.slack(k);
+            if s >= 0 {
+                continue;
+            }
+            let (u, v) = (self.edge_u[k] as usize, self.edge_v[k] as usize);
+            let (iu, iv) = (vsub[u] >= 0, vsub[v] >= 0);
+            if iu && iv {
+                debug_assert_eq!(
+                    rootof[vsub[u] as usize], rootof[vsub[v] as usize],
+                    "feasibility pass flattens one side of every infeasible cross-subtree edge"
+                );
+                continue;
+            }
+            let t = if iu || (!iv && self.dualvar[u] > self.dualvar[v]) { v } else { u };
+            self.dualvar[t] -= s;
+        }
+        // Re-instantiate the survivors bottom-up (reverse list order
+        // builds children before parents) and pre-match their cycle
+        // pairs; labels, best-edge caches, and heap state all start
+        // clean from `prepare`. Each subtree leaves exactly one vertex
+        // unmatched — the root's base, whose external mate the general
+        // pair seeding below restores when it survived too.
+        let mut arena_id = vec![NONE; nsb];
+        for i in (0..nsb).rev() {
+            if !alive[rootof[i] as usize] {
+                continue;
+            }
+            let sb = &stored[i];
+            let b =
+                self.unused.pop().expect("a cluster of n events needs at most n blossoms") as usize;
+            arena_id[i] = b as i32;
+            self.blossombase[b] = sb.base as i32;
+            self.dualvar[b] = sb.z - zdec[i];
+            let mut childs = std::mem::take(&mut self.blossomchilds[b]);
+            let mut endps = std::mem::take(&mut self.blossomendps[b]);
+            for (j, (&c, &(from, to))) in sb.childs.iter().zip(&sb.endps).enumerate() {
+                let cid = if c & 1 == 0 {
+                    (c >> 1) as usize
+                } else {
+                    arena_id[(c >> 1) as usize] as usize
+                };
+                self.blossomparent[cid] = b as i32;
+                childs.push(cid as u32);
+                let q = self.resolve_endp(from, to, 2 * zsum[i]);
+                debug_assert!(q >= 0, "validated cycle edges resolve");
+                endps.push(q as u32);
+                if j & 1 == 1 {
+                    let (x, y) = (
+                        self.endpoint[q as usize] as usize,
+                        self.endpoint[(q ^ 1) as usize] as usize,
+                    );
+                    debug_assert!(self.mate[x] == NONE && self.mate[y] == NONE);
+                    self.mate[x] = q ^ 1;
+                    self.mate[y] = q;
+                }
+            }
+            debug_assert_eq!(self.blossombase[b], self.blossombase[childs[0] as usize]);
+            self.blossomchilds[b] = childs;
+            self.blossomendps[b] = endps;
+        }
+        for v in 0..n {
+            if vsub[v] >= 0 {
+                let r = rootof[vsub[v] as usize] as usize;
+                debug_assert!(alive[r]);
+                self.inblossom[v] = arena_id[r] as u32;
+            }
+        }
+        for &(a, b) in warm.pairs {
+            let (a, b) = (a as usize, b as usize);
+            if a >= n || b >= n || self.mate[a] != NONE || self.mate[b] != NONE {
+                continue;
+            }
+            if hint(a) == NO_HINT || hint(b) == NO_HINT {
+                continue;
+            }
+            for pi in self.nb_off[a] as usize..self.nb_off[a + 1] as usize {
+                let p = self.nb[pi] as usize;
+                if self.endpoint[p] as usize == b && self.slack(p / 2) == 0 {
+                    self.mate[a] = p as i32;
+                    self.mate[b] = (p ^ 1) as i32;
+                    break;
+                }
+            }
+        }
+        for &(a, b) in &fresh_pairs {
+            let (a, b) = (a as usize, b as usize);
+            if self.mate[a] != NONE || self.mate[b] != NONE {
+                continue;
+            }
+            for pi in self.nb_off[a] as usize..self.nb_off[a + 1] as usize {
+                let p = self.nb[pi] as usize;
+                if self.endpoint[p] as usize == b && self.slack(p / 2) == 0 {
+                    self.mate[a] = p as i32;
+                    self.mate[b] = (p ^ 1) as i32;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Exports the final primal/dual state of the last solve as a
+    /// [`WarmStart`] for a later related solve: raw per-vertex duals
+    /// into `duals`, matched pairs into `pairs`, surviving blossoms into
+    /// `blossoms`, returning the complement base they are relative to.
+    ///
+    /// Blossoms are exported *structurally* — each positive-dual
+    /// top-level blossom is serialized with its whole subtree so the
+    /// importing solve can re-instantiate it (a zero-dual top shell
+    /// hides nothing, so only its nested blossoms are exported). Raw
+    /// duals leave intra-blossom edges negative on vertex slack alone
+    /// (their tightness lives in `du + dv + 2·Σ z_B = 2wt`); the import
+    /// validates each subtree against its new graph and flattens the
+    /// `z`s of anything that no longer fits back into the member duals.
+    /// Carrying the structure keeps every surviving matched edge tight —
+    /// including each blossom base's external mate, the pair a
+    /// flattening export necessarily loses.
+    ///
+    /// Only meaningful directly after [`BlossomArena::solve`] /
+    /// [`BlossomArena::solve_warm`] (the state is reset by the next
+    /// solve's prepare).
+    pub fn export_warm(
+        &self,
+        duals: &mut Vec<i64>,
+        pairs: &mut Vec<(u32, u32)>,
+        blossoms: &mut Vec<StoredBlossom>,
+    ) -> i64 {
+        let (n, two_n) = (self.n, 2 * self.n);
+        duals.clear();
+        duals.extend_from_slice(&self.dualvar[..n]);
+        blossoms.clear();
+        for b in n..two_n {
+            if self.blossombase[b] >= 0 && self.blossomparent[b] == NONE {
+                self.store_blossom_tree(b, blossoms);
+            }
+        }
+        pairs.clear();
+        for v in 0..n {
+            let p = self.mate[v];
+            if p >= 0 {
+                let u = self.endpoint[p as usize] as usize;
+                if v < u {
+                    pairs.push((v as u32, u as u32));
+                }
+            }
+        }
+        self.w_base
+    }
+
+    /// Serializes top-level blossom `b` for [`BlossomArena::export_warm`]:
+    /// a positive-dual blossom is stored with its entire subtree
+    /// (parents pushed before children, so list order is a valid
+    /// top-down build order); a zero-dual one hides no dual weight, so
+    /// only its nested blossoms are worth carrying.
+    fn store_blossom_tree(&self, b: usize, out: &mut Vec<StoredBlossom>) {
+        if self.dualvar[b] > 0 {
+            self.store_blossom(b, -1, out);
+        } else {
+            for &c in &self.blossomchilds[b] {
+                if c as usize >= self.n {
+                    self.store_blossom_tree(c as usize, out);
+                }
+            }
+        }
+    }
+
+    /// Appends blossom `b` (and recursively its sub-blossoms) to `out`
+    /// with the given stored-parent position, returning `b`'s position.
+    fn store_blossom(&self, b: usize, parent: i32, out: &mut Vec<StoredBlossom>) -> u32 {
+        let pos = out.len();
+        out.push(StoredBlossom {
+            parent,
+            z: self.dualvar[b],
+            base: self.blossombase[b] as u32,
+            childs: Vec::new(),
+            endps: Vec::new(),
+        });
+        let mut childs = Vec::with_capacity(self.blossomchilds[b].len());
+        for &c in &self.blossomchilds[b] {
+            childs.push(if (c as usize) < self.n {
+                c << 1
+            } else {
+                (self.store_blossom(c as usize, pos as i32, out) << 1) | 1
+            });
+        }
+        let endps = self.blossomendps[b]
+            .iter()
+            .map(|&p| (self.endpoint[p as usize], self.endpoint[(p ^ 1) as usize]))
+            .collect();
+        out[pos].childs = childs;
+        out[pos].endps = endps;
+        pos as u32
+    }
+
     /// Slack of edge `k` under the current duals (doubled weights keep
     /// every slack integral; zero slack means the edge is tight).
     #[inline]
     fn slack(&self, k: usize) -> i64 {
         self.dualvar[self.edge_u[k] as usize] + self.dualvar[self.edge_v[k] as usize]
             - 2 * self.wt[k]
+    }
+
+    /// Resolves a stored cycle edge `(from, to)` to the endpoint index
+    /// `q` with `endpoint[q] = from` whose edge satisfies
+    /// `slack + extra == 0` (tight under the importing blossom's z
+    /// chain), or -1 if no such edge exists in the current graph.
+    fn resolve_endp(&self, from: u32, to: u32, extra: i64) -> i32 {
+        let f = from as usize;
+        for pi in self.nb_off[f] as usize..self.nb_off[f + 1] as usize {
+            let p = self.nb[pi] as usize;
+            if self.endpoint[p] == to && self.slack(p / 2) + extra == 0 {
+                return (p ^ 1) as i32;
+            }
+        }
+        NONE
+    }
+
+    /// Arms free vertex `v` (best edge `k` to an S-blossom) as a type-2
+    /// dual-step candidate: its slack shrinks one-for-one with the
+    /// stage total, so `slack + t_now` is invariant.
+    #[inline]
+    fn push_delta2(&mut self, v: usize, k: usize) {
+        self.delta_heap.push(Reverse((self.slack(k) + self.t_now, 2, v as u32)));
+    }
+
+    /// Arms top-level S-blossom `b` (best edge `k` to another
+    /// S-blossom) as a type-3 candidate: both endpoints shrink, so the
+    /// half-slack loses one per unit of stage total.
+    #[inline]
+    fn push_delta3(&mut self, b: usize, k: usize) {
+        self.delta_heap.push(Reverse((self.slack(k) / 2 + self.t_now, 3, b as u32)));
+    }
+
+    /// Arms top-level T-blossom `b` as a type-4 (expansion) candidate:
+    /// its dual shrinks one-for-one with the stage total.
+    #[inline]
+    fn push_delta4(&mut self, b: usize) {
+        self.delta_heap.push(Reverse((self.dualvar[b] + self.t_now, 4, b as u32)));
+    }
+
+    /// The reference linear-scan dual step (the pre-heap algorithm),
+    /// kept as the debug-build cross-check of every heap decision.
+    /// Returns `(deltatype, delta)`; on ties the chosen *candidate* may
+    /// differ from the heap's, but the delta value is what downstream
+    /// correctness depends on.
+    #[cfg(debug_assertions)]
+    fn reference_delta(&self) -> (i32, i64) {
+        let (n, two_n) = (self.n, 2 * self.n);
+        let mut deltatype = -1;
+        let mut delta = 0i64;
+        for v in 0..n {
+            if self.label[self.inblossom[v] as usize] == 0 && self.bestedge[v] != NONE {
+                let d = self.slack(self.bestedge[v] as usize);
+                if deltatype == -1 || d < delta {
+                    delta = d;
+                    deltatype = 2;
+                }
+            }
+        }
+        for b in 0..two_n {
+            if self.blossomparent[b] == NONE && self.label[b] == 1 && self.bestedge[b] != NONE {
+                let d = self.slack(self.bestedge[b] as usize) / 2;
+                if deltatype == -1 || d < delta {
+                    delta = d;
+                    deltatype = 3;
+                }
+            }
+        }
+        for b in n..two_n {
+            if self.blossombase[b] >= 0
+                && self.blossomparent[b] == NONE
+                && self.label[b] == 2
+                && (deltatype == -1 || self.dualvar[b] < delta)
+            {
+                delta = self.dualvar[b];
+                deltatype = 4;
+            }
+        }
+        if deltatype == -1 {
+            deltatype = 1;
+            delta = self.dualvar[..n].iter().copied().min().unwrap_or(0).max(0);
+        }
+        (deltatype, delta)
     }
 
     /// Appends every real vertex inside blossom `b` to `out`.
@@ -474,6 +1324,11 @@ impl BlossomArena {
         self.labelend[b] = p;
         self.bestedge[w] = NONE;
         self.bestedge[b] = NONE;
+        if t == 2 && b >= self.n {
+            // A top-level blossom turned T: it is now an expansion
+            // candidate for the dual step.
+            self.push_delta4(b);
+        }
         if t == 1 {
             let mut leaves = std::mem::take(&mut self.leaves);
             leaves.clear();
@@ -642,6 +1497,11 @@ impl BlossomArena {
         self.blossombest[b] = best;
         self.has_best[b] = true;
         self.bestedge[b] = bk;
+        if bk != NONE {
+            // The merged S-blossom inherits a least-slack edge; its
+            // buried children's candidates die at validation.
+            self.push_delta3(b, bk as usize);
+        }
     }
 
     /// Expands blossom `b`, promoting its children to top level. During
@@ -713,6 +1573,11 @@ impl BlossomArena {
             self.labelend[ep1] = p as i32;
             self.labelend[bv] = p as i32;
             self.bestedge[bv] = NONE;
+            if bv >= self.n {
+                // Direct T relabel (bypasses `assign_label`): arm the
+                // freshly exposed sub-blossom for expansion.
+                self.push_delta4(bv);
+            }
             // The remaining children leave the tree unless a vertex of
             // theirs was reached from outside the expanding blossom.
             j += jstep;
@@ -727,8 +1592,8 @@ impl BlossomArena {
                 self.collect_leaves(bv, &mut lvs);
                 let labeled =
                     lvs.iter().copied().find(|&v| self.label[v as usize] != 0).map(|v| v as usize);
-                self.leaves2 = lvs;
                 if let Some(v) = labeled {
+                    self.leaves2 = lvs;
                     debug_assert_eq!(self.label[v], 2);
                     debug_assert_eq!(self.inblossom[v] as usize, bv);
                     self.label[v] = 0;
@@ -736,6 +1601,20 @@ impl BlossomArena {
                     self.label[self.endpoint[self.mate[base] as usize] as usize] = 0;
                     let le = self.labelend[v];
                     self.assign_label(v, 2, le);
+                } else {
+                    // The child leaves the tree free: vertices that
+                    // tracked a best edge while buried become live
+                    // type-2 candidates again, so re-arm them (their
+                    // slacks were frozen inside the T-blossom, leaving
+                    // any old heap entries as harmless underestimates).
+                    for &u in &lvs {
+                        let u = u as usize;
+                        if self.bestedge[u] != NONE {
+                            let k = self.bestedge[u] as usize;
+                            self.push_delta2(u, k);
+                        }
+                    }
+                    self.leaves2 = lvs;
                 }
                 j += jstep;
             }
@@ -991,6 +1870,84 @@ mod tests {
             }
         }
         assert!(tested > 300, "only {tested} solvable instances generated");
+    }
+
+    #[test]
+    fn warm_started_solves_match_cold_on_perturbed_graphs() {
+        // Solve a random graph cold, export the warm state, perturb the
+        // graph the way a window slide does (drop a prefix of vertices,
+        // append new ones, keep surviving edges verbatim), and check the
+        // warm-started solve agrees with a cold solve of the perturbed
+        // graph. Deliberately feeds the stale (pre-perturbation) vertex
+        // ids through the caller-side remap, so dropped pairs and
+        // repaired duals are exercised, not just the happy path.
+        let mut rng = SimRng::from_seed(0x3A97);
+        let mut arena = BlossomArena::new();
+        let mut pairs = Vec::new();
+        let (mut duals, mut warm_pairs) = (Vec::new(), Vec::new());
+        let mut blossoms = Vec::new();
+        for trial in 0..160 {
+            let n = 2 * (2 + rng.below(5)); // 4..=12 vertices
+            let mut edges = Vec::new();
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if rng.bernoulli(0.7) {
+                        edges.push(ClusterEdge::new(u, v, rng.below(30) as i64));
+                    }
+                }
+            }
+            // Guarantee a perfect matching exists.
+            for u in (0..n as u32).step_by(2) {
+                edges.push(ClusterEdge::new(u, u + 1, rng.below(30) as i64));
+            }
+            let _ = arena.solve(n, &edges, &mut pairs);
+            let w_base = arena.export_warm(&mut duals, &mut warm_pairs, &mut blossoms);
+
+            // Perturb: drop the first `drop` vertices, append `add` new
+            // ones; surviving edges keep their weights.
+            let drop = 2 * rng.below(2); // 0 or 2
+            let add = 2 * rng.below(3); // 0, 2, or 4
+            let n2 = n - drop + add;
+            if n2 == 0 {
+                continue;
+            }
+            let mut edges2: Vec<ClusterEdge> = edges
+                .iter()
+                .filter(|e| e.u as usize >= drop && e.v as usize >= drop)
+                .map(|e| ClusterEdge::new(e.u - drop as u32, e.v - drop as u32, e.weight))
+                .collect();
+            for u in 0..n2 as u32 {
+                for v in (n - drop) as u32..n2 as u32 {
+                    if u < v && rng.bernoulli(0.6) {
+                        edges2.push(ClusterEdge::new(u, v, rng.below(30) as i64));
+                    }
+                }
+            }
+            for u in (0..n2 as u32).step_by(2) {
+                edges2.push(ClusterEdge::new(u, u + 1, rng.below(30) as i64));
+            }
+            // Caller-side remap of the exported state (dropped -> gone).
+            let mut duals2: Vec<i64> = duals[drop..].to_vec();
+            let pairs2: Vec<(u32, u32)> = warm_pairs
+                .iter()
+                .filter(|&&(a, b)| a as usize >= drop && b as usize >= drop)
+                .map(|&(a, b)| (a - drop as u32, b - drop as u32))
+                .collect();
+            let mut blossoms2 = Vec::new();
+            remap_stored_blossoms(
+                &blossoms,
+                |v| (v as usize >= drop).then(|| v - drop as u32),
+                &mut duals2,
+                &mut blossoms2,
+            );
+            let warm = WarmStart { duals: &duals2, pairs: &pairs2, w_base, blossoms: &blossoms2 };
+            let warm_total = arena.solve_warm(n2, &edges2, &mut pairs, Some(&warm));
+            let (_, cold_total) = solve_fresh(n2, &edges2);
+            assert_eq!(
+                warm_total, cold_total,
+                "trial {trial}: warm-started solve lost exactness (n={n} drop={drop} add={add})"
+            );
+        }
     }
 
     #[test]

@@ -1,15 +1,19 @@
 //! The sparse space-time decoder: cluster formation + exact per-cluster
 //! matching, entirely on the sparse graph.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, PoisonError};
 
 use btwc_lattice::{DetectorGraph, StabilizerType, SurfaceCode};
 use btwc_mwpm::project::project_pairs;
+use btwc_pool::Pool;
 use btwc_syndrome::{ComplexDecoder, Correction, DetectionEvent, RoundHistory};
 
-use crate::blossom::ClusterEdge;
-use crate::regions::merge_colliding_regions;
+use crate::blossom::{
+    remap_stored_blossoms, BlossomArena, ClusterEdge, StoredBlossom, WarmStart, NO_HINT,
+};
+use crate::regions::{merge_colliding_regions, scan_dirty_collisions};
 use crate::scratch::SparseScratch;
+use crate::stream::{record_solution, CachedSolution, Slide, StreamState, DEAD_MEMBER, NO_SOL};
 
 /// Sparse-blossom off-chip decoder: minimum-weight perfect matching of
 /// space-time detection events without ever materializing the dense
@@ -42,6 +46,19 @@ use crate::scratch::SparseScratch;
 /// collision scan plus per-cluster matchings sized by how entangled the
 /// events actually are — near-linear in the event count for the sparse
 /// windows the BTWC hierarchy actually ships off-chip.
+///
+/// Two orthogonal accelerations sit on top of the batch decode:
+///
+/// * **Streaming** ([`SparseDecoder::decode_stream_weighted`]): when
+///   successive calls cover forward slides of one [`RoundHistory`]
+///   stream, region collisions and committed cluster matchings persist
+///   between calls ([`crate::stream`]) and only the work the slide
+///   invalidated is redone.
+/// * **Pooled cluster solves** ([`SparseDecoder::set_pool`]): the
+///   independent ≥3-event cluster matchings of one window are
+///   dispatched onto a [`btwc_pool::Pool`] and folded back in
+///   deterministic cluster order — bit-identical to the inline path
+///   for any worker count.
 #[derive(Debug)]
 pub struct SparseDecoder {
     ty: StabilizerType,
@@ -50,11 +67,28 @@ pub struct SparseDecoder {
     /// `ComplexDecoder` plumbing stays `Sync` — the Monte Carlo loops
     /// use the `_mut` paths, which never lock.
     scratch: Mutex<SparseScratch>,
+    /// Optional pool for the per-window ≥3-event cluster solves.
+    pool: Option<Arc<Pool>>,
+    /// Recycled solver arenas for pooled cluster tasks (pop on task
+    /// start, push on task end — sized by however many tasks ever ran
+    /// concurrently).
+    arena_pool: Mutex<Vec<BlossomArena>>,
+    /// Incremental sliding-window state (see [`crate::stream`]).
+    stream: StreamState,
 }
 
 impl Clone for SparseDecoder {
     fn clone(&self) -> Self {
-        Self { ty: self.ty, graph: self.graph.clone(), scratch: Mutex::new(SparseScratch::new()) }
+        Self {
+            ty: self.ty,
+            graph: self.graph.clone(),
+            scratch: Mutex::new(SparseScratch::new()),
+            pool: self.pool.clone(),
+            arena_pool: Mutex::new(Vec::new()),
+            // Stream state is a memo over *this* decoder's call
+            // history; a clone starts cold and rebuilds on first use.
+            stream: StreamState::default(),
+        }
     }
 }
 
@@ -66,6 +100,9 @@ impl SparseDecoder {
             ty,
             graph: code.detector_graph(ty).clone(),
             scratch: Mutex::new(SparseScratch::new()),
+            pool: None,
+            arena_pool: Mutex::new(Vec::new()),
+            stream: StreamState::default(),
         }
     }
 
@@ -75,6 +112,21 @@ impl SparseDecoder {
         self.ty
     }
 
+    /// Dispatches this decoder's independent ≥3-event cluster solves
+    /// onto `pool` (results are folded in cluster order, so every
+    /// worker count — including the `BTWC_WORKERS=1` override — yields
+    /// bit-identical corrections).
+    pub fn set_pool(&mut self, pool: Arc<Pool>) {
+        self.pool = Some(pool);
+    }
+
+    /// Builder form of [`SparseDecoder::set_pool`].
+    #[must_use]
+    pub fn with_pool(mut self, pool: Arc<Pool>) -> Self {
+        self.set_pool(pool);
+        self
+    }
+
     /// Decodes an explicit set of detection events into a correction.
     ///
     /// # Panics
@@ -82,8 +134,16 @@ impl SparseDecoder {
     /// Panics if any event references an out-of-range ancilla.
     #[must_use]
     pub fn decode_events(&self, events: &[DetectionEvent]) -> Correction {
-        let mut scratch = self.scratch.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        Self::decode_events_with(&self.graph, events, &mut scratch).0
+        let mut scratch = self.scratch.lock().unwrap_or_else(PoisonError::into_inner);
+        Self::decode_events_with(
+            &self.graph,
+            events,
+            &mut scratch,
+            self.pool.as_deref(),
+            &self.arena_pool,
+            None,
+        )
+        .0
     }
 
     /// [`SparseDecoder::decode_events`] through exclusive access — no
@@ -107,23 +167,38 @@ impl SparseDecoder {
     /// Panics if any event references an out-of-range ancilla.
     #[must_use]
     pub fn decode_events_weighted(&mut self, events: &[DetectionEvent]) -> (Correction, i64) {
-        let scratch = self.scratch.get_mut().unwrap_or_else(std::sync::PoisonError::into_inner);
-        Self::decode_events_with(&self.graph, events, scratch)
+        let scratch = self.scratch.get_mut().unwrap_or_else(PoisonError::into_inner);
+        Self::decode_events_with(
+            &self.graph,
+            events,
+            scratch,
+            self.pool.as_deref(),
+            &self.arena_pool,
+            None,
+        )
     }
 
     /// Decodes a whole window of measurement rounds. Windows without
-    /// detection events are dismissed by a fused XOR+popcount scan
-    /// before the scratch lock is taken; otherwise the event diff lands
-    /// in a reused buffer.
+    /// detection events are dismissed by the window's O(1) event
+    /// counter before the scratch lock is taken; otherwise the event
+    /// diff lands in a reused buffer.
     #[must_use]
     pub fn decode_window(&self, history: &RoundHistory) -> Correction {
         if history.detection_event_count() == 0 {
             return Correction::new();
         }
-        let mut scratch = self.scratch.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut scratch = self.scratch.lock().unwrap_or_else(PoisonError::into_inner);
         let mut events = std::mem::take(&mut scratch.events);
         history.detection_events_into(&mut events);
-        let out = Self::decode_events_with(&self.graph, &events, &mut scratch).0;
+        let out = Self::decode_events_with(
+            &self.graph,
+            &events,
+            &mut scratch,
+            self.pool.as_deref(),
+            &self.arena_pool,
+            None,
+        )
+        .0;
         scratch.events = events;
         out
     }
@@ -142,20 +217,278 @@ impl SparseDecoder {
         if history.detection_event_count() == 0 {
             return (Correction::new(), 0);
         }
-        let scratch = self.scratch.get_mut().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let scratch = self.scratch.get_mut().unwrap_or_else(PoisonError::into_inner);
         let mut events = std::mem::take(&mut scratch.events);
         history.detection_events_into(&mut events);
-        let out = Self::decode_events_with(&self.graph, &events, scratch);
+        let out = Self::decode_events_with(
+            &self.graph,
+            &events,
+            scratch,
+            self.pool.as_deref(),
+            &self.arena_pool,
+            None,
+        );
         scratch.events = events;
         out
     }
 
+    /// Decodes `window` as the latest position of a sliding stream (see
+    /// [`ComplexDecoder::decode_stream_mut`]): when `window` is a
+    /// forward slide of the window decoded by the previous call, region
+    /// collisions and committed cluster matchings are reused and only
+    /// the rounds that entered or left are reprocessed. On any other
+    /// input the result is identical to
+    /// [`SparseDecoder::decode_window_weighted`] — the batch kernel
+    /// runs (priming the stream state for the next slide), so the
+    /// method is always safe to call.
+    #[must_use]
+    pub fn decode_stream_weighted(&mut self, window: &RoundHistory) -> (Correction, i64) {
+        let scratch = self.scratch.get_mut().unwrap_or_else(PoisonError::into_inner);
+        let graph = &self.graph;
+        let pool = self.pool.as_deref();
+        match self.stream.classify(window) {
+            Slide::Quiet => {
+                // Nothing entered, nothing left, the re-base was a
+                // no-op: the previous matching stands verbatim.
+                self.stream.note_quiet(window);
+                (self.stream.cached.clone(), self.stream.cached_weight)
+            }
+            Slide::Rebuild => {
+                self.stream.begin_rebuild(window);
+                let events = &self.stream.events;
+                let epoch = self.stream.epoch;
+                let (corr, total) = {
+                    let solutions = &mut self.stream.solutions;
+                    let free_slots = &mut self.stream.free_slots;
+                    let sol_of = &mut self.stream.sol_of;
+                    let mut rec =
+                        |members: &[u32], w: i64, flips: &[usize], warm: Option<WarmExport<'_>>| {
+                            record_solution(
+                                solutions, free_slots, sol_of, epoch, members, w, flips, warm,
+                            );
+                        };
+                    Self::decode_events_with(
+                        graph,
+                        events,
+                        scratch,
+                        pool,
+                        &self.arena_pool,
+                        Some(&mut rec),
+                    )
+                };
+                // The kernel's collision edges index the same event
+                // order — they seed the next slide's surviving set.
+                self.stream.edges.clear();
+                self.stream.edges.extend_from_slice(&scratch.collisions);
+                self.stream.commit(&corr, total);
+                (corr, total)
+            }
+            Slide::Incremental { retired } => {
+                let (front_dirty, tail_start) = self.stream.apply_slide(window, retired);
+                scan_dirty_collisions(
+                    graph,
+                    &self.stream.events,
+                    front_dirty,
+                    tail_start,
+                    &mut self.stream.edges,
+                );
+
+                let n = self.stream.events.len();
+                if n == 0 {
+                    let corr = Correction::new();
+                    self.stream.sweep();
+                    self.stream.commit(&corr, 0);
+                    return (corr, 0);
+                }
+
+                // Re-derive the cluster partition from the maintained
+                // edge set (linear in events + edges — the expensive
+                // discovery above only touched dirty events).
+                scratch.prepare(n);
+                for e in &self.stream.edges {
+                    scratch.union(e.u, e.v);
+                }
+                for i in 0..n as u32 {
+                    let r = scratch.find(i);
+                    scratch.root.push(r);
+                }
+                scratch.order.extend(0..n as u32);
+                let SparseScratch {
+                    root,
+                    order,
+                    local_events,
+                    local_id,
+                    cluster_edges,
+                    pairs,
+                    arena,
+                    warm,
+                    warm_seen,
+                    ..
+                } = scratch;
+                order.sort_unstable_by_key(|&i| root[i as usize]);
+                self.stream.edges.sort_unstable_by_key(|e| root[e.u as usize]);
+                let (order, root) = (&*order, &*root);
+                let events = &self.stream.events;
+                let edges = &self.stream.edges;
+                let sol_of = &mut self.stream.sol_of;
+                let solutions = &mut self.stream.solutions;
+                let free_slots = &mut self.stream.free_slots;
+                let epoch = self.stream.epoch;
+
+                let mut flips: Vec<usize> = Vec::new();
+                let mut total = 0i64;
+                let mut tasks: Vec<(usize, usize, usize, usize)> = Vec::new();
+                let mut task_hints: Vec<Option<WarmHint>> = Vec::new();
+                if local_id.len() < n {
+                    local_id.resize(n, 0);
+                }
+                let (mut start, mut edge_at) = (0usize, 0usize);
+                while start < n {
+                    let cluster_root = root[order[start] as usize];
+                    let mut end = start + 1;
+                    while end < n && root[order[end] as usize] == cluster_root {
+                        end += 1;
+                    }
+                    let mut edge_end = edge_at;
+                    while edge_end < edges.len() && root[edges[edge_end].u as usize] == cluster_root
+                    {
+                        edge_end += 1;
+                    }
+                    let members = &order[start..end];
+                    let size = end - start;
+                    // Cache hit: every member still carries the same
+                    // solution slot and the cluster kept its size —
+                    // then membership and edges are provably unchanged
+                    // (slide-inserted events carry `NO_SOL`, dropped
+                    // members shrink the size, new edges only touch
+                    // `NO_SOL` events), and weights and flips are
+                    // invariant under the uniform round shift. Replay
+                    // the committed matching.
+                    let s0 = sol_of[members[0] as usize];
+                    let hit = s0 != NO_SOL
+                        && solutions[s0 as usize].size as usize == size
+                        && members.iter().all(|&m| sol_of[m as usize] == s0);
+                    if hit {
+                        let sol = &mut solutions[s0 as usize];
+                        sol.last_seen = epoch;
+                        total += sol.weight;
+                        flips.extend_from_slice(&sol.flips);
+                    } else {
+                        // Miss: re-solve, warm-started from whatever
+                        // cached solutions the surviving members still
+                        // carry — for the window-spanning clusters of
+                        // operational noise, the slide leaves most of
+                        // the previous matching and duals valid, and the
+                        // solver only re-derives the few augmentations
+                        // around the dirty events.
+                        let solve_warm = size >= 3;
+                        if solve_warm {
+                            for (li, &gi) in members.iter().enumerate() {
+                                local_id[gi as usize] = li as u32;
+                            }
+                            assemble_warm(
+                                members,
+                                root,
+                                cluster_root,
+                                local_id,
+                                sol_of,
+                                solutions,
+                                warm,
+                                warm_seen,
+                            );
+                        }
+                        if pool.is_some() && solve_warm {
+                            tasks.push((start, end, edge_at, edge_end));
+                            task_hints.push(warm.has_in.then(|| {
+                                (
+                                    warm.duals_in.clone(),
+                                    warm.pairs_in.clone(),
+                                    warm.w_base_in,
+                                    warm.blossoms_in.clone(),
+                                )
+                            }));
+                        } else {
+                            let flip_start = flips.len();
+                            let w = solve_cluster(
+                                graph,
+                                events,
+                                members,
+                                &edges[edge_at..edge_end],
+                                local_events,
+                                local_id,
+                                cluster_edges,
+                                pairs,
+                                arena,
+                                &mut flips,
+                                solve_warm.then_some(&mut *warm),
+                            );
+                            total += w;
+                            record_solution(
+                                solutions,
+                                free_slots,
+                                sol_of,
+                                epoch,
+                                members,
+                                w,
+                                &flips[flip_start..],
+                                if solve_warm { warm.export() } else { None },
+                            );
+                        }
+                    }
+                    edge_at = edge_end;
+                    start = end;
+                }
+                if !tasks.is_empty() {
+                    let pool = pool.expect("tasks are only collected with a pool");
+                    let arena_pool = &self.arena_pool;
+                    let results = pool.map(&tasks, |i, &(s, e, ea, ee)| {
+                        solve_cluster_task(
+                            graph,
+                            events,
+                            &order[s..e],
+                            &edges[ea..ee],
+                            arena_pool,
+                            task_hints[i].as_ref(),
+                        )
+                    });
+                    for (ti, (w, task_flips, export)) in results.into_iter().enumerate() {
+                        let (s, e, ..) = tasks[ti];
+                        total += w;
+                        record_solution(
+                            solutions,
+                            free_slots,
+                            sol_of,
+                            epoch,
+                            &order[s..e],
+                            w,
+                            &task_flips,
+                            export.as_ref().map(|(d, p, b, bl)| (&d[..], &p[..], *b, &bl[..])),
+                        );
+                        flips.extend_from_slice(&task_flips);
+                    }
+                }
+
+                self.stream.sweep();
+                let corr = Correction::from_flips(flips);
+                self.stream.commit(&corr, total);
+                (corr, total)
+            }
+        }
+    }
+
     /// The decode kernel: merge colliding regions, then solve each
-    /// cluster exactly.
-    fn decode_events_with(
+    /// cluster exactly — ≥3-event clusters on the pool when one is set
+    /// (folded in cluster order: bit-identical to inline), and each
+    /// solved cluster reported to `recorder` (member indices, weight,
+    /// flips) when the stream state wants to memoize it.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn decode_events_with(
         graph: &DetectorGraph,
         events: &[DetectionEvent],
         scratch: &mut SparseScratch,
+        pool: Option<&Pool>,
+        arena_pool: &Mutex<Vec<BlossomArena>>,
+        mut recorder: Option<&mut dyn FnMut(&[u32], i64, &[usize], Option<WarmExport<'_>>)>,
     ) -> (Correction, i64) {
         let n = events.len();
         if n == 0 {
@@ -183,6 +516,7 @@ impl SparseDecoder {
             cluster_edges,
             pairs,
             arena,
+            warm,
             ..
         } = scratch;
         order.sort_unstable_by_key(|&i| root[i as usize]);
@@ -191,9 +525,11 @@ impl SparseDecoder {
         // root makes each cluster's edges one contiguous run, consumed
         // in step with the cluster walk below.
         collisions.sort_unstable_by_key(|e| root[e.u as usize]);
+        let (order, collisions, root) = (&*order, &*collisions, &*root);
 
         let mut flips = Vec::new();
         let mut total = 0i64;
+        let mut tasks: Vec<(usize, usize, usize, usize)> = Vec::new();
         let mut start = 0usize;
         let mut edge_at = 0usize;
         while start < n {
@@ -208,68 +544,353 @@ impl SparseDecoder {
             {
                 edge_end += 1;
             }
-            match end - start {
-                // A lone defect: its region met nobody within its own
-                // boundary distance, so the boundary exit is optimal.
-                1 => {
-                    let ev = &events[order[start] as usize];
-                    flips.extend(graph.path_to_boundary(ev.ancilla));
-                    total += i64::from(graph.boundary_distance(ev.ancilla));
+            if pool.is_some() && end - start >= 3 {
+                // Big knots go to the pool; singletons and pairs are
+                // cheaper to solve than to schedule.
+                tasks.push((start, end, edge_at, edge_end));
+            } else {
+                let flip_start = flips.len();
+                // Batch decodes start the solver cold, but a recording
+                // caller (the stream rebuild) wants the solver's final
+                // state exported for the next slide's warm start.
+                let use_warm = recorder.is_some();
+                if use_warm {
+                    warm.has_in = false;
                 }
-                // A pair: the direct edge against two boundary exits.
-                2 => {
-                    let (u, v) =
-                        (&events[order[start] as usize], &events[order[start + 1] as usize]);
-                    let direct = i64::from(graph.distance(u.ancilla, v.ancilla))
-                        + u.round.abs_diff(v.round) as i64;
-                    let exits = i64::from(graph.boundary_distance(u.ancilla))
-                        + i64::from(graph.boundary_distance(v.ancilla));
-                    if direct <= exits {
-                        flips.extend(graph.path(u.ancilla, v.ancilla));
-                        total += direct;
-                    } else {
-                        flips.extend(graph.path_to_boundary(u.ancilla));
-                        flips.extend(graph.path_to_boundary(v.ancilla));
-                        total += exits;
-                    }
-                }
-                // A bigger knot: the in-solver sparse blossom over the
-                // cluster's *collision edges* plus boundary twins. The
-                // two-copy construction keeps the graph sparse: each
-                // event connects to its own twin (weight = its boundary
-                // exit), and every collision edge is mirrored between
-                // the twins at weight zero, so however many events pair
-                // up, the leftover twins can always pair off for free —
-                // an optimal matching never needs an edge the region
-                // scan did not discover.
-                k => {
-                    local_events.clear();
-                    local_events.extend(order[start..end].iter().map(|&i| events[i as usize]));
-                    for (li, &gi) in order[start..end].iter().enumerate() {
-                        local_id[gi as usize] = li as u32;
-                    }
-                    cluster_edges.clear();
-                    for e in &collisions[edge_at..edge_end] {
-                        let (lu, lv) = (local_id[e.u as usize], local_id[e.v as usize]);
-                        cluster_edges.push(ClusterEdge::new(lu, lv, e.weight));
-                        cluster_edges.push(ClusterEdge::new(lu + k as u32, lv + k as u32, 0));
-                    }
-                    for (li, ev) in local_events.iter().enumerate() {
-                        cluster_edges.push(ClusterEdge::new(
-                            li as u32,
-                            (li + k) as u32,
-                            i64::from(graph.boundary_distance(ev.ancilla)),
-                        ));
-                    }
-                    total += arena.solve(2 * k, cluster_edges, pairs);
-                    project_pairs(graph, local_events, pairs, &mut flips);
+                let w = solve_cluster(
+                    graph,
+                    events,
+                    &order[start..end],
+                    &collisions[edge_at..edge_end],
+                    local_events,
+                    local_id,
+                    cluster_edges,
+                    pairs,
+                    arena,
+                    &mut flips,
+                    if use_warm { Some(&mut *warm) } else { None },
+                );
+                total += w;
+                if let Some(rec) = recorder.as_deref_mut() {
+                    rec(&order[start..end], w, &flips[flip_start..], warm.export());
                 }
             }
             edge_at = edge_end;
             start = end;
         }
+        if !tasks.is_empty() {
+            let pool = pool.expect("tasks are only collected with a pool");
+            let results = pool.map(&tasks, |_i, &(s, e, ea, ee)| {
+                solve_cluster_task(
+                    graph,
+                    events,
+                    &order[s..e],
+                    &collisions[ea..ee],
+                    arena_pool,
+                    None,
+                )
+            });
+            // Fold in cluster (task) order: deterministic for any
+            // worker count, and `Correction::from_flips` normalizes
+            // flip order, so pooled == inline bit-for-bit.
+            for (ti, (w, task_flips, export)) in results.into_iter().enumerate() {
+                let (s, e, ..) = tasks[ti];
+                total += w;
+                if let Some(rec) = recorder.as_deref_mut() {
+                    rec(
+                        &order[s..e],
+                        w,
+                        &task_flips,
+                        export.as_ref().map(|(d, p, b, bl)| (&d[..], &p[..], *b, &bl[..])),
+                    );
+                }
+                flips.extend_from_slice(&task_flips);
+            }
+        }
         (Correction::from_flips(flips), total)
     }
+}
+
+/// Recycled buffers carrying blossom warm-start state around one
+/// cluster solve: the assembled input hint (from the surviving cached
+/// solutions of the cluster's events) and the solver's exported output
+/// state (stored back into the cache for the next slide).
+/// A solver warm export in `record_solution` form:
+/// `(duals, pairs, w_base, blossoms)`.
+pub(crate) type WarmExport<'a> = (&'a [i64], &'a [(u32, u32)], i64, &'a [StoredBlossom]);
+
+#[derive(Debug, Default)]
+pub(crate) struct WarmBufs {
+    duals_in: Vec<i64>,
+    pairs_in: Vec<(u32, u32)>,
+    blossoms_in: Vec<StoredBlossom>,
+    w_base_in: i64,
+    has_in: bool,
+    duals_out: Vec<i64>,
+    pairs_out: Vec<(u32, u32)>,
+    blossoms_out: Vec<StoredBlossom>,
+    w_base_out: i64,
+    has_out: bool,
+}
+
+impl WarmBufs {
+    /// The last solve's exported warm state, in `record_solution` form.
+    fn export(&self) -> Option<WarmExport<'_>> {
+        self.has_out.then(|| {
+            (&self.duals_out[..], &self.pairs_out[..], self.w_base_out, &self.blossoms_out[..])
+        })
+    }
+}
+
+/// Assembles a [`WarmStart`] hint for the cluster `members` (local ids
+/// = positions, two-copy twins at `+k`) out of the cached solutions its
+/// events carried into this decode. A slide leaves most of a big
+/// cluster's events pointing at last decode's solved slot(s); their
+/// exported duals and matched pairs — remapped to the new local ids,
+/// shifted onto a common complement base, with retired/dirty endpoints
+/// dropped — seed the solver so it only re-derives the matching around
+/// what actually changed. Assembly is purely a read of the slab; the
+/// solver treats the hint as untrusted (see [`WarmStart`]), so a stale
+/// entry can cost time but never exactness.
+#[allow(clippy::too_many_arguments)]
+fn assemble_warm(
+    members: &[u32],
+    root: &[u32],
+    cluster_root: u32,
+    local_id: &[u32],
+    sol_of: &[u32],
+    solutions: &[CachedSolution],
+    bufs: &mut WarmBufs,
+    seen: &mut Vec<u32>,
+) {
+    let k = members.len();
+    bufs.has_in = false;
+    bufs.duals_in.clear();
+    bufs.pairs_in.clear();
+    bufs.blossoms_in.clear();
+    seen.clear();
+    let mut w_base = 0i64;
+    for &m in members {
+        let s = sol_of[m as usize];
+        if s == NO_SOL || seen.contains(&s) {
+            continue;
+        }
+        let sol = &solutions[s as usize];
+        if sol.duals.is_empty() {
+            continue;
+        }
+        seen.push(s);
+        w_base = w_base.max(sol.w_base);
+    }
+    if seen.is_empty() {
+        return;
+    }
+    bufs.duals_in.resize(2 * k, NO_HINT);
+    for &s in seen.iter() {
+        let sol = &solutions[s as usize];
+        let k_old = sol.size as usize;
+        debug_assert_eq!(sol.duals.len(), 2 * k_old);
+        let shift = 2 * (w_base - sol.w_base);
+        // A stored member's warm state carries over iff the event
+        // survived (not tombstoned), still points at this slot, and
+        // landed in this cluster — then `local_id` knows its new
+        // position, and its boundary twin follows at `+k`.
+        let new_local = |x: u32| -> Option<usize> {
+            let (ol, twin) =
+                if (x as usize) < k_old { (x as usize, 0) } else { (x as usize - k_old, k) };
+            let g = sol.members[ol];
+            if g == DEAD_MEMBER {
+                return None;
+            }
+            let gi = g as usize;
+            (sol_of[gi] == s && root[gi] == cluster_root).then(|| local_id[gi] as usize + twin)
+        };
+        for (ol, &g) in sol.members.iter().enumerate() {
+            if let Some(nl) = new_local(ol as u32) {
+                let gi = g as usize;
+                debug_assert_eq!(members[nl], gi as u32);
+                // NO_HINT sentinels stay sentinels — a shifted
+                // sentinel would read as a real (and absurd) dual.
+                let (de, dt) = (sol.duals[ol], sol.duals[ol + k_old]);
+                bufs.duals_in[nl] = if de == NO_HINT { NO_HINT } else { de + shift };
+                bufs.duals_in[nl + k] = if dt == NO_HINT { NO_HINT } else { dt + shift };
+            }
+        }
+        for &(a, b) in &sol.lpairs {
+            if let (Some(na), Some(nb)) = (new_local(a), new_local(b)) {
+                bufs.pairs_in.push((na as u32, nb as u32));
+            }
+        }
+        // Blossom subtrees ride along under the same remap: one with a
+        // retired or strayed member flattens its z into the duals just
+        // assembled above (which is why duals go first).
+        remap_stored_blossoms(
+            &sol.blossoms,
+            |x| new_local(x).map(|nl| nl as u32),
+            &mut bufs.duals_in,
+            &mut bufs.blossoms_in,
+        );
+    }
+    bufs.w_base_in = w_base;
+    bufs.has_in = true;
+}
+
+/// Solves one cluster exactly, appending its data-qubit flips to
+/// `flips` and returning its matching weight. `members` are indices
+/// into `events` (the cluster's events, in walk order); `collisions`
+/// its collision edges (global event indices). With `warm`, a ≥3-event
+/// solve starts from the assembled hint (when one is present) and
+/// exports its final state back into the buffers.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn solve_cluster(
+    graph: &DetectorGraph,
+    events: &[DetectionEvent],
+    members: &[u32],
+    collisions: &[ClusterEdge],
+    local_events: &mut Vec<DetectionEvent>,
+    local_id: &mut Vec<u32>,
+    cluster_edges: &mut Vec<ClusterEdge>,
+    pairs: &mut Vec<(usize, usize)>,
+    arena: &mut BlossomArena,
+    flips: &mut Vec<usize>,
+    mut warm: Option<&mut WarmBufs>,
+) -> i64 {
+    if let Some(w) = warm.as_deref_mut() {
+        debug_assert!(!w.has_in || members.len() >= 3, "warm hints are for arena solves");
+        w.has_out = false;
+    }
+    match members.len() {
+        0 => 0,
+        // A lone defect: its region met nobody within its own
+        // boundary distance, so the boundary exit is optimal.
+        1 => {
+            let ev = &events[members[0] as usize];
+            flips.extend(graph.path_to_boundary(ev.ancilla));
+            i64::from(graph.boundary_distance(ev.ancilla))
+        }
+        // A pair: the direct edge against two boundary exits.
+        2 => {
+            let (u, v) = (&events[members[0] as usize], &events[members[1] as usize]);
+            let direct =
+                i64::from(graph.distance(u.ancilla, v.ancilla)) + u.round.abs_diff(v.round) as i64;
+            let exits = i64::from(graph.boundary_distance(u.ancilla))
+                + i64::from(graph.boundary_distance(v.ancilla));
+            if direct <= exits {
+                flips.extend(graph.path(u.ancilla, v.ancilla));
+                direct
+            } else {
+                flips.extend(graph.path_to_boundary(u.ancilla));
+                flips.extend(graph.path_to_boundary(v.ancilla));
+                exits
+            }
+        }
+        // A bigger knot: the in-solver sparse blossom over the
+        // cluster's *collision edges* plus boundary twins. The
+        // two-copy construction keeps the graph sparse: each
+        // event connects to its own twin (weight = its boundary
+        // exit), and every collision edge is mirrored between
+        // the twins at weight zero, so however many events pair
+        // up, the leftover twins can always pair off for free —
+        // an optimal matching never needs an edge the region
+        // scan did not discover.
+        k => {
+            if local_id.len() < events.len() {
+                local_id.resize(events.len(), 0);
+            }
+            local_events.clear();
+            local_events.extend(members.iter().map(|&i| events[i as usize]));
+            for (li, &gi) in members.iter().enumerate() {
+                local_id[gi as usize] = li as u32;
+            }
+            cluster_edges.clear();
+            for e in collisions {
+                let (lu, lv) = (local_id[e.u as usize], local_id[e.v as usize]);
+                cluster_edges.push(ClusterEdge::new(lu, lv, e.weight));
+                cluster_edges.push(ClusterEdge::new(lu + k as u32, lv + k as u32, 0));
+            }
+            for (li, ev) in local_events.iter().enumerate() {
+                cluster_edges.push(ClusterEdge::new(
+                    li as u32,
+                    (li + k) as u32,
+                    i64::from(graph.boundary_distance(ev.ancilla)),
+                ));
+            }
+            let total = match warm {
+                Some(w) => {
+                    let hint = WarmStart {
+                        duals: &w.duals_in,
+                        pairs: &w.pairs_in,
+                        w_base: w.w_base_in,
+                        blossoms: &w.blossoms_in,
+                    };
+                    let t =
+                        arena.solve_warm(2 * k, cluster_edges, pairs, w.has_in.then_some(&hint));
+                    w.w_base_out =
+                        arena.export_warm(&mut w.duals_out, &mut w.pairs_out, &mut w.blossoms_out);
+                    w.has_out = true;
+                    t
+                }
+                None => arena.solve(2 * k, cluster_edges, pairs),
+            };
+            project_pairs(graph, local_events, pairs, flips);
+            total
+        }
+    }
+}
+
+/// The warm state a pooled cluster task carries in and out: the
+/// assembled hint (owned, so the task borrows nothing mutable) and the
+/// solver's export, in `(duals, pairs, w_base, blossoms)` form.
+type WarmHint = (Vec<i64>, Vec<(u32, u32)>, i64, Vec<StoredBlossom>);
+
+/// [`solve_cluster`] packaged as one pool task: takes a recycled arena
+/// from (and returns it to) the shared arena pool, and reports the
+/// cluster's weight, flips, and exported warm state for the in-order
+/// fold on the caller.
+fn solve_cluster_task(
+    graph: &DetectorGraph,
+    events: &[DetectionEvent],
+    members: &[u32],
+    collisions: &[ClusterEdge],
+    arena_pool: &Mutex<Vec<BlossomArena>>,
+    hint: Option<&WarmHint>,
+) -> (i64, Vec<usize>, Option<WarmHint>) {
+    let mut arena =
+        arena_pool.lock().unwrap_or_else(PoisonError::into_inner).pop().unwrap_or_default();
+    let mut local_events = Vec::new();
+    let mut local_id = Vec::new();
+    let mut cluster_edges = Vec::new();
+    let mut pairs = Vec::new();
+    let mut flips = Vec::new();
+    let mut warm = WarmBufs::default();
+    if let Some((duals, wpairs, w_base, blossoms)) = hint {
+        warm.duals_in.extend_from_slice(duals);
+        warm.pairs_in.extend_from_slice(wpairs);
+        warm.blossoms_in.extend_from_slice(blossoms);
+        warm.w_base_in = *w_base;
+        warm.has_in = true;
+    }
+    let weight = solve_cluster(
+        graph,
+        events,
+        members,
+        collisions,
+        &mut local_events,
+        &mut local_id,
+        &mut cluster_edges,
+        &mut pairs,
+        &mut arena,
+        &mut flips,
+        Some(&mut warm),
+    );
+    arena_pool.lock().unwrap_or_else(PoisonError::into_inner).push(arena);
+    let export = warm.has_out.then_some((
+        warm.duals_out,
+        warm.pairs_out,
+        warm.w_base_out,
+        warm.blossoms_out,
+    ));
+    (weight, flips, export)
 }
 
 impl ComplexDecoder for SparseDecoder {
@@ -279,6 +900,10 @@ impl ComplexDecoder for SparseDecoder {
 
     fn decode_window_mut(&mut self, window: &RoundHistory) -> Correction {
         SparseDecoder::decode_window_mut(self, window)
+    }
+
+    fn decode_stream_mut(&mut self, window: &RoundHistory) -> Correction {
+        self.decode_stream_weighted(window).0
     }
 }
 
@@ -386,7 +1011,8 @@ mod tests {
 
     // The exactness contract (sparse weight == dense weight on noisy
     // windows) is pinned by the 1000-window sweep in
-    // tests/sparse_vs_dense.rs and the brute-force property suite.
+    // tests/sparse_vs_dense.rs and the brute-force property suite; the
+    // streaming path is pinned against both by the streamed fuzz there.
 
     #[test]
     fn locked_and_mut_paths_agree() {
@@ -415,6 +1041,102 @@ mod tests {
         errors[12] = true;
         let w = window_for(&code, &errors, 2);
         assert_eq!(decoder.decode_window(&w), decoder.clone().decode_window(&w));
+    }
+
+    #[test]
+    fn stream_decode_matches_batch_on_slides() {
+        // Slide a window one round at a time; the streaming path must
+        // agree with a from-scratch batch decode at every position.
+        let code = SurfaceCode::new(7);
+        let mut streaming = SparseDecoder::new(&code, StabilizerType::X);
+        let mut batch = SparseDecoder::new(&code, StabilizerType::X);
+        let n_anc = code.num_ancillas(StabilizerType::X);
+        let mut rng = SimRng::from_seed(0x51DE);
+        let mut window = RoundHistory::new(n_anc, 6);
+        for _ in 0..40 {
+            let bits: Vec<bool> = (0..n_anc).map(|_| rng.bernoulli(0.04)).collect();
+            window.push(&bits);
+            let (sc, sw) = streaming.decode_stream_weighted(&window);
+            let (bc, bw) = batch.decode_window_weighted(&window);
+            assert_eq!(sw, bw, "stream weight diverged from batch");
+            // Equal-weight matchings may differ on ties, but both must
+            // resolve the same syndrome.
+            let mut rs = vec![false; code.num_data_qubits()];
+            let mut rb = rs.clone();
+            sc.apply_to(&mut rs);
+            bc.apply_to(&mut rb);
+            assert_eq!(
+                code.syndrome_of(StabilizerType::X, &rs),
+                code.syndrome_of(StabilizerType::X, &rb),
+                "stream and batch corrections resolve different syndromes"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_decode_survives_resets_and_quiet_windows() {
+        let code = SurfaceCode::new(5);
+        let mut dec = SparseDecoder::new(&code, StabilizerType::X);
+        let n_anc = code.num_ancillas(StabilizerType::X);
+        let mut window = RoundHistory::new(n_anc, 4);
+        let quiet = vec![false; n_anc];
+        let mut lit = quiet.clone();
+        lit[1] = true;
+        // Quiet stream: cached empty result replayed.
+        for _ in 0..6 {
+            window.push(&quiet);
+            let (c, w) = dec.decode_stream_weighted(&window);
+            assert!(c.is_empty());
+            assert_eq!(w, 0);
+        }
+        // An event enters, slides through, and retires; every position
+        // must agree with a from-scratch decode.
+        let mut batch = SparseDecoder::new(&code, StabilizerType::X);
+        for _ in 0..6 {
+            window.push(&lit);
+            assert_eq!(
+                dec.decode_stream_weighted(&window),
+                batch.decode_window_weighted(&window),
+                "stream diverged while an event slid through"
+            );
+        }
+        // Reset jumps the coverage: next decode rebuilds.
+        window.reset();
+        window.push(&quiet);
+        let (c2, w2) = dec.decode_stream_weighted(&window);
+        assert!(c2.is_empty());
+        assert_eq!(w2, 0);
+    }
+
+    #[test]
+    fn pooled_cluster_solves_are_bit_identical() {
+        // One window with several ≥3-event clusters, decoded with no
+        // pool and with pools of 1, 2, and 8 workers: identical
+        // corrections and weights everywhere.
+        let code = SurfaceCode::new(11);
+        let n_anc = code.num_ancillas(StabilizerType::X);
+        let mut rng = SimRng::from_seed(0xB00);
+        let mut window = RoundHistory::new(n_anc, 8);
+        for _ in 0..8 {
+            let bits: Vec<bool> = (0..n_anc).map(|_| rng.bernoulli(0.08)).collect();
+            window.push(&bits);
+        }
+        let mut plain = SparseDecoder::new(&code, StabilizerType::X);
+        let reference = plain.decode_window_weighted(&window);
+        for workers in [1usize, 2, 8] {
+            let mut pooled = SparseDecoder::new(&code, StabilizerType::X)
+                .with_pool(Arc::new(Pool::new(workers)));
+            assert_eq!(
+                pooled.decode_window_weighted(&window),
+                reference,
+                "pooled decode diverged at {workers} workers"
+            );
+            assert_eq!(
+                pooled.decode_stream_weighted(&window),
+                reference,
+                "pooled stream decode diverged at {workers} workers"
+            );
+        }
     }
 
     #[test]

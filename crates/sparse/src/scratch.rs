@@ -44,6 +44,12 @@ pub struct SparseScratch {
     /// Detection events of the window being decoded (filled by
     /// `decode_window`).
     pub(crate) events: Vec<DetectionEvent>,
+    /// Warm-start assembly/export buffers around each cluster solve
+    /// (see [`crate::decoder::WarmBufs`]).
+    pub(crate) warm: crate::decoder::WarmBufs,
+    /// Slots already folded into the warm assembly of the current
+    /// cluster (tiny; linear membership checks).
+    pub(crate) warm_seen: Vec<u32>,
 }
 
 impl SparseScratch {

@@ -3,25 +3,36 @@
 //! randomized noisy windows, and the sparse corrections are equally
 //! valid (zero residual syndrome against the final perfect round).
 //!
-//! Two sweeps share the [`btwc_testutil`] window distribution:
+//! Three sweeps share the [`btwc_testutil`] window distribution:
 //!
 //! * the original acceptance sweep at d ∈ {5, 9, 13} and low-to-mid
 //!   rates — the regime region collision was built for;
 //! * the **chained-cluster** differential fuzz at d ∈ {13, 17, 21} and
 //!   p ∈ {5e-3, 1e-2} — the regime where a single cluster chains across
 //!   most of a window's events and the in-solver sparse blossom (not a
-//!   dense fallback) has to shrink real blossoms to stay exact.
+//!   dense fallback) has to shrink real blossoms to stay exact;
+//! * the **streamed** differential fuzz: one continuous noisy trace per
+//!   `(d, p, slide)` cell, the window sliding forward `slide` rounds per
+//!   decode, asserting at every position that the incremental stream
+//!   decode, a from-scratch sparse decode, the dense oracle, and a
+//!   pooled streaming decoder all commit to the same matching weight —
+//!   the incremental path's cluster-solution reuse, quiet fast path,
+//!   and slide re-basing can never change the answer.
 //!
-//! Set `BTWC_FUZZ_WINDOWS` to rescale the chained-cluster budget (the
-//! CI slow-fuzz job raises it; the default keeps `cargo test -q`
-//! fast). Failures print the exact per-window seed plus a full event
-//! dump, so any counterexample is reproducible in isolation.
+//! Set `BTWC_FUZZ_WINDOWS` to rescale the chained-cluster and streamed
+//! budgets (the CI slow-fuzz job raises it; the default keeps
+//! `cargo test -q` fast). Failures print the exact seed plus a full
+//! event dump, so any counterexample is reproducible in isolation.
+
+use std::sync::Arc;
 
 use btwc_lattice::{StabilizerType, SurfaceCode};
 use btwc_mwpm::MwpmDecoder;
-use btwc_noise::SimRng;
+use btwc_noise::{PhenomenologicalNoise, SimRng};
+use btwc_pool::Pool;
 use btwc_sparse::SparseDecoder;
-use btwc_testutil::{dump_events, fuzz_window_budget, noisy_window};
+use btwc_syndrome::RoundHistory;
+use btwc_testutil::{dump_events, fuzz_window_budget, noisy_round, noisy_window};
 
 #[test]
 fn sparse_weight_equals_dense_on_1000_random_windows() {
@@ -130,4 +141,101 @@ fn chained_cluster_fuzz_sparse_weight_equals_dense() {
     assert!(ran >= total.min(1000) * 95 / 100, "budget {total} but only {ran} windows ran");
     // The sweep must reach genuinely chained clusters, not small knots.
     assert!(max_events >= 40, "largest window had only {max_events} events");
+}
+
+/// The streamed differential fuzz: one continuous noisy trace per cell,
+/// decoded at every slide position by four decoders that must agree on
+/// the committed matching weight —
+///
+/// * the **incremental** streaming sparse decoder (persistent regions,
+///   collision edges, and cluster solutions across slides),
+/// * a **from-scratch** sparse decoder (batch kernel every position),
+/// * the **dense** MWPM oracle,
+/// * a **pooled** streaming sparse decoder (≥3-event cluster solves on
+///   a `btwc_pool::Pool`), which must further be *bit-identical* to the
+///   unpooled incremental decoder — the property the CI `BTWC_WORKERS=1`
+///   repeat pins across worker counts.
+///
+/// Slide-by-1 exercises the incremental machinery hardest (maximum
+/// overlap, front re-basing every step); slide-by-`d` replaces the whole
+/// window each step and must fall back to a rebuild with the same
+/// answer. Each cell's trace is seeded independently, so any failure
+/// reproduces from the printed seed and step index alone.
+#[test]
+fn streamed_fuzz_incremental_equals_fromscratch_and_dense() {
+    // (distance, error rate, slide, relative weight of the budget).
+    let plan: [(u16, f64, usize, u64); 7] = [
+        (13, 5e-3, 1, 28),
+        (13, 1e-2, 1, 22),
+        (13, 5e-3, 13, 14),
+        (17, 5e-3, 1, 14),
+        (17, 1e-2, 1, 8),
+        (17, 1e-2, 17, 8),
+        (21, 5e-3, 1, 6),
+    ];
+    let total = fuzz_window_budget(1000);
+    let ty = StabilizerType::X;
+    let mut incremental_positions = 0u64;
+    for (d, p, slide, weight) in plan {
+        let positions = (total * weight / 100).max(2);
+        let code = SurfaceCode::new(d);
+        let noise = PhenomenologicalNoise::uniform(p);
+        let n_anc = code.num_ancillas(ty);
+        let mut streaming = SparseDecoder::new(&code, ty);
+        let mut pooled = SparseDecoder::new(&code, ty).with_pool(Arc::new(Pool::auto()));
+        let mut batch = SparseDecoder::new(&code, ty);
+        let mut dense = MwpmDecoder::new(&code, ty);
+        let seed = 0x57E4_A11Du64 ^ (u64::from(d) << 40) ^ ((slide as u64) << 32) ^ p.to_bits();
+        let mut rng = SimRng::from_seed(seed);
+        let mut errors = vec![false; code.num_data_qubits()];
+        let mut meas = vec![false; n_anc];
+        let mut window = RoundHistory::new(n_anc, usize::from(d));
+        let mut pooled_window = window.clone();
+        for step in 0..positions {
+            for _ in 0..slide {
+                let round = noisy_round(&code, ty, &noise, &mut rng, &mut errors, &mut meas);
+                window.push(&round);
+                pooled_window.push(&round);
+            }
+            incremental_positions += u64::from(slide < usize::from(d));
+            let (c_inc, w_inc) = streaming.decode_stream_weighted(&window);
+            let (c_batch, w_batch) = batch.decode_window_weighted(&window);
+            let (_, w_dense) = dense.decode_window_weighted(&window);
+            let ctx = || {
+                format!(
+                    "d={d} p={p} slide={slide} step {step} \
+                     (reproduce: SimRng::from_seed({seed:#x}), replay {step} slides): {}",
+                    dump_events(&window)
+                )
+            };
+            assert_eq!(w_inc, w_batch, "incremental weight diverged from from-scratch: {}", ctx());
+            assert_eq!(w_batch, w_dense, "sparse weight diverged from dense oracle: {}", ctx());
+            // Equal-weight matchings may tie-break differently, but any
+            // perfect matching of the same events flips a correction
+            // with the same spatial syndrome.
+            let mut flipped_inc = vec![false; code.num_data_qubits()];
+            let mut flipped_batch = flipped_inc.clone();
+            c_inc.apply_to(&mut flipped_inc);
+            c_batch.apply_to(&mut flipped_batch);
+            assert_eq!(
+                code.syndrome_of(ty, &flipped_inc),
+                code.syndrome_of(ty, &flipped_batch),
+                "incremental correction resolves a different syndrome: {}",
+                ctx()
+            );
+            // The pooled streaming decoder follows the same stream and
+            // must match the unpooled one bit-for-bit.
+            let (c_pool, w_pool) = pooled.decode_stream_weighted(&pooled_window);
+            assert_eq!(
+                (c_pool, w_pool),
+                (c_inc, w_inc),
+                "pooled stream decode diverged from inline: {}",
+                ctx()
+            );
+        }
+    }
+    assert!(
+        incremental_positions >= total.min(1000) * 3 / 4,
+        "only {incremental_positions} slide positions exercised the incremental path"
+    );
 }

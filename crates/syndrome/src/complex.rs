@@ -29,4 +29,17 @@ pub trait ComplexDecoder {
     fn decode_window_mut(&mut self, window: &RoundHistory) -> Correction {
         self.decode_window(window)
     }
+
+    /// Decodes `window` as the latest position of a **sliding stream**:
+    /// implementations that keep incremental state (regions, collision
+    /// edges, cluster matchings) override this to reuse everything the
+    /// previous call already computed when `window` is a forward slide
+    /// of the window they decoded last (same [`RoundHistory::stream_id`],
+    /// coverage moved forward with overlap). On any other input —
+    /// including a fresh or reset window — the result is identical to
+    /// [`ComplexDecoder::decode_window_mut`]; the default simply
+    /// forwards there, so stateless decoders participate unchanged.
+    fn decode_stream_mut(&mut self, window: &RoundHistory) -> Correction {
+        self.decode_window_mut(window)
+    }
 }

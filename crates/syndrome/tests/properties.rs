@@ -229,3 +229,99 @@ proptest! {
         prop_assert_eq!(got_sorted, expect_sorted);
     }
 }
+
+/// Sliding compaction: after `slide(k)`, the re-based detection events
+/// (front round diffed against the all-zero baseline again) must match
+/// a window freshly built from the surviving rounds — across word
+/// boundaries, partial words, and quiet (empty-event) prefixes.
+mod slide_rebases_like_fresh {
+    use super::*;
+
+    fn check(width: usize, rounds: &[Vec<bool>], k: usize, quiet_prefix: usize) {
+        let mut slid = RoundHistory::new(width, rounds.len().max(1) + quiet_prefix);
+        for _ in 0..quiet_prefix {
+            slid.push(&vec![false; width]);
+        }
+        for r in rounds {
+            slid.push(r);
+        }
+        let k = k.min(slid.len());
+        slid.slide(k);
+        let mut fresh = RoundHistory::new(width, rounds.len().max(1) + quiet_prefix);
+        for t in k..(quiet_prefix + rounds.len()) {
+            if t < quiet_prefix {
+                fresh.push(&vec![false; width]);
+            } else {
+                fresh.push(&rounds[t - quiet_prefix]);
+            }
+        }
+        assert_eq!(slid.detection_events(), fresh.detection_events());
+        assert_eq!(slid.detection_event_count(), fresh.detection_event_count());
+        assert_eq!(slid.len(), fresh.len());
+        for t in 0..slid.len() {
+            assert_eq!(slid.round_event_count(t), fresh.round_event_count(t), "round {t}");
+            assert_eq!(slid.round(t), fresh.round(t), "round {t}");
+        }
+    }
+
+    proptest! {
+        /// Multi-word rounds: ancilla counts straddling the 64-bit word
+        /// boundary, arbitrary slide depths.
+        #[test]
+        fn across_word_boundaries(
+            rounds in proptest::collection::vec(
+                proptest::collection::vec(any::<bool>(), 130), 1..7),
+            k in 0usize..7,
+        ) {
+            check(130, &rounds, k, 0);
+        }
+
+        /// Partial words: widths well below one word and just past one.
+        #[test]
+        fn partial_words(
+            rounds in proptest::collection::vec(
+                proptest::collection::vec(any::<bool>(), 5), 1..8),
+            k in 0usize..8,
+            wide in proptest::collection::vec(
+                proptest::collection::vec(any::<bool>(), 65), 1..5),
+        ) {
+            check(5, &rounds, k, 0);
+            check(65, &wide, k.min(wide.len()), 0);
+        }
+
+        /// Empty-prefix windows: all-zero leading rounds, slides that
+        /// stop inside, at, and beyond the quiet prefix.
+        #[test]
+        fn empty_prefix_windows(
+            rounds in proptest::collection::vec(
+                proptest::collection::vec(any::<bool>(), 9), 1..5),
+            quiet in 1usize..4,
+            k in 0usize..8,
+        ) {
+            check(9, &rounds, k, quiet);
+        }
+
+        /// Repeated single-round slides traverse every boundary a long
+        /// stream crosses, staying equal to fresh windows throughout.
+        #[test]
+        fn repeated_slides_stay_rebased(
+            rounds in proptest::collection::vec(
+                proptest::collection::vec(any::<bool>(), 70), 2..9),
+        ) {
+            let mut h = RoundHistory::new(70, rounds.len());
+            for r in &rounds {
+                h.push(r);
+            }
+            for dropped in 1..rounds.len() {
+                h.slide(1);
+                let mut fresh = RoundHistory::new(70, rounds.len());
+                for r in &rounds[dropped..] {
+                    fresh.push(r);
+                }
+                prop_assert_eq!(h.detection_events(), fresh.detection_events());
+                prop_assert_eq!(
+                    h.detection_event_count(), fresh.detection_event_count());
+            }
+        }
+    }
+}
