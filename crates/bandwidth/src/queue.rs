@@ -107,6 +107,12 @@ impl QueueSim {
         Self { bandwidth, backlog: 0 }
     }
 
+    /// The link's service rate in decodes per cycle.
+    #[must_use]
+    pub fn bandwidth(&self) -> usize {
+        self.bandwidth
+    }
+
     /// Current backlog (pending decodes).
     #[must_use]
     pub fn backlog(&self) -> usize {

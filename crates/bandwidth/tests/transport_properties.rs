@@ -26,6 +26,30 @@ proptest! {
         prop_assert_eq!(back, req);
     }
 
+    /// The closed-form frame length used for transport accounting
+    /// (16-byte header + rounds × ceil(width/8) payload) matches the
+    /// bytes actually serialized, so the machine tier's frame-byte
+    /// meter (`MachineStats::frame_bytes`, `machine.frame_bytes`
+    /// telemetry) is exact for any round count and width — summing
+    /// `frame_len()` over a burst of escalations equals the total
+    /// wire bytes shipped.
+    #[test]
+    fn frame_byte_accounting_matches_serialization(
+        reqs in proptest::collection::vec(request_strategy(), 1..8)
+    ) {
+        let mut metered = 0usize;
+        let mut shipped = 0usize;
+        for req in &reqs {
+            let frame = req.encode();
+            let payload = req.rounds.len() * req.bits_per_round().div_ceil(8);
+            prop_assert_eq!(frame.len(), 16 + payload);
+            prop_assert_eq!(req.frame_len(), frame.len());
+            metered += req.frame_len();
+            shipped += frame.len();
+        }
+        prop_assert_eq!(metered, shipped);
+    }
+
     /// Every strict prefix of the header is rejected as truncated; a
     /// complete header with a short payload is rejected with the exact
     /// byte accounting.

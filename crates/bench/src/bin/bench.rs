@@ -388,11 +388,137 @@ fn machine_benches(entries: &mut Vec<Entry>) -> f64 {
     batched / per_qubit.max(1e-12)
 }
 
+/// Paired-passes overhead measurement: each rep times the bare arm and
+/// the instrumented arm back to back and records the on/off rate
+/// ratio; the reported overhead is `1 - median(ratios)`. A single long
+/// run per arm is dominated by clock/cache drift between the two runs
+/// (on a noisy host individual passes report anywhere from -25% to
+/// +13% on a sub-1% effect). Pairing puts both arms in the same few
+/// milliseconds of host weather, and the median discards the reps a
+/// noise burst split down the middle.
+const TELEMETRY_REPS: usize = 12;
+
+/// Minimum iterations per alternating pass — below this the timing
+/// window is too short to average over scheduler jitter.
+const TELEMETRY_MIN_ITERS: u64 = 40;
+
+/// `1 - median(on/off ratios)`, the paired overhead estimate.
+fn overhead_from_ratios(mut ratios: Vec<f64>) -> f64 {
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+    let mid = ratios.len() / 2;
+    let median =
+        if ratios.len() % 2 == 1 { ratios[mid] } else { (ratios[mid - 1] + ratios[mid]) / 2.0 };
+    1.0 - median
+}
+
+/// The `--telemetry` overhead comparison: the identical machine-step
+/// and streaming-decode workloads with and without a live
+/// [`btwc_telemetry::MetricsRegistry`] attached. Returns the
+/// (machine, streaming) overhead fractions (0.01 = the instrumented
+/// run is 1% slower); the acceptance bar is < 3% on both, which is why
+/// every hot-path record is a relaxed atomic add with no locking and
+/// the stream decoder batches per-cluster replay counts into one add.
+fn telemetry_overhead_benches(entries: &mut Vec<Entry>) -> (f64, f64) {
+    use btwc_core::BtwcMachine;
+    use btwc_telemetry::MetricsRegistry;
+
+    let d = 9u16;
+    let qubits = 64usize;
+    let (code, batches, _) = machine_step_workload(d, qubits, 512, 1e-3, 0xBA7C);
+    let iters = scaled(100_000);
+
+    let mut plain = BtwcMachine::builder(&code, StabilizerType::X, qubits, qubits).build();
+    let registry = MetricsRegistry::new();
+    let mut instrumented =
+        BtwcMachine::builder(&code, StabilizerType::X, qubits, qubits).telemetry(&registry).build();
+    let mut rates = [0.0f64; 2];
+    let mut ratios = Vec::with_capacity(TELEMETRY_REPS);
+    for _ in 0..TELEMETRY_REPS {
+        let per_rep = (iters / TELEMETRY_REPS as u64).max(TELEMETRY_MIN_ITERS);
+        let mut rep = [0.0f64; 2];
+        for (slot, machine) in [&mut plain, &mut instrumented].into_iter().enumerate() {
+            let mut i = 0;
+            rep[slot] = time_rounds(per_rep, || {
+                i = (i + 1) % batches.len();
+                std::hint::black_box(machine.step(&batches[i]).offchip_requests);
+            }) * qubits as f64;
+            rates[slot] = rates[slot].max(rep[slot]);
+        }
+        ratios.push(rep[1] / rep[0].max(1e-12));
+    }
+    let [detached, attached] = rates;
+    entries.push(Entry {
+        name: "machine_step_telemetry_off".into(),
+        rounds_per_sec: detached,
+        detail: format!("d={d}, {qubits} qubits, no registry attached"),
+    });
+    entries.push(Entry {
+        name: "machine_step_telemetry_on".into(),
+        rounds_per_sec: attached,
+        detail: format!("d={d}, {qubits} qubits, machine.* metrics live"),
+    });
+    let machine_overhead = overhead_from_ratios(ratios);
+
+    let ty = StabilizerType::X;
+    let d = 13u16;
+    let code = SurfaceCode::new(d);
+    let n_anc = code.num_ancillas(ty);
+    let w = 6 * usize::from(d);
+    let trace = sample_streaming_trace(&code, 512, 5e-3, 4, 0x57E4 + u64::from(d));
+    let packed: Vec<PackedBits> = trace.iter().map(|r| PackedBits::from_bools(r)).collect();
+    let iters = scaled(1_200);
+    // One long-lived streaming decoder per arm (steady-state stream
+    // cache), alternated between passes.
+    let registry = MetricsRegistry::new();
+    let mut arms: Vec<(SparseDecoder, RoundHistory, usize)> = [None, Some(&registry)]
+        .into_iter()
+        .map(|registry| {
+            let mut dec = SparseDecoder::new(&code, ty);
+            if let Some(registry) = registry {
+                dec.attach_telemetry(registry);
+            }
+            let mut window = RoundHistory::new(n_anc, w);
+            let mut i = 0;
+            for _ in 0..w {
+                window.push_packed(&packed[i]);
+                i = (i + 1) % packed.len();
+            }
+            std::hint::black_box(dec.decode_stream_weighted(&window).1);
+            (dec, window, i)
+        })
+        .collect();
+    let mut rates = [0.0f64; 2];
+    let mut ratios = Vec::with_capacity(TELEMETRY_REPS);
+    for _ in 0..TELEMETRY_REPS {
+        let per_rep = (iters / TELEMETRY_REPS as u64).max(TELEMETRY_MIN_ITERS);
+        let mut rep = [0.0f64; 2];
+        for (slot, (dec, window, i)) in arms.iter_mut().enumerate() {
+            rep[slot] = time_rounds(per_rep, || {
+                window.push_packed(&packed[*i]);
+                *i = (*i + 1) % packed.len();
+                std::hint::black_box(dec.decode_stream_weighted(window).1);
+            });
+            rates[slot] = rates[slot].max(rep[slot]);
+        }
+        ratios.push(rep[1] / rep[0].max(1e-12));
+    }
+    for (slot, name) in ["off", "on"].into_iter().enumerate() {
+        entries.push(Entry {
+            name: format!("streaming_decode_telemetry_{name}"),
+            rounds_per_sec: rates[slot],
+            detail: format!("d={d}, {w}-round window, slide-1 incremental stream decode"),
+        });
+    }
+    let stream_overhead = overhead_from_ratios(ratios);
+    (machine_overhead, stream_overhead)
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 fn main() {
+    let measure_telemetry = std::env::args().any(|a| a == "--telemetry");
     let mut entries = Vec::new();
     let (boolvec, packed) = sticky_benches(&mut entries);
     let (sparse_d13, sparse_d21) = sparse_vs_dense_benches(&mut entries);
@@ -401,6 +527,7 @@ fn main() {
     ler_benches(&mut entries);
     let sweep_speedup = sweep_benches(&mut entries);
     let machine_speedup = machine_benches(&mut entries);
+    let telemetry_overheads = measure_telemetry.then(|| telemetry_overhead_benches(&mut entries));
     let speedup = packed / boolvec.max(1e-12);
 
     let rows: Vec<Vec<String>> = entries
@@ -421,6 +548,14 @@ fn main() {
          {stream_d17:.1}x at d=17, {stream_d21:.1}x at d=21"
     );
     println!("whole-grid pooled sweep vs per-point scoped threads: {sweep_speedup:.1}x");
+    if let Some((machine_overhead, stream_overhead)) = telemetry_overheads {
+        println!(
+            "telemetry overhead (on vs off): machine step {:.2}%, streaming decode {:.2}% \
+             (bar: < 3%)",
+            machine_overhead * 100.0,
+            stream_overhead * 100.0
+        );
+    }
 
     let mut json =
         String::from("{\n  \"benchmark\": \"BENCH_decoders\",\n  \"unit\": \"rounds_per_sec\",\n");
@@ -443,6 +578,10 @@ fn main() {
     );
     let _ = writeln!(json, "  \"sweep_pooled_speedup_vs_scoped\": {sweep_speedup:.3},");
     let _ = writeln!(json, "  \"machine_batched_speedup_vs_perqubit\": {machine_speedup:.3},");
+    if let Some((machine_overhead, stream_overhead)) = telemetry_overheads {
+        let _ = writeln!(json, "  \"machine_step_telemetry_overhead\": {machine_overhead:.4},");
+        let _ = writeln!(json, "  \"streaming_decode_telemetry_overhead\": {stream_overhead:.4},");
+    }
     json.push_str("  \"results\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let comma = if i + 1 == entries.len() { "" } else { "," };

@@ -26,10 +26,13 @@
 //! running every qubit through its own [`crate::BtwcDecoder`] — pinned
 //! by `tests/machine_equivalence.rs` for every [`DecoderBackend`].
 
+use std::collections::VecDeque;
+
 use btwc_bandwidth::{DecodeRequest, QueueSim};
 use btwc_clique::{BatchFrontend, CliqueDecision};
 use btwc_lattice::{StabilizerType, SurfaceCode};
 use btwc_syndrome::{BatchHistory, PackedBits, RoundHistory, SyndromeBatch};
+use btwc_telemetry::{Counter, CounterFamily, Domain, Histogram, MetricsRegistry, SpanTimer};
 
 use crate::decoder::{BtwcOutcome, ComplexDecoder, DecoderBackend, DecoderStats};
 
@@ -48,6 +51,12 @@ pub struct MachineCycle {
 }
 
 /// Aggregate counters of a [`BtwcMachine`].
+///
+/// Since the telemetry rework this is a *snapshot facade*: the machine
+/// keeps its running totals in private internals (plus, when a registry
+/// is attached, live `machine.*` metrics) and
+/// [`BtwcMachine::stats`] assembles this struct on demand, so existing
+/// callers keep their five-counter view unchanged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MachineStats {
     /// Total cycles elapsed (useful + stall).
@@ -67,13 +76,82 @@ pub struct MachineStats {
 impl MachineStats {
     /// Relative execution-time increase from stalling — the y-axis of
     /// Fig. 16. 0.10 means the program runs 10% longer.
+    ///
+    /// A window with no useful cycles (all-stall, or no cycles at all)
+    /// reports 0.0: there is no useful baseline to be relative to, and
+    /// the previous `inf`/`NaN` poisoned downstream averages.
     #[must_use]
     pub fn execution_time_increase(&self) -> f64 {
         let useful = self.cycles - self.stalls;
         if useful == 0 {
-            return f64::INFINITY;
+            return 0.0;
         }
         self.cycles as f64 / useful as f64 - 1.0
+    }
+}
+
+/// Running totals behind the [`MachineStats`] facade (the queue itself
+/// owns the live backlog).
+#[derive(Debug, Clone, Copy, Default)]
+struct MachineCounters {
+    cycles: u64,
+    stalls: u64,
+    offchip_requests: u64,
+    frame_bytes: u64,
+    peak_backlog: u64,
+}
+
+/// Cycle-domain metric handles recorded by [`BtwcMachine::step`] when a
+/// registry is attached. The machine steps serially and every latency
+/// here is derived from the cycle counter and the queue model, so all
+/// of these are bit-reproducible for any `BTWC_WORKERS`.
+#[derive(Debug, Clone)]
+struct MachineTelemetry {
+    cycles: Counter,
+    stall_cycles: Counter,
+    offchip_requests: Counter,
+    frame_bytes: Counter,
+    /// Link backlog left waiting after a cycle's service, sampled only on
+    /// cycles that touched the link (escalations issued or backlog
+    /// waiting) so a quiet cycle costs one atomic increment.
+    queue_depth: Histogram,
+    /// Encoded frame length of each escalation.
+    frame_bytes_per_request: Histogram,
+    /// Syndrome-arrival to correction-commit, in cycles: the rounds the
+    /// escalated window sat on-chip plus the queue delay its request
+    /// sees on the shared link. Wall domain (with the `wall-time`
+    /// feature) measures the off-chip solve itself.
+    escalation_latency: SpanTimer,
+    /// Escalations per qubit.
+    qubit_offchip: CounterFamily,
+    /// Stall cycles charged to each qubit whose request was still
+    /// waiting in the link backlog when the machine idled.
+    qubit_stalls: CounterFamily,
+}
+
+impl MachineTelemetry {
+    fn register(registry: &MetricsRegistry, num_qubits: usize) -> Self {
+        let c = |name: &str| registry.counter(name, Domain::Cycles);
+        Self {
+            cycles: c("machine.cycles"),
+            stall_cycles: c("machine.stall_cycles"),
+            offchip_requests: c("machine.offchip_requests"),
+            frame_bytes: c("machine.frame_bytes"),
+            queue_depth: registry.histogram("machine.queue_depth", Domain::Cycles),
+            frame_bytes_per_request: registry
+                .histogram("machine.frame_bytes_per_request", Domain::Cycles),
+            escalation_latency: registry.span_timer("machine.escalation_latency"),
+            qubit_offchip: registry.counter_family(
+                "machine.qubit_offchip_requests",
+                Domain::Cycles,
+                num_qubits,
+            ),
+            qubit_stalls: registry.counter_family(
+                "machine.qubit_stall_cycles",
+                Domain::Cycles,
+                num_qubits,
+            ),
+        }
     }
 }
 
@@ -95,6 +173,7 @@ pub struct MachineBuilder<'a> {
     clique_rounds: usize,
     window_rounds: usize,
     backend: DecoderBackend,
+    telemetry: Option<MetricsRegistry>,
 }
 
 impl<'a> MachineBuilder<'a> {
@@ -107,6 +186,7 @@ impl<'a> MachineBuilder<'a> {
             clique_rounds: 2,
             window_rounds: usize::from(code.distance()).max(4) * 4,
             backend: DecoderBackend::default(),
+            telemetry: None,
         }
     }
 
@@ -142,6 +222,14 @@ impl<'a> MachineBuilder<'a> {
         self
     }
 
+    /// Attaches a metrics registry to the built machine (see
+    /// [`BtwcMachine::attach_telemetry`]).
+    #[must_use]
+    pub fn telemetry(mut self, registry: &MetricsRegistry) -> Self {
+        self.telemetry = Some(registry.clone());
+        self
+    }
+
     /// Builds the machine.
     ///
     /// # Panics
@@ -153,7 +241,7 @@ impl<'a> MachineBuilder<'a> {
         let n_anc = self.code.num_ancillas(self.ty);
         let frontend =
             BatchFrontend::with_rounds(self.code, self.ty, self.num_qubits, self.clique_rounds);
-        BtwcMachine {
+        let mut machine = BtwcMachine {
             num_qubits: self.num_qubits,
             num_ancillas: n_anc,
             window_rounds: self.window_rounds,
@@ -169,10 +257,16 @@ impl<'a> MachineBuilder<'a> {
             wire: RoundHistory::new(n_anc, self.window_rounds),
             queue: QueueSim::new(self.bandwidth),
             stalled: false,
-            stats: MachineStats::default(),
+            counters: MachineCounters::default(),
             per_qubit: vec![QubitCounters::default(); self.num_qubits],
+            backlog_qubits: VecDeque::new(),
+            telemetry: None,
             ingest: Some(SyndromeBatch::new(self.num_qubits, n_anc)),
+        };
+        if let Some(registry) = &self.telemetry {
+            machine.attach_telemetry(registry);
         }
+        machine
     }
 }
 
@@ -219,8 +313,14 @@ pub struct BtwcMachine {
     wire: RoundHistory,
     queue: QueueSim,
     stalled: bool,
-    stats: MachineStats,
+    counters: MachineCounters,
     per_qubit: Vec<QubitCounters>,
+    /// FIFO mirror of the link queue's membership: the qubit behind
+    /// each waiting request, in service order — what per-qubit stall
+    /// attribution charges on a stall cycle.
+    backlog_qubits: VecDeque<u32>,
+    /// Optional metric handles (see [`BtwcMachine::attach_telemetry`]).
+    telemetry: Option<MachineTelemetry>,
     /// Reused ingestion batch for [`BtwcMachine::step_rounds`] (taken
     /// out of the `Option` for the duration of the step so the
     /// borrow-checker lets it feed `step`; never `None` between calls).
@@ -233,7 +333,7 @@ impl std::fmt::Debug for BtwcMachine {
             .field("num_qubits", &self.num_qubits)
             .field("num_ancillas", &self.num_ancillas)
             .field("backend", &self.backend_name)
-            .field("stats", &self.stats)
+            .field("stats", &self.stats())
             .finish_non_exhaustive()
     }
 }
@@ -275,10 +375,30 @@ impl BtwcMachine {
         self.stalled
     }
 
-    /// Aggregate counters.
+    /// Aggregate counters, assembled from the machine's internals (see
+    /// [`MachineStats`]).
     #[must_use]
     pub fn stats(&self) -> MachineStats {
-        self.stats
+        MachineStats {
+            cycles: self.counters.cycles,
+            stalls: self.counters.stalls,
+            offchip_requests: self.counters.offchip_requests,
+            frame_bytes: self.counters.frame_bytes,
+            backlog: self.queue.backlog() as u64,
+            peak_backlog: self.counters.peak_backlog,
+        }
+    }
+
+    /// Attach a metrics registry: from here on every step records the
+    /// machine's cycle/stall/escalation counters, the per-cycle link
+    /// queue depth, per-escalation frame bytes and arrival-to-commit
+    /// latency in cycles, and per-qubit escalation and stall
+    /// attribution under the `machine.` prefix — and the off-chip
+    /// backend records its own internals (e.g. `sparse.*`) into the
+    /// same registry. All machine metrics are cycle-domain.
+    pub fn attach_telemetry(&mut self, registry: &MetricsRegistry) {
+        self.telemetry = Some(MachineTelemetry::register(registry, self.num_qubits));
+        self.offchip.attach_telemetry(registry);
     }
 
     /// Lifetime counters of one qubit's pipeline, identical to what a
@@ -292,8 +412,8 @@ impl BtwcMachine {
     pub fn decoder_stats(&self, qubit: usize) -> DecoderStats {
         let q = &self.per_qubit[qubit];
         DecoderStats {
-            cycles: self.stats.cycles,
-            quiet: self.stats.cycles - q.onchip - q.offchip,
+            cycles: self.counters.cycles,
+            quiet: self.counters.cycles - q.onchip - q.offchip,
             onchip: q.onchip,
             offchip: q.offchip,
         }
@@ -319,7 +439,17 @@ impl BtwcMachine {
         assert_eq!(batch.num_qubits(), self.num_qubits, "one round per qubit");
         assert_eq!(batch.num_ancillas(), self.num_ancillas, "batch ancilla width mismatch");
         let was_stalled = self.stalled;
-        let cycle_index = self.stats.cycles;
+        let cycle_index = self.counters.cycles;
+        if was_stalled {
+            // Per-qubit stall attribution: this idle cycle is charged
+            // to every qubit whose request is still waiting on the
+            // link.
+            if let Some(tel) = &self.telemetry {
+                for &q in &self.backlog_qubits {
+                    tel.qubit_stalls.inc(q as usize);
+                }
+            }
+        }
 
         // 1. Window bookkeeping, word-parallel triage: the shared ring
         //    takes one plane-by-plane copy of the whole machine round;
@@ -354,6 +484,8 @@ impl BtwcMachine {
         let mut outcomes = vec![BtwcOutcome::Quiet; self.num_qubits];
         let mut offchip_requests = 0usize;
         let mut frame_bytes = 0usize;
+        let backlog_pre = self.queue.backlog() as u64;
+        let link_bandwidth = self.queue.bandwidth() as u64;
         let Self {
             frontend,
             window_ring,
@@ -363,8 +495,11 @@ impl BtwcMachine {
             offchip,
             wire,
             per_qubit,
+            backlog_qubits,
+            telemetry,
             ..
         } = self;
+        let telemetry = telemetry.as_ref();
         frontend.push_batch(batch, |q, decision| match decision {
             CliqueDecision::AllZeros => {}
             CliqueDecision::Trivial(c) => {
@@ -373,6 +508,7 @@ impl BtwcMachine {
             }
             CliqueDecision::Complex => {
                 per_qubit[q].offchip += 1;
+                let queue_position = backlog_pre + offchip_requests as u64;
                 offchip_requests += 1;
                 // 3. Transport: materialize the qubit's window out of
                 //    the ring, frame it, cross the link as bytes, parse
@@ -383,7 +519,23 @@ impl BtwcMachine {
                 frame_bytes += frame.len();
                 let received = DecodeRequest::decode(&frame).expect("loopback frame must parse");
                 received.replay_into(wire);
-                let c = offchip.decode_stream_mut(wire);
+                let c = {
+                    let _wall = telemetry.map(|t| t.escalation_latency.wall_guard());
+                    offchip.decode_stream_mut(wire)
+                };
+                if let Some(tel) = telemetry {
+                    tel.qubit_offchip.inc(q);
+                    tel.frame_bytes_per_request.record(frame.len() as u64);
+                    // Arrival-to-commit: the oldest round of the
+                    // escalated window arrived `window_len[q] - 1`
+                    // cycles ago, and the FIFO link serves this
+                    // request's queue position at `bandwidth` per
+                    // cycle.
+                    let on_chip_wait = (window_len[q] as u64).saturating_sub(1);
+                    let queue_delay = queue_position / link_bandwidth;
+                    tel.escalation_latency.record_latency(on_chip_wait + queue_delay);
+                }
+                backlog_qubits.push_back(q as u32);
                 outcomes[q] = BtwcOutcome::OffChip(c);
                 // Window consumed; the sticky filter clears itself once
                 // the correction lands.
@@ -393,15 +545,31 @@ impl BtwcMachine {
         });
 
         // 4. The shared link: overflow stalls the *next* cycle.
-        let _record = self.queue.step(offchip_requests);
+        let record = self.queue.step(offchip_requests);
+        self.backlog_qubits.drain(..record.processed.min(self.backlog_qubits.len()));
         let backlog = self.queue.backlog() as u64;
+        debug_assert_eq!(self.backlog_qubits.len() as u64, backlog, "queue mirror out of sync");
         self.stalled = backlog > 0;
-        self.stats.cycles += 1;
-        self.stats.stalls += u64::from(was_stalled);
-        self.stats.offchip_requests += offchip_requests as u64;
-        self.stats.frame_bytes += frame_bytes as u64;
-        self.stats.backlog = backlog;
-        self.stats.peak_backlog = self.stats.peak_backlog.max(backlog);
+        self.counters.cycles += 1;
+        self.counters.stalls += u64::from(was_stalled);
+        self.counters.offchip_requests += offchip_requests as u64;
+        self.counters.frame_bytes += frame_bytes as u64;
+        self.counters.peak_backlog = self.counters.peak_backlog.max(backlog);
+        if let Some(tel) = &self.telemetry {
+            tel.cycles.inc();
+            if was_stalled {
+                tel.stall_cycles.inc();
+            }
+            tel.offchip_requests.add(offchip_requests as u64);
+            tel.frame_bytes.add(frame_bytes as u64);
+            // Sampled only on cycles that touch the link (requests issued or
+            // backlog waiting): a quiet machine cycle is then a single
+            // counter increment, and the all-zero samples the histogram
+            // skips are recoverable as `cycles - count`.
+            if offchip_requests > 0 || backlog > 0 {
+                tel.queue_depth.record(backlog);
+            }
+        }
         MachineCycle { outcomes, offchip_requests, frame_bytes, stalled: was_stalled }
     }
 
@@ -575,5 +743,108 @@ mod tests {
         let code = SurfaceCode::new(3);
         let mut machine = BtwcMachine::builder(&code, StabilizerType::X, 2, 1).build();
         let _ = machine.step(&quiet_batch(&code, 1));
+    }
+
+    #[test]
+    fn execution_time_increase_handles_degenerate_windows() {
+        // No cycles at all: no baseline, not a NaN.
+        assert_eq!(MachineStats::default().execution_time_increase(), 0.0);
+        // All-stall window: previously divided by zero.
+        let all_stall = MachineStats { cycles: 5, stalls: 5, ..MachineStats::default() };
+        assert_eq!(all_stall.execution_time_increase(), 0.0);
+        // Ordinary window: 110 cycles, 10 stalls => 10% longer.
+        let normal = MachineStats { cycles: 110, stalls: 10, ..MachineStats::default() };
+        assert!((normal.execution_time_increase() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn telemetry_mirrors_stats_and_attributes_stalls() {
+        use btwc_telemetry::{Domain, MetricValue, MetricsRegistry};
+
+        let code = SurfaceCode::new(7);
+        let ty = StabilizerType::X;
+        let registry = MetricsRegistry::new();
+        // Same overflow scenario as above: 4 qubits, bandwidth 1, two
+        // simultaneous escalations => one queued request, one stall.
+        let mut machine = BtwcMachine::builder(&code, ty, 4, 1).telemetry(&registry).build();
+        let mut errors = vec![false; code.num_data_qubits()];
+        errors[3 * 7 + 3] = true;
+        errors[4 * 7 + 3] = true;
+        let complex_round = code.syndrome_of(ty, &errors);
+        let mut batch = quiet_batch(&code, 4);
+        batch.set_qubit_round_bools(0, &complex_round);
+        batch.set_qubit_round_bools(1, &complex_round);
+        machine.step(&batch);
+        machine.step(&batch);
+        machine.step(&quiet_batch(&code, 4));
+
+        let stats = machine.stats();
+        let snap = registry.snapshot_domains(&[Domain::Cycles]);
+        assert_eq!(snap.get_counter("machine.cycles"), Some(stats.cycles));
+        assert_eq!(snap.get_counter("machine.stall_cycles"), Some(stats.stalls));
+        assert_eq!(snap.get_counter("machine.offchip_requests"), Some(stats.offchip_requests));
+        assert_eq!(snap.get_counter("machine.frame_bytes"), Some(stats.frame_bytes));
+        // Per-qubit escalations: qubits 0 and 1 each went off-chip once.
+        let Some(MetricValue::Values(per_qubit)) = snap.get("machine.qubit_offchip_requests")
+        else {
+            panic!("qubit_offchip_requests missing");
+        };
+        assert_eq!(per_qubit, &[1, 1, 0, 0]);
+        // The stall cycle is charged to the qubit whose request was
+        // still queued: the FIFO served qubit 0 first, so qubit 1 waits.
+        let Some(MetricValue::Values(stalls)) = snap.get("machine.qubit_stall_cycles") else {
+            panic!("qubit_stall_cycles missing");
+        };
+        assert_eq!(stalls, &[0, 1, 0, 0]);
+        // Both escalations recorded an arrival-to-commit latency; the
+        // queued one saw exactly one extra cycle of link delay.
+        let Some(MetricValue::Histogram { count, min, max, .. }) =
+            snap.get("machine.escalation_latency_cycles")
+        else {
+            panic!("escalation_latency_cycles missing");
+        };
+        assert_eq!(*count, 2);
+        assert_eq!(max - min, 1, "FIFO position must add one cycle of delay");
+        // Queue depth samples only cycles that touched the link: the
+        // one overflow cycle, which left a backlog of 1. Quiet cycles
+        // are recoverable as `machine.cycles - count`.
+        let Some(MetricValue::Histogram { count: qd_count, max: qd_max, .. }) =
+            snap.get("machine.queue_depth")
+        else {
+            panic!("queue_depth missing");
+        };
+        assert_eq!(*qd_count, 1);
+        assert_eq!(*qd_max, 1);
+        assert!(stats.cycles > *qd_count, "quiet cycles skip the queue-depth sample");
+    }
+
+    #[test]
+    fn telemetry_attached_machine_matches_detached() {
+        use btwc_telemetry::MetricsRegistry;
+
+        let code = SurfaceCode::new(5);
+        let ty = StabilizerType::X;
+        let registry = MetricsRegistry::new();
+        let mut plain = BtwcMachine::builder(&code, ty, 3, 2).build();
+        let mut instrumented = BtwcMachine::builder(&code, ty, 3, 2).telemetry(&registry).build();
+        let noise = PhenomenologicalNoise::uniform(8e-3);
+        let mut rng = SimRng::from_seed(21);
+        let mut errors = vec![vec![false; code.num_data_qubits()]; 3];
+        let mut batch = quiet_batch(&code, 3);
+        for _ in 0..300 {
+            for (q, e) in errors.iter_mut().enumerate() {
+                noise.sample_data_into(&mut rng, e);
+                batch.set_qubit_round_bools(q, &code.syndrome_of(ty, e));
+            }
+            let ca = plain.step(&batch);
+            let cb = instrumented.step(&batch);
+            assert_eq!(ca, cb, "telemetry must not perturb decoding");
+            for (e, out) in errors.iter_mut().zip(&ca.outcomes) {
+                if let Some(c) = out.correction() {
+                    c.apply_to(e);
+                }
+            }
+        }
+        assert_eq!(plain.stats(), instrumented.stats());
     }
 }

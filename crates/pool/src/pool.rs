@@ -5,6 +5,8 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, PoisonError};
 
+use btwc_telemetry::{Counter, CounterFamily, Domain, MetricsRegistry};
+
 use crate::deque::TaskDeque;
 
 /// One unit of work scheduled onto the pool. Tasks may borrow from the
@@ -31,9 +33,25 @@ fn env_workers() -> Option<usize> {
 /// call returns. Submitting the whole workload of a sweep as one task
 /// set is what keeps every core busy — stealing balances cheap tasks
 /// against expensive ones with no barrier in between.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Pool {
     workers: usize,
+    telemetry: Option<PoolTelemetry>,
+}
+
+/// Scheduling-domain metric handles recorded by the worker loop. All of
+/// these depend on thread timing (who steals what), so they live in
+/// [`Domain::Scheduling`] and are excluded from determinism snapshots.
+#[derive(Debug, Clone)]
+struct PoolTelemetry {
+    /// Tasks a worker popped from its own deque.
+    tasks_local: Counter,
+    /// Tasks a worker stole from a victim's deque.
+    tasks_stolen: Counter,
+    /// Tasks executed inline on the caller (single-worker or tiny runs).
+    tasks_inline: Counter,
+    /// Tasks executed per worker index — the per-shard imbalance view.
+    worker_tasks: CounterFamily,
 }
 
 impl Pool {
@@ -46,7 +64,7 @@ impl Pool {
     #[must_use]
     pub fn new(workers: usize) -> Self {
         assert!(workers > 0, "need at least one worker");
-        Self { workers: env_workers().unwrap_or(workers) }
+        Self { workers: env_workers().unwrap_or(workers), telemetry: None }
     }
 
     /// A pool sized to the machine: [`WORKERS_ENV`] if set, otherwise
@@ -59,13 +77,39 @@ impl Pool {
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(4)
             .min(16);
-        Self { workers: env_workers().unwrap_or(fallback) }
+        Self { workers: env_workers().unwrap_or(fallback), telemetry: None }
     }
 
     /// The worker count this pool schedules onto.
     #[must_use]
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Attach a metrics registry: the pool records tasks executed
+    /// locally vs. stolen vs. inline, plus a per-worker task-count
+    /// family (`pool.worker_tasks`) exposing shard imbalance. All pool
+    /// metrics are scheduling-domain — real but not reproducible across
+    /// runs. Call before sharing the pool (e.g. before wrapping in
+    /// `Arc`); cloned pools share the same counters.
+    pub fn attach_telemetry(&mut self, registry: &MetricsRegistry) {
+        self.telemetry = Some(PoolTelemetry {
+            tasks_local: registry.counter("pool.tasks_local", Domain::Scheduling),
+            tasks_stolen: registry.counter("pool.tasks_stolen", Domain::Scheduling),
+            tasks_inline: registry.counter("pool.tasks_inline", Domain::Scheduling),
+            worker_tasks: registry.counter_family(
+                "pool.worker_tasks",
+                Domain::Scheduling,
+                self.workers,
+            ),
+        });
+    }
+
+    /// Builder form of [`Pool::attach_telemetry`].
+    #[must_use]
+    pub fn with_telemetry(mut self, registry: &MetricsRegistry) -> Self {
+        self.attach_telemetry(registry);
+        self
     }
 
     /// Collects tasks from `build`, then runs them all to completion
@@ -107,6 +151,9 @@ impl Pool {
             // Inline on the caller: no threads, no boxing — the
             // `BTWC_WORKERS=1` CI pass and tiny task sets take this
             // path, and produce the same results by construction.
+            if let Some(t) = &self.telemetry {
+                t.tasks_inline.add(n as u64);
+            }
             return (0..n).map(f).collect();
         }
         let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
@@ -150,6 +197,9 @@ impl Pool {
         }
         let workers = self.workers.min(n);
         if workers == 1 {
+            if let Some(t) = &self.telemetry {
+                t.tasks_inline.add(n as u64);
+            }
             for task in tasks {
                 task();
             }
@@ -172,13 +222,26 @@ impl Pool {
                 let deques = &deques;
                 let first_panic = &first_panic;
                 let abort = &abort;
+                let telemetry = self.telemetry.as_ref();
                 s.spawn(move || {
                     let mut rng = splitmix64(w as u64);
                     while !abort.load(Ordering::Relaxed) {
                         let task = match deques[w].pop() {
-                            Some(task) => task,
+                            Some(task) => {
+                                if let Some(t) = telemetry {
+                                    t.tasks_local.inc();
+                                    t.worker_tasks.inc(w);
+                                }
+                                task
+                            }
                             None => match steal(deques, w, &mut rng) {
-                                Some(task) => task,
+                                Some(task) => {
+                                    if let Some(t) = telemetry {
+                                        t.tasks_stolen.inc();
+                                        t.worker_tasks.inc(w);
+                                    }
+                                    task
+                                }
                                 // Every deque was empty: tasks never
                                 // spawn new tasks mid-run, so no more
                                 // work will appear.
@@ -315,5 +378,28 @@ mod tests {
     #[should_panic(expected = "need at least one worker")]
     fn zero_workers_rejected() {
         let _ = Pool::new(0);
+    }
+
+    #[test]
+    fn telemetry_accounts_for_every_task() {
+        // The local/stolen/inline split is scheduling-dependent, but the
+        // total must equal the number of tasks executed, and the
+        // per-worker family must sum to the threaded (non-inline) share.
+        let registry = MetricsRegistry::new();
+        let pool = Pool::new(4).with_telemetry(&registry);
+        let n = 64u64;
+        let out = pool.map_indices(n as usize, |i| i as u64);
+        assert_eq!(out.iter().sum::<u64>(), n * (n - 1) / 2);
+        let snap = registry.snapshot();
+        let local = snap.get_counter("pool.tasks_local").unwrap();
+        let stolen = snap.get_counter("pool.tasks_stolen").unwrap();
+        let inline = snap.get_counter("pool.tasks_inline").unwrap();
+        assert_eq!(local + stolen + inline, n);
+        match snap.get("pool.worker_tasks").unwrap() {
+            btwc_telemetry::MetricValue::Values(per_worker) => {
+                assert_eq!(per_worker.iter().sum::<u64>(), local + stolen);
+            }
+            other => panic!("unexpected metric value {other:?}"),
+        }
     }
 }

@@ -21,6 +21,7 @@
 use btwc_core::{BtwcMachine, MachineStats, StabilizerType, SurfaceCode};
 use btwc_noise::{SimRng, SparseFlips};
 use btwc_syndrome::{PackedBits, SyndromeBatch};
+use btwc_telemetry::MetricsRegistry;
 
 use crate::lifetime::LifetimeConfig;
 use crate::tracker::ErrorTracker;
@@ -40,14 +41,46 @@ pub fn machine_offchip_trace(
     num_qubits: usize,
     bandwidth: usize,
 ) -> (MachineStats, Vec<usize>) {
+    machine_trace_impl(cfg, num_qubits, bandwidth, None)
+}
+
+/// [`machine_offchip_trace`] with a metrics registry attached to the
+/// machine for the whole run: `machine.*` cycle-domain metrics
+/// (escalation latency percentiles, queue depth, per-qubit stalls) and
+/// the off-chip decoder's own metrics (e.g. `sparse.*` for the
+/// streaming backend) land in `registry`, and the returned
+/// stats/trace are bit-identical to the uninstrumented run.
+///
+/// # Panics
+///
+/// Panics if `num_qubits == 0` or `bandwidth == 0`.
+#[must_use]
+pub fn machine_offchip_trace_telemetry(
+    cfg: &LifetimeConfig,
+    num_qubits: usize,
+    bandwidth: usize,
+    registry: &MetricsRegistry,
+) -> (MachineStats, Vec<usize>) {
+    machine_trace_impl(cfg, num_qubits, bandwidth, Some(registry))
+}
+
+fn machine_trace_impl(
+    cfg: &LifetimeConfig,
+    num_qubits: usize,
+    bandwidth: usize,
+    registry: Option<&MetricsRegistry>,
+) -> (MachineStats, Vec<usize>) {
     let ty = StabilizerType::X;
     let code = SurfaceCode::new(cfg.distance);
     let n_anc = code.num_ancillas(ty);
     let n_data = code.num_data_qubits();
-    let mut machine = BtwcMachine::builder(&code, ty, num_qubits, bandwidth)
+    let mut builder = BtwcMachine::builder(&code, ty, num_qubits, bandwidth)
         .clique_rounds(cfg.clique_rounds)
-        .backend(cfg.backend)
-        .build();
+        .backend(cfg.backend);
+    if let Some(registry) = registry {
+        builder = builder.telemetry(registry);
+    }
+    let mut machine = builder.build();
     // One tracker + forked RNG stream per qubit, keyed by qubit index:
     // the identical schedule the pooled per-qubit implementation used,
     // so traces are reproducible and qubit-count-stable.

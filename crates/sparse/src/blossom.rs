@@ -284,6 +284,31 @@ pub struct BlossomArena {
     w_base: i64,
     /// Largest complemented weight (the cold dual initializer).
     max_w2: i64,
+    /// Outcome of the last solve's warm seeding (all zeros for a cold
+    /// solve); read by the decoder's telemetry after each solve.
+    warm_stats: WarmSeedStats,
+}
+
+/// What [`BlossomArena::solve_warm`] did with the hint's stored blossom
+/// forest: how many root subtrees the hint offered, how many survived
+/// every screen and were re-instantiated, and how many each screen
+/// flattened instead. Deterministic per (graph, hint) — the screens
+/// never consult scheduling state.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WarmSeedStats {
+    /// Root subtrees present in the hint.
+    pub subtrees_offered: u64,
+    /// Subtrees that passed every screen and were re-instantiated.
+    pub subtrees_imported: u64,
+    /// Subtrees flattened by the structural screen (malformed shape,
+    /// out-of-range vertices, negative duals).
+    pub rejected_structure: u64,
+    /// Subtrees flattened because their z chain could not cover a
+    /// negative-slack edge (dual infeasibility).
+    pub rejected_feasibility: u64,
+    /// Subtrees flattened because a stored cycle edge was no longer
+    /// exactly tight under its z chain.
+    pub rejected_tightness: u64,
 }
 
 impl BlossomArena {
@@ -291,6 +316,13 @@ impl BlossomArena {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// What the last solve's warm seeding did with its hint (all zeros
+    /// after a cold solve).
+    #[must_use]
+    pub fn warm_seed_stats(&self) -> WarmSeedStats {
+        self.warm_stats
     }
 
     /// Computes a minimum-weight perfect matching of `num_vertices`
@@ -329,6 +361,7 @@ impl BlossomArena {
         warm: Option<&WarmStart<'_>>,
     ) -> i64 {
         pairs.clear();
+        self.warm_stats = WarmSeedStats::default();
         if num_vertices == 0 {
             return 0;
         }
@@ -743,6 +776,7 @@ impl BlossomArena {
         // forward pass resolves the chains.
         let stored = warm.blossoms;
         let nsb = stored.len();
+        self.warm_stats.subtrees_offered = stored.iter().filter(|sb| sb.parent < 0).count() as u64;
         let mut zsum = vec![0i64; nsb];
         let mut rootof = vec![0u32; nsb];
         let mut depth = vec![0u32; nsb];
@@ -828,6 +862,7 @@ impl BlossomArena {
                 };
             }
             if !ok {
+                self.warm_stats.rejected_structure += 1;
                 kill(r, stored, &zsum, &rootof, &mut alive, &mut vsub, &mut self.dualvar);
             }
         }
@@ -852,6 +887,7 @@ impl BlossomArena {
             if rootof[a] != rootof[b] {
                 let t = if self.dualvar[u] <= self.dualvar[v] { a } else { b };
                 let t = rootof[t] as usize;
+                self.warm_stats.rejected_feasibility += 1;
                 kill(t, stored, &zsum, &rootof, &mut alive, &mut vsub, &mut self.dualvar);
                 continue;
             }
@@ -867,6 +903,7 @@ impl BlossomArena {
             }
             if s + 2 * zsum[a] < 0 {
                 let r = rootof[a] as usize;
+                self.warm_stats.rejected_feasibility += 1;
                 kill(r, stored, &zsum, &rootof, &mut alive, &mut vsub, &mut self.dualvar);
             }
         }
@@ -885,9 +922,12 @@ impl BlossomArena {
                 (from as usize) < n && (to as usize) < n && self.resolve_endp(from, to, zc) >= 0
             });
             if !tight {
+                self.warm_stats.rejected_tightness += 1;
                 kill(r, stored, &zsum, &rootof, &mut alive, &mut vsub, &mut self.dualvar);
             }
         }
+        self.warm_stats.subtrees_imported =
+            (0..nsb).filter(|&i| stored[i].parent < 0 && alive[i]).count() as u64;
         // Subtree parity shift: a validated subtree's members all share
         // one parity class (its cycle edges are tight, and a tight edge
         // under even weights joins same-parity duals), so an off-class

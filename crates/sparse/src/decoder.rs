@@ -7,6 +7,7 @@ use btwc_lattice::{DetectorGraph, StabilizerType, SurfaceCode};
 use btwc_mwpm::project::project_pairs;
 use btwc_pool::Pool;
 use btwc_syndrome::{ComplexDecoder, Correction, DetectionEvent, RoundHistory};
+use btwc_telemetry::{Counter, Domain, Histogram, MetricsRegistry};
 
 use crate::blossom::{
     remap_stored_blossoms, BlossomArena, ClusterEdge, StoredBlossom, WarmStart, NO_HINT,
@@ -75,6 +76,56 @@ pub struct SparseDecoder {
     arena_pool: Mutex<Vec<BlossomArena>>,
     /// Incremental sliding-window state (see [`crate::stream`]).
     stream: StreamState,
+    /// Optional metric handles (see [`SparseDecoder::attach_telemetry`]).
+    telemetry: Option<SparseTelemetry>,
+}
+
+/// Cycle-domain metric handles for the sparse decode paths. Every
+/// update is a commutative atomic increment driven by deterministic
+/// per-cluster decisions, so the recorded values are bit-identical for
+/// any pool worker count.
+#[derive(Debug, Clone)]
+pub(crate) struct SparseTelemetry {
+    /// Stream classifications: replay-verbatim, incremental, rebuild.
+    quiet_slides: Counter,
+    incremental_slides: Counter,
+    rebuilds: Counter,
+    /// Clusters whose committed matching was replayed from the cache
+    /// vs. clusters that ran a solve (any size, any decode path).
+    clusters_replayed: Counter,
+    clusters_solved: Counter,
+    /// Event count of every solved cluster.
+    cluster_size: Histogram,
+    /// ≥3-event solves that started from an assembled warm hint vs.
+    /// cold, and what the seeding did with each hinted subtree.
+    warm_hinted: Counter,
+    warm_cold: Counter,
+    warm_offered: Counter,
+    warm_imported: Counter,
+    warm_rejected_structure: Counter,
+    warm_rejected_feasibility: Counter,
+    warm_rejected_tightness: Counter,
+}
+
+impl SparseTelemetry {
+    fn register(registry: &MetricsRegistry) -> Self {
+        let c = |name: &str| registry.counter(name, Domain::Cycles);
+        Self {
+            quiet_slides: c("sparse.stream.quiet_slides"),
+            incremental_slides: c("sparse.stream.incremental_slides"),
+            rebuilds: c("sparse.stream.rebuilds"),
+            clusters_replayed: c("sparse.stream.clusters_replayed"),
+            clusters_solved: c("sparse.clusters_solved"),
+            cluster_size: registry.histogram("sparse.cluster_solve_size", Domain::Cycles),
+            warm_hinted: c("sparse.warm.hinted_solves"),
+            warm_cold: c("sparse.warm.cold_solves"),
+            warm_offered: c("sparse.warm.subtrees_offered"),
+            warm_imported: c("sparse.warm.subtrees_imported"),
+            warm_rejected_structure: c("sparse.warm.subtrees_rejected_structure"),
+            warm_rejected_feasibility: c("sparse.warm.subtrees_rejected_feasibility"),
+            warm_rejected_tightness: c("sparse.warm.subtrees_rejected_tightness"),
+        }
+    }
 }
 
 impl Clone for SparseDecoder {
@@ -88,6 +139,8 @@ impl Clone for SparseDecoder {
             // Stream state is a memo over *this* decoder's call
             // history; a clone starts cold and rebuilds on first use.
             stream: StreamState::default(),
+            // Shared handles: a clone records into the same metrics.
+            telemetry: self.telemetry.clone(),
         }
     }
 }
@@ -103,6 +156,7 @@ impl SparseDecoder {
             pool: None,
             arena_pool: Mutex::new(Vec::new()),
             stream: StreamState::default(),
+            telemetry: None,
         }
     }
 
@@ -127,6 +181,24 @@ impl SparseDecoder {
         self
     }
 
+    /// Attach a metrics registry: from here on every decode records
+    /// stream fast-path classifications, replayed-vs-solved cluster
+    /// counts, per-cluster solve sizes, and warm-start accept/reject
+    /// reasons under the `sparse.` prefix. All sparse metrics are
+    /// cycle-domain: the per-cluster decisions driving them are
+    /// deterministic, so totals are identical for any pool worker
+    /// count.
+    pub fn attach_telemetry(&mut self, registry: &MetricsRegistry) {
+        self.telemetry = Some(SparseTelemetry::register(registry));
+    }
+
+    /// Builder form of [`SparseDecoder::attach_telemetry`].
+    #[must_use]
+    pub fn with_telemetry(mut self, registry: &MetricsRegistry) -> Self {
+        self.attach_telemetry(registry);
+        self
+    }
+
     /// Decodes an explicit set of detection events into a correction.
     ///
     /// # Panics
@@ -142,6 +214,7 @@ impl SparseDecoder {
             self.pool.as_deref(),
             &self.arena_pool,
             None,
+            self.telemetry.as_ref(),
         )
         .0
     }
@@ -175,6 +248,7 @@ impl SparseDecoder {
             self.pool.as_deref(),
             &self.arena_pool,
             None,
+            self.telemetry.as_ref(),
         )
     }
 
@@ -197,6 +271,7 @@ impl SparseDecoder {
             self.pool.as_deref(),
             &self.arena_pool,
             None,
+            self.telemetry.as_ref(),
         )
         .0;
         scratch.events = events;
@@ -227,6 +302,7 @@ impl SparseDecoder {
             self.pool.as_deref(),
             &self.arena_pool,
             None,
+            self.telemetry.as_ref(),
         );
         scratch.events = events;
         out
@@ -246,14 +322,21 @@ impl SparseDecoder {
         let scratch = self.scratch.get_mut().unwrap_or_else(PoisonError::into_inner);
         let graph = &self.graph;
         let pool = self.pool.as_deref();
+        let telemetry = self.telemetry.as_ref();
         match self.stream.classify(window) {
             Slide::Quiet => {
                 // Nothing entered, nothing left, the re-base was a
                 // no-op: the previous matching stands verbatim.
+                if let Some(tel) = telemetry {
+                    tel.quiet_slides.inc();
+                }
                 self.stream.note_quiet(window);
                 (self.stream.cached.clone(), self.stream.cached_weight)
             }
             Slide::Rebuild => {
+                if let Some(tel) = telemetry {
+                    tel.rebuilds.inc();
+                }
                 self.stream.begin_rebuild(window);
                 let events = &self.stream.events;
                 let epoch = self.stream.epoch;
@@ -274,6 +357,7 @@ impl SparseDecoder {
                         pool,
                         &self.arena_pool,
                         Some(&mut rec),
+                        telemetry,
                     )
                 };
                 // The kernel's collision edges index the same event
@@ -284,6 +368,9 @@ impl SparseDecoder {
                 (corr, total)
             }
             Slide::Incremental { retired } => {
+                if let Some(tel) = telemetry {
+                    tel.incremental_slides.inc();
+                }
                 let (front_dirty, tail_start) = self.stream.apply_slide(window, retired);
                 scan_dirty_collisions(
                     graph,
@@ -339,6 +426,10 @@ impl SparseDecoder {
                 let mut total = 0i64;
                 let mut tasks: Vec<(usize, usize, usize, usize)> = Vec::new();
                 let mut task_hints: Vec<Option<WarmHint>> = Vec::new();
+                // Replays dominate a quiet slide (every untouched
+                // cluster is one), so batch them into one atomic add
+                // instead of an RMW per cluster.
+                let mut replayed = 0u64;
                 if local_id.len() < n {
                     local_id.resize(n, 0);
                 }
@@ -369,6 +460,7 @@ impl SparseDecoder {
                         && solutions[s0 as usize].size as usize == size
                         && members.iter().all(|&m| sol_of[m as usize] == s0);
                     if hit {
+                        replayed += 1;
                         let sol = &mut solutions[s0 as usize];
                         sol.last_seen = epoch;
                         total += sol.weight;
@@ -421,6 +513,7 @@ impl SparseDecoder {
                                 arena,
                                 &mut flips,
                                 solve_warm.then_some(&mut *warm),
+                                telemetry,
                             );
                             total += w;
                             record_solution(
@@ -438,6 +531,11 @@ impl SparseDecoder {
                     edge_at = edge_end;
                     start = end;
                 }
+                if replayed > 0 {
+                    if let Some(tel) = telemetry {
+                        tel.clusters_replayed.add(replayed);
+                    }
+                }
                 if !tasks.is_empty() {
                     let pool = pool.expect("tasks are only collected with a pool");
                     let arena_pool = &self.arena_pool;
@@ -449,6 +547,7 @@ impl SparseDecoder {
                             &edges[ea..ee],
                             arena_pool,
                             task_hints[i].as_ref(),
+                            telemetry,
                         )
                     });
                     for (ti, (w, task_flips, export)) in results.into_iter().enumerate() {
@@ -489,6 +588,7 @@ impl SparseDecoder {
         pool: Option<&Pool>,
         arena_pool: &Mutex<Vec<BlossomArena>>,
         mut recorder: Option<&mut dyn FnMut(&[u32], i64, &[usize], Option<WarmExport<'_>>)>,
+        telemetry: Option<&SparseTelemetry>,
     ) -> (Correction, i64) {
         let n = events.len();
         if n == 0 {
@@ -569,6 +669,7 @@ impl SparseDecoder {
                     arena,
                     &mut flips,
                     if use_warm { Some(&mut *warm) } else { None },
+                    telemetry,
                 );
                 total += w;
                 if let Some(rec) = recorder.as_deref_mut() {
@@ -588,6 +689,7 @@ impl SparseDecoder {
                     &collisions[ea..ee],
                     arena_pool,
                     None,
+                    telemetry,
                 )
             });
             // Fold in cluster (task) order: deterministic for any
@@ -754,10 +856,15 @@ pub(crate) fn solve_cluster(
     arena: &mut BlossomArena,
     flips: &mut Vec<usize>,
     mut warm: Option<&mut WarmBufs>,
+    telemetry: Option<&SparseTelemetry>,
 ) -> i64 {
     if let Some(w) = warm.as_deref_mut() {
         debug_assert!(!w.has_in || members.len() >= 3, "warm hints are for arena solves");
         w.has_out = false;
+    }
+    if let Some(tel) = telemetry {
+        tel.clusters_solved.inc();
+        tel.cluster_size.record(members.len() as u64);
     }
     match members.len() {
         0 => 0,
@@ -815,6 +922,7 @@ pub(crate) fn solve_cluster(
                     i64::from(graph.boundary_distance(ev.ancilla)),
                 ));
             }
+            let hinted = warm.as_deref().is_some_and(|w| w.has_in);
             let total = match warm {
                 Some(w) => {
                     let hint = WarmStart {
@@ -832,6 +940,19 @@ pub(crate) fn solve_cluster(
                 }
                 None => arena.solve(2 * k, cluster_edges, pairs),
             };
+            if let Some(tel) = telemetry {
+                if hinted {
+                    tel.warm_hinted.inc();
+                } else {
+                    tel.warm_cold.inc();
+                }
+                let st = arena.warm_seed_stats();
+                tel.warm_offered.add(st.subtrees_offered);
+                tel.warm_imported.add(st.subtrees_imported);
+                tel.warm_rejected_structure.add(st.rejected_structure);
+                tel.warm_rejected_feasibility.add(st.rejected_feasibility);
+                tel.warm_rejected_tightness.add(st.rejected_tightness);
+            }
             project_pairs(graph, local_events, pairs, flips);
             total
         }
@@ -854,6 +975,7 @@ fn solve_cluster_task(
     collisions: &[ClusterEdge],
     arena_pool: &Mutex<Vec<BlossomArena>>,
     hint: Option<&WarmHint>,
+    telemetry: Option<&SparseTelemetry>,
 ) -> (i64, Vec<usize>, Option<WarmHint>) {
     let mut arena =
         arena_pool.lock().unwrap_or_else(PoisonError::into_inner).pop().unwrap_or_default();
@@ -882,6 +1004,7 @@ fn solve_cluster_task(
         &mut arena,
         &mut flips,
         Some(&mut warm),
+        telemetry,
     );
     arena_pool.lock().unwrap_or_else(PoisonError::into_inner).push(arena);
     let export = warm.has_out.then_some((
@@ -904,6 +1027,10 @@ impl ComplexDecoder for SparseDecoder {
 
     fn decode_stream_mut(&mut self, window: &RoundHistory) -> Correction {
         self.decode_stream_weighted(window).0
+    }
+
+    fn attach_telemetry(&mut self, registry: &MetricsRegistry) {
+        SparseDecoder::attach_telemetry(self, registry);
     }
 }
 
@@ -1136,6 +1263,35 @@ mod tests {
                 reference,
                 "pooled stream decode diverged at {workers} workers"
             );
+        }
+    }
+
+    #[test]
+    fn telemetry_counts_every_stream_classification() {
+        let code = SurfaceCode::new(7);
+        let registry = btwc_telemetry::MetricsRegistry::new();
+        let mut dec = SparseDecoder::new(&code, StabilizerType::X).with_telemetry(&registry);
+        let n_anc = code.num_ancillas(StabilizerType::X);
+        let mut rng = SimRng::from_seed(0x7E1E);
+        let mut window = RoundHistory::new(n_anc, 6);
+        let calls = 30u64;
+        for _ in 0..calls {
+            let bits: Vec<bool> = (0..n_anc).map(|_| rng.bernoulli(0.05)).collect();
+            window.push(&bits);
+            let _ = dec.decode_stream_weighted(&window);
+        }
+        let snap = registry.snapshot();
+        let quiet = snap.get_counter("sparse.stream.quiet_slides").unwrap();
+        let incr = snap.get_counter("sparse.stream.incremental_slides").unwrap();
+        let rebuilds = snap.get_counter("sparse.stream.rebuilds").unwrap();
+        assert_eq!(quiet + incr + rebuilds, calls, "every call classifies exactly once");
+        assert!(rebuilds >= 1, "first call must rebuild");
+        assert!(snap.get_counter("sparse.clusters_solved").unwrap() > 0);
+        match snap.get("sparse.cluster_solve_size").unwrap() {
+            btwc_telemetry::MetricValue::Histogram { count, .. } => {
+                assert_eq!(*count, snap.get_counter("sparse.clusters_solved").unwrap());
+            }
+            other => panic!("unexpected metric value {other:?}"),
         }
     }
 

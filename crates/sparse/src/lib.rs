@@ -80,6 +80,6 @@ mod regions;
 mod scratch;
 mod stream;
 
-pub use blossom::{BlossomArena, ClusterEdge};
+pub use blossom::{BlossomArena, ClusterEdge, WarmSeedStats};
 pub use decoder::SparseDecoder;
 pub use scratch::SparseScratch;

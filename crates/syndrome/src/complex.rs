@@ -42,4 +42,13 @@ pub trait ComplexDecoder {
     fn decode_stream_mut(&mut self, window: &RoundHistory) -> Correction {
         self.decode_window_mut(window)
     }
+
+    /// Attach a metrics registry: from here on the decoder records its
+    /// internals (stream fast-path hits, warm-start outcomes, cluster
+    /// sizes, …) into `registry`. The default is a no-op so stateless or
+    /// uninstrumented decoders participate unchanged; implementations
+    /// register their metrics under a stable `<backend>.` name prefix.
+    fn attach_telemetry(&mut self, registry: &btwc_telemetry::MetricsRegistry) {
+        let _ = registry;
+    }
 }

@@ -1,0 +1,196 @@
+//! Frozen metric values and their canonical JSON form.
+//!
+//! The JSON emitted here is integer-only and sorted by metric name, so two
+//! snapshots with identical metric state serialize to identical bytes — the
+//! property the cycle-domain determinism pins compare.
+
+use std::fmt::Write as _;
+use std::sync::atomic::Ordering;
+
+use crate::metrics::{bucket_upper, HISTOGRAM_BUCKETS};
+use crate::registry::{Domain, Entry, MetricKind};
+
+/// Value of one metric at snapshot time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(i64),
+    Histogram {
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+        p50: u64,
+        p90: u64,
+        p99: u64,
+        /// Non-empty buckets as `(bucket upper bound, sample count)`.
+        buckets: Vec<(u64, u64)>,
+    },
+    /// Counter family, one slot per index.
+    Values(Vec<u64>),
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricSnapshot {
+    pub name: String,
+    pub domain: Domain,
+    pub value: MetricValue,
+}
+
+impl MetricSnapshot {
+    pub(crate) fn capture(entry: &Entry) -> Self {
+        let value = match &entry.kind {
+            MetricKind::Counter(c) => MetricValue::Counter(c.get()),
+            MetricKind::Gauge(g) => MetricValue::Gauge(g.get()),
+            MetricKind::Histogram(h) => {
+                let buckets = (0..HISTOGRAM_BUCKETS)
+                    .filter_map(|b| {
+                        let n = h.0.buckets[b].load(Ordering::Relaxed);
+                        (n != 0).then(|| (bucket_upper(b), n))
+                    })
+                    .collect();
+                MetricValue::Histogram {
+                    count: h.count(),
+                    sum: h.sum(),
+                    min: h.min(),
+                    max: h.max(),
+                    p50: h.percentile(50),
+                    p90: h.percentile(90),
+                    p99: h.percentile(99),
+                    buckets,
+                }
+            }
+            MetricKind::Family(f) => {
+                MetricValue::Values(f.0.iter().map(|c| c.load(Ordering::Relaxed)).collect())
+            }
+        };
+        MetricSnapshot { name: entry.name.clone(), domain: entry.domain, value }
+    }
+}
+
+/// A frozen, name-sorted set of metrics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    pub(crate) metrics: Vec<MetricSnapshot>,
+}
+
+impl Snapshot {
+    pub fn metrics(&self) -> &[MetricSnapshot] {
+        &self.metrics
+    }
+
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics.iter().find(|m| m.name == name).map(|m| &m.value)
+    }
+
+    pub fn get_counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Canonical JSON: `{"schema":"btwc-telemetry-v1","metrics":{...}}` with
+    /// metric names sorted, integer values only, no whitespace.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.metrics.len() * 64);
+        out.push_str("{\"schema\":\"btwc-telemetry-v1\",\"metrics\":{");
+        for (i, m) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:", json_string(&m.name));
+            let _ = write!(out, "{{\"domain\":\"{}\",", m.domain.as_str());
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(out, "\"type\":\"counter\",\"value\":{v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = write!(out, "\"type\":\"gauge\",\"value\":{v}");
+                }
+                MetricValue::Histogram { count, sum, min, max, p50, p90, p99, buckets } => {
+                    let _ = write!(
+                        out,
+                        "\"type\":\"histogram\",\"count\":{count},\"sum\":{sum},\
+                         \"min\":{min},\"max\":{max},\"p50\":{p50},\"p90\":{p90},\
+                         \"p99\":{p99},\"buckets\":["
+                    );
+                    for (j, (upper, n)) in buckets.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "[{upper},{n}]");
+                    }
+                    out.push(']');
+                }
+                MetricValue::Values(vs) => {
+                    out.push_str("\"type\":\"counter_family\",\"values\":[");
+                    for (j, v) in vs.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{v}");
+                    }
+                    out.push(']');
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Write [`Snapshot::to_json`] (plus a trailing newline) to `path`.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let mut text = self.to_json();
+        text.push('\n');
+        std::fs::write(path, text)
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn json_is_sorted_valid_and_stable() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z.last", Domain::Cycles).add(3);
+        reg.counter("a.first", Domain::Cycles).inc();
+        let h = reg.histogram("m.hist", Domain::Cycles);
+        h.record(0);
+        h.record(5);
+        let f = reg.counter_family("m.family", Domain::Cycles, 3);
+        f.add(1, 7);
+        let json = reg.snapshot().to_json();
+        crate::json::validate(&json).expect("snapshot JSON must parse");
+        let a = json.find("a.first").unwrap();
+        let m = json.find("m.hist").unwrap();
+        let z = json.find("z.last").unwrap();
+        assert!(a < m && m < z, "metrics must be name-sorted");
+        assert_eq!(json, reg.snapshot().to_json(), "same state, same bytes");
+        assert!(json.contains("\"values\":[0,7,0]"));
+        assert!(json.contains("\"buckets\":[[0,1],[7,1]]"));
+    }
+}

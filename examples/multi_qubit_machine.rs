@@ -6,12 +6,49 @@
 //! unified [`DecoderBackend`] registry.
 //!
 //! Run with: `cargo run --release --example multi_qubit_machine`
+//!
+//! With `BTWC_TELEMETRY=1` the run also attaches a
+//! [`btwc::telemetry::MetricsRegistry`], prints the escalation-latency
+//! percentiles it recorded, writes the cycle-domain snapshot to
+//! `TELEMETRY_machine.json`, and re-reads that file to check it is
+//! valid JSON carrying the expected `machine.*`/`sparse.*` metrics.
 
 use btwc::bandwidth::IoModel;
 use btwc::core::{BtwcMachine, DecoderBackend, StabilizerType, SurfaceCode, SyndromeBatch};
 use btwc::noise::{NoiseModel, PhenomenologicalNoise, SimRng};
+use btwc::telemetry::{Domain, MetricValue, MetricsRegistry};
+
+/// Writes the cycle-domain snapshot next to `BENCH_decoders.json` and
+/// proves the emitted file is machine-readable: it must parse as strict
+/// JSON and contain every key a decode-farm dashboard would scrape.
+fn export_and_check_snapshot(registry: &MetricsRegistry) {
+    let path = "TELEMETRY_machine.json";
+    let snapshot = registry.snapshot_domains(&[Domain::Cycles]);
+    snapshot.write_json(path.as_ref()).expect("write telemetry snapshot");
+    let raw = std::fs::read_to_string(path).expect("re-read telemetry snapshot");
+    if let Err(e) = btwc::telemetry::json::validate(&raw) {
+        panic!("{path} is not valid JSON: {e}");
+    }
+    for key in [
+        "\"schema\":\"btwc-telemetry-v1\"",
+        "\"machine.cycles\"",
+        "\"machine.stall_cycles\"",
+        "\"machine.offchip_requests\"",
+        "\"machine.frame_bytes\"",
+        "\"machine.queue_depth\"",
+        "\"machine.escalation_latency_cycles\"",
+        "\"machine.qubit_offchip_requests\"",
+        "\"machine.qubit_stall_cycles\"",
+        "\"sparse.clusters_solved\"",
+        "\"sparse.stream.rebuilds\"",
+    ] {
+        assert!(raw.contains(key), "{path} is missing {key}");
+    }
+    println!("telemetry: wrote {path} ({} bytes, valid JSON, all keys present)", raw.len());
+}
 
 fn main() {
+    let telemetry_on = std::env::var("BTWC_TELEMETRY").is_ok_and(|v| v == "1");
     let d = 7u16;
     let p = 5e-3;
     let num_qubits = 32;
@@ -20,9 +57,13 @@ fn main() {
 
     let code = SurfaceCode::new(d);
     let ty = StabilizerType::X;
-    let mut machine = BtwcMachine::builder(&code, ty, num_qubits, bandwidth)
-        .backend(DecoderBackend::SparseBlossom)
-        .build();
+    let registry = MetricsRegistry::new();
+    let mut builder = BtwcMachine::builder(&code, ty, num_qubits, bandwidth)
+        .backend(DecoderBackend::SparseBlossom);
+    if telemetry_on {
+        builder = builder.telemetry(&registry);
+    }
+    let mut machine = builder.build();
     let noise = PhenomenologicalNoise::uniform(p);
     let mut rng = SimRng::from_seed(0xFEED);
 
@@ -74,6 +115,19 @@ fn main() {
         io.full_stream_gbps(num_qubits),
         io.full_stream_gbps(num_qubits) / io.gbps(bandwidth as f64)
     );
+
+    if telemetry_on {
+        let snap = registry.snapshot_domains(&[Domain::Cycles]);
+        if let Some(MetricValue::Histogram { p50, p90, p99, .. }) =
+            snap.get("machine.escalation_latency_cycles")
+        {
+            println!(
+                "latency : escalation (syndrome arrival → correction commit) \
+                 p50≤{p50} p90≤{p90} p99≤{p99} cycles"
+            );
+        }
+        export_and_check_snapshot(&registry);
+    }
 
     // Sanity: the machine is actually correcting — all syndromes drain
     // under a quiet tail.

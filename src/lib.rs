@@ -26,6 +26,7 @@
 //! | [`sim`] | Allocation-free Monte Carlo lifetime / logical-error-rate engines |
 //! | [`pool`] | Work-stealing thread pool with deterministic sharded map/reduce |
 //! | [`core`] | The assembled BTWC pipeline and machine tier (`BtwcDecoder`, `BtwcMachine`, the `DecoderBackend` registry) |
+//! | [`telemetry`] | Zero-cost-when-disabled metrics: deterministic cycle-domain counters/histograms/span timers, JSON snapshots |
 //! | [`uf`] | Union-find decoder (the Sec. 8.1 hierarchical-decoding extension) |
 //! | [`lut`] | Lookup-table decoder for small distances (LILLIPUT-style baseline) |
 //!
@@ -66,4 +67,5 @@ pub use btwc_sfq as sfq;
 pub use btwc_sim as sim;
 pub use btwc_sparse as sparse;
 pub use btwc_syndrome as syndrome;
+pub use btwc_telemetry as telemetry;
 pub use btwc_uf as uf;
