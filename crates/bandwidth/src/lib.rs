@@ -28,6 +28,7 @@
 
 mod analytic;
 mod arrivals;
+mod fault;
 mod io;
 mod queue;
 mod tradeoff;
@@ -35,7 +36,11 @@ mod transport;
 
 pub use analytic::{gaussian_bandwidth, is_stable, normal_quantile};
 pub use arrivals::ArrivalModel;
+pub use fault::{Delivery, FaultyLink, LinkFaultModel, LinkFaultStats, Transmission};
 pub use io::IoModel;
 pub use queue::{CycleRecord, QueueSim, RunOutcome};
 pub use tradeoff::{sweep_tradeoff, TradeoffPoint};
-pub use transport::{DecodeRequest, ParseFrameError};
+pub use transport::{
+    crc32, DecodeRequest, ParseFrameError, SeqStatus, SequenceTracker, FRAME_MAGIC,
+    FRAME_V2_HEADER, FRAME_V2_TRAILER, FRAME_VERSION_V2,
+};

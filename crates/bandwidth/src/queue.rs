@@ -23,6 +23,7 @@ pub struct RunOutcome {
     records: Vec<CycleRecord>,
     useful_cycles: usize,
     bandwidth: usize,
+    diverged: bool,
 }
 
 impl RunOutcome {
@@ -80,6 +81,15 @@ impl RunOutcome {
     pub fn peak_backlog(&self) -> usize {
         self.records.iter().map(|r| r.carryover).max().unwrap_or(0)
     }
+
+    /// Whether [`QueueSim::run`] aborted at its 50× safety cap before
+    /// reaching the requested useful cycles — the compounding-backlog
+    /// divergence of Fig. 9 (top), surfaced explicitly instead of only
+    /// as an enormous [`RunOutcome::execution_time_increase`].
+    #[must_use]
+    pub fn diverged(&self) -> bool {
+        self.diverged
+    }
 }
 
 /// Cycle-by-cycle queue simulator.
@@ -134,8 +144,9 @@ impl QueueSim {
     ///
     /// To avoid unbounded divergence when the link is hopelessly
     /// under-provisioned, the run aborts once total cycles exceed
-    /// `50 × useful_cycles`; the outcome then reports a correspondingly
-    /// enormous execution-time increase.
+    /// `50 × useful_cycles`; the outcome then reports
+    /// [`RunOutcome::diverged`] alongside a correspondingly enormous
+    /// execution-time increase.
     pub fn run(
         &mut self,
         model: &ArrivalModel,
@@ -153,7 +164,8 @@ impl QueueSim {
             }
             records.push(rec);
         }
-        RunOutcome { records, useful_cycles: useful, bandwidth: self.bandwidth }
+        let diverged = useful < useful_cycles;
+        RunOutcome { records, useful_cycles: useful, bandwidth: self.bandwidth, diverged }
     }
 }
 
@@ -248,6 +260,26 @@ mod tests {
         for w in increases.windows(2) {
             assert!(w[1] <= w[0] + 1e-9, "exec increase must fall with bandwidth");
         }
+    }
+
+    #[test]
+    fn divergence_is_surfaced_explicitly() {
+        // Hopeless under-provisioning: constant demand of 5 against a
+        // bandwidth-1 link. The backlog compounds, the 50× cap fires,
+        // and the outcome must say so — not only via a huge increase.
+        let model = ArrivalModel::trace(vec![5]);
+        let mut rng = SimRng::from_seed(0);
+        let mut sim = QueueSim::new(1);
+        let out = sim.run(&model, &mut rng, 100);
+        assert!(out.diverged(), "capped run must report divergence");
+        assert!(out.useful_cycles() < 100);
+        assert_eq!(out.total_cycles(), 100 * 50, "the cap bounds the run");
+        // A healthy run does not.
+        let model = ArrivalModel::trace(vec![0]);
+        let mut sim = QueueSim::new(1);
+        let out = sim.run(&model, &mut rng, 100);
+        assert!(!out.diverged());
+        assert_eq!(out.useful_cycles(), 100);
     }
 
     #[test]

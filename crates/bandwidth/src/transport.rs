@@ -6,17 +6,74 @@
 //! provisioned link's Gbps budget ([`crate::IoModel`]) is spent on —
 //! with encode/decode round-trip guarantees.
 //!
-//! Frame layout (big endian):
+//! Two frame versions exist (both big endian):
+//!
+//! **v1** — the original header-only framing, kept for compatibility:
 //!
 //! ```text
 //! [qubit: u32][cycle: u64][rounds: u16][bits_per_round: u16][payload…]
 //! ```
 //!
+//! **v2** — the fault-tolerant framing the machine tier ships: a magic
+//! and version for self-description, a per-qubit sequence number for
+//! duplicate/reorder detection, and a trailing CRC-32 over everything
+//! before it, so *any* single-bit corruption of header or payload is
+//! caught ([`ParseFrameError::ChecksumMismatch`] or a structural
+//! error), never silently decoded into a wrong request:
+//!
+//! ```text
+//! [magic: u16 = 0xB7C2][version: u8 = 2][reserved: u8]
+//! [qubit: u32][cycle: u64][seq: u32][rounds: u16][bits_per_round: u16]
+//! [payload…][crc32: u32]
+//! ```
+//!
 //! The payload packs each round's syndrome bits LSB-first, padded to a
 //! whole byte per round (hardware serializers work in byte lanes).
+//! [`DecodeRequest::decode`] discriminates the two versions by the v2
+//! magic; v1 qubit ids `>= 0xB7C2_0000` are therefore reserved (their
+//! first two header bytes would collide with the magic) — use
+//! [`DecodeRequest::decode_v1`] to force the legacy parse.
 
 use btwc_syndrome::RoundHistory;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// First two bytes of every v2 frame.
+pub const FRAME_MAGIC: u16 = 0xB7C2;
+/// Version byte of the CRC-protected frame format.
+pub const FRAME_VERSION_V2: u8 = 2;
+/// Fixed v2 header size (magic through bits-per-round), in bytes.
+pub const FRAME_V2_HEADER: usize = 24;
+/// CRC-32 trailer size, in bytes.
+pub const FRAME_V2_TRAILER: usize = 4;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) lookup table,
+/// built at compile time so the workspace stays dependency-free.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `data` — the checksum the v2 frame trailer carries.
+/// Detects every single-bit error and all burst errors up to 32 bits.
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC32_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
 
 /// One off-chip decode request: a window of raw syndrome rounds from
 /// one logical qubit.
@@ -26,6 +83,10 @@ pub struct DecodeRequest {
     pub qubit: u32,
     /// Machine cycle at which the request was raised.
     pub cycle: u64,
+    /// Per-qubit sequence number (v2 frames only; v1 parses yield 0).
+    /// Retransmissions of the same request reuse the same number, so
+    /// the receiver can tell a duplicate from the next request.
+    pub seq: u32,
     /// Raw syndrome rounds, oldest first; all the same width.
     pub rounds: Vec<Vec<bool>>,
 }
@@ -37,7 +98,8 @@ pub enum ParseFrameError {
     TruncatedHeader,
     /// The header is structurally impossible: no well-formed encoder
     /// emits it (the invariants [`DecodeRequest::new`] enforces —
-    /// at least one round, at least one bit per round).
+    /// at least one round, at least one bit per round — plus, for v2,
+    /// magic/version/length consistency).
     CorruptHeader {
         /// What the header declares that no valid frame can.
         reason: &'static str,
@@ -48,6 +110,22 @@ pub enum ParseFrameError {
         expected: usize,
         /// Bytes actually available.
         actual: usize,
+    },
+    /// The v2 CRC-32 trailer does not match the received bytes: the
+    /// frame was corrupted in flight.
+    ChecksumMismatch {
+        /// Checksum recomputed over the received bytes.
+        computed: u32,
+        /// Checksum the frame trailer carries.
+        received: u32,
+    },
+    /// A sequence number from the future: frames between `expected`
+    /// and `got` were lost (see [`SequenceTracker`]).
+    SequenceGap {
+        /// The next sequence number the receiver was expecting.
+        expected: u32,
+        /// The sequence number that actually arrived.
+        got: u32,
     },
 }
 
@@ -61,6 +139,15 @@ impl std::fmt::Display for ParseFrameError {
             ParseFrameError::TruncatedPayload { expected, actual } => {
                 write!(f, "frame payload truncated: expected {expected} bytes, got {actual}")
             }
+            ParseFrameError::ChecksumMismatch { computed, received } => {
+                write!(
+                    f,
+                    "frame checksum mismatch: computed {computed:#010x}, received {received:#010x}"
+                )
+            }
+            ParseFrameError::SequenceGap { expected, got } => {
+                write!(f, "sequence gap: expected {expected}, got {got}")
+            }
         }
     }
 }
@@ -68,7 +155,8 @@ impl std::fmt::Display for ParseFrameError {
 impl std::error::Error for ParseFrameError {}
 
 impl DecodeRequest {
-    /// Builds a request from a window of rounds.
+    /// Builds a request from a window of rounds (sequence number 0; see
+    /// [`DecodeRequest::with_seq`]).
     ///
     /// # Panics
     ///
@@ -81,7 +169,14 @@ impl DecodeRequest {
         assert!(width >= 1, "a decode request needs at least one bit per round");
         assert!(width <= usize::from(u16::MAX), "round too wide for the frame format");
         assert!(rounds.iter().all(|r| r.len() == width), "all rounds must have equal width");
-        Self { qubit, cycle, rounds }
+        Self { qubit, cycle, seq: 0, rounds }
+    }
+
+    /// Sets the per-qubit sequence number carried by v2 frames.
+    #[must_use]
+    pub fn with_seq(mut self, seq: u32) -> Self {
+        self.seq = seq;
+        self
     }
 
     /// Frames a decode window straight off a packed [`RoundHistory`] —
@@ -120,20 +215,22 @@ impl DecodeRequest {
         self.rounds[0].len()
     }
 
-    /// Size of the encoded frame in bytes.
+    /// Size of the encoded **v1** frame in bytes.
     #[must_use]
     pub fn frame_len(&self) -> usize {
         16 + self.rounds.len() * self.bits_per_round().div_ceil(8)
     }
 
-    /// Serializes the request to its wire frame.
+    /// Size of the encoded **v2** frame in bytes (24-byte header +
+    /// payload + 4-byte CRC trailer).
     #[must_use]
-    pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(self.frame_len());
-        buf.put_u32(self.qubit);
-        buf.put_u64(self.cycle);
-        buf.put_u16(self.rounds.len() as u16);
-        buf.put_u16(self.bits_per_round() as u16);
+    pub fn frame_len_v2(&self) -> usize {
+        FRAME_V2_HEADER + self.rounds.len() * self.bits_per_round().div_ceil(8) + FRAME_V2_TRAILER
+    }
+
+    /// Packs the syndrome rounds LSB-first, one byte-padded lane per
+    /// round, into `buf`.
+    fn put_payload(&self, buf: &mut BytesMut) {
         let stride = self.bits_per_round().div_ceil(8);
         for round in &self.rounds {
             let mut bytes = vec![0u8; stride];
@@ -144,17 +241,69 @@ impl DecodeRequest {
             }
             buf.put_slice(&bytes);
         }
+    }
+
+    /// Serializes the request to its legacy **v1** wire frame (no
+    /// integrity protection, no sequence number).
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.frame_len());
+        buf.put_u32(self.qubit);
+        buf.put_u64(self.cycle);
+        buf.put_u16(self.rounds.len() as u16);
+        buf.put_u16(self.bits_per_round() as u16);
+        self.put_payload(&mut buf);
         buf.freeze()
     }
 
-    /// Parses one frame from `data`.
+    /// Serializes the request to its **v2** wire frame: magic, version,
+    /// sequence number, payload, and a trailing CRC-32 over everything
+    /// before it.
+    #[must_use]
+    pub fn encode_v2(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.frame_len_v2());
+        buf.put_u16(FRAME_MAGIC);
+        buf.put_u8(FRAME_VERSION_V2);
+        buf.put_u8(0); // reserved
+        buf.put_u32(self.qubit);
+        buf.put_u64(self.cycle);
+        buf.put_u32(self.seq);
+        buf.put_u16(self.rounds.len() as u16);
+        buf.put_u16(self.bits_per_round() as u16);
+        self.put_payload(&mut buf);
+        let crc = crc32(&buf);
+        buf.put_u32(crc);
+        buf.freeze()
+    }
+
+    /// Parses one frame from `data`, auto-detecting the version: a
+    /// buffer opening with the v2 magic takes the strict v2 path,
+    /// anything else the legacy v1 path. v1 qubit ids `>= 0xB7C2_0000`
+    /// are reserved (see the module docs); use
+    /// [`DecodeRequest::decode_v1`] when the version is known.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseFrameError`] as [`DecodeRequest::decode_v1`] /
+    /// [`DecodeRequest::decode_v2`] do.
+    pub fn decode(data: &[u8]) -> Result<Self, ParseFrameError> {
+        if data.len() >= 2 && u16::from_be_bytes([data[0], data[1]]) == FRAME_MAGIC {
+            Self::decode_v2(data)
+        } else {
+            Self::decode_v1(data)
+        }
+    }
+
+    /// Parses one legacy **v1** frame from `data`. Trailing bytes
+    /// beyond the declared payload are tolerated (frames may arrive in
+    /// a larger buffer).
     ///
     /// # Errors
     ///
     /// Returns [`ParseFrameError`] if the buffer is shorter than the
     /// header or the declared payload, or if the header declares a
     /// frame no valid encoder can produce (zero rounds / zero width).
-    pub fn decode(mut data: &[u8]) -> Result<Self, ParseFrameError> {
+    pub fn decode_v1(mut data: &[u8]) -> Result<Self, ParseFrameError> {
         if data.len() < 16 {
             return Err(ParseFrameError::TruncatedHeader);
         }
@@ -173,17 +322,141 @@ impl DecodeRequest {
         if data.len() < expected {
             return Err(ParseFrameError::TruncatedPayload { expected, actual: data.len() });
         }
-        let mut rounds = Vec::with_capacity(n_rounds);
-        for _ in 0..n_rounds {
-            let mut round = vec![false; width];
-            let bytes = &data[..stride];
-            for (i, r) in round.iter_mut().enumerate() {
-                *r = (bytes[i / 8] >> (i % 8)) & 1 == 1;
-            }
-            data.advance(stride);
-            rounds.push(round);
+        let rounds = unpack_rounds(data, n_rounds, width);
+        Ok(Self { qubit, cycle, seq: 0, rounds })
+    }
+
+    /// Parses one **v2** frame from `data`, strictly: the magic,
+    /// version, declared length, and CRC-32 must all check out, and the
+    /// buffer must contain *exactly* one frame (no trailing bytes).
+    /// Together with the CRC this guarantees any single-bit flip of
+    /// header or payload is reported as an error, never silently
+    /// decoded into a different request.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseFrameError::TruncatedHeader`] /
+    /// [`ParseFrameError::TruncatedPayload`] for short buffers,
+    /// [`ParseFrameError::CorruptHeader`] for magic/version/shape
+    /// violations, [`ParseFrameError::ChecksumMismatch`] when the
+    /// trailer disagrees with the received bytes.
+    pub fn decode_v2(data: &[u8]) -> Result<Self, ParseFrameError> {
+        if data.len() < FRAME_V2_HEADER {
+            return Err(ParseFrameError::TruncatedHeader);
         }
-        Ok(Self { qubit, cycle, rounds })
+        let mut hdr = data;
+        let magic = hdr.get_u16();
+        if magic != FRAME_MAGIC {
+            return Err(ParseFrameError::CorruptHeader { reason: "bad v2 magic" });
+        }
+        let version = hdr.get_u8();
+        if version != FRAME_VERSION_V2 {
+            return Err(ParseFrameError::CorruptHeader { reason: "unsupported frame version" });
+        }
+        let _reserved = hdr.get_u8();
+        let qubit = hdr.get_u32();
+        let cycle = hdr.get_u64();
+        let seq = hdr.get_u32();
+        let n_rounds = usize::from(hdr.get_u16());
+        let width = usize::from(hdr.get_u16());
+        if n_rounds == 0 {
+            return Err(ParseFrameError::CorruptHeader { reason: "zero rounds declared" });
+        }
+        if width == 0 {
+            return Err(ParseFrameError::CorruptHeader { reason: "zero bits per round declared" });
+        }
+        let stride = width.div_ceil(8);
+        let expected = n_rounds * stride + FRAME_V2_TRAILER;
+        let avail = data.len() - FRAME_V2_HEADER;
+        if avail < expected {
+            return Err(ParseFrameError::TruncatedPayload { expected, actual: avail });
+        }
+        if avail > expected {
+            return Err(ParseFrameError::CorruptHeader { reason: "frame longer than declared" });
+        }
+        let body = &data[..data.len() - FRAME_V2_TRAILER];
+        let computed = crc32(body);
+        let received =
+            u32::from_be_bytes(data[data.len() - FRAME_V2_TRAILER..].try_into().unwrap());
+        if computed != received {
+            return Err(ParseFrameError::ChecksumMismatch { computed, received });
+        }
+        let rounds = unpack_rounds(&body[FRAME_V2_HEADER..], n_rounds, width);
+        Ok(Self { qubit, cycle, seq, rounds })
+    }
+}
+
+/// Unpacks `n_rounds` byte-padded LSB-first rounds of `width` bits.
+fn unpack_rounds(mut data: &[u8], n_rounds: usize, width: usize) -> Vec<Vec<bool>> {
+    let stride = width.div_ceil(8);
+    let mut rounds = Vec::with_capacity(n_rounds);
+    for _ in 0..n_rounds {
+        let mut round = vec![false; width];
+        let bytes = &data[..stride];
+        for (i, r) in round.iter_mut().enumerate() {
+            *r = (bytes[i / 8] >> (i % 8)) & 1 == 1;
+        }
+        data.advance(stride);
+        rounds.push(round);
+    }
+    rounds
+}
+
+/// What a received sequence number means relative to the stream so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqStatus {
+    /// The next expected number: a fresh request (tracker advanced).
+    Fresh,
+    /// A number already accepted: a duplicated or late (reordered)
+    /// delivery — safe to discard.
+    Duplicate,
+}
+
+/// Receiver-side per-stream sequence bookkeeping: classifies each
+/// arriving v2 sequence number as fresh, duplicate, or a gap (lost
+/// frames). One tracker per logical qubit on the room-temperature side.
+#[derive(Debug, Clone, Default)]
+pub struct SequenceTracker {
+    next: u32,
+}
+
+impl SequenceTracker {
+    /// A tracker expecting sequence number 0 first.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The next sequence number this tracker will accept as fresh.
+    #[must_use]
+    pub fn expected(&self) -> u32 {
+        self.next
+    }
+
+    /// Classifies `seq`: the expected number advances the tracker and
+    /// is [`SeqStatus::Fresh`]; anything older is a
+    /// [`SeqStatus::Duplicate`].
+    ///
+    /// # Errors
+    ///
+    /// [`ParseFrameError::SequenceGap`] if `seq` is from the future —
+    /// the frames in between were lost. The tracker does *not* advance;
+    /// the caller decides whether to [`SequenceTracker::resync`].
+    pub fn accept(&mut self, seq: u32) -> Result<SeqStatus, ParseFrameError> {
+        if seq == self.next {
+            self.next = self.next.wrapping_add(1);
+            Ok(SeqStatus::Fresh)
+        } else if seq < self.next {
+            Ok(SeqStatus::Duplicate)
+        } else {
+            Err(ParseFrameError::SequenceGap { expected: self.next, got: seq })
+        }
+    }
+
+    /// Forces the tracker past lost frames: the next expected number
+    /// becomes `next`.
+    pub fn resync(&mut self, next: u32) {
+        self.next = next;
     }
 }
 
@@ -213,15 +486,38 @@ mod tests {
     }
 
     #[test]
+    fn v2_roundtrip_preserves_everything_including_seq() {
+        let req = sample().with_seq(41);
+        let frame = req.encode_v2();
+        assert_eq!(frame.len(), req.frame_len_v2());
+        let strict = DecodeRequest::decode_v2(&frame).unwrap();
+        assert_eq!(strict, req);
+        // The auto-detecting parse routes by magic.
+        let auto = DecodeRequest::decode(&frame).unwrap();
+        assert_eq!(auto, req);
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The canonical IEEE check value: CRC32("123456789").
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
     fn frame_len_matches_io_model_accounting() {
         // 9 bits/round -> 2 bytes/round; 3 rounds + 16-byte header.
         assert_eq!(sample().frame_len(), 16 + 3 * 2);
+        // v2 adds 8 bytes of magic/version/seq and 4 of CRC.
+        assert_eq!(sample().frame_len_v2(), 24 + 3 * 2 + 4);
     }
 
     #[test]
     fn truncated_header_is_rejected() {
         let frame = sample().encode();
         assert_eq!(DecodeRequest::decode(&frame[..10]), Err(ParseFrameError::TruncatedHeader));
+        let v2 = sample().encode_v2();
+        assert_eq!(DecodeRequest::decode_v2(&v2[..20]), Err(ParseFrameError::TruncatedHeader));
     }
 
     #[test]
@@ -238,10 +534,72 @@ mod tests {
     }
 
     #[test]
+    fn v2_flipped_bit_fails_checksum() {
+        let frame = sample().with_seq(3).encode_v2();
+        // Flip one payload bit.
+        let mut bad = frame.to_vec();
+        bad[FRAME_V2_HEADER] ^= 0x10;
+        assert!(matches!(
+            DecodeRequest::decode_v2(&bad),
+            Err(ParseFrameError::ChecksumMismatch { .. })
+        ));
+        // Flip one bit of the seq field.
+        let mut bad = frame.to_vec();
+        bad[16] ^= 0x01;
+        assert!(matches!(
+            DecodeRequest::decode_v2(&bad),
+            Err(ParseFrameError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn v2_trailing_bytes_are_rejected() {
+        let mut frame = sample().encode_v2().to_vec();
+        frame.push(0xAA);
+        assert_eq!(
+            DecodeRequest::decode_v2(&frame),
+            Err(ParseFrameError::CorruptHeader { reason: "frame longer than declared" })
+        );
+    }
+
+    #[test]
+    fn v2_bad_magic_and_version_are_rejected() {
+        let frame = sample().encode_v2().to_vec();
+        let mut bad = frame.clone();
+        bad[0] = 0x00;
+        assert_eq!(
+            DecodeRequest::decode_v2(&bad),
+            Err(ParseFrameError::CorruptHeader { reason: "bad v2 magic" })
+        );
+        let mut bad = frame;
+        bad[2] = 9;
+        assert_eq!(
+            DecodeRequest::decode_v2(&bad),
+            Err(ParseFrameError::CorruptHeader { reason: "unsupported frame version" })
+        );
+    }
+
+    #[test]
+    fn sequence_tracker_classifies_fresh_duplicate_gap() {
+        let mut tr = SequenceTracker::new();
+        assert_eq!(tr.accept(0), Ok(SeqStatus::Fresh));
+        assert_eq!(tr.accept(0), Ok(SeqStatus::Duplicate));
+        assert_eq!(tr.accept(1), Ok(SeqStatus::Fresh));
+        assert_eq!(tr.accept(0), Ok(SeqStatus::Duplicate));
+        assert_eq!(tr.accept(5), Err(ParseFrameError::SequenceGap { expected: 2, got: 5 }));
+        assert_eq!(tr.expected(), 2, "a gap must not advance the tracker");
+        tr.resync(5);
+        assert_eq!(tr.accept(5), Ok(SeqStatus::Fresh));
+    }
+
+    #[test]
     fn error_messages_are_lowercase_and_informative() {
         let e = ParseFrameError::TruncatedPayload { expected: 6, actual: 3 };
-        let msg = e.to_string();
-        assert!(msg.starts_with("frame payload truncated"));
+        assert!(e.to_string().starts_with("frame payload truncated"));
+        let e = ParseFrameError::ChecksumMismatch { computed: 1, received: 2 };
+        assert!(e.to_string().starts_with("frame checksum mismatch"));
+        let e = ParseFrameError::SequenceGap { expected: 3, got: 9 };
+        assert_eq!(e.to_string(), "sequence gap: expected 3, got 9");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! class ([`ParseFrameError`]: truncated header, corrupt header,
 //! truncated payload).
 
-use btwc_bandwidth::{DecodeRequest, ParseFrameError};
+use btwc_bandwidth::{DecodeRequest, ParseFrameError, SeqStatus, SequenceTracker};
 use proptest::prelude::*;
 
 fn request_strategy() -> impl Strategy<Value = DecodeRequest> {
@@ -13,6 +13,10 @@ fn request_strategy() -> impl Strategy<Value = DecodeRequest> {
                 .prop_map(move |rs| DecodeRequest::new(qubit, cycle, rs))
         },
     )
+}
+
+fn request_v2_strategy() -> impl Strategy<Value = DecodeRequest> {
+    (request_strategy(), any::<u32>()).prop_map(|(req, seq)| req.with_seq(seq))
 }
 
 proptest! {
@@ -99,6 +103,85 @@ proptest! {
         frame.extend(std::iter::repeat_n(0xAA, extra));
         let back = DecodeRequest::decode(&frame).expect("padded frame parses");
         prop_assert_eq!(back, req);
+    }
+
+    /// v2 encode → decode is the identity — including the sequence
+    /// number — both through the strict v2 parser and through the
+    /// version-discriminating auto parser.
+    #[test]
+    fn v2_roundtrip_is_lossless(req in request_v2_strategy()) {
+        let frame = req.encode_v2();
+        prop_assert_eq!(frame.len(), req.frame_len_v2());
+        let strict = DecodeRequest::decode_v2(&frame).expect("well-formed v2 frame parses");
+        prop_assert_eq!(&strict, &req);
+        let auto = DecodeRequest::decode(&frame).expect("auto parser takes the v2 path");
+        prop_assert_eq!(auto, req);
+    }
+
+    /// **Every** single-bit flip of a v2 frame is detected: the CRC
+    /// covers header and payload, so no one-bit corruption — magic,
+    /// version, shape fields, sequence number, payload, or the CRC
+    /// itself — can parse back as a valid request. This is exhaustive
+    /// over all bit positions of each generated frame, not sampled.
+    #[test]
+    fn every_single_bit_flip_is_detected(req in request_v2_strategy()) {
+        let frame = req.encode_v2().to_vec();
+        let mut flipped = frame.clone();
+        for bit in 0..frame.len() * 8 {
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            prop_assert!(
+                DecodeRequest::decode_v2(&flipped).is_err(),
+                "bit {bit} flipped but frame still parsed"
+            );
+            flipped[bit / 8] ^= 1 << (bit % 8);
+        }
+        prop_assert_eq!(&flipped, &frame);
+    }
+
+    /// The sequence tracker tells a retransmitted duplicate from the
+    /// next fresh request for any starting sequence number and any
+    /// duplication count, and flags any gap without advancing.
+    #[test]
+    fn sequence_tracker_classifies_duplicates_and_gaps(
+        start in 0u32..u32::MAX - 64,
+        dups in 0usize..4,
+        gap in 2u32..32,
+    ) {
+        let mut tracker = SequenceTracker::new();
+        tracker.resync(start);
+        prop_assert_eq!(tracker.accept(start), Ok(SeqStatus::Fresh));
+        // A retransmission storm of the same frame: every extra copy is
+        // a duplicate, and the tracker keeps expecting the successor.
+        for _ in 0..dups {
+            prop_assert_eq!(tracker.accept(start), Ok(SeqStatus::Duplicate));
+        }
+        prop_assert_eq!(tracker.expected(), start + 1);
+        // A reordered (future) frame is a gap: flagged, not accepted.
+        prop_assert_eq!(
+            tracker.accept(start + gap),
+            Err(ParseFrameError::SequenceGap { expected: start + 1, got: start + gap })
+        );
+        prop_assert_eq!(tracker.expected(), start + 1, "a gap must not advance the tracker");
+        // The in-order successor is still fresh after all of the above.
+        prop_assert_eq!(tracker.accept(start + 1), Ok(SeqStatus::Fresh));
+    }
+
+    /// Version discrimination: the auto parser routes v1 frames to the
+    /// legacy parser and v2 frames to the checksummed parser, for the
+    /// same logical request — and the strict v2 parser refuses the v1
+    /// encoding outright.
+    #[test]
+    fn v1_and_v2_frames_are_discriminated(req in request_v2_strategy()) {
+        let v1 = req.encode();
+        let v2 = req.encode_v2();
+        // v1 loses the sequence number (it has no field for it).
+        let from_v1 = DecodeRequest::decode(&v1).expect("v1 parses");
+        prop_assert_eq!(from_v1.seq, 0);
+        prop_assert_eq!(&from_v1.rounds, &req.rounds);
+        prop_assert_eq!(from_v1.qubit, req.qubit);
+        let from_v2 = DecodeRequest::decode(&v2).expect("v2 parses");
+        prop_assert_eq!(from_v2, req);
+        prop_assert!(DecodeRequest::decode_v2(&v1).is_err(), "strict v2 must reject v1 frames");
     }
 }
 

@@ -26,7 +26,14 @@
 //! * `sweep_{scoped_per_point,pooled_grid}` — the `sweep_throughput`
 //!   schedule comparison: the pre-pool per-point scoped-thread sweep
 //!   versus the whole-grid work-stealing pool on a mixed-distance
-//!   `(p, d)` grid at fixed total trials.
+//!   `(p, d)` grid at fixed total trials;
+//! * `machine_faulty_step_p{0,5e-2,2e-1}` — the `fault_sweep` group:
+//!   the identical batched machine-step workload driven through a
+//!   perfect off-chip link versus progressively hostile
+//!   `LinkFaultModel::uniform(rate)` links, measuring what CRC checks,
+//!   NACK/retransmit retries, and graceful degradation cost in step
+//!   throughput (retransmit/degradation counts land in the detail
+//!   column).
 //!
 //! `BTWC_SCALE` scales the measurement budgets as usual.
 
@@ -388,6 +395,47 @@ fn machine_benches(entries: &mut Vec<Entry>) -> f64 {
     batched / per_qubit.max(1e-12)
 }
 
+/// The `fault_sweep` group: the machine-step workload through the
+/// fault-tolerant transport at increasing link fault rates. Rate 0 is
+/// the always-on baseline (v2 CRC framing and the fault-model branch
+/// are in the hot path even for a perfect link — this entry prices
+/// that); the hostile rates add real retransmissions (each one a full
+/// extra frame through the link plus an off-chip decode attempt) and,
+/// at the top rate, retry-budget exhaustion into on-chip emergency
+/// corrections. Returns the hostile(0.2)/perfect throughput ratio.
+fn fault_sweep_benches(entries: &mut Vec<Entry>) -> f64 {
+    use btwc_core::{BtwcMachine, LinkFaultModel};
+
+    let d = 9u16;
+    let qubits = 64usize;
+    let (code, batches, _) = machine_step_workload(d, qubits, 512, 1e-3, 0xBA7C);
+    let iters = scaled(100_000);
+
+    let mut rates_seen = Vec::new();
+    for rate in [0.0f64, 5e-2, 2e-1] {
+        let mut machine = BtwcMachine::builder(&code, StabilizerType::X, qubits, qubits)
+            .fault_model(LinkFaultModel::uniform(rate))
+            .link_seed(0xFA17)
+            .build();
+        let mut i = 0;
+        let rps = time_rounds(iters, || {
+            i = (i + 1) % batches.len();
+            std::hint::black_box(machine.step(&batches[i]).offchip_requests);
+        }) * qubits as f64;
+        let t = machine.transport_stats();
+        entries.push(Entry {
+            name: format!("machine_faulty_step_p{rate:e}"),
+            rounds_per_sec: rps,
+            detail: format!(
+                "d={d}, {qubits} qubits, fault rate {rate}: {} retrans, {} degraded",
+                t.retransmitted_frames, t.degraded_decodes
+            ),
+        });
+        rates_seen.push(rps);
+    }
+    rates_seen[2] / rates_seen[0].max(1e-12)
+}
+
 /// Paired-passes overhead measurement: each rep times the bare arm and
 /// the instrumented arm back to back and records the on/off rate
 /// ratio; the reported overhead is `1 - median(ratios)`. A single long
@@ -527,6 +575,7 @@ fn main() {
     ler_benches(&mut entries);
     let sweep_speedup = sweep_benches(&mut entries);
     let machine_speedup = machine_benches(&mut entries);
+    let fault_ratio = fault_sweep_benches(&mut entries);
     let telemetry_overheads = measure_telemetry.then(|| telemetry_overhead_benches(&mut entries));
     let speedup = packed / boolvec.max(1e-12);
 
@@ -548,6 +597,7 @@ fn main() {
          {stream_d17:.1}x at d=17, {stream_d21:.1}x at d=21"
     );
     println!("whole-grid pooled sweep vs per-point scoped threads: {sweep_speedup:.1}x");
+    println!("machine step through a 20%-fault link vs perfect link: {fault_ratio:.2}x throughput");
     if let Some((machine_overhead, stream_overhead)) = telemetry_overheads {
         println!(
             "telemetry overhead (on vs off): machine step {:.2}%, streaming decode {:.2}% \
@@ -578,6 +628,7 @@ fn main() {
     );
     let _ = writeln!(json, "  \"sweep_pooled_speedup_vs_scoped\": {sweep_speedup:.3},");
     let _ = writeln!(json, "  \"machine_batched_speedup_vs_perqubit\": {machine_speedup:.3},");
+    let _ = writeln!(json, "  \"machine_faulty_link_throughput_ratio_p2e-1\": {fault_ratio:.3},");
     if let Some((machine_overhead, stream_overhead)) = telemetry_overheads {
         let _ = writeln!(json, "  \"machine_step_telemetry_overhead\": {machine_overhead:.4},");
         let _ = writeln!(json, "  \"streaming_decode_telemetry_overhead\": {stream_overhead:.4},");

@@ -95,9 +95,12 @@ impl BatchFrontend {
         &self.decoder
     }
 
-    /// Ingests one machine round and calls `visit(qubit, decision)` for
-    /// every qubit whose sticky-filtered syndrome is **non-zero**, in
-    /// ascending qubit order. Unvisited qubits decided
+    /// Ingests one machine round and calls
+    /// `visit(qubit, decision, filtered)` for every qubit whose
+    /// sticky-filtered syndrome is **non-zero**, in ascending qubit
+    /// order — `filtered` is that qubit's sticky-filtered syndrome, so
+    /// escalation paths (and their degradation fallbacks) can act on it
+    /// without a second gather. Unvisited qubits decided
     /// [`CliqueDecision::AllZeros`] — the whole-machine common case that
     /// the batched filter dismisses with word ops alone.
     ///
@@ -107,14 +110,14 @@ impl BatchFrontend {
     pub fn push_batch(
         &mut self,
         batch: &SyndromeBatch,
-        mut visit: impl FnMut(usize, CliqueDecision),
+        mut visit: impl FnMut(usize, CliqueDecision, &Syndrome),
     ) {
         self.history.push(batch);
         self.history.sticky_into(self.rounds, &mut self.sticky);
         self.sticky.active_qubits_into(&mut self.active);
         for q in self.active.iter_set() {
             self.sticky.qubit_round_into(q, self.filtered.as_packed_mut());
-            visit(q, self.decoder.decode(&self.filtered));
+            visit(q, self.decoder.decode(&self.filtered), &self.filtered);
         }
     }
 
@@ -162,7 +165,7 @@ mod tests {
                 }
                 let mut got: Vec<CliqueDecision> = vec![CliqueDecision::AllZeros; q];
                 let mut last = None;
-                batched.push_batch(&batch, |qi, decision| {
+                batched.push_batch(&batch, |qi, decision, _| {
                     assert!(last.is_none_or(|p| p < qi), "visits must ascend");
                     last = Some(qi);
                     got[qi] = decision;
@@ -180,7 +183,7 @@ mod tests {
         let mut fe = BatchFrontend::new(&code, ty, q);
         let batch = SyndromeBatch::new(q, code.num_ancillas(ty));
         for _ in 0..10 {
-            fe.push_batch(&batch, |qi, _| panic!("quiet machine visited qubit {qi}"));
+            fe.push_batch(&batch, |qi, _, _| panic!("quiet machine visited qubit {qi}"));
         }
     }
 
@@ -195,12 +198,12 @@ mod tests {
         let round = code.syndrome_of(ty, &errors);
         let mut batch = SyndromeBatch::new(4, n_anc);
         batch.set_qubit_round_bools(2, &round);
-        fe.push_batch(&batch, |_, _| {});
+        fe.push_batch(&batch, |_, _, _| {});
         fe.reset();
         // After reset the filter must refill before acting.
-        fe.push_batch(&batch, |qi, _| panic!("filter must be empty, visited {qi}"));
+        fe.push_batch(&batch, |qi, _, _| panic!("filter must be empty, visited {qi}"));
         let mut visited = Vec::new();
-        fe.push_batch(&batch, |qi, d| {
+        fe.push_batch(&batch, |qi, d, _| {
             assert!(matches!(d, CliqueDecision::Trivial(_)));
             visited.push(qi);
         });

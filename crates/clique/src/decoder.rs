@@ -107,6 +107,79 @@ impl CliqueDecoder {
         CliqueDecision::Trivial(Correction::from_flips(flips))
     }
 
+    /// Best-effort **emergency** correction for a syndrome Clique
+    /// declared [`CliqueDecision::Complex`] — the graceful-degradation
+    /// fallback the machine tier applies when the off-chip link fails a
+    /// decode (retries exhausted or deadline blown).
+    ///
+    /// One greedy ascending pass over the lit ancillas: each still-lit
+    /// clique pairs with its first still-lit neighbor (flipping the
+    /// shared data qubit), falls back to its private boundary qubit, or
+    /// — for a lone interior defect — flips the qubit shared with its
+    /// first neighbor, pushing the defect one step so later rounds can
+    /// resolve it. Unlike [`CliqueDecoder::decode`] this never refuses:
+    /// it always returns *a* correction. It may leave residual
+    /// syndrome; the sticky filter re-escalates whatever survives once
+    /// the link recovers, so degradation trades a possible logical
+    /// error for guaranteed forward progress — never a permanent stall.
+    ///
+    /// Deterministic: a pure function of the syndrome and the code
+    /// geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `syndrome.len()` does not match the number of cliques.
+    #[must_use]
+    pub fn emergency_correction(&self, syndrome: &Syndrome) -> Correction {
+        assert_eq!(syndrome.len(), self.sites.len(), "syndrome width mismatch");
+        let mut lit: Vec<bool> = (0..self.sites.len()).map(|a| syndrome.get(a)).collect();
+        let mut flips = Vec::new();
+        for a in 0..self.sites.len() {
+            if !lit[a] {
+                continue;
+            }
+            let site = &self.sites[a];
+            if let Some(&(n, q)) = site.neighbors.iter().find(|&&(n, _)| lit[n]) {
+                // Pair with the first lit neighbor: one shared-qubit
+                // flip explains both defects.
+                flips.push(q);
+                lit[a] = false;
+                lit[n] = false;
+            } else if let Some(q) = site.private_qubit {
+                // Boundary: a single private-qubit flip explains it.
+                flips.push(q);
+                lit[a] = false;
+            } else if let Some(&(n, q)) =
+                site.neighbors.iter().find(|&&(n, _)| n > a).or_else(|| site.neighbors.first())
+            {
+                // Lone interior defect: push it onto a neighbor —
+                // preferably one not yet visited, so this same pass can
+                // absorb it further along (pair it, or drain it through
+                // a boundary). Whatever survives relights and the sticky
+                // filter re-escalates next cycle.
+                flips.push(q);
+                lit[a] = false;
+                lit[n] = !lit[n];
+            }
+        }
+        // Cancel by parity: a qubit pushed onto and later pushed back is
+        // toggled twice, i.e. not flipped at all. Plain dedup would turn
+        // that even count into a real flip and desync the correction
+        // from the bookkeeping above.
+        flips.sort_unstable();
+        let mut net = Vec::with_capacity(flips.len());
+        let mut i = 0;
+        while i < flips.len() {
+            let q = flips[i];
+            let run = flips[i..].iter().take_while(|&&x| x == q).count();
+            if run % 2 == 1 {
+                net.push(q);
+            }
+            i += run;
+        }
+        Correction::from_flips(net)
+    }
+
     /// The per-clique COMPLEX flag of the paper's Fig. 6 gate netlist:
     /// `active AND NOT(parity of lit neighbors) AND NOT(special-case)`.
     ///
@@ -300,6 +373,56 @@ mod tests {
             }
         }
         assert!(trivial_seen > 100, "test exercised {trivial_seen} trivial decodes");
+    }
+
+    #[test]
+    fn emergency_correction_never_grows_the_syndrome() {
+        // Best-effort guarantee on real data-error syndromes: applying
+        // the emergency flips never increases the syndrome weight —
+        // degradation makes forward progress (or at worst marks time),
+        // it does not compound the damage.
+        let code = SurfaceCode::new(7);
+        let ty = StabilizerType::X;
+        let decoder = CliqueDecoder::new(&code, ty);
+        let noise = PhenomenologicalNoise::new(2e-2, 0.0);
+        let mut rng = SimRng::from_seed(0xE13);
+        let mut complex_seen = 0;
+        for _ in 0..2000 {
+            let mut errors = vec![false; code.num_data_qubits()];
+            noise.sample_data_into(&mut rng, &mut errors);
+            let syndrome = Syndrome::from_bits(code.syndrome_of(ty, &errors));
+            if !matches!(decoder.decode(&syndrome), CliqueDecision::Complex) {
+                continue;
+            }
+            complex_seen += 1;
+            let before = syndrome.iter_set().count();
+            let c = decoder.emergency_correction(&syndrome);
+            assert!(c.weight() > 0, "complex syndromes must produce flips");
+            let mut residual = errors;
+            c.apply_to(&mut residual);
+            let after = code.syndrome_of(ty, &residual).iter().filter(|&&s| s).count();
+            assert!(after <= before, "emergency pass grew the syndrome: {before} -> {after}");
+        }
+        assert!(complex_seen > 50, "test exercised {complex_seen} complex syndromes");
+    }
+
+    #[test]
+    fn emergency_correction_always_acts_and_is_deterministic() {
+        // Random syndromes (including impossible ones): the emergency
+        // path must always return some correction — non-empty whenever
+        // the syndrome is lit — and identical across calls.
+        let code = SurfaceCode::new(7);
+        let decoder = CliqueDecoder::new(&code, StabilizerType::X);
+        let n = decoder.num_cliques();
+        let mut rng = SimRng::from_seed(17);
+        for _ in 0..500 {
+            let bits: Vec<bool> = (0..n).map(|_| rng.bernoulli(0.15)).collect();
+            let any_lit = bits.iter().any(|&b| b);
+            let syndrome = Syndrome::from_bits(bits);
+            let c = decoder.emergency_correction(&syndrome);
+            assert_eq!(c, decoder.emergency_correction(&syndrome));
+            assert_eq!(c.weight() > 0, any_lit, "lit syndromes must produce flips");
+        }
     }
 
     #[test]

@@ -133,6 +133,13 @@ pub enum BtwcOutcome {
     OnChip(Correction),
     /// The signature went off-chip; the complex decoder's correction.
     OffChip(Correction),
+    /// Off-chip transport failed past its retry/deadline budget; the
+    /// carried correction is the best-effort *on-chip emergency* result
+    /// (see `CliqueDecoder::emergency_correction`) applied so the
+    /// machine keeps making forward progress instead of stalling
+    /// forever. Only [`crate::BtwcMachine`] with a faulty link emits
+    /// this.
+    Degraded(Correction),
 }
 
 impl BtwcOutcome {
@@ -141,14 +148,23 @@ impl BtwcOutcome {
     pub fn correction(&self) -> Option<&Correction> {
         match self {
             BtwcOutcome::Quiet => None,
-            BtwcOutcome::OnChip(c) | BtwcOutcome::OffChip(c) => Some(c),
+            BtwcOutcome::OnChip(c) | BtwcOutcome::OffChip(c) | BtwcOutcome::Degraded(c) => Some(c),
         }
     }
 
-    /// Whether the cycle needed off-chip bandwidth.
+    /// Whether the cycle needed off-chip bandwidth. Degraded cycles
+    /// *attempted* off-chip transport but were resolved on-chip, so
+    /// they report `false`.
     #[must_use]
     pub fn went_offchip(&self) -> bool {
         matches!(self, BtwcOutcome::OffChip(_))
+    }
+
+    /// Whether off-chip transport was abandoned and the emergency
+    /// on-chip correction applied instead.
+    #[must_use]
+    pub fn was_degraded(&self) -> bool {
+        matches!(self, BtwcOutcome::Degraded(_))
     }
 }
 

@@ -51,13 +51,14 @@ pub use decoder::{
     DecoderStats,
 };
 pub use dual::{DualBtwcDecoder, DualOutcome};
-pub use machine::{BtwcMachine, MachineBuilder, MachineCycle, MachineStats};
+pub use machine::{BtwcMachine, MachineBuilder, MachineCycle, MachineStats, TransportStats};
 pub use prefilter::{PrefilterModel, PrefilterReport};
 #[allow(deprecated)]
 pub use system::BtwcSystem;
 pub use system::{SystemCycle, SystemStats};
 
 // Re-export the vocabulary types users need to drive the system.
+pub use btwc_bandwidth::{FaultyLink, LinkFaultModel, LinkFaultStats};
 pub use btwc_clique::{BatchFrontend, CliqueDecision, CliqueDecoder, CliqueFrontend};
 pub use btwc_lattice::{StabilizerType, SurfaceCode};
 pub use btwc_lut::LutDecoder;

@@ -28,8 +28,10 @@
 
 use std::collections::VecDeque;
 
-use btwc_bandwidth::{DecodeRequest, QueueSim};
-use btwc_clique::{BatchFrontend, CliqueDecision};
+use btwc_bandwidth::{
+    DecodeRequest, FaultyLink, LinkFaultModel, LinkFaultStats, QueueSim, SeqStatus, SequenceTracker,
+};
+use btwc_clique::{BatchFrontend, CliqueDecision, CliqueDecoder};
 use btwc_lattice::{StabilizerType, SurfaceCode};
 use btwc_syndrome::{BatchHistory, PackedBits, RoundHistory, SyndromeBatch};
 use btwc_telemetry::{Counter, CounterFamily, Domain, Histogram, MetricsRegistry, SpanTimer};
@@ -101,6 +103,33 @@ struct MachineCounters {
     peak_backlog: u64,
 }
 
+/// Receiver-side transport counters of a [`BtwcMachine`] — what the
+/// machine *observed* crossing its link, fault class by fault class.
+/// With a deterministic [`FaultyLink`] these match the link's own
+/// injected-fault counts ([`BtwcMachine::link_stats`]) one for one,
+/// pinned by `tests/fault_injection.rs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransportStats {
+    /// Frames that failed the CRC or structural parse (bit flips,
+    /// truncation) and were NACKed.
+    pub corrupted_frames: u64,
+    /// Transmissions that delivered nothing.
+    pub dropped_frames: u64,
+    /// Clean second copies of an already-accepted frame, identified by
+    /// their per-qubit sequence number.
+    pub duplicated_frames: u64,
+    /// Deliveries that arrived outside the reorder window and were
+    /// discarded as stale.
+    pub reordered_frames: u64,
+    /// Retransmission attempts issued after NACKs/timeouts (each one
+    /// consumed real link bandwidth and frame bytes).
+    pub retransmitted_frames: u64,
+    /// Escalations that exhausted their retry/deadline budget and fell
+    /// back to the on-chip emergency correction
+    /// ([`BtwcOutcome::Degraded`]).
+    pub degraded_decodes: u64,
+}
+
 /// Cycle-domain metric handles recorded by [`BtwcMachine::step`] when a
 /// registry is attached. The machine steps serially and every latency
 /// here is derived from the cycle counter and the queue model, so all
@@ -127,6 +156,24 @@ struct MachineTelemetry {
     /// Stall cycles charged to each qubit whose request was still
     /// waiting in the link backlog when the machine idled.
     qubit_stalls: CounterFamily,
+    /// Frames NACKed for CRC/structural corruption.
+    link_corrupted: Counter,
+    /// Transmissions that delivered nothing.
+    link_dropped: Counter,
+    /// Clean duplicate deliveries discarded by sequence number.
+    link_duplicated: Counter,
+    /// Stale (reordered) deliveries discarded.
+    link_reordered: Counter,
+    /// Retransmission attempts issued.
+    link_retransmitted: Counter,
+    /// Retries needed per escalation that needed any (clean first
+    /// attempts skip the sample, so `count` is the number of troubled
+    /// escalations).
+    link_retries: Histogram,
+    /// Escalations resolved by the on-chip emergency fallback.
+    degraded: Counter,
+    /// The same, attributed per qubit.
+    qubit_degraded: CounterFamily,
 }
 
 impl MachineTelemetry {
@@ -151,6 +198,18 @@ impl MachineTelemetry {
                 Domain::Cycles,
                 num_qubits,
             ),
+            link_corrupted: c("machine.link.corrupted_frames"),
+            link_dropped: c("machine.link.dropped_frames"),
+            link_duplicated: c("machine.link.duplicated_frames"),
+            link_reordered: c("machine.link.reordered_frames"),
+            link_retransmitted: c("machine.link.retransmitted_frames"),
+            link_retries: registry.histogram("machine.link.retries", Domain::Cycles),
+            degraded: c("machine.degraded_decodes"),
+            qubit_degraded: registry.counter_family(
+                "machine.qubit_degraded_decodes",
+                Domain::Cycles,
+                num_qubits,
+            ),
         }
     }
 }
@@ -160,6 +219,7 @@ impl MachineTelemetry {
 struct QubitCounters {
     onchip: u64,
     offchip: u64,
+    degraded: u64,
 }
 
 /// Builder for [`BtwcMachine`] (filter depth, window size, backend,
@@ -174,6 +234,11 @@ pub struct MachineBuilder<'a> {
     window_rounds: usize,
     backend: DecoderBackend,
     telemetry: Option<MetricsRegistry>,
+    fault_model: LinkFaultModel,
+    link_seed: u64,
+    max_retries: usize,
+    retry_timeout_cycles: u64,
+    deadline_cycles: u64,
 }
 
 impl<'a> MachineBuilder<'a> {
@@ -187,6 +252,11 @@ impl<'a> MachineBuilder<'a> {
             window_rounds: usize::from(code.distance()).max(4) * 4,
             backend: DecoderBackend::default(),
             telemetry: None,
+            fault_model: LinkFaultModel::none(),
+            link_seed: 0xB7C2,
+            max_retries: 4,
+            retry_timeout_cycles: 4,
+            deadline_cycles: 64,
         }
     }
 
@@ -230,6 +300,56 @@ impl<'a> MachineBuilder<'a> {
         self
     }
 
+    /// Injects link faults into every off-chip transmission (default:
+    /// the fault-free [`LinkFaultModel::none`], which draws nothing
+    /// from the link RNG — a machine built with the default model is
+    /// bit-identical to one with any explicit all-zero model,
+    /// regardless of [`MachineBuilder::link_seed`]).
+    #[must_use]
+    pub fn fault_model(mut self, model: LinkFaultModel) -> Self {
+        self.fault_model = model;
+        self
+    }
+
+    /// Seeds the link's deterministic fault RNG (default `0xB7C2`).
+    /// The machine steps serially, so the same seed reproduces the
+    /// same fault sequence for any `BTWC_WORKERS`.
+    #[must_use]
+    pub fn link_seed(mut self, seed: u64) -> Self {
+        self.link_seed = seed;
+        self
+    }
+
+    /// Maximum retransmissions per escalation before the machine gives
+    /// up and degrades (default 4).
+    #[must_use]
+    pub fn max_retries(mut self, retries: usize) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Base NACK/timeout backoff in cycles; doubles per retry
+    /// (default 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles == 0` (the backoff must make progress).
+    #[must_use]
+    pub fn retry_timeout_cycles(mut self, cycles: u64) -> Self {
+        assert!(cycles > 0, "retry timeout must be positive");
+        self.retry_timeout_cycles = cycles;
+        self
+    }
+
+    /// Total cycles an escalation may spend waiting on transport
+    /// (backoff + delay jitter; queue service time is excluded) before
+    /// it degrades (default 64).
+    #[must_use]
+    pub fn deadline_cycles(mut self, cycles: u64) -> Self {
+        self.deadline_cycles = cycles;
+        self
+    }
+
     /// Builds the machine.
     ///
     /// # Panics
@@ -241,6 +361,7 @@ impl<'a> MachineBuilder<'a> {
         let n_anc = self.code.num_ancillas(self.ty);
         let frontend =
             BatchFrontend::with_rounds(self.code, self.ty, self.num_qubits, self.clique_rounds);
+        let emergency = frontend.decoder().clone();
         let mut machine = BtwcMachine {
             num_qubits: self.num_qubits,
             num_ancillas: n_anc,
@@ -258,10 +379,18 @@ impl<'a> MachineBuilder<'a> {
             queue: QueueSim::new(self.bandwidth),
             stalled: false,
             counters: MachineCounters::default(),
+            transport: TransportStats::default(),
             per_qubit: vec![QubitCounters::default(); self.num_qubits],
             backlog_qubits: VecDeque::new(),
             telemetry: None,
             ingest: Some(SyndromeBatch::new(self.num_qubits, n_anc)),
+            emergency,
+            link: FaultyLink::new(self.fault_model, self.link_seed),
+            next_seq: vec![0; self.num_qubits],
+            trackers: (0..self.num_qubits).map(|_| SequenceTracker::new()).collect(),
+            max_retries: self.max_retries,
+            retry_timeout_cycles: self.retry_timeout_cycles,
+            deadline_cycles: self.deadline_cycles,
         };
         if let Some(registry) = &self.telemetry {
             machine.attach_telemetry(registry);
@@ -314,7 +443,24 @@ pub struct BtwcMachine {
     queue: QueueSim,
     stalled: bool,
     counters: MachineCounters,
+    transport: TransportStats,
     per_qubit: Vec<QubitCounters>,
+    /// On-chip emergency decoder for degraded escalations (the batch
+    /// frontend's Clique geometry, cloned so it stays usable while the
+    /// frontend is mutably borrowed mid-step).
+    emergency: CliqueDecoder,
+    /// The off-chip link every escalation crosses. Defaults to
+    /// [`FaultyLink::perfect`]-equivalent behavior (fault-free model),
+    /// which draws nothing from its RNG.
+    link: FaultyLink,
+    /// Sender-side per-qubit sequence numbers: the next fresh request's
+    /// number (retransmissions reuse the in-flight number).
+    next_seq: Vec<u32>,
+    /// Receiver-side per-qubit duplicate/reorder detection.
+    trackers: Vec<SequenceTracker>,
+    max_retries: usize,
+    retry_timeout_cycles: u64,
+    deadline_cycles: u64,
     /// FIFO mirror of the link queue's membership: the qubit behind
     /// each waiting request, in service order — what per-qubit stall
     /// attribution charges on a stall cycle.
@@ -387,6 +533,38 @@ impl BtwcMachine {
             backlog: self.queue.backlog() as u64,
             peak_backlog: self.counters.peak_backlog,
         }
+    }
+
+    /// Receiver-side transport counters: what this machine observed on
+    /// its link, fault class by fault class (see [`TransportStats`]).
+    #[must_use]
+    pub fn transport_stats(&self) -> TransportStats {
+        self.transport
+    }
+
+    /// Sender-side injected-fault counters of the underlying
+    /// [`FaultyLink`] — the ground truth [`TransportStats`] is checked
+    /// against.
+    #[must_use]
+    pub fn link_stats(&self) -> LinkFaultStats {
+        self.link.stats()
+    }
+
+    /// The link fault model in force.
+    #[must_use]
+    pub fn fault_model(&self) -> &LinkFaultModel {
+        self.link.model()
+    }
+
+    /// Degraded decodes charged to one qubit (escalations resolved by
+    /// the on-chip emergency fallback).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit` is out of range.
+    #[must_use]
+    pub fn degraded_decodes(&self, qubit: usize) -> u64 {
+        self.per_qubit[qubit].degraded
     }
 
     /// Attach a metrics registry: from here on every step records the
@@ -483,9 +661,13 @@ impl BtwcMachine {
         //    only where the filtered syndrome is non-zero.
         let mut outcomes = vec![BtwcOutcome::Quiet; self.num_qubits];
         let mut offchip_requests = 0usize;
+        let mut link_arrivals = 0usize;
         let mut frame_bytes = 0usize;
         let backlog_pre = self.queue.backlog() as u64;
         let link_bandwidth = self.queue.bandwidth() as u64;
+        let max_retries = self.max_retries;
+        let retry_timeout_cycles = self.retry_timeout_cycles;
+        let deadline_cycles = self.deadline_cycles;
         let Self {
             frontend,
             window_ring,
@@ -497,10 +679,15 @@ impl BtwcMachine {
             per_qubit,
             backlog_qubits,
             telemetry,
+            transport,
+            emergency,
+            link,
+            next_seq,
+            trackers,
             ..
         } = self;
         let telemetry = telemetry.as_ref();
-        frontend.push_batch(batch, |q, decision| match decision {
+        frontend.push_batch(batch, |q, decision, filtered| match decision {
             CliqueDecision::AllZeros => {}
             CliqueDecision::Trivial(c) => {
                 per_qubit[q].onchip += 1;
@@ -508,35 +695,135 @@ impl BtwcMachine {
             }
             CliqueDecision::Complex => {
                 per_qubit[q].offchip += 1;
-                let queue_position = backlog_pre + offchip_requests as u64;
+                let first_position = backlog_pre + link_arrivals as u64;
                 offchip_requests += 1;
                 // 3. Transport: materialize the qubit's window out of
-                //    the ring, frame it, cross the link as bytes, parse
-                //    it back, decode at room temperature.
+                //    the ring, frame it (v2: CRC + per-qubit sequence
+                //    number), and push it through the possibly-faulty
+                //    link until a clean copy arrives or the retry /
+                //    deadline budget is spent.
                 window_ring.gather_qubit_window(q, window_len[q], window);
-                let request = DecodeRequest::from_history(q as u32, cycle_index, window);
-                let frame = request.encode();
-                frame_bytes += frame.len();
-                let received = DecodeRequest::decode(&frame).expect("loopback frame must parse");
-                received.replay_into(wire);
-                let c = {
-                    let _wall = telemetry.map(|t| t.escalation_latency.wall_guard());
-                    offchip.decode_stream_mut(wire)
-                };
+                let seq = next_seq[q];
+                let request =
+                    DecodeRequest::from_history(q as u32, cycle_index, window).with_seq(seq);
+                let frame = request.encode_v2();
                 if let Some(tel) = telemetry {
-                    tel.qubit_offchip.inc(q);
                     tel.frame_bytes_per_request.record(frame.len() as u64);
-                    // Arrival-to-commit: the oldest round of the
-                    // escalated window arrived `window_len[q] - 1`
-                    // cycles ago, and the FIFO link serves this
-                    // request's queue position at `bandwidth` per
-                    // cycle.
-                    let on_chip_wait = (window_len[q] as u64).saturating_sub(1);
-                    let queue_delay = queue_position / link_bandwidth;
-                    tel.escalation_latency.record_latency(on_chip_wait + queue_delay);
                 }
-                backlog_qubits.push_back(q as u32);
-                outcomes[q] = BtwcOutcome::OffChip(c);
+                let mut attempts = 0usize;
+                let mut wait_cycles = 0u64;
+                let resolved = loop {
+                    attempts += 1;
+                    link_arrivals += 1;
+                    frame_bytes += frame.len();
+                    backlog_qubits.push_back(q as u32);
+                    let tx = link.transmit(&frame);
+                    wait_cycles += tx.delay_cycles;
+                    if tx.deliveries.is_empty() {
+                        transport.dropped_frames += 1;
+                        if let Some(tel) = telemetry {
+                            tel.link_dropped.inc();
+                        }
+                    }
+                    let mut correction = None;
+                    for delivery in &tx.deliveries {
+                        if delivery.stale {
+                            // Arrived outside the reorder window: the
+                            // contents are out of date, discard.
+                            transport.reordered_frames += 1;
+                            if let Some(tel) = telemetry {
+                                tel.link_reordered.inc();
+                            }
+                            continue;
+                        }
+                        match DecodeRequest::decode(&delivery.bytes) {
+                            Err(_) => {
+                                // CRC or structural failure: bit flips
+                                // and truncation land here. NACK.
+                                transport.corrupted_frames += 1;
+                                if let Some(tel) = telemetry {
+                                    tel.link_corrupted.inc();
+                                }
+                            }
+                            Ok(received) => match trackers[q].accept(received.seq) {
+                                Ok(SeqStatus::Fresh) => {
+                                    received.replay_into(wire);
+                                    let c = {
+                                        let _wall =
+                                            telemetry.map(|t| t.escalation_latency.wall_guard());
+                                        offchip.decode_stream_mut(wire)
+                                    };
+                                    correction = Some(c);
+                                }
+                                Ok(SeqStatus::Duplicate) | Err(_) => {
+                                    // A clean second copy of an accepted
+                                    // frame (a sequence gap cannot occur
+                                    // over this loopback; counting it
+                                    // here keeps the arm total).
+                                    transport.duplicated_frames += 1;
+                                    if let Some(tel) = telemetry {
+                                        tel.link_duplicated.inc();
+                                    }
+                                }
+                            },
+                        }
+                    }
+                    if correction.is_some() {
+                        break correction;
+                    }
+                    if attempts > max_retries {
+                        break None;
+                    }
+                    // Cycle-domain NACK/timeout backoff before the
+                    // retransmit: exponential, bounded by the deadline.
+                    wait_cycles += retry_timeout_cycles << (attempts - 1).min(32);
+                    if wait_cycles > deadline_cycles {
+                        break None;
+                    }
+                };
+                let retries = (attempts - 1) as u64;
+                transport.retransmitted_frames += retries;
+                if let Some(tel) = telemetry {
+                    tel.link_retransmitted.add(retries);
+                    if retries > 0 {
+                        tel.link_retries.record(retries);
+                    }
+                    tel.qubit_offchip.inc(q);
+                }
+                match resolved {
+                    Some(c) => {
+                        next_seq[q] = seq.wrapping_add(1);
+                        if let Some(tel) = telemetry {
+                            // Arrival-to-commit: the oldest round of the
+                            // escalated window arrived `window_len[q] - 1`
+                            // cycles ago, the FIFO link serves this
+                            // request's first attempt's queue position at
+                            // `bandwidth` per cycle, and transport faults
+                            // added `wait_cycles` of backoff and jitter.
+                            let on_chip_wait = (window_len[q] as u64).saturating_sub(1);
+                            let queue_delay = first_position / link_bandwidth;
+                            tel.escalation_latency
+                                .record_latency(on_chip_wait + queue_delay + wait_cycles);
+                        }
+                        outcomes[q] = BtwcOutcome::OffChip(c);
+                    }
+                    None => {
+                        // Retry budget or deadline blown: fall back to
+                        // the on-chip emergency correction so the
+                        // machine keeps moving — the sticky filter
+                        // re-escalates whatever residual survives.
+                        transport.degraded_decodes += 1;
+                        per_qubit[q].degraded += 1;
+                        trackers[q].resync(seq.wrapping_add(1));
+                        next_seq[q] = seq.wrapping_add(1);
+                        if let Some(tel) = telemetry {
+                            tel.degraded.inc();
+                            tel.qubit_degraded.inc(q);
+                        }
+                        outcomes[q] =
+                            BtwcOutcome::Degraded(emergency.emergency_correction(filtered));
+                    }
+                }
                 // Window consumed; the sticky filter clears itself once
                 // the correction lands.
                 window_len[q] = 0;
@@ -544,8 +831,9 @@ impl BtwcMachine {
             }
         });
 
-        // 4. The shared link: overflow stalls the *next* cycle.
-        let record = self.queue.step(offchip_requests);
+        // 4. The shared link: every attempt (fresh or retransmitted)
+        //    consumed service slots; overflow stalls the *next* cycle.
+        let record = self.queue.step(link_arrivals);
         self.backlog_qubits.drain(..record.processed.min(self.backlog_qubits.len()));
         let backlog = self.queue.backlog() as u64;
         debug_assert_eq!(self.backlog_qubits.len() as u64, backlog, "queue mirror out of sync");
@@ -566,7 +854,7 @@ impl BtwcMachine {
             // backlog waiting): a quiet machine cycle is then a single
             // counter increment, and the all-zero samples the histogram
             // skips are recoverable as `cycles - count`.
-            if offchip_requests > 0 || backlog > 0 {
+            if link_arrivals > 0 || backlog > 0 {
                 tel.queue_depth.record(backlog);
             }
         }

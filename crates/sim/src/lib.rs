@@ -67,7 +67,10 @@ pub use ler::{
     logical_error_rate, logical_error_rate_parallel, DecoderKind, LerEstimate, ShotConfig,
 };
 pub use lifetime::{LifetimeConfig, LifetimeSim, LifetimeStats};
-pub use machine::{machine_offchip_trace, machine_offchip_trace_telemetry};
+pub use machine::{
+    machine_fault_sweep, machine_fault_trace, machine_offchip_trace,
+    machine_offchip_trace_telemetry, FaultSweepPoint,
+};
 pub use multi::{multi_qubit_trace, offchip_probability};
 pub use sweep::{
     afs_comparison, coverage_sweep, coverage_sweep_iid, grid_point_seed, signature_distribution,

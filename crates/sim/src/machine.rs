@@ -18,7 +18,9 @@
 //! matches a per-qubit [`crate::LifetimeSim`] run stream-for-stream
 //! (pinned by this module's tests).
 
-use btwc_core::{BtwcMachine, MachineStats, StabilizerType, SurfaceCode};
+use btwc_core::{
+    BtwcMachine, LinkFaultModel, MachineStats, StabilizerType, SurfaceCode, TransportStats,
+};
 use btwc_noise::{SimRng, SparseFlips};
 use btwc_syndrome::{PackedBits, SyndromeBatch};
 use btwc_telemetry::MetricsRegistry;
@@ -41,7 +43,8 @@ pub fn machine_offchip_trace(
     num_qubits: usize,
     bandwidth: usize,
 ) -> (MachineStats, Vec<usize>) {
-    machine_trace_impl(cfg, num_qubits, bandwidth, None)
+    let run = machine_trace_impl(cfg, num_qubits, bandwidth, None, None);
+    (run.stats, run.trace)
 }
 
 /// [`machine_offchip_trace`] with a metrics registry attached to the
@@ -61,7 +64,98 @@ pub fn machine_offchip_trace_telemetry(
     bandwidth: usize,
     registry: &MetricsRegistry,
 ) -> (MachineStats, Vec<usize>) {
-    machine_trace_impl(cfg, num_qubits, bandwidth, Some(registry))
+    let run = machine_trace_impl(cfg, num_qubits, bandwidth, Some(registry), None);
+    (run.stats, run.trace)
+}
+
+/// [`machine_offchip_trace`] across a **faulty** off-chip link: every
+/// escalation crosses a [`LinkFaultModel`]-driven
+/// [`btwc_core::FaultyLink`] with the machine's full frame-integrity /
+/// retry / degradation path engaged. Returns the machine stats, the
+/// receiver-side [`TransportStats`], and the per-cycle demand trace.
+/// Deterministic in `(cfg.seed, link_seed, num_qubits)` for any worker
+/// count.
+///
+/// # Panics
+///
+/// Panics if `num_qubits == 0` or `bandwidth == 0`.
+#[must_use]
+pub fn machine_fault_trace(
+    cfg: &LifetimeConfig,
+    num_qubits: usize,
+    bandwidth: usize,
+    model: LinkFaultModel,
+    link_seed: u64,
+) -> (MachineStats, TransportStats, Vec<usize>) {
+    let run = machine_trace_impl(cfg, num_qubits, bandwidth, None, Some((model, link_seed)));
+    (run.stats, run.transport, run.trace)
+}
+
+/// One point of [`machine_fault_sweep`]: the cost of a given link
+/// fault rate in execution time (retransmission pressure → stalls) and
+/// decode quality (degraded decodes, end-of-run residual state).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSweepPoint {
+    /// The per-class fault probability of [`LinkFaultModel::uniform`].
+    pub fault_rate: f64,
+    /// Machine aggregates (stalls, backlog, frame bytes).
+    pub stats: MachineStats,
+    /// Receiver-side transport observations (fault classes, retries,
+    /// degradations).
+    pub transport: TransportStats,
+    /// Relative execution-time increase — the Fig. 16 y-axis, now also
+    /// a function of link reliability.
+    pub execution_time_increase: f64,
+    /// Total residual syndrome weight across qubits when the run ends
+    /// (an error-control proxy: degraded decodes leave residuals for
+    /// later cycles).
+    pub residual_syndrome_weight: u64,
+    /// Qubits whose residual error state is a logical error at the end
+    /// of the run — the logical-error-rate impact of link faults.
+    pub logical_errors: u64,
+}
+
+/// Sweeps [`LinkFaultModel::uniform`] fault rates over the same
+/// workload: the graceful-degradation trade-off curve (execution-time
+/// increase and decode-quality impact vs link reliability).
+/// Deterministic in `(cfg.seed, link_seed)`.
+///
+/// # Panics
+///
+/// Panics if `num_qubits == 0` or `bandwidth == 0`.
+#[must_use]
+pub fn machine_fault_sweep(
+    cfg: &LifetimeConfig,
+    num_qubits: usize,
+    bandwidth: usize,
+    fault_rates: &[f64],
+    link_seed: u64,
+) -> Vec<FaultSweepPoint> {
+    fault_rates
+        .iter()
+        .map(|&rate| {
+            let model = LinkFaultModel::uniform(rate);
+            let run =
+                machine_trace_impl(cfg, num_qubits, bandwidth, None, Some((model, link_seed)));
+            FaultSweepPoint {
+                fault_rate: rate,
+                execution_time_increase: run.stats.execution_time_increase(),
+                stats: run.stats,
+                transport: run.transport,
+                residual_syndrome_weight: run.residual_syndrome_weight,
+                logical_errors: run.logical_errors,
+            }
+        })
+        .collect()
+}
+
+/// Everything one closed-loop machine run produced.
+struct TraceRun {
+    stats: MachineStats,
+    transport: TransportStats,
+    trace: Vec<usize>,
+    residual_syndrome_weight: u64,
+    logical_errors: u64,
 }
 
 fn machine_trace_impl(
@@ -69,7 +163,8 @@ fn machine_trace_impl(
     num_qubits: usize,
     bandwidth: usize,
     registry: Option<&MetricsRegistry>,
-) -> (MachineStats, Vec<usize>) {
+    fault: Option<(LinkFaultModel, u64)>,
+) -> TraceRun {
     let ty = StabilizerType::X;
     let code = SurfaceCode::new(cfg.distance);
     let n_anc = code.num_ancillas(ty);
@@ -79,6 +174,9 @@ fn machine_trace_impl(
         .backend(cfg.backend);
     if let Some(registry) = registry {
         builder = builder.telemetry(registry);
+    }
+    if let Some((model, link_seed)) = fault {
+        builder = builder.fault_model(model).link_seed(link_seed);
     }
     let mut machine = builder.build();
     // One tracker + forked RNG stream per qubit, keyed by qubit index:
@@ -115,7 +213,16 @@ fn machine_trace_impl(
         }
         trace.push(cycle.offchip_requests);
     }
-    (machine.stats(), trace)
+    let residual_syndrome_weight = trackers.iter().map(|t| t.syndrome_weight() as u64).sum::<u64>();
+    let logical_errors =
+        trackers.iter().filter(|t| code.is_logical_error(ty, t.errors())).count() as u64;
+    TraceRun {
+        stats: machine.stats(),
+        transport: machine.transport_stats(),
+        trace,
+        residual_syndrome_weight,
+        logical_errors,
+    }
 }
 
 #[cfg(test)]
@@ -143,6 +250,37 @@ mod tests {
             }
         }
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn zero_fault_trace_matches_perfect_link() {
+        // The fault-free differential pin at the sim tier: routing the
+        // workload through an explicit zero-probability FaultyLink is
+        // bit-identical to the default driver.
+        let cfg = LifetimeConfig::new(3, 8e-3).with_cycles(1_200).with_seed(0x5A);
+        let (stats, trace) = machine_offchip_trace(&cfg, 6, 2);
+        let (fstats, transport, ftrace) =
+            machine_fault_trace(&cfg, 6, 2, LinkFaultModel::none(), 0x1234);
+        assert_eq!(stats, fstats);
+        assert_eq!(trace, ftrace);
+        assert_eq!(transport, TransportStats::default());
+    }
+
+    #[test]
+    fn fault_sweep_is_deterministic_and_meters_degradation() {
+        let cfg = LifetimeConfig::new(3, 2.2e-2).with_cycles(1_500).with_seed(0xFA);
+        let rates = [0.0, 0.05, 0.30];
+        let sweep = machine_fault_sweep(&cfg, 8, 4, &rates, 0x11);
+        assert_eq!(sweep, machine_fault_sweep(&cfg, 8, 4, &rates, 0x11), "sweep must reproduce");
+        assert_eq!(sweep[0].transport, TransportStats::default(), "zero rate injects nothing");
+        // More faults => more transport work on the same demand.
+        assert!(sweep[1].transport.retransmitted_frames > 0);
+        assert!(
+            sweep[2].transport.retransmitted_frames > sweep[1].transport.retransmitted_frames,
+            "a lossier link must retransmit more"
+        );
+        assert!(sweep[2].stats.frame_bytes > sweep[0].stats.frame_bytes);
+        assert!(sweep[2].transport.degraded_decodes > 0, "a 30% fault rate must degrade");
     }
 
     #[test]

@@ -47,6 +47,9 @@ fn main() {
                 offchip_flips += c.weight() as u64;
                 c.apply_to(&mut errors);
             }
+            // Only BtwcMachine with a faulty link degrades; a standalone
+            // pipeline never emits this.
+            BtwcOutcome::Degraded(c) => c.apply_to(&mut errors),
         }
     }
 

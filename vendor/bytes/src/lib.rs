@@ -67,6 +67,11 @@ pub trait BufMut {
     /// Appends raw bytes.
     fn put_slice(&mut self, src: &[u8]);
 
+    /// Appends a single byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
     /// Appends a big-endian `u16`.
     fn put_u16(&mut self, v: u16) {
         self.put_slice(&v.to_be_bytes());
@@ -80,6 +85,14 @@ pub trait BufMut {
     /// Appends a big-endian `u64`.
     fn put_u64(&mut self, v: u64) {
         self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
     }
 }
 
@@ -101,6 +114,11 @@ pub trait Buf {
 
     /// Next `N` bytes as an array, consumed.
     fn take_array<const N: usize>(&mut self) -> [u8; N];
+
+    /// Reads a single byte.
+    fn get_u8(&mut self) -> u8 {
+        self.take_array::<1>()[0]
+    }
 
     /// Reads a big-endian `u16`.
     fn get_u16(&mut self) -> u16 {
