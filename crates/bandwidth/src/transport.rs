@@ -282,6 +282,13 @@ impl DecodeRequest {
     /// are reserved (see the module docs); use
     /// [`DecodeRequest::decode_v1`] when the version is known.
     ///
+    /// **Caution**: a corrupted v2 magic byte routes the frame to the
+    /// CRC-less v1 fallback, which can parse the damaged bytes as a
+    /// garbage request instead of erroring. The fallback exists for
+    /// genuinely mixed v1/v2 sources only — a receiver of v2-only
+    /// traffic must use [`DecodeRequest::decode_v2`] to keep the
+    /// every-single-bit-flip-is-detected guarantee.
+    ///
     /// # Errors
     ///
     /// Returns [`ParseFrameError`] as [`DecodeRequest::decode_v1`] /

@@ -123,6 +123,13 @@ proptest! {
     /// version, shape fields, sequence number, payload, or the CRC
     /// itself — can parse back as a valid request. This is exhaustive
     /// over all bit positions of each generated frame, not sampled.
+    ///
+    /// The auto-detecting [`DecodeRequest::decode`] is covered too: a
+    /// flip in the magic bytes demotes the frame to the CRC-less v1
+    /// fallback, which *may* parse — but only a magic flip can reach
+    /// it, and it can never silently reconstruct the request that was
+    /// sent. That residual hole is why a v2-only receiver (the machine
+    /// tier) must parse with the strict `decode_v2`.
     #[test]
     fn every_single_bit_flip_is_detected(req in request_v2_strategy()) {
         let frame = req.encode_v2().to_vec();
@@ -133,6 +140,19 @@ proptest! {
                 DecodeRequest::decode_v2(&flipped).is_err(),
                 "bit {bit} flipped but frame still parsed"
             );
+            match DecodeRequest::decode(&flipped) {
+                Err(_) => {}
+                Ok(got) => {
+                    prop_assert!(
+                        bit < 16,
+                        "flip at non-magic bit {bit} parsed via the v1 fallback"
+                    );
+                    prop_assert_ne!(
+                        &got, &req,
+                        "magic flip at bit {bit} silently round-tripped"
+                    );
+                }
+            }
             flipped[bit / 8] ^= 1 << (bit % 8);
         }
         prop_assert_eq!(&flipped, &frame);

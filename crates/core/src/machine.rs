@@ -719,6 +719,11 @@ impl BtwcMachine {
                     backlog_qubits.push_back(q as u32);
                     let tx = link.transmit(&frame);
                     wait_cycles += tx.delay_cycles;
+                    // The deadline is a hard transport budget (backoff
+                    // + delay jitter, per `deadline_cycles`): a copy
+                    // delivered past it is too late to commit, so the
+                    // escalation degrades instead.
+                    let deadline_blown = wait_cycles > deadline_cycles;
                     if tx.deliveries.is_empty() {
                         transport.dropped_frames += 1;
                         if let Some(tel) = telemetry {
@@ -736,7 +741,12 @@ impl BtwcMachine {
                             }
                             continue;
                         }
-                        match DecodeRequest::decode(&delivery.bytes) {
+                        // Strict v2 parse: the machine only ships v2
+                        // frames, and the auto-detecting parse would
+                        // route a magic-byte flip to the CRC-less v1
+                        // fallback, where a corrupted frame can parse
+                        // as a garbage request instead of erroring.
+                        match DecodeRequest::decode_v2(&delivery.bytes) {
                             Err(_) => {
                                 // CRC or structural failure: bit flips
                                 // and truncation land here. NACK.
@@ -746,6 +756,11 @@ impl BtwcMachine {
                                 }
                             }
                             Ok(received) => match trackers[q].accept(received.seq) {
+                                Ok(SeqStatus::Fresh) if deadline_blown => {
+                                    // Clean, but jitter pushed the
+                                    // arrival past the deadline:
+                                    // discard and degrade below.
+                                }
                                 Ok(SeqStatus::Fresh) => {
                                     received.replay_into(wire);
                                     let c = {
@@ -771,7 +786,7 @@ impl BtwcMachine {
                     if correction.is_some() {
                         break correction;
                     }
-                    if attempts > max_retries {
+                    if deadline_blown || attempts > max_retries {
                         break None;
                     }
                     // Cycle-domain NACK/timeout backoff before the
