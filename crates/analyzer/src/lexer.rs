@@ -1,0 +1,385 @@
+//! A small hand-rolled Rust lexer — just enough token structure to lint
+//! source text without being fooled by comments, string/char/byte
+//! literals, raw strings, lifetimes, or raw identifiers.
+//!
+//! This is deliberately not a full Rust grammar: the linter only needs
+//! a faithful *token* stream with line numbers, where everything inside
+//! a comment or a literal can never be mistaken for code. Anything the
+//! lexer does not recognize structurally (e.g. an exotic literal
+//! suffix) degrades to single-character punctuation tokens, which the
+//! lint patterns simply fail to match — lexing never panics and never
+//! drops input on the floor.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword. Raw identifiers (`r#match`) are unescaped
+    /// to their bare name.
+    Ident(String),
+    /// String literal (plain, raw, byte, or C). The carried text is the
+    /// raw source between the quotes, escapes untouched — enough for
+    /// `#[cfg(feature = "...")]` matching, where no escapes occur.
+    Str(String),
+    /// Char or byte-char literal (`'a'`, `b'\n'`).
+    Char,
+    /// Numeric literal (value not interpreted).
+    Num,
+    /// Lifetime (`'a`, `'static`) — distinct from a char literal.
+    Lifetime,
+    /// Any single punctuation character.
+    Punct(char),
+    /// `// ...` comment (doc comments included); text excludes the
+    /// leading slashes.
+    LineComment(String),
+    /// `/* ... */` comment (nesting respected); text excludes the
+    /// delimiters.
+    BlockComment(String),
+}
+
+impl TokKind {
+    /// Whether this token is a comment.
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(self, TokKind::LineComment(_) | TokKind::BlockComment(_))
+    }
+
+    /// The comment text, if this is a comment token.
+    #[must_use]
+    pub fn comment_text(&self) -> Option<&str> {
+        match self {
+            TokKind::LineComment(t) | TokKind::BlockComment(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub line: u32,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into a token stream. Infallible: unrecognized bytes
+/// become punctuation tokens.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer { chars: src.chars().collect(), i: 0, line: 1, out: Vec::new() }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, line: u32) {
+        self.out.push(Token { kind, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                c if c.is_whitespace() => self.i += 1,
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(0),
+                '\'' => self.char_or_lifetime(),
+                c if is_ident_start(c) => self.ident_or_prefixed(),
+                c if c.is_ascii_digit() => self.number(),
+                other => {
+                    self.push(TokKind::Punct(other), self.line);
+                    self.i += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let start = self.i + 2;
+        let mut j = start;
+        while j < self.chars.len() && self.chars[j] != '\n' {
+            j += 1;
+        }
+        let text: String = self.chars[start..j].iter().collect();
+        self.push(TokKind::LineComment(text), line);
+        self.i = j;
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let start = self.i + 2;
+        let mut depth = 1usize;
+        let mut j = start;
+        while j < self.chars.len() && depth > 0 {
+            match self.chars[j] {
+                '\n' => {
+                    self.line += 1;
+                    j += 1;
+                }
+                '/' if self.chars.get(j + 1) == Some(&'*') => {
+                    depth += 1;
+                    j += 2;
+                }
+                '*' if self.chars.get(j + 1) == Some(&'/') => {
+                    depth -= 1;
+                    j += 2;
+                }
+                _ => j += 1,
+            }
+        }
+        let end = if depth == 0 { j - 2 } else { j };
+        let text: String = self.chars[start..end.max(start)].iter().collect();
+        self.push(TokKind::BlockComment(text), line);
+        self.i = j;
+    }
+
+    /// Plain (escaped) string literal; `self.i` is at the opening quote.
+    /// `prefix_len` chars before it (e.g. the `b` of `b"..."`) are part
+    /// of the token but already consumed by the caller.
+    fn string(&mut self, _prefix_len: usize) {
+        let line = self.line;
+        let start = self.i + 1;
+        let mut j = start;
+        while j < self.chars.len() {
+            match self.chars[j] {
+                '\\' => {
+                    if self.chars.get(j + 1) == Some(&'\n') {
+                        self.line += 1;
+                    }
+                    j += 2;
+                }
+                '"' => break,
+                '\n' => {
+                    self.line += 1;
+                    j += 1;
+                }
+                _ => j += 1,
+            }
+        }
+        let end = j.min(self.chars.len());
+        let text: String = self.chars[start..end.max(start)].iter().collect();
+        self.push(TokKind::Str(text), line);
+        self.i = end + 1;
+    }
+
+    /// Raw string body: `self.i` is at the opening quote, with `hashes`
+    /// `#`s required after the closing quote.
+    fn raw_string(&mut self, hashes: usize) {
+        let line = self.line;
+        let start = self.i + 1;
+        let mut j = start;
+        while j < self.chars.len() {
+            if self.chars[j] == '\n' {
+                self.line += 1;
+                j += 1;
+                continue;
+            }
+            if self.chars[j] == '"' && (1..=hashes).all(|h| self.chars.get(j + h) == Some(&'#')) {
+                break;
+            }
+            j += 1;
+        }
+        let end = j.min(self.chars.len());
+        let text: String = self.chars[start..end.max(start)].iter().collect();
+        self.push(TokKind::Str(text), line);
+        self.i = (end + 1 + hashes).min(self.chars.len());
+    }
+
+    /// `'` starts either a lifetime (`'a`) or a char literal (`'a'`,
+    /// `'\n'`, `'\u{1F600}'`).
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        let next = self.peek(1);
+        // Lifetime: identifier after the quote, not closed by another
+        // quote right away ('a' is a char, 'a is a lifetime).
+        if let Some(c) = next {
+            if is_ident_start(c) && self.peek(2).is_some_and(|c2| c2 != '\'') {
+                let mut j = self.i + 2;
+                while j < self.chars.len() && is_ident_continue(self.chars[j]) {
+                    j += 1;
+                }
+                self.push(TokKind::Lifetime, line);
+                self.i = j;
+                return;
+            }
+        }
+        // Char literal: consume to the closing quote, honoring escapes.
+        let mut j = self.i + 1;
+        while j < self.chars.len() {
+            match self.chars[j] {
+                '\\' => j += 2,
+                '\'' => break,
+                '\n' => break, // malformed; don't eat the file
+                _ => j += 1,
+            }
+        }
+        self.push(TokKind::Char, line);
+        self.i = (j + 1).min(self.chars.len());
+    }
+
+    /// Identifier, keyword, raw identifier, or a string-literal prefix
+    /// (`r"`, `r#"`, `b"`, `br#"`, `b'`, `c"`).
+    fn ident_or_prefixed(&mut self) {
+        let c = self.chars[self.i];
+        // r"..." / r#"..."# raw strings, and r#ident raw identifiers.
+        if c == 'r' {
+            let mut h = 0usize;
+            while self.peek(1 + h) == Some('#') {
+                h += 1;
+            }
+            if self.peek(1 + h) == Some('"') {
+                self.i += 1 + h;
+                self.raw_string(h);
+                return;
+            }
+            if h == 1 && self.peek(2).is_some_and(is_ident_start) {
+                // Raw identifier: skip `r#`, lex the bare name.
+                self.i += 2;
+                self.bare_ident();
+                return;
+            }
+        }
+        // b"...", br#"..."#, b'x', c"..." prefixes.
+        if c == 'b' || c == 'c' {
+            if self.peek(1) == Some('"') {
+                self.i += 1;
+                self.string(1);
+                return;
+            }
+            if c == 'b' && self.peek(1) == Some('\'') {
+                self.i += 1;
+                self.char_or_lifetime();
+                return;
+            }
+            if c == 'b' && self.peek(1) == Some('r') {
+                let mut h = 0usize;
+                while self.peek(2 + h) == Some('#') {
+                    h += 1;
+                }
+                if self.peek(2 + h) == Some('"') {
+                    self.i += 2 + h;
+                    self.raw_string(h);
+                    return;
+                }
+            }
+        }
+        self.bare_ident();
+    }
+
+    fn bare_ident(&mut self) {
+        let line = self.line;
+        let start = self.i;
+        let mut j = start;
+        while j < self.chars.len() && is_ident_continue(self.chars[j]) {
+            j += 1;
+        }
+        let text: String = self.chars[start..j].iter().collect();
+        self.push(TokKind::Ident(text), line);
+        self.i = j;
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut j = self.i;
+        while j < self.chars.len() {
+            let c = self.chars[j];
+            if c.is_ascii_alphanumeric() || c == '_' {
+                j += 1;
+            } else if c == '.' && self.chars.get(j + 1).is_some_and(char::is_ascii_digit) {
+                // `1.5` continues the number; `0..n` does not.
+                j += 2;
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Num, line);
+        self.i = j;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_their_contents() {
+        let src = r##"
+            // HashMap in a line comment
+            /* HashMap in /* a nested */ block */
+            let s = "HashMap in a string";
+            let r = r#"HashMap in a raw "quoted" string"#;
+            let b = b"HashMap bytes";
+            let real = BTreeMap::new();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(ids.contains(&"BTreeMap".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { let c = 'x'; let n = '\\n'; x }";
+        let toks = lex(src);
+        let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(lifetimes, 3);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn raw_identifiers_unescape() {
+        assert_eq!(idents("r#match r#unwrap"), vec!["match", "unwrap"]);
+    }
+
+    #[test]
+    fn line_numbers_track_every_literal_form() {
+        let src = "let a = \"two\nlines\";\nlet b = 1;\n/* c\nc */\nlet d = 2;";
+        let toks = lex(src);
+        let d_line = toks.iter().find(|t| t.kind == TokKind::Ident("d".into())).map(|t| t.line);
+        assert_eq!(d_line, Some(6));
+    }
+
+    #[test]
+    fn number_ranges_do_not_eat_dots() {
+        let src = "for i in 0..n { x += 1.5; }";
+        let puncts: Vec<char> = lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Punct(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(puncts.iter().filter(|&&c| c == '.').count(), 2, "{puncts:?}");
+    }
+}

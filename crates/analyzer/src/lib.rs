@@ -1,0 +1,136 @@
+//! `btwc-analyzer` — the workspace invariant linter.
+//!
+//! The repo's two load-bearing guarantees are *bit-identical results
+//! for any `BTWC_WORKERS`* and *the machine never panics on a hostile
+//! link*. Both are pinned dynamically by differential and fault-fuzz
+//! tests, which can only catch a regression when the right interleaving
+//! or fault fires. This crate makes the invariants statically
+//! checkable: a small hand-rolled Rust lexer (comments, strings, char
+//! literals, raw strings, and attributes handled correctly — this is
+//! not grep) walks every workspace `.rs` file and enforces the project
+//! lint catalog.
+//!
+//! # Lint catalog
+//!
+//! | Lint | Rationale |
+//! |------|-----------|
+//! | `DET-ORDER` | `HashMap`/`HashSet` iterate in randomized order, so any result assembled by iteration diverges run-to-run. Deterministic lib crates must use `BTreeMap`/`BTreeSet`/`Vec`. |
+//! | `DET-WALL` | `Instant`/`SystemTime` leak wall time into results. Only `#[cfg(feature = "wall-time")]`-gated telemetry code (and bench binaries, which are out of scope) may read the clock; the default build is wall-clock-free. |
+//! | `DET-SPAWN` | Raw `thread::spawn`/`thread::scope`/`thread::Builder` bypasses the pool's deterministic sharding; `btwc-pool` is the single crate allowed to touch `std::thread`. |
+//! | `DET-RNG` | Seeding a `SimRng` inside a closure passed to a pool `map`/`map_indices`/`map_reduce`/`scope`/`spawn` call without `fork`/`grid_point_seed` replays one stream across every shard — the PR-3 sweep bug class. |
+//! | `DET-ATOMIC` | Shared-atomic updates are only deterministic when they commute (order-independent). Every `Ordering::` site must carry a `// det:` comment justifying commutativity (or why ordering cannot reach results). |
+//! | `PANIC-HOT` | The machine receive path, the transport/fault layer, and the sparse solver promise graceful degradation on hostile input. `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` are denied there; return typed errors or justify the invariant. |
+//! | `ALLOW-UNUSED` | A `btwc-allow` that matched no finding — stale suppressions are findings so the allow inventory cannot rot. |
+//! | `ALLOW-MALFORMED` | A `btwc-allow` missing its mandatory `: reason`, or naming an unknown lint. |
+//!
+//! # Suppression
+//!
+//! A finding is suppressed per site with
+//! `// btwc-allow(LINT-ID): reason` — trailing on the offending line,
+//! or standalone on the line(s) directly above it. The reason is
+//! mandatory, and a suppression that stops matching anything becomes an
+//! `ALLOW-UNUSED` finding itself.
+//!
+//! # Scope
+//!
+//! In workspace mode (the root contains a `[workspace]` manifest) the
+//! scan covers `src/` and every `crates/*/src/`; vendored stand-ins
+//! (`vendor/`), tool crates (`bench`, `testutil`, `analyzer`), tests,
+//! examples, and `#[cfg(test)]` modules are out of scope. Pointed at
+//! any other directory (fixture corpora), every lint applies to every
+//! `.rs` file found.
+
+pub mod config;
+pub mod lexer;
+pub mod lints;
+pub mod report;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub use lints::{analyze_source, FileOutcome, FileSpec, LINTS};
+pub use report::{Finding, Report};
+
+/// Errors from a filesystem scan.
+#[derive(Debug)]
+pub enum ScanError {
+    /// A directory or file could not be read.
+    Io(PathBuf, std::io::Error),
+}
+
+impl std::fmt::Display for ScanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScanError::Io(p, e) => write!(f, "cannot read {}: {e}", p.display()),
+        }
+    }
+}
+
+impl std::error::Error for ScanError {}
+
+/// Whether `root` is a workspace root (its `Cargo.toml` declares
+/// `[workspace]`). Decides scoping: workspace layout vs. fixture
+/// corpus (all lints on every file).
+#[must_use]
+pub fn is_workspace_root(root: &Path) -> bool {
+    fs::read_to_string(root.join("Cargo.toml")).map(|s| s.contains("[workspace]")).unwrap_or(false)
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted by path so the
+/// report order is deterministic.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), ScanError> {
+    let mut entries: Vec<_> = fs::read_dir(dir)
+        .map_err(|e| ScanError::Io(dir.to_path_buf(), e))?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, `/`-separated.
+fn rel_str(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
+}
+
+/// Scans `root` and returns the aggregated report.
+///
+/// # Errors
+///
+/// [`ScanError`] if a directory or source file cannot be read.
+pub fn analyze_root(root: &Path) -> Result<Report, ScanError> {
+    let workspace = is_workspace_root(root);
+    let mut files = Vec::new();
+    collect_rs(root, &mut files)?;
+    let mut report = Report::default();
+    for path in files {
+        let rel = rel_str(root, &path);
+        let spec = if workspace {
+            match config::classify(&rel) {
+                Some(spec) => spec,
+                None => continue,
+            }
+        } else {
+            FileSpec::all()
+        };
+        let src = fs::read_to_string(&path).map_err(|e| ScanError::Io(path.clone(), e))?;
+        let outcome = analyze_source(&rel, &src, &spec);
+        report.files_scanned += 1;
+        report.suppressions_used += outcome.suppressions_used;
+        report.findings.extend(outcome.findings);
+    }
+    report.findings.sort_by(|a, b| (&a.file, a.line, &a.lint).cmp(&(&b.file, b.line, &b.lint)));
+    Ok(report)
+}

@@ -1,0 +1,594 @@
+//! The lint engine: walks one file's token stream and produces
+//! findings, honoring `#[cfg(test)]` exclusion, `wall-time` feature
+//! gating, and `// btwc-allow(LINT-ID): reason` suppressions.
+
+use crate::lexer::{lex, TokKind, Token};
+use crate::report::Finding;
+
+/// Project lints, in catalog order. See the crate docs for the full
+/// rationale of each.
+pub const LINTS: &[(&str, &str)] = &[
+    (
+        "DET-ORDER",
+        "HashMap/HashSet iteration order is nondeterministic; deterministic lib crates must \
+         use BTreeMap/BTreeSet/Vec",
+    ),
+    (
+        "DET-WALL",
+        "Instant/SystemTime reads wall time; only `wall-time`-gated telemetry code and bench \
+         binaries may touch the wall clock",
+    ),
+    (
+        "DET-SPAWN",
+        "raw std::thread spawning bypasses the deterministic pool; only btwc-pool may spawn \
+         threads",
+    ),
+    (
+        "DET-RNG",
+        "constructing a SimRng from an unforked seed inside a pooled closure repeats the \
+         stream across shards (the PR-3 bug class); derive shard seeds via fork/grid_point_seed",
+    ),
+    (
+        "DET-ATOMIC",
+        "every atomic Ordering site must carry a `// det:` comment justifying why the access \
+         commutes (or why ordering cannot affect deterministic results)",
+    ),
+    (
+        "PANIC-HOT",
+        "unwrap/expect/panic!/unreachable!/todo!/unimplemented! are denied in the machine \
+         receive path, the bandwidth transport/fault layer, and the sparse solver — the \
+         no-panic-on-hostile-input contract",
+    ),
+    ("ALLOW-UNUSED", "a btwc-allow suppression that matched no finding"),
+    (
+        "ALLOW-MALFORMED",
+        "a btwc-allow suppression missing its mandatory reason or naming an unknown lint",
+    ),
+];
+
+/// The suppressible lints (`ALLOW-*` hygiene findings cannot themselves
+/// be suppressed — fix the comment instead).
+const SUPPRESSIBLE: &[&str] =
+    &["DET-ORDER", "DET-WALL", "DET-SPAWN", "DET-RNG", "DET-ATOMIC", "PANIC-HOT"];
+
+/// Which lints apply to one file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileSpec {
+    /// DET-ORDER, DET-WALL, DET-RNG, DET-ATOMIC (the deterministic-lib
+    /// lint family).
+    pub determinism: bool,
+    /// DET-SPAWN (off inside btwc-pool, the one crate allowed to spawn).
+    pub det_spawn: bool,
+    /// PANIC-HOT (hot-path files only in workspace mode).
+    pub panic_hot: bool,
+}
+
+impl FileSpec {
+    /// Every lint on — fixture corpora and unknown layouts.
+    #[must_use]
+    pub fn all() -> Self {
+        FileSpec { determinism: true, det_spawn: true, panic_hot: true }
+    }
+}
+
+/// Outcome of analyzing one file.
+#[derive(Debug, Default)]
+pub struct FileOutcome {
+    /// Unsuppressed findings, in source order.
+    pub findings: Vec<Finding>,
+    /// Number of `btwc-allow` suppressions that matched a finding.
+    pub suppressions_used: usize,
+}
+
+/// A parsed `// btwc-allow(LINT-ID): reason` comment.
+#[derive(Debug)]
+struct Suppression {
+    line: u32,
+    target_line: u32,
+    lint: String,
+    /// `None` when the mandatory reason is missing or blank.
+    reason: Option<String>,
+    used: bool,
+}
+
+/// Significant (non-comment) token with region flags.
+struct Sig<'a> {
+    kind: &'a TokKind,
+    line: u32,
+    /// Index into the raw token stream (comments included).
+    raw: usize,
+    in_attr: bool,
+    in_test: bool,
+    in_wall: bool,
+}
+
+/// Analyzes one file's source text under `spec`.
+#[must_use]
+pub fn analyze_source(file: &str, src: &str, spec: &FileSpec) -> FileOutcome {
+    let tokens = lex(src);
+    let mut sigs: Vec<Sig> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !t.kind.is_comment())
+        .map(|(raw, t)| Sig {
+            kind: &t.kind,
+            line: t.line,
+            raw,
+            in_attr: false,
+            in_test: false,
+            in_wall: false,
+        })
+        .collect();
+    let test_raw_spans = mark_regions(&mut sigs);
+
+    let code_lines = code_lines(&sigs);
+    let mut suppressions = collect_suppressions(&tokens, &test_raw_spans, &code_lines);
+
+    let mut findings = run_lints(file, &sigs, &tokens, spec);
+
+    // Apply suppressions: a finding is dropped when a well-formed
+    // btwc-allow for its lint targets its line.
+    let mut used = 0usize;
+    findings.retain(|f| {
+        for s in suppressions.iter_mut() {
+            if s.reason.is_some() && s.lint == f.lint && s.target_line == f.line {
+                s.used = true;
+                used += 1;
+                return false;
+            }
+        }
+        true
+    });
+
+    // Suppression hygiene: malformed comments and unused suppressions
+    // are findings themselves, so the allow inventory can never rot.
+    for s in &suppressions {
+        match &s.reason {
+            None => findings.push(Finding {
+                file: file.to_string(),
+                line: s.line,
+                lint: "ALLOW-MALFORMED".into(),
+                message: format!("btwc-allow({}) is missing its mandatory `: reason`", s.lint),
+            }),
+            Some(_) if !SUPPRESSIBLE.contains(&s.lint.as_str()) => findings.push(Finding {
+                file: file.to_string(),
+                line: s.line,
+                lint: "ALLOW-MALFORMED".into(),
+                message: format!("btwc-allow names unknown lint `{}`", s.lint),
+            }),
+            Some(_) if !s.used => findings.push(Finding {
+                file: file.to_string(),
+                line: s.line,
+                lint: "ALLOW-UNUSED".into(),
+                message: format!(
+                    "btwc-allow({}) matched no finding on line {} — remove it",
+                    s.lint, s.target_line
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+
+    findings.sort_by(|a, b| (a.line, &a.lint).cmp(&(b.line, &b.lint)));
+    FileOutcome { findings, suppressions_used: used }
+}
+
+/// Lines that contain at least one significant token (attributes count
+/// as code; comments do not).
+fn code_lines(sigs: &[Sig]) -> Vec<u32> {
+    let mut lines: Vec<u32> = sigs.iter().map(|s| s.line).collect();
+    lines.dedup();
+    lines
+}
+
+/// Attribute parse result.
+struct AttrInfo {
+    /// Significant-index of the closing `]`.
+    end: usize,
+    /// Inner attribute (`#![...]`) — applies to the enclosing scope,
+    /// never gates the next item.
+    inner: bool,
+    /// Contains a bare `test` cfg predicate (not under `not(...)`), or
+    /// is `#[test]` itself.
+    test: bool,
+    /// Is `#[cfg(feature = "wall-time")]`-shaped (any cfg attribute
+    /// naming the wall-time feature).
+    wall: bool,
+}
+
+/// Parses the attribute starting at `sigs[k]` (`#`). Returns `None` if
+/// `k` does not start an attribute.
+fn parse_attr(sigs: &[Sig], k: usize) -> Option<AttrInfo> {
+    if !matches!(sigs[k].kind, TokKind::Punct('#')) {
+        return None;
+    }
+    let (inner, open) = match sigs.get(k + 1).map(|s| s.kind) {
+        Some(TokKind::Punct('[')) => (false, k + 1),
+        Some(TokKind::Punct('!')) => match sigs.get(k + 2).map(|s| s.kind) {
+            Some(TokKind::Punct('[')) => (true, k + 2),
+            _ => return None,
+        },
+        _ => return None,
+    };
+    let mut depth = 0i32;
+    let mut end = open;
+    let mut has_cfg = false;
+    let mut has_feature = false;
+    let mut wall_str = false;
+    let mut test = false;
+    let mut j = open;
+    while j < sigs.len() {
+        match sigs[j].kind {
+            TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    end = j;
+                    break;
+                }
+            }
+            TokKind::Ident(id) => match id.as_str() {
+                "cfg" | "cfg_attr" => has_cfg = true,
+                "feature" => has_feature = true,
+                // `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, ..))]`
+                // — but not `#[cfg(not(test))]`.
+                "test" if !preceded_by_not(sigs, open, j) => test = true,
+                _ => {}
+            },
+            TokKind::Str(s) if s == "wall-time" || s == "wall_time" => wall_str = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    if j >= sigs.len() {
+        end = sigs.len() - 1;
+    }
+    Some(AttrInfo { end, inner, test, wall: has_cfg && has_feature && wall_str })
+}
+
+/// Whether the ident at `at` sits inside a `not(...)` group of the
+/// attribute that opened at `open`.
+fn preceded_by_not(sigs: &[Sig], open: usize, at: usize) -> bool {
+    // Walk back through currently-open parens; if any opener is
+    // preceded by the ident `not`, the predicate is negated.
+    let mut depth = 0i32;
+    let mut j = at;
+    while j > open {
+        j -= 1;
+        match sigs[j].kind {
+            TokKind::Punct(')') => depth += 1,
+            TokKind::Punct('(') => {
+                if depth == 0 {
+                    if let Some(TokKind::Ident(id)) = j.checked_sub(1).map(|p| sigs[p].kind) {
+                        if id == "not" {
+                            return true;
+                        }
+                    }
+                    // Keep scanning outward for enclosing groups.
+                } else {
+                    depth -= 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// End (inclusive, significant index) of the item starting at `start`:
+/// the first `,` or `;` at bracket depth zero, or the close of the
+/// first top-level `{ ... }` block. Known approximation: a `,` inside
+/// the generic parameters of a gated item terminates the span early
+/// (angle brackets are not bracket tokens); gated items in this
+/// workspace carry no generics, and the failure mode is a false
+/// *positive*, never a silently-missed finding.
+fn item_end(sigs: &[Sig], start: usize) -> usize {
+    let mut depth = 0i32;
+    let mut brace_open = false;
+    let mut k = start;
+    while k < sigs.len() {
+        match sigs[k].kind {
+            TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+            TokKind::Punct('{') => {
+                if depth == 0 {
+                    brace_open = true;
+                }
+                depth += 1;
+            }
+            TokKind::Punct(')') | TokKind::Punct(']') => depth -= 1,
+            TokKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 && brace_open {
+                    return k;
+                }
+            }
+            TokKind::Punct(',') | TokKind::Punct(';') if depth == 0 => return k,
+            _ => {}
+        }
+        k += 1;
+    }
+    sigs.len().saturating_sub(1)
+}
+
+/// Marks attribute interiors, `#[cfg(test)]`/`#[test]`-gated items, and
+/// `wall-time`-gated items on the significant token stream. Returns the
+/// test-gated spans as raw-token-index ranges (inclusive) so comment
+/// tokens inside them can be identified too.
+fn mark_regions(sigs: &mut [Sig]) -> Vec<(usize, usize)> {
+    let mut test_raw_spans = Vec::new();
+    let mut k = 0usize;
+    while k < sigs.len() {
+        let Some(info) = parse_attr(sigs, k) else {
+            k += 1;
+            continue;
+        };
+        for s in sigs[k..=info.end].iter_mut() {
+            s.in_attr = true;
+        }
+        if info.inner || (!info.test && !info.wall) {
+            k = info.end + 1;
+            continue;
+        }
+        // Merge gating across the chained attribute run, marking the
+        // chained attributes as attributes as we go.
+        let mut test = info.test;
+        let mut wall = info.wall;
+        let mut m = info.end + 1;
+        while m < sigs.len() {
+            let Some(next) = parse_attr(sigs, m) else { break };
+            for s in sigs[m..=next.end].iter_mut() {
+                s.in_attr = true;
+            }
+            test |= next.test;
+            wall |= next.wall;
+            m = next.end + 1;
+        }
+        if m >= sigs.len() {
+            break;
+        }
+        let end = item_end(sigs, m);
+        if test {
+            test_raw_spans.push((sigs[m].raw, sigs[end].raw));
+            for s in sigs[m..=end].iter_mut() {
+                s.in_test = true;
+            }
+        }
+        if wall {
+            for s in sigs[m..=end].iter_mut() {
+                s.in_wall = true;
+            }
+        }
+        // Continue scanning *inside* the item: nested attributes (and
+        // nested test mods inside wall spans, etc.) still need marking.
+        k = m;
+    }
+    test_raw_spans
+}
+
+/// Extracts `btwc-allow` suppressions from comments outside test code.
+fn collect_suppressions(
+    tokens: &[Token],
+    test_raw_spans: &[(usize, usize)],
+    code_lines: &[u32],
+) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for (raw, tok) in tokens.iter().enumerate() {
+        let Some(text) = tok.kind.comment_text() else { continue };
+        if test_raw_spans.iter().any(|&(s, e)| raw >= s && raw <= e) {
+            continue;
+        }
+        let mut rest = text;
+        while let Some(at) = rest.find("btwc-allow(") {
+            rest = &rest[at + "btwc-allow(".len()..];
+            let Some(close) = rest.find(')') else { break };
+            let lint = rest[..close].trim().to_string();
+            let after = &rest[close + 1..];
+            let reason = after
+                .strip_prefix(':')
+                .map(str::trim)
+                .filter(|r| !r.is_empty())
+                .map(str::to_string);
+            let target_line = match code_lines.binary_search(&tok.line) {
+                // Trailing comment: it covers its own line of code.
+                Ok(_) => tok.line,
+                // Standalone comment: it covers the next line of code.
+                Err(pos) => code_lines.get(pos).copied().unwrap_or(tok.line),
+            };
+            out.push(Suppression { line: tok.line, target_line, lint, reason, used: false });
+            rest = after;
+        }
+    }
+    out
+}
+
+/// Runs the pattern lints over the significant token stream.
+fn run_lints(file: &str, sigs: &[Sig], tokens: &[Token], spec: &FileSpec) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut det_atomic_lines: Vec<u32> = Vec::new();
+    // DET-RNG bookkeeping: parenthesis depth, and the depth at which
+    // each active pooled-call argument list opened.
+    let mut paren_depth = 0i32;
+    let mut pooled_calls: Vec<i32> = Vec::new();
+
+    let ident = |k: usize| -> Option<&str> {
+        match sigs.get(k).map(|s| s.kind) {
+            Some(TokKind::Ident(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    };
+    let punct = |k: usize, c: char| matches!(sigs.get(k).map(|s| s.kind), Some(TokKind::Punct(p)) if *p == c);
+    let path_sep = |k: usize| punct(k, ':') && punct(k + 1, ':');
+
+    let mut push = |lint: &str, line: u32, message: String| {
+        findings.push(Finding { file: file.to_string(), line, lint: lint.to_string(), message });
+    };
+
+    for k in 0..sigs.len() {
+        let s = &sigs[k];
+        // Track call regions even inside skipped code so depths stay
+        // consistent.
+        match s.kind {
+            TokKind::Punct('(') => {
+                if !s.in_test
+                    && !s.in_attr
+                    && k >= 2
+                    && punct(k.wrapping_sub(2), '.')
+                    && matches!(
+                        ident(k - 1),
+                        Some("map" | "map_indices" | "map_reduce" | "spawn" | "scope")
+                    )
+                {
+                    pooled_calls.push(paren_depth);
+                }
+                paren_depth += 1;
+            }
+            TokKind::Punct(')') => {
+                paren_depth -= 1;
+                while pooled_calls.last().is_some_and(|&d| d >= paren_depth) {
+                    pooled_calls.pop();
+                }
+            }
+            _ => {}
+        }
+        if s.in_test || s.in_attr {
+            continue;
+        }
+        let TokKind::Ident(id) = s.kind else { continue };
+        match id.as_str() {
+            "HashMap" | "HashSet" if spec.determinism => {
+                push(
+                    "DET-ORDER",
+                    s.line,
+                    format!("{id} iterates in nondeterministic order; use BTreeMap/BTreeSet/Vec"),
+                );
+            }
+            "Instant" | "SystemTime" if spec.determinism && !s.in_wall => {
+                push(
+                    "DET-WALL",
+                    s.line,
+                    format!(
+                        "{id} reads the wall clock outside `wall-time`-gated code; \
+                         deterministic builds must be wall-clock-free"
+                    ),
+                );
+            }
+            "thread" if spec.det_spawn && path_sep(k + 1) => {
+                if let Some(m @ ("spawn" | "scope" | "Builder")) = ident(k + 3) {
+                    push(
+                        "DET-SPAWN",
+                        s.line,
+                        format!(
+                            "thread::{m} outside btwc-pool; route parallelism through the \
+                             deterministic pool"
+                        ),
+                    );
+                }
+            }
+            "SimRng"
+                if spec.determinism
+                    && !pooled_calls.is_empty()
+                    && path_sep(k + 1)
+                    && matches!(ident(k + 3), Some("from_seed" | "new"))
+                    && punct(k + 4, '(') =>
+            {
+                // Inspect the seed expression: forked or grid-derived
+                // seeds are the sanctioned shard pattern.
+                let mut depth = 0i32;
+                let mut j = k + 4;
+                let mut sanctioned = false;
+                while j < sigs.len() {
+                    match sigs[j].kind {
+                        TokKind::Punct('(') => depth += 1,
+                        TokKind::Punct(')') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        TokKind::Ident(arg) if arg == "fork" || arg == "grid_point_seed" => {
+                            sanctioned = true;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if !sanctioned {
+                    push(
+                        "DET-RNG",
+                        s.line,
+                        "SimRng seeded inside a pooled closure without fork/grid_point_seed; \
+                         every shard would replay the same stream"
+                            .to_string(),
+                    );
+                }
+            }
+            "Ordering"
+                if spec.determinism
+                    && path_sep(k + 1)
+                    && det_atomic_lines.last() != Some(&s.line)
+                    && !has_det_comment(tokens, sigs, s.line) =>
+            {
+                det_atomic_lines.push(s.line);
+                push(
+                    "DET-ATOMIC",
+                    s.line,
+                    "atomic Ordering site lacks a `// det:` commutativity justification"
+                        .to_string(),
+                );
+            }
+            "unwrap" | "expect"
+                if spec.panic_hot && k >= 1 && punct(k - 1, '.') && punct(k + 1, '(') =>
+            {
+                push(
+                    "PANIC-HOT",
+                    s.line,
+                    format!(".{id}() in a no-panic hot path; return a typed error or justify"),
+                );
+            }
+            m @ ("panic" | "unreachable" | "todo" | "unimplemented")
+                if spec.panic_hot && punct(k + 1, '!') =>
+            {
+                push(
+                    "PANIC-HOT",
+                    s.line,
+                    format!("{m}! in a no-panic hot path; return a typed error or justify"),
+                );
+            }
+            _ => {}
+        }
+    }
+    findings
+}
+
+/// Whether line `line` carries a `det:` justification: a comment on the
+/// same line, or in the contiguous run of comment-only lines directly
+/// above it.
+fn has_det_comment(tokens: &[Token], sigs: &[Sig], line: u32) -> bool {
+    let has_code: std::collections::BTreeSet<u32> = sigs.iter().map(|s| s.line).collect();
+    let det_on = |l: u32| {
+        tokens
+            .iter()
+            .any(|t| t.line == l && t.kind.comment_text().is_some_and(|c| c.contains("det:")))
+    };
+    if det_on(line) {
+        return true;
+    }
+    let comment_lines: std::collections::BTreeSet<u32> =
+        tokens.iter().filter(|t| t.kind.is_comment()).map(|t| t.line).collect();
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        if has_code.contains(&l) {
+            return false;
+        }
+        if comment_lines.contains(&l) {
+            if det_on(l) {
+                return true;
+            }
+        } else {
+            // Blank line breaks the run.
+            return false;
+        }
+    }
+    false
+}

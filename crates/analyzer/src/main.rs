@@ -1,0 +1,78 @@
+//! CLI entry point: `btwc-analyzer [--root PATH] [--format text|json]
+//! [--list-lints]`.
+//!
+//! Exit status 0 when the scan is clean, 1 when any unsuppressed
+//! finding exists, 2 on usage or I/O errors — so CI can gate merges on
+//! the bare invocation.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use btwc_analyzer::{analyze_root, LINTS};
+
+enum Format {
+    Text,
+    Json,
+}
+
+fn usage() -> &'static str {
+    "usage: btwc-analyzer [--root PATH] [--format text|json] [--list-lints]\n\
+     \n\
+     Scans the workspace (or a fixture directory) for violations of the\n\
+     project invariant lints. Exits 0 when clean, 1 on findings."
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut format = Format::Text;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("--root needs a path\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                other => {
+                    eprintln!("unknown format {other:?}\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-lints" => {
+                for (id, rationale) in LINTS {
+                    println!("{id}: {rationale}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let report = match analyze_root(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("btwc-analyzer: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match format {
+        Format::Text => print!("{}", report.to_text()),
+        Format::Json => print!("{}", report.to_json()),
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

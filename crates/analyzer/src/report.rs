@@ -1,0 +1,133 @@
+//! Findings and the text / JSON report formats.
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Path relative to the scanned root, `/`-separated.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Lint id (e.g. `PANIC-HOT`).
+    pub lint: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {} {}", self.file, self.line, self.lint, self.message)
+    }
+}
+
+/// Whole-run report.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All unsuppressed findings, sorted by (file, line, lint).
+    pub findings: Vec<Finding>,
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// `btwc-allow` suppressions that matched a finding.
+    pub suppressions_used: usize,
+}
+
+impl Report {
+    /// Whether the scan is clean.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// `file:line: LINT-ID message` lines plus a summary trailer.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "btwc-analyzer: {} file(s) scanned, {} finding(s), {} suppression(s) honored\n",
+            self.files_scanned,
+            self.findings.len(),
+            self.suppressions_used
+        ));
+        out
+    }
+
+    /// Machine-readable report (`btwc-analyzer-v1` schema), hand-rolled
+    /// so the gate tool itself carries no dependencies.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"version\": \"btwc-analyzer-v1\",\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"suppressions_used\": {},\n", self.suppressions_used));
+        out.push_str(&format!("  \"finding_count\": {},\n", self.findings.len()));
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"file\": {}, \"line\": {}, \"lint\": {}, \"message\": {}}}",
+                json_str(&f.file),
+                f.line,
+                json_str(&f.lint),
+                json_str(&f.message)
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn report_renders_both_formats() {
+        let r = Report {
+            findings: vec![Finding {
+                file: "crates/x/src/lib.rs".into(),
+                line: 7,
+                lint: "DET-ORDER".into(),
+                message: "HashMap".into(),
+            }],
+            files_scanned: 3,
+            suppressions_used: 1,
+        };
+        assert!(r.to_text().contains("crates/x/src/lib.rs:7: DET-ORDER HashMap"));
+        let json = r.to_json();
+        assert!(json.contains("\"version\": \"btwc-analyzer-v1\""));
+        assert!(json.contains("\"finding_count\": 1"));
+        assert!(!r.is_clean());
+    }
+}

@@ -1,0 +1,85 @@
+//! Pins the exact finding set for the fixture corpus: one positive and
+//! one negative case per lint, plus suppression hygiene (used,
+//! trailing, unused, malformed). Any change to lint behavior must show
+//! up here as an explicit diff.
+
+use std::path::Path;
+use std::process::Command;
+
+use btwc_analyzer::analyze_root;
+
+fn fixtures_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+#[test]
+fn fixture_corpus_findings_are_exact() {
+    let report = analyze_root(&fixtures_dir()).expect("fixture scan succeeds");
+    let got: Vec<(String, u32, String)> =
+        report.findings.iter().map(|f| (f.file.clone(), f.line, f.lint.clone())).collect();
+    let want: Vec<(String, u32, String)> = [
+        ("det_atomic.rs", 6, "DET-ATOMIC"),
+        ("det_order.rs", 3, "DET-ORDER"),
+        ("det_order.rs", 7, "DET-ORDER"),
+        ("det_rng.rs", 5, "DET-RNG"),
+        ("det_spawn.rs", 4, "DET-SPAWN"),
+        ("det_spawn.rs", 9, "DET-SPAWN"),
+        ("det_wall.rs", 4, "DET-WALL"),
+        ("panic_hot.rs", 5, "PANIC-HOT"),
+        ("panic_hot.rs", 9, "PANIC-HOT"),
+        ("panic_hot.rs", 14, "PANIC-HOT"),
+        ("panic_hot.rs", 22, "PANIC-HOT"),
+        ("suppress.rs", 18, "ALLOW-UNUSED"),
+        ("suppress.rs", 23, "ALLOW-MALFORMED"),
+        ("suppress.rs", 24, "DET-ORDER"),
+        ("suppress.rs", 29, "ALLOW-MALFORMED"),
+    ]
+    .iter()
+    .map(|(f, l, id)| (f.to_string(), *l, id.to_string()))
+    .collect();
+    assert_eq!(got, want, "fixture corpus finding set drifted");
+    assert_eq!(report.files_scanned, 8, "fixture file count");
+    assert_eq!(
+        report.suppressions_used, 2,
+        "the standalone and trailing btwc-allow forms must both be honored"
+    );
+}
+
+#[test]
+fn clean_fixture_stays_clean() {
+    let report = analyze_root(&fixtures_dir()).expect("fixture scan succeeds");
+    assert!(
+        report.findings.iter().all(|f| f.file != "clean.rs"),
+        "near-miss spellings in clean.rs must not fire: {:?}",
+        report.findings.iter().filter(|f| f.file == "clean.rs").collect::<Vec<_>>()
+    );
+}
+
+/// The CI gate contract: the binary exits 1 on a seeded-violation tree
+/// and emits `btwc-analyzer-v1` JSON naming every finding.
+#[test]
+fn cli_gate_fails_on_seeded_violations_with_json() {
+    let out = Command::new(env!("CARGO_BIN_EXE_btwc-analyzer"))
+        .args(["--root"])
+        .arg(fixtures_dir())
+        .args(["--format", "json"])
+        .output()
+        .expect("analyzer binary runs");
+    assert_eq!(out.status.code(), Some(1), "seeded violations must fail the gate");
+    let json = String::from_utf8(out.stdout).expect("utf-8 report");
+    assert!(json.contains("\"version\": \"btwc-analyzer-v1\""));
+    assert!(json.contains("\"finding_count\": 15"));
+    assert!(json.contains("\"lint\": \"DET-RNG\""));
+    assert!(json.contains("\"file\": \"suppress.rs\""));
+}
+
+/// The workspace itself must be analyzer-clean: zero unsuppressed
+/// findings, and every suppression carries a reason (malformed ones are
+/// findings, so `is_clean` covers both halves of the contract).
+#[test]
+fn workspace_is_analyzer_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = analyze_root(&root).expect("workspace scan succeeds");
+    assert!(report.is_clean(), "workspace has unsuppressed findings:\n{}", report.to_text());
+    assert!(report.files_scanned > 50, "workspace scan saw too few files");
+}

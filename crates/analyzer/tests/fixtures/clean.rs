@@ -1,0 +1,19 @@
+// Clean fixture: near-miss spellings of every lint pattern; the
+// analyzer must report nothing here.
+
+use std::collections::BTreeMap;
+
+/// Mentions of HashMap, Instant::now(), thread::spawn, and .unwrap()
+/// in docs and comments are invisible to the lexer-based scan.
+fn near_misses(v: Option<u32>) -> u32 {
+    let banned = "HashMap Instant thread::spawn Ordering::Relaxed .unwrap()";
+    let raw = r#"SystemTime::now() panic! unreachable!"#;
+    let m: BTreeMap<&str, &str> = BTreeMap::new();
+    let _ = (banned, raw, m);
+    // unwrap_or / unwrap_or_else / expected are different identifiers.
+    v.unwrap_or_else(|| 0)
+}
+
+fn lifetime_not_char<'a>(x: &'a u32) -> &'a u32 {
+    x
+}

@@ -1,0 +1,27 @@
+// DET-ATOMIC fixture: positive on line 6, negatives elsewhere.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn positive(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+fn negative_trailing(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed); // det: fetch_add commutes
+}
+
+fn negative_above(c: &AtomicU64) -> u64 {
+    // det: read after quiescence; relaxed sees the final sum.
+    c.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_need_no_justification() {
+        let c = AtomicU64::new(0);
+        c.store(7, Ordering::SeqCst);
+    }
+}

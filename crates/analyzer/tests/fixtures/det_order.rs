@@ -1,0 +1,23 @@
+// DET-ORDER fixture: positives on lines 3 and 7, negatives elsewhere.
+
+use std::collections::HashMap;
+
+fn positive() {
+    // A "HashMap" in a comment or string must not fire.
+    let m: HashMap<u32, u32> = Default::default();
+    let _ = ("HashMap", m);
+}
+
+fn negative() {
+    let m: std::collections::BTreeMap<u32, u32> = std::collections::BTreeMap::new();
+    let _ = m;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_use_hash_types() {
+        let m: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        let _ = m;
+    }
+}

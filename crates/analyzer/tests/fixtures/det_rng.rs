@@ -1,0 +1,29 @@
+// DET-RNG fixture: positive on line 5, negatives elsewhere.
+
+fn positive(pool: &Pool, tasks: &[u32], seed: u64) {
+    let _ = pool.map(tasks, |i, _t| {
+        let mut rng = SimRng::from_seed(seed);
+        rng.next_u64() + i as u64
+    });
+}
+
+fn negative_forked(pool: &Pool, tasks: &[u32], base: &SimRng) {
+    let _ = pool.map(tasks, |i, _t| {
+        let mut rng = SimRng::from_seed(base.fork(i as u64));
+        rng.next_u64()
+    });
+}
+
+fn negative_grid(pool: &Pool, points: &[u32], seed: u64) {
+    let _ = pool.map_indices(points.len(), |i| {
+        let mut rng = SimRng::new(grid_point_seed(seed, i));
+        rng.next_u64()
+    });
+}
+
+fn negative_outside_pool(seed: u64) -> u64 {
+    // Seeding outside a pooled closure is the sanctioned single-stream
+    // pattern.
+    let mut rng = SimRng::from_seed(seed);
+    rng.next_u64()
+}

@@ -1,0 +1,18 @@
+// DET-SPAWN fixture: positives on lines 4 and 9, negative elsewhere.
+
+fn positive_spawn() {
+    let handle = std::thread::spawn(|| 1 + 1);
+    let _ = handle.join();
+}
+
+fn positive_scope() {
+    std::thread::scope(|s| {
+        let _ = s;
+    });
+}
+
+fn negative() {
+    // thread::spawn named in a comment must not fire, nor must an
+    // unrelated path like wakeup::spawn.
+    let _ = "std::thread::spawn";
+}

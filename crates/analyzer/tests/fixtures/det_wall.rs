@@ -1,0 +1,25 @@
+// DET-WALL fixture: positive on line 4, negatives elsewhere.
+
+fn positive() -> std::time::Duration {
+    let start = std::time::Instant::now();
+    start.elapsed()
+}
+
+#[cfg(feature = "wall-time")]
+fn negative_gated() -> std::time::Duration {
+    let start = std::time::Instant::now();
+    start.elapsed()
+}
+
+#[cfg(feature = "wall-time")]
+struct NegativeGatedStruct {
+    started: std::time::SystemTime,
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_time_things() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,40 @@
+// PANIC-HOT fixture: positives on lines 5, 9, 14, and 22; negatives
+// elsewhere.
+
+fn positive_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+fn positive_expect(v: Option<u32>) -> u32 {
+    v.expect("present")
+}
+
+fn positive_panic(v: Option<u32>) -> u32 {
+    match v {
+        None => panic!("missing"),
+        Some(x) => x,
+    }
+}
+
+fn positive_unreachable(v: u32) -> u32 {
+    match v {
+        0 => 1,
+        _ => unreachable!(),
+    }
+}
+
+fn negative(v: Option<u32>) -> u32 {
+    // "v.unwrap()" in a comment or string must not fire, and `expect`
+    // as a plain identifier (no `.`/`(` shape) must not either.
+    let expect = v.unwrap_or(0);
+    expect
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[should_panic(expected = "missing")]
+    fn tests_may_panic() {
+        super::positive_panic(None);
+    }
+}

@@ -1,0 +1,31 @@
+// Suppression fixture: a used standalone allow, a used trailing allow,
+// an unused allow (ALLOW-UNUSED), a missing reason (ALLOW-MALFORMED),
+// and an unknown lint id (ALLOW-MALFORMED).
+
+use std::collections::BTreeMap;
+
+fn suppressed_standalone() {
+    // btwc-allow(DET-ORDER): fixture demonstrates the standalone form
+    let m: HashMap<u32, u32> = Default::default();
+    let _ = m;
+}
+
+fn suppressed_trailing(v: Option<u32>) -> u32 {
+    v.unwrap() // btwc-allow(PANIC-HOT): fixture demonstrates the trailing form
+}
+
+fn unused_allow() -> BTreeMap<u32, u32> {
+    // btwc-allow(DET-WALL): nothing on the next line reads the clock
+    BTreeMap::new()
+}
+
+fn missing_reason() {
+    // btwc-allow(DET-ORDER)
+    let m: HashMap<u32, u32> = Default::default();
+    let _ = m;
+}
+
+fn unknown_lint(v: Option<u32>) -> u32 {
+    // btwc-allow(NOT-A-LINT): no such lint exists
+    v.unwrap_or(0)
+}

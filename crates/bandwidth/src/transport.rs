@@ -383,8 +383,13 @@ impl DecodeRequest {
         }
         let body = &data[..data.len() - FRAME_V2_TRAILER];
         let computed = crc32(body);
-        let received =
-            u32::from_be_bytes(data[data.len() - FRAME_V2_TRAILER..].try_into().unwrap());
+        // The length checks above guarantee a full trailer, but the
+        // no-panic contract for hostile input is kept structurally:
+        // a short slice surfaces as a parse error, never an unwrap.
+        let received = match data[data.len() - FRAME_V2_TRAILER..].try_into() {
+            Ok(trailer) => u32::from_be_bytes(trailer),
+            Err(_) => return Err(ParseFrameError::TruncatedHeader),
+        };
         if computed != received {
             return Err(ParseFrameError::ChecksumMismatch { computed, received });
         }

@@ -885,7 +885,13 @@ impl BtwcMachine {
     /// wrong width.
     pub fn step_rounds(&mut self, rounds: &[Vec<bool>]) -> MachineCycle {
         assert_eq!(rounds.len(), self.num_qubits, "one round per qubit");
-        let mut batch = self.ingest.take().expect("ingest batch present between calls");
+        // The scratch batch is only absent if a prior call unwound
+        // mid-step; rebuilding it keeps this path panic-free without
+        // changing the steady-state reuse.
+        let mut batch = self
+            .ingest
+            .take()
+            .unwrap_or_else(|| SyndromeBatch::new(self.num_qubits, self.num_ancillas));
         for (q, round) in rounds.iter().enumerate() {
             batch.set_qubit_round_bools(q, round);
         }

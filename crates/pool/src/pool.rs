@@ -225,6 +225,9 @@ impl Pool {
                 let telemetry = self.telemetry.as_ref();
                 s.spawn(move || {
                     let mut rng = splitmix64(w as u64);
+                    // det: abort only matters on the panic path, which
+                    // aborts the whole run — no result depends on which
+                    // cycle a worker observes the flag.
                     while !abort.load(Ordering::Relaxed) {
                         let task = match deques[w].pop() {
                             Some(task) => {
@@ -252,6 +255,9 @@ impl Pool {
                             let mut first =
                                 first_panic.lock().unwrap_or_else(PoisonError::into_inner);
                             first.get_or_insert(payload);
+                            // det: sets a sticky flag on the
+                            // propagate-panic path; the run produces no
+                            // result, so ordering cannot reach one.
                             abort.store(true, Ordering::Relaxed);
                             break;
                         }

@@ -162,6 +162,9 @@ pub(crate) fn remap_stored_blossoms(
             }
             continue;
         }
+        // btwc-allow(PANIC-HOT): compaction invariant — `map` is total
+        // over vertices of surviving subtrees by construction of the
+        // remap table a few lines up; hostile input cannot reach this.
         let mut remap = |v: u32| map(v).expect("surviving subtrees map every vertex");
         out.push(StoredBlossom {
             parent: if sb.parent < 0 { -1 } else { newpos[sb.parent as usize] as i32 },
@@ -1084,8 +1087,10 @@ impl BlossomArena {
                 continue;
             }
             let sb = &stored[i];
-            let b =
-                self.unused.pop().expect("a cluster of n events needs at most n blossoms") as usize;
+            // btwc-allow(PANIC-HOT): arena invariant — `unused` is sized
+            // to one blossom slot per event, so a pop only fails on
+            // internal corruption, not on any decodable input.
+            let b = self.unused.pop().expect("n events use at most n blossoms") as usize;
             arena_id[i] = b as i32;
             self.blossombase[b] = sb.base as i32;
             self.dualvar[b] = sb.z - zdec[i];
@@ -1428,6 +1433,9 @@ impl BlossomArena {
         let bb = self.inblossom[base] as usize;
         let mut bv = self.inblossom[v] as usize;
         let mut bw = self.inblossom[w] as usize;
+        // btwc-allow(PANIC-HOT): arena invariant — `unused` is sized to
+        // one blossom slot per event, so a pop only fails on internal
+        // corruption, not on any decodable input.
         let b = self.unused.pop().expect("a cluster of n events needs at most n blossoms") as usize;
         self.blossombase[b] = base as i32;
         self.blossomparent[b] = NONE;
@@ -1583,6 +1591,9 @@ impl BlossomArena {
             let mut j = childs
                 .iter()
                 .position(|&c| c as usize == entrychild)
+                // btwc-allow(PANIC-HOT): blossom invariant — the entry
+                // endpoint's enclosing sub-blossom is a child of `b` by
+                // the `inblossom` relation maintained in add_blossom.
                 .expect("entry child must be a sub-blossom") as isize;
             let (jstep, endptrick): (isize, u32) = if j & 1 != 0 {
                 j -= len;
@@ -1690,6 +1701,9 @@ impl BlossomArena {
         let mut endps = std::mem::take(&mut self.blossomendps[b]);
         let len = childs.len() as isize;
         let idx = |j: isize| -> usize { j.rem_euclid(len) as usize };
+        // btwc-allow(PANIC-HOT): blossom invariant — `t` comes from the
+        // caller walking `blossomchilds[b]`, so membership holds by
+        // construction; hostile input cannot reach this.
         let i = childs.iter().position(|&c| c as usize == t).expect("t is a child of b") as isize;
         let mut j = i;
         let (jstep, endptrick): (isize, u32) = if i & 1 != 0 {

@@ -537,6 +537,9 @@ impl SparseDecoder {
                     }
                 }
                 if !tasks.is_empty() {
+                    // btwc-allow(PANIC-HOT): control-flow invariant —
+                    // `tasks` is only pushed to on the `pool.is_some()`
+                    // branch above, so the take cannot fail.
                     let pool = pool.expect("tasks are only collected with a pool");
                     let arena_pool = &self.arena_pool;
                     let results = pool.map(&tasks, |i, &(s, e, ea, ee)| {
@@ -680,6 +683,9 @@ impl SparseDecoder {
             start = end;
         }
         if !tasks.is_empty() {
+            // btwc-allow(PANIC-HOT): control-flow invariant — `tasks`
+            // is only pushed to on the `pool.is_some()` branch above,
+            // so the take cannot fail.
             let pool = pool.expect("tasks are only collected with a pool");
             let results = pool.map(&tasks, |_i, &(s, e, ea, ee)| {
                 solve_cluster_task(

@@ -77,6 +77,8 @@ impl Clone for RoundHistory {
             // A clone is a new stream: it can diverge from the original
             // (different pushes at the same coverage), so incremental
             // decoders must never mistake one for the other.
+            // det: fetch_add commutes — ids only need to be distinct,
+            // never ordered; no decoded result depends on their values.
             stream_id: NEXT_STREAM_ID.fetch_add(1, Ordering::Relaxed),
             event_counts: self.event_counts.clone(),
             event_total: self.event_total,
@@ -100,6 +102,8 @@ impl RoundHistory {
             rounds: VecDeque::with_capacity(capacity + 1),
             spare: Vec::with_capacity(capacity + 1),
             start_round: 0,
+            // det: fetch_add commutes — ids only need to be distinct,
+            // never ordered; no decoded result depends on their values.
             stream_id: NEXT_STREAM_ID.fetch_add(1, Ordering::Relaxed),
             event_counts: VecDeque::with_capacity(capacity + 1),
             event_total: 0,

@@ -24,17 +24,20 @@ impl Counter {
 
     #[inline]
     pub fn inc(&self) {
+        // det: fetch_add commutes — any interleaving yields the same sum.
         self.0.fetch_add(1, Ordering::Relaxed);
     }
 
     #[inline]
     pub fn add(&self, n: u64) {
         if n != 0 {
+            // det: fetch_add commutes — any interleaving yields the same sum.
             self.0.fetch_add(n, Ordering::Relaxed);
         }
     }
 
     pub fn get(&self) -> u64 {
+        // det: read after pool quiescence; relaxed sees the final sum.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -50,15 +53,19 @@ impl Gauge {
 
     #[inline]
     pub fn set(&self, v: i64) {
+        // det: gauges are set from single-owner cycle code (last write
+        // wins is single-writer in practice); never feeds results.
         self.0.store(v, Ordering::Relaxed);
     }
 
     #[inline]
     pub fn add(&self, delta: i64) {
+        // det: fetch_add commutes — any interleaving yields the same sum.
         self.0.fetch_add(delta, Ordering::Relaxed);
     }
 
     pub fn get(&self) -> i64 {
+        // det: read after pool quiescence; relaxed sees the final value.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -115,7 +122,10 @@ impl Histogram {
     #[inline]
     pub fn record(&self, v: u64) {
         let cells = &*self.0;
+        // det: every RMW below commutes (fetch_add sums, fetch_min/max
+        // extrema), so the quiesced histogram is interleaving-free.
         cells.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        // det: fetch_add commutes — any interleaving yields the same sum.
         cells.count.fetch_add(1, Ordering::Relaxed);
         // Gate the remaining RMWs behind relaxed loads: on steady-state hot
         // paths (e.g. a queue-depth histogram recording 0 every machine
@@ -124,29 +134,40 @@ impl Histogram {
         // load-then-RMW race is benign — the update itself is still
         // `fetch_min`/`fetch_max`, so the final extrema are exact.
         if v != 0 {
+            // det: fetch_add commutes — any interleaving yields the same sum.
             cells.sum.fetch_add(v, Ordering::Relaxed);
         }
+        // det: the gating load is an optimization only — a stale read
+        // skips straight to the commuting fetch_min, so extrema are exact.
         if cells.min.load(Ordering::Relaxed) > v {
+            // det: fetch_min commutes — the final minimum is order-free.
             cells.min.fetch_min(v, Ordering::Relaxed);
         }
+        // det: the gating load is an optimization only — a stale read
+        // skips straight to the commuting fetch_max, so extrema are exact.
         if cells.max.load(Ordering::Relaxed) < v {
+            // det: fetch_max commutes — the final maximum is order-free.
             cells.max.fetch_max(v, Ordering::Relaxed);
         }
     }
 
     pub fn count(&self) -> u64 {
+        // det: read after pool quiescence; relaxed sees the final sum.
         self.0.count.load(Ordering::Relaxed)
     }
 
     pub fn sum(&self) -> u64 {
+        // det: read after pool quiescence; relaxed sees the final sum.
         self.0.sum.load(Ordering::Relaxed)
     }
 
     pub fn max(&self) -> u64 {
+        // det: read after pool quiescence; relaxed sees the final extremum.
         self.0.max.load(Ordering::Relaxed)
     }
 
     pub fn min(&self) -> u64 {
+        // det: read after pool quiescence; relaxed sees the final extremum.
         let m = self.0.min.load(Ordering::Relaxed);
         if m == u64::MAX {
             0
@@ -168,6 +189,7 @@ impl Histogram {
         let rank = ((u128::from(count) * u128::from(pct)).div_ceil(100) as u64).max(1);
         let mut seen = 0u64;
         for b in 0..HISTOGRAM_BUCKETS {
+            // det: read after pool quiescence; relaxed sees final counts.
             seen += self.0.buckets[b].load(Ordering::Relaxed);
             if seen >= rank {
                 return bucket_upper(b);
@@ -191,6 +213,7 @@ impl CounterFamily {
     #[inline]
     pub fn inc(&self, idx: usize) {
         if let Some(c) = self.0.get(idx) {
+            // det: fetch_add commutes — any interleaving yields the same sum.
             c.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -199,12 +222,14 @@ impl CounterFamily {
     pub fn add(&self, idx: usize, n: u64) {
         if n != 0 {
             if let Some(c) = self.0.get(idx) {
+                // det: fetch_add commutes — any interleaving yields the same sum.
                 c.fetch_add(n, Ordering::Relaxed);
             }
         }
     }
 
     pub fn get(&self, idx: usize) -> u64 {
+        // det: read after pool quiescence; relaxed sees the final sum.
         self.0.get(idx).map_or(0, |c| c.load(Ordering::Relaxed))
     }
 

@@ -1,6 +1,6 @@
 //! The metric registry: names, domains, and snapshotting.
 
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::metrics::{Counter, CounterFamily, Gauge, Histogram, SpanTimer};
 use crate::snapshot::{MetricSnapshot, Snapshot};
@@ -72,7 +72,9 @@ impl MetricsRegistry {
         make: impl FnOnce() -> (T, MetricKind),
         reuse: impl Fn(&MetricKind) -> Option<T>,
     ) -> T {
-        let mut entries = self.inner.lock().unwrap();
+        // Registration mutates no metric values, so a poisoned lock
+        // (a panicked registrant) leaves the registry fully usable.
+        let mut entries = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(e) = entries.iter().find(|e| e.name == name) {
             match reuse(&e.kind) {
                 Some(handle) => return handle,
@@ -172,7 +174,8 @@ impl MetricsRegistry {
     }
 
     fn snapshot_filtered(&self, keep: impl Fn(Domain) -> bool) -> Snapshot {
-        let entries = self.inner.lock().unwrap();
+        // Snapshots only read; a poisoned lock cannot corrupt them.
+        let entries = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         let mut metrics: Vec<MetricSnapshot> =
             entries.iter().filter(|e| keep(e.domain)).map(MetricSnapshot::capture).collect();
         metrics.sort_by(|a, b| a.name.cmp(&b.name));

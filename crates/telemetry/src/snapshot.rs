@@ -45,6 +45,8 @@ impl MetricSnapshot {
             MetricKind::Histogram(h) => {
                 let buckets = (0..HISTOGRAM_BUCKETS)
                     .filter_map(|b| {
+                        // det: snapshots read quiesced counters (after
+                        // pool joins); relaxed loads see final sums.
                         let n = h.0.buckets[b].load(Ordering::Relaxed);
                         (n != 0).then(|| (bucket_upper(b), n))
                     })
@@ -61,6 +63,8 @@ impl MetricSnapshot {
                 }
             }
             MetricKind::Family(f) => {
+                // det: snapshots read quiesced counters (after pool
+                // joins); relaxed loads see final sums.
                 MetricValue::Values(f.0.iter().map(|c| c.load(Ordering::Relaxed)).collect())
             }
         };
