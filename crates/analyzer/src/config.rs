@@ -13,11 +13,13 @@ use crate::lints::FileSpec;
 const TOOL_CRATES: &[&str] = &["crates/bench/", "crates/testutil/", "crates/analyzer/"];
 
 /// The no-panic hot paths: the machine receive path, the transport /
-/// fault layer every frame crosses, and the whole sparse solver.
+/// fault layer every frame crosses, the farm's admission + dispatch
+/// path every escalation is serviced by, and the whole sparse solver.
 const PANIC_HOT_FILES: &[&str] = &[
     "crates/core/src/machine.rs",
     "crates/bandwidth/src/transport.rs",
     "crates/bandwidth/src/fault.rs",
+    "crates/farm/src/farm.rs",
 ];
 const PANIC_HOT_PREFIXES: &[&str] = &["crates/sparse/src/"];
 
@@ -65,6 +67,8 @@ mod tests {
         assert!(sparse.panic_hot);
         let pool = classify("crates/pool/src/pool.rs").expect("in scope");
         assert!(!pool.det_spawn && pool.determinism && !pool.panic_hot);
+        let farm = classify("crates/farm/src/farm.rs").expect("in scope");
+        assert!(farm.panic_hot && farm.determinism && farm.det_spawn);
         let root = classify("src/lib.rs").expect("in scope");
         assert!(root.determinism && !root.panic_hot);
     }

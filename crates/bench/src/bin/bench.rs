@@ -33,7 +33,15 @@
 //!   `LinkFaultModel::uniform(rate)` links, measuring what CRC checks,
 //!   NACK/retransmit retries, and graceful degradation cost in step
 //!   throughput (retransmit/degradation counts land in the detail
-//!   column).
+//!   column);
+//! * `sweep_smallbatch_{spawn_per_map,persistent}` — the pool-mode
+//!   comparison: the sweep grid scheduled as many tiny `map` calls
+//!   (the decode service's per-cycle dispatch shape), legacy
+//!   spawn-per-call versus parked persistent workers;
+//! * `farm_{inline,fleet}_8x` — the `decode_farm` group: an
+//!   8-machine mixed-distance fleet decoded concurrently through one
+//!   bounded `DecodeFarm` versus eight independent inline loops, with
+//!   the farm's p99 queue-depth backlog in the detail column.
 //!
 //! `BTWC_SCALE` scales the measurement budgets as usual.
 
@@ -50,7 +58,9 @@ use btwc_bench::{
 use btwc_lattice::{StabilizerType, SurfaceCode};
 use btwc_mwpm::MwpmDecoder;
 use btwc_noise::SimRng;
-use btwc_sim::{coverage_sweep, logical_error_rate, DecoderKind, ShotConfig};
+use btwc_sim::{
+    coverage_sweep, logical_error_rate, DecoderBackend, DecoderKind, LifetimeConfig, ShotConfig,
+};
 use btwc_sparse::SparseDecoder;
 use btwc_syndrome::{PackedBits, RoundHistory, Syndrome};
 
@@ -436,6 +446,173 @@ fn fault_sweep_benches(entries: &mut Vec<Entry>) -> f64 {
     rates_seen[2] / rates_seen[0].max(1e-12)
 }
 
+/// The `decode_farm` group: an 8-machine fleet (mixed distances and
+/// backends, two tenants per decoder slot so cross-tenant batching
+/// happens) decoded concurrently through one bounded `DecodeFarm`,
+/// versus the same eight machines run as independent inline loops.
+/// Returns the farm's p99 queue-depth backlog — the service-level
+/// acceptance number (it must stay bounded under fleet demand).
+fn decode_farm_benches(entries: &mut Vec<Entry>) -> u64 {
+    use btwc_pool::Pool;
+    use btwc_sim::{machine_farm_trace, machine_offchip_trace, FarmConfig, FarmTenant};
+
+    let shapes = [
+        (3u16, DecoderBackend::SparseBlossom),
+        (5, DecoderBackend::SparseBlossom),
+        (3, DecoderBackend::UnionFind),
+        (5, DecoderBackend::UnionFind),
+        (3, DecoderBackend::SparseBlossom),
+        (5, DecoderBackend::SparseBlossom),
+        (3, DecoderBackend::UnionFind),
+        (5, DecoderBackend::UnionFind),
+    ];
+    let cycles = scaled(300);
+    let qubits = 3usize;
+    let bandwidth = 2usize;
+    let cfgs: Vec<LifetimeConfig> = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &(d, backend))| {
+            let p = if d == 3 { 5e-2 } else { 2.2e-2 };
+            LifetimeConfig::new(d, p)
+                .with_cycles(cycles)
+                .with_seed(0xFA12 + i as u64)
+                .with_backend(backend)
+        })
+        .collect();
+    let tenants: Vec<FarmTenant> =
+        cfgs.iter().map(|cfg| FarmTenant::new(*cfg, qubits, bandwidth)).collect();
+    let total_rounds = (cfgs.len() * qubits) as f64 * cycles as f64;
+    let reps = 8;
+
+    let inline = time_rounds(reps, || {
+        for cfg in &cfgs {
+            std::hint::black_box(machine_offchip_trace(cfg, qubits, bandwidth));
+        }
+    }) * total_rounds;
+    entries.push(Entry {
+        name: "farm_inline_8x".into(),
+        rounds_per_sec: inline,
+        detail: format!("8 machines d∈{{3,5}}, {cycles} cycles, independent inline decode loops"),
+    });
+
+    // Service rate just above the fleet's mean demand (~1.6
+    // escalations/cycle), so bursts queue — the p99 backlog is a real
+    // queueing number — but the farm always drains.
+    let capacity = 64u64;
+    let config = || {
+        let mut cfg = FarmConfig::bounded(capacity, 2);
+        cfg.snapshot_cadence = Some(cycles);
+        cfg
+    };
+    let mut last = None;
+    let farm = time_rounds(reps, || {
+        last = Some(machine_farm_trace(&tenants, config(), Pool::new(SWEEP_BENCH_WORKERS)));
+    }) * total_rounds;
+    let run = last.expect("at least one farm rep ran");
+    let p99_backlog = json_histogram_p99(&run.aggregate_json, "farm.queue_depth_hist");
+    entries.push(Entry {
+        name: "farm_fleet_8x".into(),
+        rounds_per_sec: farm,
+        detail: format!(
+            "same 8 machines through one bounded farm (cap {capacity}, rate 2): \
+             p99 backlog {p99_backlog}, final depth {}",
+            run.final_queue_depth
+        ),
+    });
+    assert!(
+        p99_backlog < capacity / 2 && run.final_queue_depth < capacity / 2,
+        "fleet backlog must stay bounded well below queue capacity"
+    );
+    p99_backlog
+}
+
+/// Pulls `"p99":N` out of one named histogram in a
+/// `btwc-telemetry-v1` snapshot JSON string.
+fn json_histogram_p99(json: &str, metric: &str) -> u64 {
+    let at = json.find(&format!("\"{metric}\"")).expect("metric present in snapshot");
+    let tail = &json[at..];
+    let p = tail.find("\"p99\":").expect("histogram has a p99 field") + "\"p99\":".len();
+    tail[p..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("p99 is an integer")
+}
+
+/// The pool-mode comparison on the sweep-throughput grid, scheduled
+/// the way a decode service submits work: long-lived streaming sweep
+/// shards (one `LifetimeSim` per `(distance, worker)`, built outside
+/// the timed region) advanced a few cycles at a time, one small `map`
+/// call per point-slice, instead of one whole-grid task set. The
+/// grid's base noise rate keeps the per-task decode cost uniform and
+/// small, so the measurement prices the dispatch itself: the legacy
+/// mode pays a full thread spawn/join per call, the persistent mode's
+/// parked workers make that per-call cost vanish. Returns the
+/// persistent/legacy speedup — the `btwc-pool` acceptance number
+/// (bar: ≥ 1.5x).
+fn pool_mode_benches(entries: &mut Vec<Entry>) -> f64 {
+    use std::sync::Mutex;
+
+    use btwc_pool::{Pool, PoolMode};
+    use btwc_sim::{grid_point_seed, LifetimeSim};
+
+    let (rates, distances) = sweep_throughput_axes();
+    let p = rates.iter().copied().fold(f64::INFINITY, f64::min);
+    let workers = Pool::new(SWEEP_BENCH_WORKERS).workers();
+    let slice_cycles = 10u64;
+    let slices = scaled(300);
+    let total_rounds = (distances.len() * workers) as f64 * (slices * slice_cycles) as f64;
+    let reps = 4;
+    let mut modes = Vec::new();
+    for (mode, name, how) in [
+        (PoolMode::Legacy, "sweep_smallbatch_spawn_per_map", "threads spawned per map call"),
+        (PoolMode::Persistent, "sweep_smallbatch_persistent", "parked persistent workers"),
+    ] {
+        let sims: Vec<Vec<Mutex<LifetimeSim>>> = distances
+            .iter()
+            .enumerate()
+            .map(|(di, &d)| {
+                let root = SimRng::from_seed(grid_point_seed(11, 0, di));
+                (0..workers)
+                    .map(|w| {
+                        let cfg = LifetimeConfig::new(d, p)
+                            .with_cycles(u64::MAX)
+                            .with_seed(root.fork(w as u64).seed());
+                        Mutex::new(LifetimeSim::new(&cfg))
+                    })
+                    .collect()
+            })
+            .collect();
+        let pool = Pool::new(SWEEP_BENCH_WORKERS).with_mode(mode);
+        let rate = time_rounds(reps, || {
+            for _ in 0..slices {
+                for point in &sims {
+                    std::hint::black_box(pool.map_indices(workers, |w| {
+                        let mut sim = point[w].lock().expect("shard slot");
+                        let mut flips = 0u64;
+                        for _ in 0..slice_cycles {
+                            flips += u64::from(sim.step());
+                        }
+                        flips
+                    }));
+                }
+            }
+        }) * total_rounds;
+        entries.push(Entry {
+            name: name.into(),
+            rounds_per_sec: rate,
+            detail: format!(
+                "streaming d∈{{3,7,13}} shards @ p={p:.0e}, one {workers}×{slice_cycles}-cycle \
+                 map per point-slice, {how}"
+            ),
+        });
+        modes.push(rate);
+    }
+    modes[1] / modes[0].max(1e-12)
+}
+
 /// Paired-passes overhead measurement: each rep times the bare arm and
 /// the instrumented arm back to back and records the on/off rate
 /// ratio; the reported overhead is `1 - median(ratios)`. A single long
@@ -574,8 +751,10 @@ fn main() {
     let (stream_d13, stream_d17, stream_d21) = streaming_benches(&mut entries);
     ler_benches(&mut entries);
     let sweep_speedup = sweep_benches(&mut entries);
+    let pool_mode_speedup = pool_mode_benches(&mut entries);
     let machine_speedup = machine_benches(&mut entries);
     let fault_ratio = fault_sweep_benches(&mut entries);
+    let farm_p99_backlog = decode_farm_benches(&mut entries);
     let telemetry_overheads = measure_telemetry.then(|| telemetry_overhead_benches(&mut entries));
     let speedup = packed / boolvec.max(1e-12);
 
@@ -597,7 +776,12 @@ fn main() {
          {stream_d17:.1}x at d=17, {stream_d21:.1}x at d=21"
     );
     println!("whole-grid pooled sweep vs per-point scoped threads: {sweep_speedup:.1}x");
+    println!(
+        "persistent parked workers vs per-map spawn on small batches: {pool_mode_speedup:.1}x \
+         (bar: ≥ 1.5x)"
+    );
     println!("machine step through a 20%-fault link vs perfect link: {fault_ratio:.2}x throughput");
+    println!("decode farm, 8-machine fleet: p99 queue backlog {farm_p99_backlog} jobs");
     if let Some((machine_overhead, stream_overhead)) = telemetry_overheads {
         println!(
             "telemetry overhead (on vs off): machine step {:.2}%, streaming decode {:.2}% \
@@ -627,8 +811,10 @@ fn main() {
         "  \"streaming_sparse_speedup_vs_fromscratch_d21_slide1\": {stream_d21:.3},"
     );
     let _ = writeln!(json, "  \"sweep_pooled_speedup_vs_scoped\": {sweep_speedup:.3},");
+    let _ = writeln!(json, "  \"pool_persistent_speedup_vs_spawn\": {pool_mode_speedup:.3},");
     let _ = writeln!(json, "  \"machine_batched_speedup_vs_perqubit\": {machine_speedup:.3},");
     let _ = writeln!(json, "  \"machine_faulty_link_throughput_ratio_p2e-1\": {fault_ratio:.3},");
+    let _ = writeln!(json, "  \"farm_fleet_p99_backlog\": {farm_p99_backlog},");
     if let Some((machine_overhead, stream_overhead)) = telemetry_overheads {
         let _ = writeln!(json, "  \"machine_step_telemetry_overhead\": {machine_overhead:.4},");
         let _ = writeln!(json, "  \"streaming_decode_telemetry_overhead\": {stream_overhead:.4},");

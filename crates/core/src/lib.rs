@@ -42,6 +42,7 @@ mod decoder;
 mod dual;
 mod machine;
 mod prefilter;
+mod service;
 mod system;
 
 #[allow(deprecated)]
@@ -53,6 +54,7 @@ pub use decoder::{
 pub use dual::{DualBtwcDecoder, DualOutcome};
 pub use machine::{BtwcMachine, MachineBuilder, MachineCycle, MachineStats, TransportStats};
 pub use prefilter::{PrefilterModel, PrefilterReport};
+pub use service::{EscalationJob, PendingCycle, RejectReason, ServiceResponse};
 #[allow(deprecated)]
 pub use system::BtwcSystem;
 pub use system::{SystemCycle, SystemStats};

@@ -37,6 +37,7 @@ use btwc_syndrome::{BatchHistory, PackedBits, RoundHistory, SyndromeBatch};
 use btwc_telemetry::{Counter, CounterFamily, Domain, Histogram, MetricsRegistry, SpanTimer};
 
 use crate::decoder::{BtwcOutcome, ComplexDecoder, DecoderBackend, DecoderStats};
+use crate::service::{EscalationJob, PendingCycle, ServiceResponse};
 
 /// What happened across the whole machine in one cycle.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -610,10 +611,47 @@ impl BtwcMachine {
     /// stalls); the `stalled` flag in the returned [`MachineCycle`]
     /// reports whether this cycle executed program gates or idled.
     ///
+    /// Since the decode-farm split this is exactly
+    /// [`BtwcMachine::step_deferred`] + an inline decode of every
+    /// escalation job on the machine's own backend +
+    /// [`BtwcMachine::complete`] — the reference behavior the farm
+    /// conformance harness pins itself to.
+    ///
     /// # Panics
     ///
     /// Panics if the batch dimensions mismatch the machine's.
     pub fn step(&mut self, batch: &SyndromeBatch) -> MachineCycle {
+        let pending = self.step_deferred(batch);
+        let Self { wire, offchip, telemetry, .. } = self;
+        let telemetry = telemetry.as_ref();
+        let responses: Vec<ServiceResponse> = pending
+            .jobs
+            .iter()
+            .map(|job| {
+                job.request.replay_into(wire);
+                let correction = {
+                    let _wall = telemetry.map(|t| t.escalation_latency.wall_guard());
+                    offchip.decode_stream_mut(wire)
+                };
+                ServiceResponse::Decoded { correction, queue_delay_cycles: 0 }
+            })
+            .collect();
+        self.complete(pending, responses)
+    }
+
+    /// The submission half of [`BtwcMachine::step`]: runs the whole
+    /// cycle — triage, sticky filter, transport (retries, deadline,
+    /// degradation on transport failure), link-queue accounting —
+    /// *except* the off-chip solves, which come back as
+    /// [`EscalationJob`]s in the returned [`PendingCycle`] for a decode
+    /// service to resolve. Finish the cycle with
+    /// [`BtwcMachine::complete`] before stepping again, so outcomes and
+    /// telemetry land in cycle order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch dimensions mismatch the machine's.
+    pub fn step_deferred(&mut self, batch: &SyndromeBatch) -> PendingCycle {
         assert_eq!(batch.num_qubits(), self.num_qubits, "one round per qubit");
         assert_eq!(batch.num_ancillas(), self.num_ancillas, "batch ancilla width mismatch");
         let was_stalled = self.stalled;
@@ -660,6 +698,7 @@ impl BtwcMachine {
         // 2. One machine-wide sticky-filter pass; per-qubit decisions
         //    only where the filtered syndrome is non-zero.
         let mut outcomes = vec![BtwcOutcome::Quiet; self.num_qubits];
+        let mut jobs: Vec<EscalationJob> = Vec::new();
         let mut offchip_requests = 0usize;
         let mut link_arrivals = 0usize;
         let mut frame_bytes = 0usize;
@@ -674,8 +713,6 @@ impl BtwcMachine {
             window_len,
             window,
             pending,
-            offchip,
-            wire,
             per_qubit,
             backlog_qubits,
             telemetry,
@@ -730,7 +767,7 @@ impl BtwcMachine {
                             tel.link_dropped.inc();
                         }
                     }
-                    let mut correction = None;
+                    let mut accepted = None;
                     for delivery in &tx.deliveries {
                         if delivery.stale {
                             // Arrived outside the reorder window: the
@@ -762,13 +799,12 @@ impl BtwcMachine {
                                     // discard and degrade below.
                                 }
                                 Ok(SeqStatus::Fresh) => {
-                                    received.replay_into(wire);
-                                    let c = {
-                                        let _wall =
-                                            telemetry.map(|t| t.escalation_latency.wall_guard());
-                                        offchip.decode_stream_mut(wire)
-                                    };
-                                    correction = Some(c);
+                                    // The decode itself is deferred: the
+                                    // accepted parse becomes an
+                                    // EscalationJob below, resolved by
+                                    // the decode service (or inline by
+                                    // `step`).
+                                    accepted = Some(received);
                                 }
                                 Ok(SeqStatus::Duplicate) | Err(_) => {
                                     // A clean second copy of an accepted
@@ -783,8 +819,8 @@ impl BtwcMachine {
                             },
                         }
                     }
-                    if correction.is_some() {
-                        break correction;
+                    if accepted.is_some() {
+                        break accepted;
                     }
                     if deadline_blown || attempts > max_retries {
                         break None;
@@ -806,21 +842,26 @@ impl BtwcMachine {
                     tel.qubit_offchip.inc(q);
                 }
                 match resolved {
-                    Some(c) => {
+                    Some(received) => {
                         next_seq[q] = seq.wrapping_add(1);
-                        if let Some(tel) = telemetry {
-                            // Arrival-to-commit: the oldest round of the
-                            // escalated window arrived `window_len[q] - 1`
-                            // cycles ago, the FIFO link serves this
-                            // request's first attempt's queue position at
-                            // `bandwidth` per cycle, and transport faults
-                            // added `wait_cycles` of backoff and jitter.
-                            let on_chip_wait = (window_len[q] as u64).saturating_sub(1);
-                            let queue_delay = first_position / link_bandwidth;
-                            tel.escalation_latency
-                                .record_latency(on_chip_wait + queue_delay + wait_cycles);
-                        }
-                        outcomes[q] = BtwcOutcome::OffChip(c);
+                        // Arrival-to-commit latency base: the oldest
+                        // round of the escalated window arrived
+                        // `window_len[q] - 1` cycles ago, the FIFO link
+                        // serves this request's first attempt's queue
+                        // position at `bandwidth` per cycle, and
+                        // transport faults added `wait_cycles` of
+                        // backoff and jitter. `complete` records it
+                        // (plus any service queue delay) when the
+                        // correction commits.
+                        let on_chip_wait = (window_len[q] as u64).saturating_sub(1);
+                        let queue_delay = first_position / link_bandwidth;
+                        jobs.push(EscalationJob {
+                            qubit: q as u32,
+                            request: received,
+                            filtered: filtered.clone(),
+                            latency_base: on_chip_wait + queue_delay + wait_cycles,
+                            deadline_budget: deadline_cycles.saturating_sub(wait_cycles),
+                        });
                     }
                     None => {
                         // Retry budget or deadline blown: fall back to
@@ -873,7 +914,51 @@ impl BtwcMachine {
                 tel.queue_depth.record(backlog);
             }
         }
-        MachineCycle { outcomes, offchip_requests, frame_bytes, stalled: was_stalled }
+        PendingCycle { outcomes, offchip_requests, frame_bytes, stalled: was_stalled, jobs }
+    }
+
+    /// The resolution half of [`BtwcMachine::step`]: folds one
+    /// [`ServiceResponse`] per [`EscalationJob`] (in
+    /// [`PendingCycle::jobs`] order) back into the cycle — committing
+    /// decoded corrections with their latency samples, degrading
+    /// rejected jobs to the on-chip emergency correction. A missing
+    /// response (a service that lost the job) degrades too, so the
+    /// cycle always resolves.
+    pub fn complete(
+        &mut self,
+        pending: PendingCycle,
+        responses: Vec<ServiceResponse>,
+    ) -> MachineCycle {
+        let PendingCycle { mut outcomes, offchip_requests, frame_bytes, stalled, jobs } = pending;
+        let mut responses = responses.into_iter();
+        for job in jobs {
+            let q = job.qubit as usize;
+            match responses.next() {
+                Some(ServiceResponse::Decoded { correction, queue_delay_cycles }) => {
+                    if let Some(tel) = &self.telemetry {
+                        tel.escalation_latency
+                            .record_latency(job.latency_base + queue_delay_cycles);
+                    }
+                    outcomes[q] = BtwcOutcome::OffChip(correction);
+                }
+                Some(ServiceResponse::Rejected(_)) | None => {
+                    // The frame survived transport (the sequence number
+                    // is already consumed), but the service refused the
+                    // decode: same graceful fallback as a transport
+                    // failure — the sticky filter re-escalates whatever
+                    // residual survives the emergency correction.
+                    self.transport.degraded_decodes += 1;
+                    self.per_qubit[q].degraded += 1;
+                    if let Some(tel) = &self.telemetry {
+                        tel.degraded.inc();
+                        tel.qubit_degraded.inc(q);
+                    }
+                    outcomes[q] =
+                        BtwcOutcome::Degraded(self.emergency.emergency_correction(&job.filtered));
+                }
+            }
+        }
+        MachineCycle { outcomes, offchip_requests, frame_bytes, stalled }
     }
 
     /// [`BtwcMachine::step`] from per-qubit bool rounds (cold-path

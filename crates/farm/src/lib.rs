@@ -1,0 +1,62 @@
+//! The decode farm: one shared off-chip decode service for many
+//! machine instances.
+//!
+//! The paper's decoding hierarchy pays off at scale when many logical
+//! qubits escalate concurrently — but a [`btwc_core::BtwcMachine`] used
+//! to resolve each escalation inline on its own private backend. This
+//! crate is the service tier the ROADMAP's "streaming decode service"
+//! item asks for: `N` machines (tenants) run their cycles through
+//! [`BtwcMachine::step_deferred`], submit the surviving
+//! [`EscalationJob`]s into one [`DecodeFarm`], and fold the returned
+//! [`ServiceResponse`]s back with [`BtwcMachine::complete`].
+//!
+//! Inside the farm, one [`DecodeFarm::service_cycle`] call per machine
+//! cycle:
+//!
+//! * applies **admission control** against a bounded queue — a job is
+//!   rejected `QueueFull` when the (modeled) backlog reaches capacity,
+//!   or `DeadlineExceeded` when its modeled queueing delay would blow
+//!   the escalation's remaining cycle-deadline budget; when the farm's
+//!   escalation-latency histogram's p99 exceeds the configured shed
+//!   threshold, the effective capacity halves (latency-driven
+//!   backpressure);
+//! * **batches** simultaneous escalations for the same
+//!   backend/distance/stabilizer into one
+//!   [`ComplexDecoder::decode_batch_mut`] call (bit-identical to `k`
+//!   individual decodes — pinned by this crate's proptest), dispatching
+//!   independent decoder slots in parallel on the workspace [`Pool`]'s
+//!   persistent workers;
+//! * models **queueing like [`QueueSim`]** does for the link: decodes
+//!   complete synchronously within the step (so the lockstep driver
+//!   stays deterministic for any `BTWC_WORKERS`), while the *modeled*
+//!   backlog drains at `service_rate` jobs per cycle and each admitted
+//!   job is charged its queue position's delay on the latency
+//!   histograms — plus a live `farm.queue_depth` gauge;
+//! * **aggregates telemetry**: every tenant registers its
+//!   [`MetricsRegistry`]; [`DecodeFarm::aggregate_snapshot`] merges all
+//!   tenant cycle-domain snapshots with the farm's own into one fleet
+//!   view, and a configurable cadence exports per-tenant
+//!   `btwc-telemetry-v1` JSON snapshots ([`DecodeFarm::take_exports`]).
+//!
+//! The whole tier is pinned by the service-conformance harness in
+//! `btwc-sim` (`tests/farm_conformance.rs`): with a generous
+//! configuration, per-tenant farm outcomes, stats, and cycle-domain
+//! machine telemetry are **bit-identical to the inline single-machine
+//! loop** for every builtin backend, any `BTWC_WORKERS`, and any
+//! submission interleaving — decode results depend only on window
+//! contents because a replayed [`DecodeRequest`] resets its window,
+//! which every streaming decoder treats as a rebuild.
+//!
+//! [`BtwcMachine::step_deferred`]: btwc_core::BtwcMachine::step_deferred
+//! [`BtwcMachine::complete`]: btwc_core::BtwcMachine::complete
+//! [`EscalationJob`]: btwc_core::EscalationJob
+//! [`ServiceResponse`]: btwc_core::ServiceResponse
+//! [`ComplexDecoder::decode_batch_mut`]: btwc_core::ComplexDecoder
+//! [`QueueSim`]: btwc_bandwidth::QueueSim
+//! [`Pool`]: btwc_pool::Pool
+//! [`MetricsRegistry`]: btwc_telemetry::MetricsRegistry
+//! [`DecodeRequest`]: btwc_bandwidth::DecodeRequest
+
+mod farm;
+
+pub use farm::{DecodeFarm, FarmConfig, SnapshotExport, TenantId, TenantSubmission};

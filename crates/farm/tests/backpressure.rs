@@ -1,0 +1,194 @@
+//! Backpressure liveness: saturate the farm queue — tiny capacity and
+//! drain rate, a hostile link fault model on every tenant, demand far
+//! above service — and the service must not wedge. Every submission
+//! resolves *within its own cycle* as either `Decoded` or a rejection
+//! the machine immediately degrades (the lockstep loop structurally
+//! cannot leave a job pending), and the farm's accounting —
+//! `farm.queue_depth` gauge, modeled backlog, rejection and decode
+//! counters — must match the observed responses exactly, cycle by
+//! cycle.
+
+use btwc_core::RejectReason;
+use btwc_core::{
+    BtwcMachine, BtwcOutcome, DecoderBackend, LinkFaultModel, ServiceResponse, StabilizerType,
+    SurfaceCode,
+};
+use btwc_farm::{DecodeFarm, FarmConfig, TenantSubmission};
+use btwc_noise::{SimRng, SparseFlips};
+use btwc_pool::Pool;
+use btwc_syndrome::{PackedBits, SyndromeBatch};
+use btwc_telemetry::{MetricValue, MetricsRegistry};
+
+const QUBITS: usize = 6;
+const CYCLES: u64 = 400;
+const QUEUE_CAPACITY: u64 = 3;
+const SERVICE_RATE: u64 = 1;
+
+struct Tenant {
+    machine: BtwcMachine,
+    rng: SimRng,
+    errors: Vec<Vec<bool>>,
+    batch: SyndromeBatch,
+    round: PackedBits,
+    n_data: usize,
+    n_anc: usize,
+}
+
+impl Tenant {
+    /// Open-loop hostile workload: errors accumulate (corrections are
+    /// never applied back), so complex signatures — and escalations —
+    /// keep coming every cycle.
+    fn next_batch(&mut self) -> &SyndromeBatch {
+        for q in 0..QUBITS {
+            for flip in SparseFlips::new(&mut self.rng, self.n_data, 3e-2) {
+                self.errors[q][flip] = !self.errors[q][flip];
+            }
+            let syndrome = self.code().syndrome_of(StabilizerType::X, &self.errors[q]);
+            self.round.fill_from_bools(&syndrome);
+            for a in SparseFlips::new(&mut self.rng, self.n_anc, 5e-3) {
+                self.round.toggle(a);
+            }
+            self.batch.set_qubit_round(q, &self.round);
+        }
+        &self.batch
+    }
+
+    fn code(&self) -> SurfaceCode {
+        SurfaceCode::new(5)
+    }
+}
+
+fn build_tenant(farm: &mut DecodeFarm, seed: u64) -> Tenant {
+    let code = SurfaceCode::new(5);
+    let ty = StabilizerType::X;
+    let registry = MetricsRegistry::new();
+    let machine = BtwcMachine::builder(&code, ty, QUBITS, QUBITS)
+        .backend(DecoderBackend::UnionFind)
+        // The PR-8 hostile link: corruption/drop/duplication/reordering
+        // all enabled, so transport retries and degradations interleave
+        // with farm rejections.
+        .fault_model(LinkFaultModel::uniform(0.10))
+        .link_seed(seed ^ 0xBAD)
+        // A tight deadline so the saturated queue's modeled delay blows
+        // budgets (DeadlineExceeded), not just capacity (QueueFull).
+        .deadline_cycles(2)
+        .build();
+    farm.register_tenant(
+        &format!("hostile-{seed}"),
+        &code,
+        ty,
+        &DecoderBackend::UnionFind,
+        20,
+        &registry,
+    );
+    Tenant {
+        machine,
+        rng: SimRng::from_seed(seed),
+        errors: vec![vec![false; code.num_data_qubits()]; QUBITS],
+        batch: SyndromeBatch::new(QUBITS, code.num_ancillas(ty)),
+        round: PackedBits::new(code.num_ancillas(ty)),
+        n_data: code.num_data_qubits(),
+        n_anc: code.num_ancillas(ty),
+    }
+}
+
+#[test]
+fn saturated_farm_never_wedges_and_accounts_exactly() {
+    let mut farm = DecodeFarm::new(Pool::new(2), FarmConfig::bounded(QUEUE_CAPACITY, SERVICE_RATE));
+    let mut tenants: Vec<Tenant> = (0..2).map(|i| build_tenant(&mut farm, 0xA0 + i)).collect();
+
+    // Independent replica of the farm's queue model and counters,
+    // rebuilt from the observed responses only.
+    let mut expected_backlog = 0u64;
+    let mut observed_decoded = 0u64;
+    let mut observed_queue_full = 0u64;
+    let mut observed_deadline = 0u64;
+    let mut observed_submissions = 0u64;
+
+    for _ in 0..CYCLES {
+        let pendings: Vec<_> = tenants
+            .iter_mut()
+            .map(|t| {
+                t.next_batch();
+                t.machine.step_deferred(&t.batch)
+            })
+            .collect();
+        let submissions: Vec<TenantSubmission<'_>> = pendings
+            .iter()
+            .enumerate()
+            .map(|(i, p)| TenantSubmission { tenant: btwc_farm::TenantId(i), jobs: p.jobs() })
+            .collect();
+        let responses = farm.service_cycle(&submissions);
+        drop(submissions);
+
+        // Liveness: exactly one response per submitted job, this cycle.
+        let mut admitted = 0u64;
+        for (pending, resp) in pendings.iter().zip(&responses) {
+            assert_eq!(resp.len(), pending.jobs().len(), "a submission went unanswered");
+            for r in resp {
+                observed_submissions += 1;
+                match r {
+                    ServiceResponse::Decoded { .. } => {
+                        admitted += 1;
+                        observed_decoded += 1;
+                    }
+                    ServiceResponse::Rejected(RejectReason::QueueFull) => observed_queue_full += 1,
+                    ServiceResponse::Rejected(RejectReason::DeadlineExceeded) => {
+                        observed_deadline += 1;
+                    }
+                }
+            }
+        }
+        expected_backlog = (expected_backlog + admitted).saturating_sub(SERVICE_RATE);
+        assert_eq!(
+            farm.queue_depth(),
+            expected_backlog,
+            "modeled backlog diverged from the response stream"
+        );
+
+        // Every job resolves within its cycle: folding the responses
+        // closes the machine cycle with a definite outcome per qubit
+        // (rejections degrade on the spot).
+        for ((tenant, pending), resp) in tenants.iter_mut().zip(pendings).zip(responses) {
+            let jobs = pending.jobs().len();
+            let cycle = tenant.machine.complete(pending, resp);
+            assert_eq!(cycle.outcomes.len(), QUBITS);
+            if jobs > 0 {
+                assert!(
+                    cycle
+                        .outcomes
+                        .iter()
+                        .any(|o| matches!(o, BtwcOutcome::OffChip(_) | BtwcOutcome::Degraded(_))),
+                    "escalations must resolve as decoded or degraded in their own cycle"
+                );
+            }
+        }
+    }
+
+    // The saturation scenario must actually saturate.
+    assert!(observed_submissions > CYCLES, "hostile workload produced almost no escalations");
+    assert!(observed_queue_full > 0, "queue never filled — not a backpressure test");
+    assert!(observed_deadline > 0, "no deadline rejections — tighten the scenario");
+    assert!(observed_decoded > 0, "the farm must keep decoding under pressure");
+
+    // Counter exactness: the farm's own metrics equal the replica.
+    let snap = farm.metrics().snapshot();
+    assert_eq!(snap.get_counter("farm.submissions"), Some(observed_submissions));
+    assert_eq!(snap.get_counter("farm.decoded"), Some(observed_decoded));
+    assert_eq!(snap.get_counter("farm.rejected_queue_full"), Some(observed_queue_full));
+    assert_eq!(snap.get_counter("farm.rejected_deadline"), Some(observed_deadline));
+    // Gauge exactness: the live queue-depth gauge is the modeled
+    // backlog, exactly.
+    assert_eq!(
+        snap.get("farm.queue_depth"),
+        Some(&MetricValue::Gauge(expected_backlog as i64)),
+        "farm.queue_depth gauge diverged from the modeled backlog"
+    );
+    // And the machines kept full degradation accounting: every
+    // rejection surfaced as a degraded decode on some tenant.
+    let degraded: u64 = tenants.iter().map(|t| t.machine.transport_stats().degraded_decodes).sum();
+    assert!(
+        degraded >= observed_queue_full + observed_deadline,
+        "every farm rejection must degrade on its machine (transport adds its own)"
+    );
+}

@@ -1,0 +1,115 @@
+//! The batching seam's contract, property-tested: grouping `k`
+//! simultaneous escalations into one [`ComplexDecoder::decode_batch_mut`]
+//! call is bit-identical to `k` individual
+//! [`ComplexDecoder::decode_window_mut`] calls in the same order —
+//! flips, weights, and counts must not depend on the grouping, for
+//! every builtin backend, including the `k = 1` fast path.
+
+use btwc_core::{DecoderBackend, StabilizerType, SurfaceCode};
+use btwc_syndrome::RoundHistory;
+use proptest::prelude::*;
+
+const BACKENDS: [DecoderBackend; 4] = [
+    DecoderBackend::DenseMwpm,
+    DecoderBackend::SparseBlossom,
+    DecoderBackend::UnionFind,
+    DecoderBackend::Lut,
+];
+
+const WINDOW_CAPACITY: usize = 8;
+
+/// `k` windows (1..=5) of 1..=WINDOW_CAPACITY rounds over the d=3
+/// X-ancilla count (4) — small enough for the Lut backend, arbitrary
+/// enough to hit empty, odd-parity, and dense defect sets.
+fn windows_strategy() -> impl Strategy<Value = Vec<Vec<Vec<bool>>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(
+            proptest::collection::vec(any::<bool>(), 4),
+            1..(WINDOW_CAPACITY + 1),
+        ),
+        1..6,
+    )
+}
+
+fn histories(windows: &[Vec<Vec<bool>>], num_ancillas: usize) -> Vec<RoundHistory> {
+    windows
+        .iter()
+        .map(|rounds| {
+            let mut h = RoundHistory::new(num_ancillas, WINDOW_CAPACITY);
+            for round in rounds {
+                h.push(round);
+            }
+            h
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn batched_decode_is_bit_identical_to_individual_calls(windows in windows_strategy()) {
+        let ty = StabilizerType::X;
+        let code = SurfaceCode::new(3);
+        let hists = histories(&windows, code.num_ancillas(ty));
+        let refs: Vec<&RoundHistory> = hists.iter().collect();
+        for backend in BACKENDS {
+            // One batched call on a fresh decoder…
+            let mut batched = backend.build(&code, ty);
+            let got = batched.decode_batch_mut(&refs);
+            // …versus k individual calls on another fresh decoder.
+            let mut individual = backend.build(&code, ty);
+            let want: Vec<_> = refs.iter().map(|w| individual.decode_window_mut(w)).collect();
+            prop_assert_eq!(got.len(), refs.len(), "{}: one correction per window", backend.name());
+            for (k, (g, w)) in got.iter().zip(&want).enumerate() {
+                prop_assert_eq!(g.qubits(), w.qubits(), "{} window {k}: flips differ", backend.name());
+                prop_assert_eq!(g.weight(), w.weight(), "{} window {k}: weight differs", backend.name());
+            }
+        }
+    }
+
+    #[test]
+    fn batching_leaks_no_state_between_windows(windows in windows_strategy()) {
+        // Each window of the batch must decode as if it were the
+        // decoder's only input ever: compare against a brand-new
+        // decoder per window.
+        let ty = StabilizerType::X;
+        let code = SurfaceCode::new(3);
+        let hists = histories(&windows, code.num_ancillas(ty));
+        let refs: Vec<&RoundHistory> = hists.iter().collect();
+        for backend in BACKENDS {
+            let mut batched = backend.build(&code, ty);
+            let got = batched.decode_batch_mut(&refs);
+            for (k, (g, w)) in got.iter().zip(&refs).enumerate() {
+                let fresh = backend.build(&code, ty).decode_window(w);
+                prop_assert_eq!(
+                    g.qubits(),
+                    fresh.qubits(),
+                    "{} window {k}: batch position changed the result",
+                    backend.name()
+                );
+            }
+        }
+    }
+}
+
+/// The `k = 1` fast path, pinned explicitly: a singleton batch is the
+/// plain window decode.
+#[test]
+fn singleton_batch_is_the_plain_window_decode() {
+    let ty = StabilizerType::X;
+    let code = SurfaceCode::new(3);
+    let n_anc = code.num_ancillas(ty);
+    let mut h = RoundHistory::new(n_anc, WINDOW_CAPACITY);
+    h.push(&[true, false, false, true]);
+    h.push(&[true, true, false, false]);
+    h.push(&[false, true, false, true]);
+    for backend in BACKENDS {
+        let mut batched = backend.build(&code, ty);
+        let got = batched.decode_batch_mut(&[&h]);
+        let mut single = backend.build(&code, ty);
+        let want = single.decode_window_mut(&h);
+        assert_eq!(got.len(), 1, "{}", backend.name());
+        assert_eq!(got[0], want, "{}", backend.name());
+    }
+}

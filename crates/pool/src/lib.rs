@@ -29,6 +29,14 @@
 //! worker count (see [`Pool::new`]) — CI runs the test suite once with
 //! `BTWC_WORKERS=1` to catch any accidental worker-count dependence.
 //!
+//! Two scheduling modes execute the same contract ([`PoolMode`],
+//! default `Persistent`, overridable via `BTWC_POOL_MODE` or pinned
+//! with [`Pool::with_mode`]): **persistent** keeps one set of parked
+//! worker threads alive across calls (a condvar injector queue — no
+//! per-`map` thread spawn, the decode farm's service path), **legacy**
+//! spawns scoped threads per call. Results are bit-identical across
+//! modes and worker counts; only scheduling-domain telemetry differs.
+//!
 //! # Example
 //!
 //! ```
@@ -40,6 +48,7 @@
 //! ```
 
 mod deque;
+mod persistent;
 mod pool;
 
-pub use pool::{Pool, Scope, WORKERS_ENV};
+pub use pool::{Pool, PoolMode, Scope, POOL_MODE_ENV, WORKERS_ENV};

@@ -3,11 +3,12 @@
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 use btwc_telemetry::{Counter, CounterFamily, Domain, MetricsRegistry};
 
 use crate::deque::TaskDeque;
+use crate::persistent::PersistentWorkers;
 
 /// One unit of work scheduled onto the pool. Tasks may borrow from the
 /// submitting stack frame (`'env`): the pool joins every task before
@@ -25,18 +26,60 @@ fn env_workers() -> Option<usize> {
     std::env::var(WORKERS_ENV).ok()?.parse::<usize>().ok().filter(|&w| w > 0)
 }
 
+/// Environment variable overriding the default worker scheduling mode
+/// (`legacy` or `persistent`); explicit [`Pool::with_mode`] calls still
+/// win, so tests pinning a mode stay pinned.
+pub const POOL_MODE_ENV: &str = "BTWC_POOL_MODE";
+
+fn env_mode() -> Option<PoolMode> {
+    match std::env::var(POOL_MODE_ENV).ok()?.as_str() {
+        "legacy" => Some(PoolMode::Legacy),
+        "persistent" => Some(PoolMode::Persistent),
+        _ => None,
+    }
+}
+
+/// How a [`Pool`] turns a task set into running threads.
+///
+/// Both modes honour the same contract — `map` results in submission
+/// order, `map_reduce` folded in shard order, first panic resumed on
+/// the caller — so switching modes is a pure scheduling change and
+/// every result is bit-identical across them (pinned by the
+/// determinism suites).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolMode {
+    /// Spawn worker threads per [`Pool::scope`] / [`Pool::map`] call
+    /// via `std::thread::scope` and join them before returning. Best
+    /// when a pool runs one huge task set (a whole sweep grid).
+    Legacy,
+    /// Long-lived workers parked on a condvar next to a shared injector
+    /// queue, spawned lazily at the first threaded run and joined when
+    /// the last pool clone drops. Removes per-call thread spawn/join —
+    /// the win for service workloads submitting many small batches
+    /// (the decode farm's per-cycle dispatch).
+    Persistent,
+}
+
 /// A work-stealing thread pool over scoped tasks.
 ///
-/// The pool is a scheduling *policy*, not a set of live threads: worker
-/// threads are spawned per [`Pool::scope`] / [`Pool::map`] call (via
-/// `std::thread::scope`, so tasks may borrow) and joined before the
-/// call returns. Submitting the whole workload of a sweep as one task
-/// set is what keeps every core busy — stealing balances cheap tasks
-/// against expensive ones with no barrier in between.
+/// The pool is a scheduling *policy* with two execution modes
+/// ([`PoolMode`]): `Persistent` (the default) keeps one set of parked
+/// worker threads alive across calls, `Legacy` spawns threads per
+/// [`Pool::scope`] / [`Pool::map`] call via `std::thread::scope`.
+/// Either way every task is joined before the submitting call returns
+/// (so tasks may borrow), and submitting the whole workload of a sweep
+/// as one task set is what keeps every core busy — stealing (legacy)
+/// or the shared injector (persistent) balances cheap tasks against
+/// expensive ones with no barrier in between.
 #[derive(Debug, Clone)]
 pub struct Pool {
     workers: usize,
+    mode: PoolMode,
     telemetry: Option<PoolTelemetry>,
+    /// Lazily-spawned persistent workers, shared across pool clones
+    /// (clones schedule onto the same threads). Never touched in
+    /// legacy mode.
+    persistent: Arc<OnceLock<PersistentWorkers>>,
 }
 
 /// Scheduling-domain metric handles recorded by the worker loop. All of
@@ -64,7 +107,12 @@ impl Pool {
     #[must_use]
     pub fn new(workers: usize) -> Self {
         assert!(workers > 0, "need at least one worker");
-        Self { workers: env_workers().unwrap_or(workers), telemetry: None }
+        Self {
+            workers: env_workers().unwrap_or(workers),
+            mode: env_mode().unwrap_or(PoolMode::Persistent),
+            telemetry: None,
+            persistent: Arc::new(OnceLock::new()),
+        }
     }
 
     /// A pool sized to the machine: [`WORKERS_ENV`] if set, otherwise
@@ -77,13 +125,33 @@ impl Pool {
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(4)
             .min(16);
-        Self { workers: env_workers().unwrap_or(fallback), telemetry: None }
+        Self {
+            workers: env_workers().unwrap_or(fallback),
+            mode: env_mode().unwrap_or(PoolMode::Persistent),
+            telemetry: None,
+            persistent: Arc::new(OnceLock::new()),
+        }
     }
 
     /// The worker count this pool schedules onto.
     #[must_use]
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The scheduling mode this pool executes with.
+    #[must_use]
+    pub fn mode(&self) -> PoolMode {
+        self.mode
+    }
+
+    /// Pins the scheduling mode, overriding the [`POOL_MODE_ENV`]
+    /// default. Call before the pool's first threaded run — once the
+    /// persistent workers have spawned, clones share them regardless.
+    #[must_use]
+    pub fn with_mode(mut self, mode: PoolMode) -> Self {
+        self.mode = mode;
+        self
     }
 
     /// Attach a metrics registry: the pool records tasks executed
@@ -188,8 +256,7 @@ impl Pool {
         self.map_indices(shards, f).into_iter().fold(init, merge)
     }
 
-    /// Executes a task set with per-worker LIFO deques and random
-    /// stealing.
+    /// Executes a task set in the pool's scheduling mode.
     fn run(&self, tasks: Vec<Task<'_>>) {
         let n = tasks.len();
         if n == 0 {
@@ -205,6 +272,46 @@ impl Pool {
             }
             return;
         }
+        match self.mode {
+            PoolMode::Persistent => self.run_persistent(tasks),
+            PoolMode::Legacy => self.run_legacy(tasks, workers),
+        }
+    }
+
+    /// Executes a task set on the long-lived parked workers, spawning
+    /// them on first use.
+    fn run_persistent(&self, tasks: Vec<Task<'_>>) {
+        let workers = self.persistent.get_or_init(|| PersistentWorkers::spawn(self.workers));
+        let tasks: Vec<Task<'_>> = match &self.telemetry {
+            None => tasks,
+            Some(t) => tasks
+                .into_iter()
+                .map(|task| {
+                    let t = t.clone();
+                    let wrapped: Task<'_> = Box::new(move || {
+                        // Injector pops count as "local" (there is no
+                        // stealing in persistent mode — one shared
+                        // queue); the per-worker family still exposes
+                        // imbalance via the executing thread's index.
+                        t.tasks_local.inc();
+                        if let Some(w) = crate::persistent::current_worker_index() {
+                            t.worker_tasks.inc(w);
+                        }
+                        task();
+                    });
+                    wrapped
+                })
+                .collect(),
+        };
+        if let Some(payload) = workers.run_batch(tasks) {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Executes a task set with per-call spawned threads, per-worker
+    /// LIFO deques, and random stealing.
+    fn run_legacy(&self, tasks: Vec<Task<'_>>, workers: usize) {
+        let n = tasks.len();
         // Block distribution: worker w starts owning the contiguous
         // index run [w·n/W, (w+1)·n/W) — neighbouring tasks (same grid
         // point, consecutive shards) start on the same worker, and a
@@ -387,12 +494,104 @@ mod tests {
     }
 
     #[test]
+    fn persistent_matches_legacy_results() {
+        // Same task set, both scheduling modes: identical outputs.
+        let items: Vec<u64> = (0..257).collect();
+        let legacy = Pool::new(4).with_mode(PoolMode::Legacy);
+        let persistent = Pool::new(4).with_mode(PoolMode::Persistent);
+        let f = |i: usize, x: &u64| x.wrapping_mul(0x9E37) ^ i as u64;
+        assert_eq!(legacy.map(&items, f), persistent.map(&items, f));
+    }
+
+    #[test]
+    fn persistent_workers_survive_many_batches() {
+        // The whole point of persistent mode: one spawn, many runs.
+        let pool = Pool::new(4).with_mode(PoolMode::Persistent);
+        for round in 0..100u64 {
+            let out = pool.map_indices(8, |i| round * 8 + i as u64);
+            assert_eq!(out, (round * 8..round * 8 + 8).collect::<Vec<u64>>());
+        }
+    }
+
+    #[test]
+    fn persistent_clones_share_workers() {
+        let pool = Pool::new(4).with_mode(PoolMode::Persistent);
+        let warm = pool.map_indices(16, |i| i);
+        assert_eq!(warm.len(), 16);
+        let clone = pool.clone();
+        assert!(Arc::ptr_eq(&pool.persistent, &clone.persistent));
+        assert_eq!(clone.map_indices(4, |i| i * 2), vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn persistent_panic_propagates_payload() {
+        let pool = Pool::new(4).with_mode(PoolMode::Persistent);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.map_indices(32, |i| {
+                if i == 13 {
+                    panic!("persistent task 13 failed");
+                }
+                i
+            })
+        }));
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "persistent task 13 failed");
+        // The pool stays usable after a panicked batch.
+        assert_eq!(pool.map_indices(3, |i| i + 1), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn persistent_scope_tasks_borrow_caller_state() {
+        // The lifetime-erasure safety argument in practice: tasks
+        // borrow the caller's stack and the latch joins them before
+        // `scope` returns.
+        let pool = Pool::new(4).with_mode(PoolMode::Persistent);
+        let totals = Mutex::new(vec![0u64; 8]);
+        pool.scope(|s| {
+            for i in 0..8 {
+                let totals = &totals;
+                s.spawn(move || totals.lock().expect("totals")[i] += i as u64);
+            }
+        });
+        assert_eq!(totals.into_inner().expect("totals"), (0..8).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn mode_env_parses() {
+        assert_eq!(Pool::new(4).with_mode(PoolMode::Legacy).mode(), PoolMode::Legacy);
+        assert_eq!(Pool::new(4).mode(), PoolMode::Persistent);
+    }
+
+    #[test]
+    fn telemetry_accounts_for_every_task_persistent() {
+        // Persistent mode counts every injector pop as "local"; the
+        // per-worker family must still sum to the threaded share.
+        let registry = MetricsRegistry::new();
+        let pool = Pool::new(4).with_mode(PoolMode::Persistent).with_telemetry(&registry);
+        let n = 64u64;
+        let out = pool.map_indices(n as usize, |i| i as u64);
+        assert_eq!(out.iter().sum::<u64>(), n * (n - 1) / 2);
+        let snap = registry.snapshot();
+        let local = snap.get_counter("pool.tasks_local").unwrap();
+        let stolen = snap.get_counter("pool.tasks_stolen").unwrap();
+        let inline = snap.get_counter("pool.tasks_inline").unwrap();
+        assert_eq!(local + stolen + inline, n);
+        match snap.get("pool.worker_tasks").unwrap() {
+            btwc_telemetry::MetricValue::Values(per_worker) => {
+                assert_eq!(per_worker.iter().sum::<u64>(), local + stolen);
+            }
+            other => panic!("unexpected metric value {other:?}"),
+        }
+    }
+
+    #[test]
     fn telemetry_accounts_for_every_task() {
         // The local/stolen/inline split is scheduling-dependent, but the
         // total must equal the number of tasks executed, and the
         // per-worker family must sum to the threaded (non-inline) share.
         let registry = MetricsRegistry::new();
-        let pool = Pool::new(4).with_telemetry(&registry);
+        let pool = Pool::new(4).with_mode(PoolMode::Legacy).with_telemetry(&registry);
         let n = 64u64;
         let out = pool.map_indices(n as usize, |i| i as u64);
         assert_eq!(out.iter().sum::<u64>(), n * (n - 1) / 2);

@@ -360,6 +360,14 @@ impl NetlistState {
     /// Panics if `inputs.len()` differs from the number of primary
     /// inputs.
     pub fn step(&mut self, netlist: &Netlist, inputs: &[bool]) -> Vec<bool> {
+        self.wave(netlist, inputs, 0)
+    }
+
+    /// One propagation wave; DFFs with gate index `< frozen_gates` keep
+    /// their stored state instead of capturing their input — the seam
+    /// [`NetlistState::step_round`] uses to flush the balanced decision
+    /// cone without advancing the sticky-filter pipeline.
+    fn wave(&mut self, netlist: &Netlist, inputs: &[bool], frozen_gates: usize) -> Vec<bool> {
         assert_eq!(inputs.len(), netlist.primary_inputs().len(), "primary input width mismatch");
         for (&net, &v) in netlist.primary_inputs().iter().zip(inputs) {
             self.values[net] = v;
@@ -396,8 +404,8 @@ impl NetlistState {
                 }
             }
         }
-        // Capture DFF inputs for the next cycle.
-        for (gi, g) in netlist.gates().iter().enumerate() {
+        // Capture DFF inputs for the next cycle (frozen DFFs hold).
+        for (gi, g) in netlist.gates().iter().enumerate().skip(frozen_gates) {
             if g.kind() == CellKind::Dff {
                 self.dff[gi] = self.values[g.inputs()[0]];
             }
@@ -413,6 +421,41 @@ impl NetlistState {
             out = self.step(netlist, inputs);
         }
         out
+    }
+
+    /// Streams one measurement round through a synthesized pipeline
+    /// whose first `frozen_gates` gates form an intentionally skewed
+    /// temporal prefix (the sticky filter of
+    /// [`crate::synthesize_clique`], via
+    /// [`crate::CliqueSynthesis::filter_gate_count`]).
+    ///
+    /// The path-balancing DFFs the legalization passes inserted into
+    /// the downstream decision cone are first flushed with the filter
+    /// state held frozen (so the cone fills with *this* round's filter
+    /// verdict, computed against the rounds already captured), then one
+    /// ordinary [`NetlistState::step`] reads the settled decision and
+    /// captures the filter DFFs, advancing the sticky window by exactly
+    /// this round. The returned outputs are round-for-round comparable
+    /// with a behavioral frontend consuming the same stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the number of primary
+    /// inputs.
+    pub fn step_round(
+        &mut self,
+        netlist: &Netlist,
+        inputs: &[bool],
+        frozen_gates: usize,
+    ) -> Vec<bool> {
+        // No padding chain is longer than the deepest net.
+        let flush = netlist.net_depths().iter().max().copied().unwrap_or(0);
+        for _ in 0..flush {
+            self.wave(netlist, inputs, frozen_gates);
+        }
+        // Combinational evaluation still sees the pre-capture filter
+        // state, so this step's outputs equal the settled decision.
+        self.step(netlist, inputs)
     }
 }
 

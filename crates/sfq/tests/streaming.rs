@@ -1,0 +1,124 @@
+//! Streaming hardware/software co-simulation: the synthesized netlist,
+//! clocked round by round with [`NetlistState::step_round`], carries
+//! its sticky-filter state across a multi-round packed syndrome stream
+//! exactly like the behavioral [`CliqueFrontend`] — decision for
+//! decision, correction for correction, including the `k - 1`-round
+//! warm-up where both sides stay silent.
+//!
+//! This is the streaming pin the single-shot `settle` tests in
+//! `properties.rs` cannot give: there the inputs are held constant, so
+//! the filter DFFs never see two *different* consecutive rounds.
+
+use btwc_clique::{CliqueDecision, CliqueFrontend};
+use btwc_lattice::{StabilizerType, SurfaceCode};
+use btwc_sfq::{synthesize_clique, NetlistState};
+use btwc_syndrome::PackedBits;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn netlist_streams_the_sticky_filter_like_the_frontend(
+        d in prop_oneof![Just(3u16), Just(5)],
+        k in 1usize..4,
+        stream in proptest::collection::vec(
+            proptest::collection::vec(proptest::bool::weighted(0.25), 60),
+            1..12,
+        ),
+    ) {
+        let code = SurfaceCode::new(d);
+        let ty = StabilizerType::X;
+        let synth = synthesize_clique(&code, ty, k);
+        let n = synth.num_ancillas();
+        let nl = synth.netlist();
+        let mut hw = NetlistState::new(nl);
+        let mut sw = CliqueFrontend::with_rounds(&code, ty, k);
+        for (t, bits) in stream.iter().enumerate() {
+            let round: Vec<bool> = bits[..n].to_vec();
+            let decision = sw.push_round_packed(&PackedBits::from_bools(&round));
+            let outs = hw.step_round(nl, &round, synth.filter_gate_count());
+            match decision {
+                CliqueDecision::Complex => {
+                    prop_assert!(
+                        outs[synth.complex_output_index()],
+                        "round {t}: behavioral COMPLEX, netlist quiet"
+                    );
+                }
+                CliqueDecision::AllZeros => {
+                    prop_assert!(
+                        !outs[synth.complex_output_index()],
+                        "round {t}: netlist raised COMPLEX on an all-zeros round"
+                    );
+                    for &(q, po) in synth.correction_outputs() {
+                        prop_assert!(!outs[po], "round {t}: stray correction on qubit {q}");
+                    }
+                }
+                CliqueDecision::Trivial(ref c) => {
+                    prop_assert!(
+                        !outs[synth.complex_output_index()],
+                        "round {t}: netlist raised COMPLEX on a trivial round"
+                    );
+                    for &(q, po) in synth.correction_outputs() {
+                        prop_assert_eq!(
+                            outs[po],
+                            c.qubits().contains(&q),
+                            "round {t}: correction mismatch on qubit {}",
+                            q
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A deterministic two-round sticky scenario the property test only
+/// covers probabilistically: a defect seen once is filtered out, seen
+/// twice in a row it fires — in the netlist's DFF pipeline exactly as
+/// in the behavioral window.
+#[test]
+fn two_round_sticky_state_crosses_rounds() {
+    let code = SurfaceCode::new(3);
+    let ty = StabilizerType::X;
+    let synth = synthesize_clique(&code, ty, 2);
+    let n = synth.num_ancillas();
+    let nl = synth.netlist();
+    let mut hw = NetlistState::new(nl);
+    let mut sw = CliqueFrontend::with_rounds(&code, ty, 2);
+
+    let mut lit = vec![false; n];
+    lit[0] = true;
+    let quiet = vec![false; n];
+
+    // Round 1: defect appears — both sides must stay silent (filter
+    // needs two consecutive rounds).
+    let d1 = sw.push_round(&lit);
+    let o1 = hw.step_round(nl, &lit, synth.filter_gate_count());
+    assert_eq!(d1, CliqueDecision::AllZeros);
+    assert!(!o1[synth.complex_output_index()]);
+    assert!(synth.correction_outputs().iter().all(|&(_, po)| !o1[po]));
+
+    // Round 2: defect persists — the filter passes it through and both
+    // sides emit the same (trivial) verdict.
+    let d2 = sw.push_round(&lit);
+    let o2 = hw.step_round(nl, &lit, synth.filter_gate_count());
+    match d2 {
+        CliqueDecision::Trivial(ref c) => {
+            assert!(!o2[synth.complex_output_index()]);
+            for &(q, po) in synth.correction_outputs() {
+                assert_eq!(o2[po], c.qubits().contains(&q), "qubit {q}");
+            }
+            assert!(!c.qubits().is_empty(), "a persistent lone defect must correct something");
+        }
+        other => panic!("persistent single defect should be trivial, got {other:?}"),
+    }
+
+    // Round 3: defect gone — the sticky window slides it out of both
+    // pipelines.
+    let d3 = sw.push_round(&quiet);
+    let o3 = hw.step_round(nl, &quiet, synth.filter_gate_count());
+    assert_eq!(d3, CliqueDecision::AllZeros);
+    assert!(!o3[synth.complex_output_index()]);
+    assert!(synth.correction_outputs().iter().all(|&(_, po)| !o3[po]));
+}

@@ -1,0 +1,268 @@
+//! Multi-machine closed-loop simulation through the shared decode farm.
+//!
+//! [`machine_farm_trace`] is the service-tier counterpart of
+//! [`crate::machine_offchip_trace`]: `N` independent machines (tenants)
+//! run the same closed noise → machine → correction loop, but every
+//! cycle their surviving escalations are submitted into one
+//! [`DecodeFarm`] instead of each machine decoding inline. The driver
+//! is lockstep — one [`DecodeFarm::service_cycle`] per machine cycle —
+//! so the whole fleet run is deterministic in the tenant configs for
+//! any `BTWC_WORKERS` and either pool mode.
+//!
+//! Each tenant keeps the exact per-qubit RNG fork schedule of the
+//! single-machine driver (forked from *its own* `cfg.seed` by qubit
+//! index), so under a [`FarmConfig::generous`] farm every tenant's
+//! outcomes, stats, and `machine.*` cycle-domain telemetry are
+//! **bit-identical** to an inline [`crate::machine_offchip_trace`] run
+//! of the same config — the service-conformance pin in
+//! `tests/farm_conformance.rs`.
+
+use btwc_core::{
+    BtwcMachine, LinkFaultModel, MachineStats, StabilizerType, SurfaceCode, TransportStats,
+};
+use btwc_farm::{DecodeFarm, FarmConfig, SnapshotExport, TenantSubmission};
+use btwc_noise::{SimRng, SparseFlips};
+use btwc_pool::Pool;
+use btwc_syndrome::{PackedBits, SyndromeBatch};
+use btwc_telemetry::{Domain, MetricsRegistry};
+
+use crate::lifetime::LifetimeConfig;
+use crate::tracker::ErrorTracker;
+
+/// One machine of a [`machine_farm_trace`] fleet.
+#[derive(Debug, Clone)]
+pub struct FarmTenant {
+    /// The tenant's lifetime config: distance, error rates, cycles,
+    /// off-chip backend, and the seed its per-qubit RNG streams fork
+    /// from. `cycles` must agree across the fleet (lockstep driver).
+    pub cfg: LifetimeConfig,
+    /// Logical qubits on this machine.
+    pub num_qubits: usize,
+    /// Off-chip link bandwidth in decodes per cycle.
+    pub bandwidth: usize,
+    /// Optional faulty-link model for this tenant's off-chip transport.
+    pub fault: Option<(LinkFaultModel, u64)>,
+}
+
+impl FarmTenant {
+    /// A fault-free tenant.
+    #[must_use]
+    pub fn new(cfg: LifetimeConfig, num_qubits: usize, bandwidth: usize) -> Self {
+        FarmTenant { cfg, num_qubits, bandwidth, fault: None }
+    }
+
+    /// Routes this tenant's escalations across a faulty link.
+    #[must_use]
+    pub fn with_fault(mut self, model: LinkFaultModel, link_seed: u64) -> Self {
+        self.fault = Some((model, link_seed));
+        self
+    }
+}
+
+/// One tenant's results from a [`machine_farm_trace`] run — the same
+/// quantities the single-machine drivers report, plus the tenant's
+/// cycle-domain telemetry snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FarmTenantRun {
+    /// Machine aggregates (stalls, backlog, frame bytes).
+    pub stats: MachineStats,
+    /// Receiver-side transport observations.
+    pub transport: TransportStats,
+    /// Per-cycle off-chip demand trace.
+    pub trace: Vec<usize>,
+    /// Total residual syndrome weight across the tenant's qubits at the
+    /// end of the run.
+    pub residual_syndrome_weight: u64,
+    /// Qubits ending the run in a logical-error state.
+    pub logical_errors: u64,
+    /// The tenant's cycle-domain `btwc-telemetry-v1` snapshot
+    /// (`machine.*` metrics; the backend decoder metrics live in the
+    /// farm's slots, not the tenant registry).
+    pub telemetry_json: String,
+}
+
+/// Everything a fleet run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FarmRun {
+    /// Per-tenant results, in [`machine_farm_trace`] argument order.
+    pub tenants: Vec<FarmTenantRun>,
+    /// Cadence-exported per-tenant snapshots (empty unless
+    /// [`FarmConfig::snapshot_cadence`] is set).
+    pub exports: Vec<SnapshotExport>,
+    /// The fleet-wide cycle-domain snapshot: `farm.*` metrics merged
+    /// with every tenant's registry.
+    pub aggregate_json: String,
+    /// Final modeled farm queue depth (matches the `farm.queue_depth`
+    /// gauge).
+    pub final_queue_depth: u64,
+}
+
+/// Per-tenant driver state for the lockstep loop.
+struct TenantState {
+    machine: BtwcMachine,
+    code: SurfaceCode,
+    rngs: Vec<SimRng>,
+    trackers: Vec<ErrorTracker>,
+    batch: SyndromeBatch,
+    round: PackedBits,
+    trace: Vec<usize>,
+    registry: MetricsRegistry,
+    num_qubits: usize,
+    n_data: usize,
+    n_anc: usize,
+    p: f64,
+    pm: f64,
+}
+
+/// Drives `tenants.len()` machines in lockstep through one shared
+/// [`DecodeFarm`] on `pool` for `tenants[0].cfg.cycles` cycles.
+///
+/// Every cycle each machine runs
+/// [`BtwcMachine::step_deferred`](btwc_core::BtwcMachine::step_deferred),
+/// all surviving escalations are submitted to the farm in tenant order,
+/// and the responses are folded back with
+/// [`BtwcMachine::complete`](btwc_core::BtwcMachine::complete) before
+/// corrections land on the per-qubit error trackers.
+///
+/// # Panics
+///
+/// Panics if `tenants` is empty, any tenant has zero qubits or
+/// bandwidth, or the tenants disagree on `cfg.cycles`.
+#[must_use]
+pub fn machine_farm_trace(tenants: &[FarmTenant], config: FarmConfig, pool: Pool) -> FarmRun {
+    assert!(!tenants.is_empty(), "a farm fleet needs at least one tenant");
+    let cycles = tenants[0].cfg.cycles;
+    assert!(
+        tenants.iter().all(|t| t.cfg.cycles == cycles),
+        "lockstep fleet: every tenant must run the same cycle count"
+    );
+
+    let ty = StabilizerType::X;
+    let mut farm = DecodeFarm::new(pool, config);
+    let mut states: Vec<TenantState> = Vec::with_capacity(tenants.len());
+    for tenant in tenants {
+        let cfg = &tenant.cfg;
+        let code = SurfaceCode::new(cfg.distance);
+        let n_anc = code.num_ancillas(ty);
+        let n_data = code.num_data_qubits();
+        let registry = MetricsRegistry::new();
+        let mut builder = BtwcMachine::builder(&code, ty, tenant.num_qubits, tenant.bandwidth)
+            .clique_rounds(cfg.clique_rounds)
+            .backend(cfg.backend)
+            .telemetry(&registry);
+        if let Some((model, link_seed)) = tenant.fault {
+            builder = builder.fault_model(model).link_seed(link_seed);
+        }
+        let machine = builder.build();
+        // Same decode-window sizing as the machine's own wire
+        // scratch (MachineBuilder default); the farm widens on
+        // demand if a request ever carries more rounds.
+        let window_rounds = usize::from(code.distance()).max(4) * 4;
+        farm.register_tenant(
+            &format!("tenant-{}", farm.num_tenants()),
+            &code,
+            ty,
+            &cfg.backend,
+            window_rounds,
+            &registry,
+        );
+        let root = SimRng::from_seed(cfg.seed);
+        let rngs = (0..tenant.num_qubits)
+            .map(|q| SimRng::from_seed(root.fork(crate::shard::QUBIT_STREAM + q as u64).seed()))
+            .collect();
+        let trackers = (0..tenant.num_qubits).map(|_| ErrorTracker::new(&code, ty)).collect();
+        states.push(TenantState {
+            machine,
+            rngs,
+            trackers,
+            batch: SyndromeBatch::new(tenant.num_qubits, n_anc),
+            round: PackedBits::new(n_anc),
+            trace: Vec::with_capacity(cycles as usize),
+            registry,
+            num_qubits: tenant.num_qubits,
+            n_data,
+            n_anc,
+            p: cfg.physical_error_rate,
+            pm: cfg.measurement_error_rate,
+            code,
+        });
+    }
+
+    for _ in 0..cycles {
+        // Phase 1: every tenant samples noise and runs its cycle up to
+        // (not including) the off-chip decodes.
+        let pendings: Vec<_> = states
+            .iter_mut()
+            .map(|st| {
+                for q in 0..st.num_qubits {
+                    let rng = &mut st.rngs[q];
+                    for flip in SparseFlips::new(rng, st.n_data, st.p) {
+                        st.trackers[q].flip(flip);
+                    }
+                    st.round.copy_from(st.trackers[q].syndrome());
+                    for a in SparseFlips::new(rng, st.n_anc, st.pm) {
+                        st.round.toggle(a);
+                    }
+                    st.batch.set_qubit_round(q, &st.round);
+                }
+                st.machine.step_deferred(&st.batch)
+            })
+            .collect();
+
+        // Phase 2: one farm service cycle over the fleet's escalations.
+        let submissions: Vec<TenantSubmission<'_>> = pendings
+            .iter()
+            .enumerate()
+            .map(|(i, pending)| TenantSubmission {
+                tenant: btwc_farm::TenantId(i),
+                jobs: pending.jobs(),
+            })
+            .collect();
+        let responses = farm.service_cycle(&submissions);
+        drop(submissions);
+
+        // Phase 3: fold responses back and close each tenant's loop.
+        for ((st, pending), resp) in states.iter_mut().zip(pendings).zip(responses) {
+            let cycle = st.machine.complete(pending, resp);
+            for (tracker, out) in st.trackers.iter_mut().zip(&cycle.outcomes) {
+                if let Some(c) = out.correction() {
+                    tracker.apply(c.qubits());
+                }
+            }
+            st.trace.push(cycle.offchip_requests);
+        }
+    }
+
+    let aggregate_json = farm.aggregate_snapshot().to_json();
+    let final_queue_depth = farm.queue_depth();
+    let exports = farm.take_exports();
+    let tenants_out = states
+        .into_iter()
+        .map(|st| {
+            let residual_syndrome_weight =
+                st.trackers.iter().map(|t| t.syndrome_weight() as u64).sum::<u64>();
+            let logical_errors =
+                st.trackers.iter().filter(|t| st.code.is_logical_error(ty, t.errors())).count()
+                    as u64;
+            FarmTenantRun {
+                stats: st.machine.stats(),
+                transport: st.machine.transport_stats(),
+                trace: st.trace,
+                residual_syndrome_weight,
+                logical_errors,
+                telemetry_json: {
+                    // The tenant's own cycle-domain view. Restricted to
+                    // `machine.*` because the registry also carries the
+                    // machine's (unused-in-farm-mode) private decoder
+                    // registrations — the conformance pin compares the
+                    // machine namespace against the inline driver.
+                    let mut snap = st.registry.snapshot_domains(&[Domain::Cycles]);
+                    snap.retain_prefix("machine.");
+                    snap.to_json()
+                },
+            }
+        })
+        .collect();
+
+    FarmRun { tenants: tenants_out, exports, aggregate_json, final_queue_depth }
+}

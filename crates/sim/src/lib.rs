@@ -47,6 +47,7 @@
 //! assert!(stats.coverage() > 0.9, "Clique covers the common case");
 //! ```
 
+mod farm;
 mod ler;
 mod lifetime;
 mod machine;
@@ -63,6 +64,10 @@ pub use btwc_core::DecoderBackend;
 #[allow(deprecated)]
 pub use btwc_core::OffchipBackend;
 pub use btwc_pool::Pool;
+// The decode-farm service tier: the fleet driver lives here, the farm
+// itself in `btwc_farm` (re-exported so fleet callers need one import).
+pub use btwc_farm::{DecodeFarm, FarmConfig, SnapshotExport, TenantId, TenantSubmission};
+pub use farm::{machine_farm_trace, FarmRun, FarmTenant, FarmTenantRun};
 pub use ler::{
     logical_error_rate, logical_error_rate_parallel, DecoderKind, LerEstimate, ShotConfig,
 };

@@ -43,6 +43,23 @@ pub trait ComplexDecoder {
         self.decode_window_mut(window)
     }
 
+    /// Decodes `k` independent windows in one backend call, returning
+    /// corrections in submission order.
+    ///
+    /// This is the decode farm's batching seam: simultaneous
+    /// escalations for the same backend/distance are grouped into one
+    /// call so an implementation can amortize per-call setup (or, for
+    /// hardware backends, a single DMA round trip). The contract is
+    /// **bit-identical to `k` individual
+    /// [`ComplexDecoder::decode_window_mut`] calls in the same order**
+    /// — flips, weights, and decoder statistics must not depend on the
+    /// grouping (pinned by the `btwc-farm` batching proptest, including
+    /// the `k = 1` fast path). The default simply loops, so every
+    /// existing decoder participates unchanged.
+    fn decode_batch_mut(&mut self, windows: &[&RoundHistory]) -> Vec<Correction> {
+        windows.iter().map(|w| self.decode_window_mut(w)).collect()
+    }
+
     /// Attach a metrics registry: from here on the decoder records its
     /// internals (stream fast-path hits, warm-start outcomes, cluster
     /// sizes, …) into `registry`. The default is a no-op so stateless or

@@ -94,6 +94,15 @@ impl Snapshot {
         }
     }
 
+    /// Keeps only metrics whose name starts with `prefix` — e.g.
+    /// restrict a snapshot to the `machine.` namespace before pinning
+    /// it against a run whose other components were instrumented
+    /// differently. Name order (and so JSON byte-identity) is
+    /// preserved.
+    pub fn retain_prefix(&mut self, prefix: &str) {
+        self.metrics.retain(|m| m.name.starts_with(prefix));
+    }
+
     /// Canonical JSON: `{"schema":"btwc-telemetry-v1","metrics":{...}}` with
     /// metric names sorted, integer values only, no whitespace.
     pub fn to_json(&self) -> String {
@@ -144,12 +153,112 @@ impl Snapshot {
         out
     }
 
+    /// Folds `other` into `self`, metric by metric — the decode farm's
+    /// fleet view over per-tenant registries.
+    ///
+    /// Same-name metrics aggregate by kind: counters and gauges sum
+    /// (a fleet queue-depth gauge is the sum of tenant depths),
+    /// histograms merge bucket-wise (count/sum add, min/max widen,
+    /// percentiles recomputed from the merged buckets — exactly what
+    /// one histogram fed both sample streams would report), counter
+    /// families sum element-wise with the shorter side zero-padded.
+    /// Metrics present only in `other` are inserted; a same-name
+    /// kind or domain mismatch keeps `self`'s value (the inputs
+    /// disagree about what the metric *is*, so no merge is
+    /// meaningful). The result stays name-sorted, so `to_json` of a
+    /// merged snapshot is canonical like any other.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for m in &other.metrics {
+            match self.metrics.binary_search_by(|probe| probe.name.as_str().cmp(&m.name)) {
+                Err(pos) => self.metrics.insert(pos, m.clone()),
+                Ok(pos) => {
+                    let mine = &mut self.metrics[pos];
+                    if mine.domain != m.domain {
+                        continue;
+                    }
+                    match (&mut mine.value, &m.value) {
+                        (MetricValue::Counter(a), MetricValue::Counter(b)) => {
+                            *a = a.saturating_add(*b);
+                        }
+                        (MetricValue::Gauge(a), MetricValue::Gauge(b)) => {
+                            *a = a.saturating_add(*b);
+                        }
+                        (
+                            MetricValue::Histogram { count, sum, min, max, p50, p90, p99, buckets },
+                            MetricValue::Histogram {
+                                count: c2,
+                                sum: s2,
+                                min: min2,
+                                max: max2,
+                                buckets: b2,
+                                ..
+                            },
+                        ) => {
+                            merge_buckets(buckets, b2);
+                            if *count == 0 {
+                                *min = *min2;
+                                *max = *max2;
+                            } else if *c2 > 0 {
+                                *min = (*min).min(*min2);
+                                *max = (*max).max(*max2);
+                            }
+                            *count = count.saturating_add(*c2);
+                            *sum = sum.saturating_add(*s2);
+                            *p50 = bucket_percentile(buckets, *count, *max, 50);
+                            *p90 = bucket_percentile(buckets, *count, *max, 90);
+                            *p99 = bucket_percentile(buckets, *count, *max, 99);
+                        }
+                        (MetricValue::Values(a), MetricValue::Values(b)) => {
+                            if a.len() < b.len() {
+                                a.resize(b.len(), 0);
+                            }
+                            for (slot, v) in a.iter_mut().zip(b) {
+                                *slot = slot.saturating_add(*v);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
     /// Write [`Snapshot::to_json`] (plus a trailing newline) to `path`.
     pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
         let mut text = self.to_json();
         text.push('\n');
         std::fs::write(path, text)
     }
+}
+
+/// Sums `extra`'s sparse `(upper, n)` buckets into `mine`, keeping the
+/// upper bounds sorted (both sides come out of the same log₂ bucket
+/// grid, so equal uppers are the same bucket).
+fn merge_buckets(mine: &mut Vec<(u64, u64)>, extra: &[(u64, u64)]) {
+    for &(upper, n) in extra {
+        match mine.binary_search_by(|&(u, _)| u.cmp(&upper)) {
+            Ok(pos) => mine[pos].1 = mine[pos].1.saturating_add(n),
+            Err(pos) => mine.insert(pos, (upper, n)),
+        }
+    }
+}
+
+/// Percentile over sparse `(upper, n)` buckets — the same
+/// rank-into-bucket-upper rule `Histogram::percentile` applies to its
+/// dense bucket array.
+fn bucket_percentile(buckets: &[(u64, u64)], count: u64, max: u64, pct: u64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((u128::from(count) * u128::from(pct)).div_ceil(100) as u64).max(1);
+    let mut seen = 0u64;
+    for &(upper, n) in buckets {
+        seen += n;
+        if seen >= rank {
+            return upper;
+        }
+    }
+    max
 }
 
 fn json_string(s: &str) -> String {
@@ -176,6 +285,52 @@ fn json_string(s: &str) -> String {
 mod tests {
     use super::*;
     use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn merge_matches_single_registry_fed_both_streams() {
+        // Two tenant registries vs one registry fed both sample
+        // streams: the merged snapshot must serialize identically.
+        let combined = MetricsRegistry::new();
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        for (reg, lat_samples, depth) in
+            [(&a, &[3u64, 17, 900][..], 2i64), (&b, &[1, 4, 4, 65_000][..], 5)]
+        {
+            reg.counter("farm.submissions", Domain::Cycles).add(lat_samples.len() as u64);
+            combined.counter("farm.submissions", Domain::Cycles).add(lat_samples.len() as u64);
+            let h = reg.histogram("farm.latency", Domain::Cycles);
+            let hc = combined.histogram("farm.latency", Domain::Cycles);
+            for &s in lat_samples {
+                h.record(s);
+                hc.record(s);
+            }
+            reg.gauge("farm.queue_depth", Domain::Cycles).set(depth);
+            let f = reg.counter_family("farm.per_qubit", Domain::Cycles, 3);
+            let fc = combined.counter_family("farm.per_qubit", Domain::Cycles, 3);
+            f.add(1, depth as u64);
+            fc.add(1, depth as u64);
+        }
+        combined.gauge("farm.queue_depth", Domain::Cycles).set(7); // 2 + 5
+                                                                   // A tenant-only metric must survive the merge.
+        b.counter("tenant.only", Domain::Cycles).add(9);
+        combined.counter("tenant.only", Domain::Cycles).add(9);
+
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.to_json(), combined.snapshot().to_json());
+    }
+
+    #[test]
+    fn merge_empty_histogram_takes_other_side() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        let _ = a.histogram("h", Domain::Cycles);
+        let hb = b.histogram("h", Domain::Cycles);
+        hb.record(12);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.to_json(), b.snapshot().to_json());
+    }
 
     #[test]
     fn json_is_sorted_valid_and_stable() {
